@@ -1,0 +1,96 @@
+// Experiment F6 — Figure 6: average percentage of disconnected
+// source-destination pairs vs number of faulty chiplets, one DoR network
+// versus two independent DoR networks, Monte Carlo over random fault maps
+// on the full 32x32 wafer.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/noc/connectivity.hpp"
+#include "wsp/noc/odd_even.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::noc;
+
+void print_fig6() {
+  std::printf("== Figure 6: disconnected pairs vs faulty chiplets ==\n");
+  std::printf("paper: at 5 faults, >12%% disconnected with one DoR network, "
+              "<2%% with two\n\n");
+  const TileGrid grid(32, 32);
+  Rng rng(42);
+  const std::vector<std::size_t> counts{1, 2, 3, 4, 5, 6, 8, 10, 15, 20};
+  const int trials = 30;
+  const auto points = fig6_sweep(grid, counts, trials, rng);
+
+  std::printf("%8s %16s %20s %16s %10s\n", "faults", "1 net one-way (%)",
+              "1 net round-trip (%)", "2 networks (%)", "ratio");
+  for (const Fig6Point& p : points) {
+    std::printf("%8zu %16.3f %20.3f %16.3f %9.1fx\n", p.fault_count,
+                p.mean_single_pct, p.mean_single_roundtrip_pct,
+                p.mean_dual_pct,
+                p.mean_dual_pct > 0
+                    ? p.mean_single_roundtrip_pct / p.mean_dual_pct
+                    : 0.0);
+  }
+  std::printf("\n(round-trip: on one network the response B->A takes a "
+              "different L-path than the request A->B, so both must "
+              "survive; with two networks the response retraces the "
+              "request's tiles on the complement)\n");
+
+  // Ablation (the paper's future work, Sec. VI footnote): minimal
+  // adaptive odd-even routing as a third scheme.  Run on a 16x16 section:
+  // the all-pairs odd-even census does a BFS per pair, so the full wafer
+  // would take minutes for the same statistical story.
+  std::printf("\n-- ablation: minimal-adaptive odd-even (future-work "
+              "scheme, 16x16 section) --\n");
+  std::printf("%8s %16s %18s %16s\n", "faults", "1 net DoR (%)",
+              "1 net odd-even (%)", "2 nets DoR (%)");
+  const TileGrid small(16, 16);
+  for (const std::size_t n : {1u, 3u, 5u, 10u}) {
+    double oe = 0.0, xy = 0.0, dual = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      const FaultMap faults = FaultMap::random_with_count(small, n, rng);
+      oe += census_odd_even(faults).pct();
+      const DisconnectionStats s = census_disconnection(faults);
+      xy += s.single_pct();
+      dual += s.dual_pct();
+    }
+    std::printf("%8zu %16.3f %18.3f %16.3f\n", n, xy / trials, oe / trials,
+                dual / trials);
+  }
+
+  // Residual analysis at the paper's 5-fault operating point.
+  std::size_t dual = 0, same_rc = 0, pairs = 0;
+  for (int t = 0; t < trials; ++t) {
+    const DisconnectionStats s =
+        census_disconnection(FaultMap::random_with_count(grid, 5, rng));
+    dual += s.disconnected_dual;
+    same_rc += s.disconnected_dual_same_row_col;
+    pairs += s.healthy_pairs;
+  }
+  std::printf("\nat 5 faults: %.1f%% of residual dual-network disconnects are "
+              "same-row/column pairs\n(same-row/column pairs are only %.1f%% "
+              "of all pairs)\n\n",
+              dual ? 100.0 * same_rc / dual : 0.0, 100.0 * 62.0 / 1023.0);
+}
+
+void BM_Census32x32(benchmark::State& state) {
+  Rng rng(9);
+  const FaultMap faults = FaultMap::random_with_count(
+      TileGrid(32, 32), static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(census_disconnection(faults).disconnected_dual);
+}
+BENCHMARK(BM_Census32x32)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Extension studies beyond the paper's figures, each anchored to a line
+// in the text:
+//   * memory-technology survey         (Sec. II-c: "newer or denser
+//     memory technologies for higher memory capacity")
+//   * workload-driven droop            (Fig. 2 computed under a real
+//     graph-kernel activity map instead of uniform peak)
+//   * substrate net timing             (Sec. V's 1 GHz / 500 um claim and
+//     the edge fan-out consequences)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "wsp/arch/power_map.hpp"
+#include "wsp/io/cost_model.hpp"
+#include "wsp/mem/technology.hpp"
+#include "wsp/pdn/thermal.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+#include "wsp/route/net_timing.hpp"
+#include "wsp/workloads/graph_apps.hpp"
+
+namespace {
+
+using namespace wsp;
+
+void print_memory_survey() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("== memory-technology survey (Sec. II-c heterogeneity) ==\n");
+  std::printf("%-22s %14s %16s %14s %10s\n", "technology", "chiplet cap",
+              "system shared", "shared B/W", "vs 40nm");
+  for (const mem::MemoryTechOutcome& o : mem::memory_technology_survey(cfg)) {
+    std::printf("%-22s %11.1f MB %13.1f GB %11.2f TB/s %9.1fx%s\n",
+                o.tech.name.c_str(),
+                static_cast<double>(o.chiplet_bytes) / (1 << 20),
+                static_cast<double>(o.system_shared_bytes) / (1 << 30),
+                o.shared_bandwidth_bytes_per_s / 1e12,
+                o.capacity_vs_baseline,
+                o.tech.requires_refresh ? "  (needs refresh)" : "");
+  }
+  std::printf("(same 3.15 x 1.1 mm chiplet footprint and 5-bank "
+              "organisation; the paper's 'TBs of memory' claim needs the "
+              "DRAM-class rows)\n\n");
+}
+
+void print_workload_droop() {
+  std::printf("== workload-driven PDN droop (Fig. 2 under real activity) ==\n");
+  const SystemConfig cfg = SystemConfig::reduced(16, 16);
+  const FaultMap faults(cfg.grid());
+
+  // Run a BFS to obtain the per-tile activity/power map.
+  Rng rng(3);
+  const workloads::Graph g = workloads::make_rmat_graph(10, 6000, 1, rng);
+  const workloads::GraphAppResult r = workloads::run_bfs(cfg, faults, g, 0);
+  std::printf("BFS on 16x16: makespan %llu cycles, mean core utilisation "
+              "%.1f%%\n",
+              static_cast<unsigned long long>(r.stats.makespan),
+              100.0 * r.stats.mean_core_utilization);
+
+  pdn::WaferPdn pdn(cfg, {});
+  const pdn::PdnReport peak = pdn.solve_uniform(1.0);
+  const pdn::PdnReport workload = pdn.solve(r.tile_power_w);
+  const double hottest =
+      *std::max_element(r.tile_power_w.begin(), r.tile_power_w.end());
+  std::printf("%-28s %12s %12s\n", "condition", "center V", "current A");
+  std::printf("%-28s %12.3f %12.1f\n", "uniform peak (Fig. 2)",
+              peak.min_supply_v, peak.total_supply_current_a);
+  std::printf("%-28s %12.3f %12.1f\n", "BFS activity map",
+              workload.min_supply_v, workload.total_supply_current_a);
+  std::printf("hottest tile draws %.0f mW of the %.0f mW peak budget\n",
+              hottest * 1e3, cfg.tile_peak_power_w * 1e3);
+  std::printf("(graph kernels run the wafer near idle power: the runtime "
+              "droop margin is far larger than the Fig. 2 worst case)\n\n");
+}
+
+void print_net_timing() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("== substrate net timing (Sec. V electrical model) ==\n");
+  const route::SubstrateRouter router(cfg);
+  const route::RoutingReport routing = router.route(2);
+  const route::TimingReport t = route::analyze_routing_timing(cfg, routing);
+
+  auto row = [](const char* name, const route::NetTiming& nt) {
+    std::printf("%-18s R %7.2f ohm | C %7.1f fF | Elmore %7.1f ps | "
+                "max rate %7.2f GHz\n",
+                name, nt.wire_resistance_ohm, nt.wire_capacitance_f / 1e-15,
+                nt.elmore_delay_s / 1e-12, nt.max_rate_hz / 1e9);
+  };
+  row("inter-tile link", t.worst_inter_tile);
+  row("bank bus", t.worst_bank_bus);
+  row("edge fan-out", t.worst_edge_fanout);
+  std::printf("1 GHz on inter-tile links: %s | bank buses: %s | edge "
+              "fan-out limited to %.0f MHz (JTAG/config only, needs "
+              "%.0f MHz)\n\n",
+              t.inter_tile_meets_rate ? "met" : "NOT MET",
+              t.bank_bus_meets_rate ? "met" : "NOT MET",
+              t.edge_fanout_rate_hz / 1e6, cfg.jtag_tck_hz / 1e6);
+}
+
+void print_thermal() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("== whole-wafer thermal model (Sec. IX companion) ==\n");
+
+  pdn::WaferThermal thermal(cfg, {});
+  const pdn::ThermalReport uniform = thermal.solve_uniform(1.0);
+  std::printf("uniform 350 mW/tile, 2 kW/m2K cold plate: mean %.1f C, "
+              "max %.1f C (%d tiles over the 105 C limit)\n",
+              uniform.mean_c, uniform.max_c, uniform.tiles_over_limit);
+
+  // PDN-coupled heat map: edge tiles burn the LDO headroom.
+  pdn::WaferPdn pdn(cfg, {});
+  const pdn::PdnReport power = pdn.solve_uniform(1.0);
+  const auto heat = pdn::heat_map_from_pdn(cfg, power);
+  pdn::WaferThermal coupled(cfg, {});
+  const pdn::ThermalReport r = coupled.solve(heat);
+  const TileGrid grid = cfg.grid();
+  std::printf("PDN-coupled heat map (%.0f W total): edge tile %.1f C vs "
+              "center tile %.1f C — the LDO headroom makes the *edge* run "
+              "hotter\n",
+              r.total_heat_w,
+              r.tile_temperature_c[grid.index_of({0, 16})],
+              r.tile_temperature_c[grid.index_of({16, 16})]);
+
+  std::printf("%14s %14s %12s %16s\n", "tile power", "wafer power",
+              "max temp", "cooling needed");
+  for (const double mw : {350.0, 1000.0, 3500.0}) {
+    SystemConfig scaled = cfg;
+    scaled.tile_peak_power_w = mw * 1e-3;
+    for (const double h : {1000.0, 2000.0, 10000.0, 20000.0}) {
+      pdn::ThermalOptions opt;
+      opt.cooling_w_m2k = h;
+      const pdn::ThermalReport s =
+          pdn::WaferThermal(scaled, opt).solve_uniform(1.0);
+      if (s.tiles_over_limit == 0) {
+        std::printf("%11.0f mW %11.1f kW %10.1f C %13.0f W/m2K\n", mw,
+                    mw * 1024 / 1e6, s.max_c, h);
+        break;
+      }
+      if (h == 20000.0)
+        std::printf("%11.0f mW %11.1f kW %10s %16s\n", mw, mw * 1024 / 1e6,
+                    "> limit", "beyond 20k");
+    }
+  }
+  std::printf("\n");
+}
+
+void print_cost_model() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("== Sec. I economics: chiplet assembly vs monolithic "
+              "waferscale ==\n");
+  std::printf("%14s %18s %20s %22s %12s\n", "defects/cm2",
+              "monolithic yield", "monolithic $/system",
+              "chiplet $/system", "advantage");
+  for (const double d0_cm2 : {0.1, 0.3, 0.5, 0.8}) {
+    io::CostInputs in;
+    in.defect_density_per_m2 = d0_cm2 * 1e4;
+    const io::CostComparison cmp = io::compare_costs(cfg, in);
+    std::printf("%14.1f %17.1f%% %20.0f %22.0f %11.1fx\n", d0_cm2,
+                100.0 * cmp.monolithic.system_yield,
+                cmp.monolithic.cost_per_good_system,
+                cmp.chiplet.cost_per_good_system, cmp.chiplet_advantage);
+  }
+  // The redundancy requirement the paper cites for monolithic designs.
+  std::printf("\nmonolithic spare-tile requirement at 0.5 defects/cm2:\n");
+  for (const double spares : {0.02, 0.05, 0.10}) {
+    io::CostInputs in;
+    in.defect_density_per_m2 = 5000.0;
+    in.monolithic_spare_fraction = spares;
+    const io::MonolithicCost m = io::estimate_monolithic_cost(cfg, in);
+    std::printf("  %4.0f%% spares -> system yield %6.2f%%\n", 100.0 * spares,
+                100.0 * m.system_yield);
+  }
+  std::printf("(plus the qualitative chiplet win the model cannot price: "
+              "heterogeneous memory integration, Sec. II-c)\n\n");
+}
+
+void BM_MemorySurvey(benchmark::State& state) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mem::memory_technology_survey(cfg).size());
+}
+BENCHMARK(BM_MemorySurvey);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_memory_survey();
+  print_workload_droop();
+  print_net_timing();
+  print_thermal();
+  print_cost_model();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

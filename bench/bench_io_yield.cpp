@@ -1,0 +1,93 @@
+// Experiment F5 — Sec. V / Fig. 5: dual-pillar I/O redundancy.  Reproduces
+// the 81.46% -> 99.998% per-chiplet yield jump and the 380 -> ~1 expected
+// faulty chiplets per wafer, cross-validated by Monte Carlo assembly.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/io/bonding_yield.hpp"
+#include "wsp/io/io_cell.hpp"
+#include "wsp/io/pad_layout.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::io;
+
+void print_yield_tables() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+
+  std::printf("== Sec. V / Fig. 5: dual-pillar I/O redundancy ==\n");
+  std::printf("paper: single pillar 81.46%% chiplet yield -> two pillars "
+              "99.998%%; expected faulty chiplets 380 -> ~1\n\n");
+
+  std::printf("-- paper's simplified model (2048 chiplets x 2048 pads) --\n");
+  std::printf("%10s %18s %24s\n", "pillars", "chiplet yield",
+              "E[faulty chiplets]/wafer");
+  for (int pillars = 1; pillars <= 3; ++pillars) {
+    const double y = chiplet_bond_yield(cfg.pillar_bond_yield, pillars, 2048);
+    std::printf("%10d %17.3f%% %24.3f\n", pillars, 100.0 * y,
+                2048.0 * (1.0 - y));
+  }
+
+  std::printf("\n-- detailed model (2020-pad compute + 1250-pad memory) --\n");
+  std::printf("%10s %14s %14s %12s %16s %12s\n", "pillars", "compute yld",
+              "memory yld", "tile yld", "E[faulty chips]", "P[all good]");
+  for (int pillars = 1; pillars <= 3; ++pillars) {
+    const AssemblyYield y = analyze_assembly_yield(cfg, pillars);
+    std::printf("%10d %13.3f%% %13.3f%% %11.3f%% %16.3f %12.3g\n", pillars,
+                100.0 * y.compute.chiplet_yield, 100.0 * y.memory.chiplet_yield,
+                100.0 * y.tile_yield, y.expected_faulty_chiplets,
+                y.all_good_probability);
+  }
+
+  std::printf("\n-- Monte Carlo assembly (faulty chiplets per wafer) --\n");
+  Rng rng(2021);
+  const double mc1 = estimate_faulty_chiplets(cfg, 1, 30, rng);
+  const double mc2 = estimate_faulty_chiplets(cfg, 2, 300, rng);
+  std::printf("1 pillar/pad : %8.1f measured vs %8.1f analytic\n", mc1,
+              analyze_assembly_yield(cfg, 1).expected_faulty_chiplets);
+  std::printf("2 pillars/pad: %8.3f measured vs %8.3f analytic\n", mc2,
+              analyze_assembly_yield(cfg, 2).expected_faulty_chiplets);
+
+  // I/O cell headline figures (Sec. V).
+  const IoCellSpec spec = IoCellSpec::from_config(cfg);
+  std::printf("\n-- I/O cell --\n");
+  std::printf("cell area %.0f um^2 | energy %.3f pJ/bit | %.0f MHz at "
+              "%.0f um links | compute-chiplet I/O area %.2f mm^2\n",
+              spec.cell_area_m2 / 1e-12, spec.energy_per_bit_j / 1e-12,
+              spec.achievable_rate_hz(cfg.max_link_length_m) / 1e6,
+              cfg.max_link_length_m / 1e-6,
+              spec.total_area_m2(cfg.ios_per_compute_chiplet) / 1e-6);
+
+  const PadLayout layout = generate_pad_layout(
+      cfg.geometry.compute_chiplet_width_m,
+      cfg.geometry.compute_chiplet_height_m, cfg.io_pitch_m,
+      compute_chiplet_demand(cfg), cfg.io_cell_area_m2);
+  std::printf("pad layout: %zu pads, %d columns, essential %d / secondary %d, "
+              "feasible %s\n",
+              layout.pads.size(), layout.columns_used, layout.essential_count,
+              layout.secondary_count, layout.feasible ? "yes" : "NO");
+  std::printf("edge escape density: %.0f wires/mm (2 layers at 5 um pitch)\n\n",
+              edge_escape_density_per_m(cfg.signal_routing_layers,
+                                        cfg.wiring_pitch_m) / 1000.0);
+}
+
+void BM_MonteCarloAssembly(benchmark::State& state) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  Rng rng(1);
+  const int pillars = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        simulate_assembly(cfg, pillars, rng).faulty_compute_chiplets);
+}
+BENCHMARK(BM_MonteCarloAssembly)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_yield_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiments F9/F10 — Sec. VII: test infrastructure.  Memory-load time
+// (single chain 2.5 h -> 32 chains under 5 min), the 14x broadcast
+// optimisation, and the TCK cost of progressive chain unrolling.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/testinfra/dap_chain.hpp"
+#include "wsp/testinfra/prebond.hpp"
+#include "wsp/testinfra/test_time.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::testinfra;
+
+void print_load_times() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("== Sec. VII: JTAG memory-load time ==\n");
+  std::printf("paper: 2.5 hours with one chain -> roughly under 5 minutes "
+              "with 32 row chains (32x); broadcast cuts per-tile program "
+              "shifting 14x\n\n");
+  std::printf("total payload: %.2f Gbit of SRAM across the wafer\n\n",
+              static_cast<double>(total_memory_payload_bits(cfg)) / 1e9);
+  std::printf("%8s %10s %16s %14s\n", "chains", "broadcast", "load time",
+              "speedup vs 1");
+  const LoadTimeReport base = memory_load_time(cfg, 1, false);
+  for (const int chains : {1, 2, 8, 16, 32}) {
+    for (const bool bcast : {false, true}) {
+      const LoadTimeReport r = memory_load_time(cfg, chains, bcast);
+      char buf[32];
+      if (r.seconds > 3600)
+        std::snprintf(buf, sizeof buf, "%.2f h", r.hours());
+      else
+        std::snprintf(buf, sizeof buf, "%.1f min", r.minutes());
+      std::printf("%8d %10s %16s %13.1fx\n", chains, bcast ? "yes" : "no",
+                  buf, base.seconds / r.seconds);
+    }
+  }
+  std::printf("\n");
+}
+
+void print_unrolling_costs() {
+  std::printf("-- progressive unrolling: TCKs to isolate the faulty tile --\n");
+  std::printf("(32-tile row chain, 14 DAPs per tile)\n");
+  std::printf("%18s %14s %18s\n", "faulty position", "TCKs", "TCKs (broadcast)");
+  for (const int pos : {0, 7, 15, 23, 31}) {
+    std::vector<bool> faults(32, false);
+    faults[static_cast<std::size_t>(pos)] = true;
+
+    WaferTestChain serial(32, 14, faults);
+    std::uint64_t tcks_serial = 0;
+    const auto f1 = serial.locate_first_faulty(&tcks_serial);
+
+    WaferTestChain bcast(32, 14, faults);
+    bcast.set_broadcast(true);
+    std::uint64_t tcks_bcast = 0;
+    const auto f2 = bcast.locate_first_faulty(&tcks_bcast);
+
+    std::printf("%18d %14llu %18llu   (found: %d/%d)\n", pos,
+                static_cast<unsigned long long>(tcks_serial),
+                static_cast<unsigned long long>(tcks_bcast),
+                f1.value_or(-1), f2.value_or(-1));
+  }
+  std::printf("\n");
+}
+
+void print_kgd() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("-- pre-bond (KGD) screening value --\n");
+  std::printf("%14s %22s %24s\n", "die yield", "E[faulty] with KGD",
+              "E[faulty] without KGD");
+  for (const double die_yield : {0.98, 0.95, 0.90, 0.80}) {
+    const KgdBenefit b = kgd_benefit(cfg, 1.0 - die_yield, 0.99998);
+    std::printf("%13.0f%% %22.2f %24.1f\n", 100.0 * die_yield,
+                b.expected_faulty_with_kgd, b.expected_faulty_without_kgd);
+  }
+  std::printf("(probe pads: fine 10 um pads are un-probeable; JTAG signals "
+              "are duplicated on >=50 um pads that are never bonded)\n\n");
+}
+
+void BM_UnrollFullRow(benchmark::State& state) {
+  std::vector<bool> faults(32, false);
+  faults[31] = true;
+  for (auto _ : state) {
+    WaferTestChain chain(32, 14, faults);
+    benchmark::DoNotOptimize(chain.locate_first_faulty());
+  }
+}
+BENCHMARK(BM_UnrollFullRow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_load_times();
+  print_unrolling_costs();
+  print_kgd();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Experiment F2 — Figure 2: edge power delivery and the voltage droop
+// profile from 2.5 V at the wafer edge to ~1.4 V at the center at peak
+// draw, plus an activity sweep and solver micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/pdn/wafer_pdn.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::pdn;
+
+void print_fig2() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  WaferPdn pdn(cfg, {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+
+  std::printf("== Figure 2: edge power delivery, voltage droop at peak draw ==\n");
+  std::printf("paper: edge tiles receive 2.5 V; center tiles ~1.4 V; ~290 A\n\n");
+  std::printf("model: edge %.3f V | center %.3f V | supply current %.1f A | "
+              "input power %.0f W\n",
+              r.max_supply_v, r.min_supply_v, r.total_supply_current_a,
+              r.total_input_power_w);
+  std::printf("plane IR loss %.1f W | LDO loss %.1f W | delivered %.1f W | "
+              "end-to-end efficiency %.1f%%\n",
+              r.plane_loss_w, r.ldo_loss_w, r.delivered_power_w,
+              100.0 * r.efficiency);
+  std::printf("tiles out of regulation: %d of %d\n\n",
+              r.tiles_out_of_regulation, cfg.total_tiles());
+
+  std::printf("-- supply voltage along the horizontal mid-line (V) --\n");
+  const auto line = WaferPdn::midline_profile(r, cfg.grid());
+  for (std::size_t x = 0; x < line.size(); ++x) {
+    std::printf("%5.3f%s", line[x], (x + 1) % 8 == 0 ? "\n" : " ");
+  }
+  std::printf("\n-- mean supply voltage by distance-to-edge ring (V) --\n");
+  const auto rings = WaferPdn::ring_profile(r, cfg.grid());
+  for (std::size_t d = 0; d < rings.size(); ++d)
+    std::printf("ring %2zu: %5.3f\n", d, rings[d]);
+
+  std::printf("\n-- droop vs. activity factor --\n");
+  std::printf("%8s %10s %10s %12s\n", "activity", "center V", "current A",
+              "efficiency");
+  for (const double a : {0.25, 0.5, 0.75, 1.0}) {
+    WaferPdn sweep(cfg, {});
+    const PdnReport s = sweep.solve_uniform(a);
+    std::printf("%8.2f %10.3f %10.1f %11.1f%%\n", a, s.min_supply_v,
+                s.total_supply_current_a, 100.0 * s.efficiency);
+  }
+  std::printf("\n");
+}
+
+void BM_SolveFullWafer(benchmark::State& state) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  WaferPdnOptions opt;
+  opt.nodes_per_tile = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WaferPdn pdn(cfg, opt);
+    benchmark::DoNotOptimize(pdn.solve_uniform(1.0).min_supply_v);
+  }
+}
+BENCHMARK(BM_SolveFullWafer)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

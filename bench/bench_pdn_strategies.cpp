@@ -1,0 +1,93 @@
+// Experiment S3 — Sec. III: edge-LDO vs on-wafer buck down-conversion.
+// Reproduces the trade-off that drove the paper's power-delivery decision
+// and explores it at higher power levels (the paper's stated future work).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/pdn/strategy.hpp"
+#include "wsp/pdn/transient.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::pdn;
+
+void print_row(const char* name, const StrategyReport& s) {
+  std::printf("%-10s %8.1fV %10.1fA %10.1fW %12.1fW %12.1fW %9.1f%% %9.1f%%\n",
+              name, s.edge_voltage_v, s.plane_current_a, s.plane_loss_w,
+              s.regulation_loss_w, s.delivered_power_w, 100.0 * s.efficiency,
+              100.0 * s.area_overhead_fraction);
+}
+
+void print_strategies() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  const StrategyComparison cmp = compare_strategies(cfg);
+
+  std::printf("== Sec. III: power delivery strategy comparison ==\n");
+  std::printf("paper: buck lowers plane current ~12x but costs 25-30%% wafer "
+              "area;\n       the sub-kW prototype chose edge 2.5 V + LDO\n\n");
+  std::printf("%-10s %9s %11s %11s %13s %13s %10s %10s\n", "scheme", "edge V",
+              "plane I", "plane loss", "reg loss", "delivered", "effic",
+              "area ovh");
+  print_row("LDO", cmp.ldo);
+  print_row("buck", cmp.buck);
+  print_row("TWV*", cmp.twv);
+  std::printf("(*TWV = backside through-wafer vias, the under-development "
+              "technology of Sec. III ref [13]; modelled as future work)\n");
+  std::printf("\nplane-current ratio (LDO/buck): %.1fx\n",
+              cmp.plane_current_ratio);
+
+  // Deep-trench decap in the substrate (footnote 2, ref [14]).
+  std::printf("\n-- deep-trench substrate decap (footnote 2 extension) --\n");
+  std::printf("%18s %14s %16s %18s\n", "DTC density", "decap/tile",
+              "area recovered", "max load step");
+  for (const double nf_per_mm2 : {0.0, 100.0, 500.0, 1000.0}) {
+    const DtcBenefit b =
+        evaluate_deep_trench_decap(cfg, nf_per_mm2 * 1e-9 / 1e-6);
+    std::printf("%12.0f nF/mm2 %11.0f nF %15.0f%% %15.1f A\n", nf_per_mm2,
+                (b.onchip_decap_f + b.dtc_decap_f) / 1e-9,
+                nf_per_mm2 > 0 ? 100.0 * b.recovered_area_fraction : 0.0,
+                b.max_load_step_a);
+  }
+
+  // Transient capability that makes the LDO scheme viable (Sec. III):
+  const TransientResult tr = simulate_load_step(
+      LdoParams{}, TransientParams{}, 0.09, 0.29, 100e-9, 400e-9);
+  std::printf("\n200 mA load step on 20 nF/tile decap: droop to %.3f V, "
+              "settles in %.1f ns (band 1.0-1.2 V: %s)\n",
+              tr.min_v, tr.settle_time_s * 1e9,
+              tr.stayed_in_band ? "HELD" : "VIOLATED");
+
+  // Scaling study: at what per-tile power does the LDO scheme stop
+  // regulating?  (The paper: "Our ongoing work aims at ... design methods
+  // for higher-power waferscale systems.")
+  std::printf("\n-- LDO-scheme viability vs per-tile peak power --\n");
+  std::printf("%12s %10s %14s %12s\n", "mW per tile", "center V",
+              "out-of-reg tiles", "efficiency");
+  for (const double mw : {350.0, 500.0, 700.0, 1000.0, 1400.0}) {
+    SystemConfig scaled = cfg;
+    scaled.tile_peak_power_w = mw * 1e-3;
+    WaferPdn pdn(scaled, {});
+    const PdnReport r = pdn.solve_uniform(1.0);
+    std::printf("%12.0f %10.3f %14d %11.1f%%\n", mw, r.min_supply_v,
+                r.tiles_out_of_regulation, 100.0 * r.efficiency);
+  }
+  std::printf("\n");
+}
+
+void BM_CompareStrategies(benchmark::State& state) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compare_strategies(cfg).plane_current_ratio);
+}
+BENCHMARK(BM_CompareStrategies)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_strategies();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Experiments R1/F8 — Sec. VIII: the lightweight jog-free substrate
+// router and the reticle step-and-repeat plan, including the single-layer
+// fallback (60% shared-memory loss, fully working processor).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "wsp/io/pad_layout.hpp"
+#include "wsp/route/substrate_router.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::route;
+
+void print_routing() {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  const SubstrateRouter router(cfg);
+
+  std::printf("== Sec. VIII: jog-free substrate routing (full 32x32 wafer) ==\n");
+  std::printf("paper: commercial tools blow up at >15000 mm^2; a custom "
+              "jog-free router suffices for chiplet substrates\n\n");
+
+  for (const int layers : {2, 1}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const RoutingReport r = router.route(layers);
+    const auto ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    std::printf("-- %d signal layer(s) --\n", layers);
+    std::printf("nets: %zu requested, %zu routed, %zu unroutable | "
+                "jog-free: %s | runtime %.1f ms\n",
+                r.nets_requested, r.nets_routed, r.nets_unroutable,
+                r.jog_free ? "yes" : "no", ms);
+    std::printf("wirelength %.2f m | stitched (fat-wire) nets %zu | "
+                "gap utilization L1 %.0f%% L2 %.0f%% | capacity %s\n",
+                r.total_wirelength_m, r.stitched_nets,
+                100.0 * r.max_gap_utilization_layer1,
+                100.0 * r.max_gap_utilization_layer2,
+                r.capacity_ok ? "OK" : "VIOLATED");
+    if (layers == 1) {
+      const io::SingleLayerImpact impact = io::single_layer_impact(cfg);
+      std::printf("single-layer fallback: %d of %d banks connected, "
+                  "memory capacity -%0.0f%%, network intact: %s\n",
+                  impact.banks_connected,
+                  impact.banks_connected + impact.banks_lost,
+                  100.0 * impact.memory_capacity_fraction_lost,
+                  impact.network_intact ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+
+  const ReticlePlan& plan = router.reticles();
+  std::printf("-- reticle step-and-repeat plan --\n");
+  std::printf("reticle = %d x %d tiles (72/reticle); array covered by "
+              "%d x %d reticles + edge-I/O ring = %d exposures\n",
+              cfg.reticle_tiles_x, cfg.reticle_tiles_y, plan.reticles_x(),
+              plan.reticles_y(), plan.exposure_count());
+  int block_etch = 0, edge_io = 0;
+  for (const ReticleInfo& r : plan.enumerate()) {
+    if (r.block_etch_needed) ++block_etch;
+    if (r.role == ReticleRole::EdgeIo) ++edge_io;
+  }
+  std::printf("edge-I/O reticles %d | populated reticles needing block etch "
+              "%d\n", edge_io, block_etch);
+  const WireRule normal = plan.wire_rule(false);
+  const WireRule fat = plan.wire_rule(true);
+  std::printf("wire rules: %.0f/%.0f um in-reticle, %.0f/%.0f um at stitch "
+              "boundaries (pitch held at %.0f um)\n",
+              normal.width_m / 1e-6, normal.space_m / 1e-6, fat.width_m / 1e-6,
+              fat.space_m / 1e-6, fat.pitch() / 1e-6);
+
+  const auto budget = router.edge_fanout_budget();
+  std::printf("edge fan-out: %d wires/edge vs %d capacity -> %s\n\n",
+              budget.wires_per_edge, budget.capacity_per_edge,
+              budget.fits() ? "fits" : "OVERFLOW");
+}
+
+void BM_RouteFullWafer(benchmark::State& state) {
+  const SubstrateRouter router(SystemConfig::paper_prototype());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(router.route(2).total_wirelength_m);
+}
+BENCHMARK(BM_RouteFullWafer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_routing();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment T1 — Table I: "Salient Features of the Waferscale Processor
+// System".  Every row is *derived* from the primitive SystemConfig
+// parameters and printed next to the paper's value.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/common/config.hpp"
+
+namespace {
+
+void print_table1() {
+  using wsp::SystemConfig;
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+
+  std::printf("== Table I: Salient Features of the Waferscale Processor ==\n");
+  std::printf("%-34s %18s %18s\n", "feature", "model (derived)", "paper");
+  auto row = [](const char* name, double model, const char* fmt,
+                const char* paper) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, model);
+    std::printf("%-34s %18s %18s\n", name, buf, paper);
+  };
+
+  row("# Compute chiplets", cfg.total_tiles(), "%.0f", "1024");
+  row("# Memory chiplets", cfg.total_tiles(), "%.0f", "1024");
+  row("# Cores per tile", cfg.cores_per_tile, "%.0f", "14");
+  row("Total # cores", cfg.total_cores(), "%.0f", "14336");
+  row("Compute throughput (TOPS)", cfg.compute_throughput_ops() / 1e12,
+      "%.2f", "4.3");
+  row("Total shared memory (MB)",
+      static_cast<double>(cfg.total_shared_memory_bytes()) / (1 << 20),
+      "%.0f", "512");
+  row("Private memory per core (KB)",
+      static_cast<double>(cfg.private_mem_per_core_bytes) / 1024.0, "%.0f",
+      "64");
+  row("Shared memory B/W (TB/s)",
+      cfg.shared_memory_bandwidth_bytes_per_s() / 1e12, "%.3f", "6.144");
+  row("Network B/W (TBps)", cfg.network_bandwidth_bytes_per_s() / 1e12,
+      "%.2f", "9.83");
+  row("Nominal freq (MHz)", cfg.nominal_freq_hz / 1e6, "%.0f", "300");
+  row("Nominal voltage (V)", cfg.nominal_voltage_v, "%.1f", "1.1");
+  row("Peak current (A)", cfg.total_peak_current_a(), "%.0f", "~290");
+  row("Total peak power (W)", cfg.total_peak_power_w(), "%.0f", "725");
+  row("Total area w/ edge I/Os (mm^2)", cfg.total_area_m2() / 1e-6, "%.0f",
+      "15100");
+  row("Active silicon area (mm^2)", cfg.active_silicon_area_m2() / 1e-6,
+      "%.0f", "(n/a)");
+  row("Compute chiplet I/Os", cfg.ios_per_compute_chiplet, "%.0f", "2020");
+  row("Memory chiplet I/Os", cfg.ios_per_memory_chiplet, "%.0f", "1250");
+  row("Total inter-chip I/Os (M)",
+      static_cast<double>(cfg.total_inter_chip_ios()) / 1e6, "%.2f",
+      "3.7+ (incl. edge pads)");
+  std::printf("\n");
+}
+
+void BM_DeriveTable1(benchmark::State& state) {
+  for (auto _ : state) {
+    const wsp::SystemConfig cfg = wsp::SystemConfig::paper_prototype();
+    benchmark::DoNotOptimize(cfg.total_peak_power_w());
+    benchmark::DoNotOptimize(cfg.network_bandwidth_bytes_per_s());
+    benchmark::DoNotOptimize(cfg.total_area_m2());
+  }
+}
+BENCHMARK(BM_DeriveTable1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

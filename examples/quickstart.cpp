@@ -1,0 +1,67 @@
+// Quickstart: a ten-minute tour of the library.
+//
+// Builds the paper's 2048-chiplet configuration, inspects the derived
+// Table-I figures, solves the power-delivery droop, sets up the forwarded
+// clock, checks network resiliency against a random fault map, and runs a
+// small BFS on a simulated multi-tile system.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "wsp/clock/forwarding.hpp"
+#include "wsp/noc/connectivity.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+#include "wsp/workloads/graph_apps.hpp"
+
+int main() {
+  using namespace wsp;
+
+  // 1. The system configuration.  Every Table-I quantity is derived.
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  std::printf("waferscale prototype: %d tiles, %d chiplets, %d cores\n",
+              cfg.total_tiles(), cfg.total_chiplets(), cfg.total_cores());
+  std::printf("  %.1f TOPS | %.3f TB/s shared-memory B/W | %.2f TBps "
+              "network B/W | %.0f W peak\n",
+              cfg.compute_throughput_ops() / 1e12,
+              cfg.shared_memory_bandwidth_bytes_per_s() / 1e12,
+              cfg.network_bandwidth_bytes_per_s() / 1e12,
+              cfg.total_peak_power_w());
+
+  // 2. Power delivery: edge supply at 2.5 V, LDO per tile (Sec. III).
+  pdn::WaferPdn pdn(cfg, {});
+  const pdn::PdnReport power = pdn.solve_uniform(1.0);
+  std::printf("PDN at peak draw: edge %.2f V -> center %.2f V, %.0f A, "
+              "all tiles regulated: %s\n",
+              power.max_supply_v, power.min_supply_v,
+              power.total_supply_current_a,
+              power.tiles_out_of_regulation == 0 ? "yes" : "NO");
+
+  // 3. Clocking: one edge tile generates, everyone else forwards (Sec. IV).
+  const FaultMap healthy(cfg.grid());
+  const clock::ForwardingPlan clock_plan =
+      clock::simulate_forwarding(healthy, {{0, 16}});
+  std::printf("clock setup: %zu/%d tiles clocked, max forwarding depth %d "
+              "hops\n",
+              clock_plan.reached_count, cfg.total_tiles(),
+              clock_plan.max_hops);
+
+  // 4. Resiliency: what do 5 faulty chiplets cost (Fig. 6)?
+  Rng rng(1);
+  const FaultMap faults = FaultMap::random_with_count(cfg.grid(), 5, rng);
+  const noc::DisconnectionStats census = noc::census_disconnection(faults);
+  std::printf("with 5 faults: %.1f%% pairs lose a single network, %.2f%% "
+              "lose both (dual-DoR design)\n",
+              census.single_roundtrip_pct(), census.dual_pct());
+
+  // 5. Run BFS on a simulated 4x4-tile section (Sec. II validation).
+  const SystemConfig small = SystemConfig::reduced(4, 4);
+  const workloads::Graph g = workloads::make_grid_graph(16, 16);
+  const workloads::GraphAppResult bfs =
+      workloads::run_bfs(small, FaultMap(small.grid()), g, 0);
+  const bool ok = bfs.distance == workloads::reference_bfs(g, 0);
+  std::printf("BFS on 4x4 tiles: %llu cycles, %llu messages, verified: %s\n",
+              static_cast<unsigned long long>(bfs.stats.makespan),
+              static_cast<unsigned long long>(bfs.stats.messages_sent),
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+#include "wsp/arch/bringup.hpp"
+
+#include "wsp/common/error.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/testinfra/dap_chain.hpp"
+
+namespace wsp::arch {
+
+BringupReport run_bringup(const SystemConfig& config, const FaultMap& faults,
+                          const BringupOptions& options) {
+  config.validate();
+  const TileGrid grid = config.grid();
+  require(grid.width() == faults.grid().width() &&
+              grid.height() == faults.grid().height(),
+          "fault map does not match the configuration");
+
+  BringupReport report;
+  report.faulty_tiles = faults.fault_count();
+
+  // --- 1. JTAG screening: one chain per row, progressive unrolling ---
+  for (int row = 0; row < config.array_height; ++row) {
+    std::vector<bool> row_faults;
+    row_faults.reserve(static_cast<std::size_t>(config.array_width));
+    for (int x = 0; x < config.array_width; ++x)
+      row_faults.push_back(faults.is_faulty({x, row}));
+    testinfra::WaferTestChain chain(config.array_width,
+                                    config.cores_per_tile, row_faults);
+    if (options.use_broadcast_loading) chain.set_broadcast(true);
+    (void)chain.locate_first_faulty(&report.screening_tcks);
+  }
+
+  // --- 2. clock setup ---
+  std::vector<TileCoord> generators = options.clock_generators;
+  if (generators.empty()) {
+    grid.for_each([&](TileCoord c) {
+      if (generators.empty() && grid.is_edge(c) && faults.is_healthy(c))
+        generators.push_back(c);
+    });
+  }
+  require(!generators.empty(), "no healthy edge tile to generate the clock");
+  report.clock_plan = clock::simulate_forwarding(faults, generators);
+  report.duty =
+      clock::analyze_plan_duty(report.clock_plan, grid, options.duty);
+  report.skew =
+      clock::analyze_skew(report.clock_plan, grid, options.clock_hop_delay_s);
+
+  // --- 3. usable set: healthy, clocked, and with a live duty cycle ---
+  report.usable = faults;
+  grid.for_each([&](TileCoord c) {
+    const auto i = grid.index_of(c);
+    if (faults.is_healthy(c) &&
+        (!report.clock_plan.tiles[i].reached || !report.duty.alive[i]))
+      report.usable.set_faulty(c, true);
+  });
+  report.usable_tiles = report.usable.healthy_count();
+
+  // --- 4. the kernel's connectivity view over the usable map ---
+  report.connectivity = noc::census_disconnection(report.usable);
+
+  // Single-system-image check: every usable pair routable, directly or
+  // through one relay.
+  const noc::NetworkSelector selector(report.usable);
+  report.single_system_image = true;
+  const auto usable_tiles = report.usable.healthy_tiles();
+  for (std::size_t i = 0;
+       i < usable_tiles.size() && report.single_system_image; ++i) {
+    for (std::size_t j = 0; j < usable_tiles.size(); ++j) {
+      if (i == j) continue;
+      if (!selector.plan(usable_tiles[i], usable_tiles[j]).reachable) {
+        report.single_system_image = false;
+        break;
+      }
+    }
+  }
+
+  // --- 5. boot-time estimate ---
+  report.boot_load = testinfra::memory_load_time(
+      config, config.jtag_chains, options.use_broadcast_loading);
+  return report;
+}
+
+}  // namespace wsp::arch

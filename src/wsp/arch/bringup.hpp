@@ -1,0 +1,64 @@
+// Wafer bring-up orchestration: the end-to-end sequence the paper's
+// sections describe, as one library call.
+//
+//   1. post-assembly JTAG screening (per-row chains, progressive
+//      unrolling) confirms/locates the faulty tiles;
+//   2. clock setup: healthy edge generators, forwarding, duty-cycle and
+//      skew checks;
+//   3. the kernel's connectivity census over the fault map;
+//   4. boot-time estimate for loading all memories.
+//
+// The result says which tiles are *usable* — healthy, clocked, and
+// reachable — which is exactly the fault map the kernel then schedules
+// against.  examples/bringup_flow.cpp narrates the same sequence
+// interactively; this API makes it scriptable and testable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "wsp/clock/duty_cycle.hpp"
+#include "wsp/clock/forwarding.hpp"
+#include "wsp/clock/skew.hpp"
+#include "wsp/common/config.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/noc/connectivity.hpp"
+#include "wsp/testinfra/test_time.hpp"
+
+namespace wsp::arch {
+
+struct BringupOptions {
+  /// Generators to configure; empty = pick the first healthy edge tile.
+  std::vector<TileCoord> clock_generators;
+  clock::DutyCycleOptions duty{};
+  double clock_hop_delay_s = 150e-12;
+  bool use_broadcast_loading = true;
+};
+
+struct BringupReport {
+  /// Tiles detected faulty by the JTAG screen (== the input fault map by
+  /// construction of the simulation; real hardware learns it here).
+  std::size_t faulty_tiles = 0;
+  std::uint64_t screening_tcks = 0;
+
+  clock::ForwardingPlan clock_plan;
+  clock::WaferDutyReport duty;
+  clock::SkewReport skew;
+
+  noc::DisconnectionStats connectivity;
+
+  testinfra::LoadTimeReport boot_load;
+
+  /// Healthy + clocked tiles; what the kernel may schedule on.
+  FaultMap usable{TileGrid(1, 1)};
+  std::size_t usable_tiles = 0;
+  /// True when every usable pair can communicate (directly or relayed):
+  /// the wafer can host a single unified-memory image.
+  bool single_system_image = false;
+};
+
+/// Runs the full bring-up sequence against an assembled wafer's fault map.
+BringupReport run_bringup(const SystemConfig& config, const FaultMap& faults,
+                          const BringupOptions& options = {});
+
+}  // namespace wsp::arch

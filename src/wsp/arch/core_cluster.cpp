@@ -1,0 +1,38 @@
+#include "wsp/arch/core_cluster.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::arch {
+
+CoreCluster::CoreCluster(int core_count) : core_count_(core_count) {
+  require(core_count >= 1, "a tile needs at least one core");
+  for (int i = 0; i < core_count; ++i) free_at_.push(0);
+}
+
+std::uint64_t CoreCluster::schedule(std::uint64_t ready_cycle,
+                                    std::uint64_t cost) {
+  const std::uint64_t core_free = free_at_.top();
+  free_at_.pop();
+  const std::uint64_t start = std::max(ready_cycle, core_free);
+  const std::uint64_t end = start + cost;
+  free_at_.push(end);
+  busy_cycles_ += cost;
+  ++work_items_;
+  latest_completion_ = std::max(latest_completion_, end);
+  return end;
+}
+
+std::uint64_t CoreCluster::all_idle_at() const { return latest_completion_; }
+
+std::uint64_t CoreCluster::next_free_at() const { return free_at_.top(); }
+
+double CoreCluster::utilization(std::uint64_t horizon_cycle) const {
+  if (horizon_cycle == 0) return 0.0;
+  const double capacity =
+      static_cast<double>(horizon_cycle) * static_cast<double>(core_count());
+  return std::min(1.0, static_cast<double>(busy_cycles_) / capacity);
+}
+
+}  // namespace wsp::arch

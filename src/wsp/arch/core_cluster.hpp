@@ -1,0 +1,52 @@
+// Core timing model (Sec. II-b).
+//
+// Each compute chiplet carries 14 independently programmable ARM
+// Cortex-M3-class cores with 64 KB of private SRAM each.  For the system
+// simulator the cores are a *timing* resource: work items (message
+// handlers, relay duties, kernel tasks) occupy a core for a number of
+// cycles; the cluster tracks when each core frees up and accumulates
+// utilisation statistics.  Microarchitectural detail is out of scope, as
+// it is in the paper.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace wsp::arch {
+
+/// Scheduler over the identical cores of one tile.
+class CoreCluster {
+ public:
+  explicit CoreCluster(int core_count);
+
+  int core_count() const { return core_count_; }
+
+  /// Schedules a `cost`-cycle work item that becomes runnable at
+  /// `ready_cycle`; it runs on the earliest-available core.  Returns the
+  /// cycle at which the work completes.
+  std::uint64_t schedule(std::uint64_t ready_cycle, std::uint64_t cost);
+
+  /// Cycle at which every scheduled work item has finished.
+  std::uint64_t all_idle_at() const;
+
+  /// Earliest cycle at which at least one core is free.
+  std::uint64_t next_free_at() const;
+
+  std::uint64_t total_busy_cycles() const { return busy_cycles_; }
+  std::uint64_t work_items() const { return work_items_; }
+
+  /// Mean core utilisation over [0, horizon_cycle].
+  double utilization(std::uint64_t horizon_cycle) const;
+
+ private:
+  int core_count_;
+  // Min-heap over per-core next-free cycles.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>> free_at_;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t work_items_ = 0;
+  std::uint64_t latest_completion_ = 0;
+};
+
+}  // namespace wsp::arch

@@ -1,0 +1,55 @@
+#include "wsp/arch/crossbar.hpp"
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::arch {
+
+Crossbar::Crossbar(int masters, int slaves)
+    : masters_(masters),
+      slaves_(slaves),
+      rr_(static_cast<std::size_t>(slaves), 0),
+      slave_grants_(static_cast<std::size_t>(slaves), 0) {
+  require(masters >= 1 && slaves >= 1,
+          "crossbar needs at least one master and one slave");
+}
+
+XbarGrants Crossbar::arbitrate(const std::vector<XbarRequest>& requests) {
+  XbarGrants grants;
+  grants.per_master.assign(static_cast<std::size_t>(masters_), std::nullopt);
+
+  // Requests per slave, in master order.
+  std::vector<std::vector<int>> waiting(static_cast<std::size_t>(slaves_));
+  std::vector<char> master_seen(static_cast<std::size_t>(masters_), 0);
+  for (const XbarRequest& r : requests) {
+    require(r.master >= 0 && r.master < masters_, "bad master index");
+    require(r.slave >= 0 && r.slave < slaves_, "bad slave index");
+    require(!master_seen[r.master], "a master may issue one request/cycle");
+    master_seen[r.master] = 1;
+    waiting[static_cast<std::size_t>(r.slave)].push_back(r.master);
+  }
+
+  for (int s = 0; s < slaves_; ++s) {
+    const auto& w = waiting[static_cast<std::size_t>(s)];
+    if (w.empty()) continue;
+    // Rotating priority: grant the first waiting master at or after rr_[s]
+    // in cyclic master order.
+    int winner = -1;
+    for (int k = 0; k < masters_ && winner < 0; ++k) {
+      const int candidate = (rr_[s] + k) % masters_;
+      for (const int m : w)
+        if (m == candidate) {
+          winner = m;
+          break;
+        }
+    }
+    rr_[s] = (winner + 1) % masters_;
+    grants.per_master[static_cast<std::size_t>(winner)] = s;
+    ++grants.granted_count;
+    ++slave_grants_[static_cast<std::size_t>(s)];
+    ++total_grants_;
+  }
+  ++cycles_;
+  return grants;
+}
+
+}  // namespace wsp::arch

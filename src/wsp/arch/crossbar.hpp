@@ -1,0 +1,59 @@
+// Intra-tile crossbar interconnect (Sec. II-b).
+//
+// Inside a tile, the 14 cores, the two network-router adapters and the
+// memory controllers are connected by a chiplet-level crossbar (the ARM
+// BusMatrix IP in the real design).  Any master can reach any slave; each
+// slave port grants one master per cycle with rotating priority, so all
+// five memory banks can be accessed in parallel as long as the masters
+// spread across banks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace wsp::arch {
+
+/// A master's request for one slave port this cycle.
+struct XbarRequest {
+  int master = 0;
+  int slave = 0;
+};
+
+/// Grant decisions for one cycle: grants[m] holds the slave granted to
+/// master m, or nullopt when the master lost arbitration (or asked for
+/// nothing).
+struct XbarGrants {
+  std::vector<std::optional<int>> per_master;
+  int granted_count = 0;
+};
+
+class Crossbar {
+ public:
+  Crossbar(int masters, int slaves);
+
+  int masters() const { return masters_; }
+  int slaves() const { return slaves_; }
+
+  /// Arbitrates one cycle of requests.  Each master may appear at most
+  /// once (a core issues one access per cycle); each slave grants at most
+  /// one master, rotating priority per slave.
+  XbarGrants arbitrate(const std::vector<XbarRequest>& requests);
+
+  /// Cumulative grants per slave (bandwidth accounting).
+  const std::vector<std::uint64_t>& slave_grant_counts() const {
+    return slave_grants_;
+  }
+  std::uint64_t total_grants() const { return total_grants_; }
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  int masters_;
+  int slaves_;
+  std::vector<int> rr_;  ///< per-slave rotating priority pointer
+  std::vector<std::uint64_t> slave_grants_;
+  std::uint64_t total_grants_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace wsp::arch

@@ -1,0 +1,28 @@
+#include "wsp/arch/power_map.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::arch {
+
+std::vector<double> tile_power_map(const WaferSystem& system,
+                                   const PowerMapOptions& options) {
+  require(options.idle_fraction >= 0.0 && options.idle_fraction <= 1.0,
+          "idle fraction must be in [0,1]");
+  const SystemConfig& cfg = system.config();
+  const TileGrid grid = cfg.grid();
+  const std::uint64_t horizon = std::max<std::uint64_t>(1, system.stats().cycles);
+
+  std::vector<double> power(grid.tile_count(), options.faulty_tile_w);
+  grid.for_each([&](TileCoord c) {
+    if (system.faults().is_faulty(c)) return;
+    const double util = system.tile(c).cores().utilization(horizon);
+    power[grid.index_of(c)] =
+        cfg.tile_peak_power_w *
+        (options.idle_fraction + (1.0 - options.idle_fraction) * util);
+  });
+  return power;
+}
+
+}  // namespace wsp::arch

@@ -1,0 +1,30 @@
+// Workload-driven power maps: closing the loop between the architecture
+// simulator and the PDN model.
+//
+// The paper's Fig. 2 droop is computed at uniform peak draw — the worst
+// case.  Real workloads load the wafer unevenly (graph kernels in
+// particular), so the droop profile follows the activity map.  This
+// helper converts a finished WaferSystem run into a per-tile power vector
+// that wsp::pdn::WaferPdn::solve() consumes directly.
+#pragma once
+
+#include <vector>
+
+#include "wsp/arch/wafer_system.hpp"
+
+namespace wsp::arch {
+
+struct PowerMapOptions {
+  /// Fraction of peak power a healthy-but-idle tile draws (clock tree,
+  /// leakage, SRAM retention).
+  double idle_fraction = 0.3;
+  /// Power drawn by a faulty tile: its LDO is disabled during bring-up.
+  double faulty_tile_w = 0.0;
+};
+
+/// Per-tile power (watts, indexed by TileGrid::index_of) for the run the
+/// system has executed so far: idle + utilisation x (peak - idle).
+std::vector<double> tile_power_map(const WaferSystem& system,
+                                   const PowerMapOptions& options = {});
+
+}  // namespace wsp::arch

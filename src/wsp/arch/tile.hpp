@@ -1,0 +1,45 @@
+// One tile of the waferscale array (Sec. II).
+//
+// A tile pairs a compute chiplet (14 cores + private SRAMs + routers +
+// LDO + clock circuitry) with a memory chiplet (5 shared/local banks).
+// The NoC routers are simulated globally in wsp/noc; this struct holds the
+// tile-local resources the architecture simulator charges work against.
+#pragma once
+
+#include <vector>
+
+#include "wsp/arch/core_cluster.hpp"
+#include "wsp/common/config.hpp"
+#include "wsp/mem/memory_chiplet.hpp"
+#include "wsp/mem/sram_bank.hpp"
+
+namespace wsp::arch {
+
+class Tile {
+ public:
+  Tile(const SystemConfig& config, TileCoord coord,
+       bool single_layer_mode = false)
+      : coord_(coord),
+        cores_(config.cores_per_tile),
+        memory_(config, single_layer_mode) {
+    private_mem_.reserve(static_cast<std::size_t>(config.cores_per_tile));
+    for (int c = 0; c < config.cores_per_tile; ++c)
+      private_mem_.emplace_back(
+          static_cast<std::uint32_t>(config.private_mem_per_core_bytes));
+  }
+
+  TileCoord coord() const { return coord_; }
+  CoreCluster& cores() { return cores_; }
+  const CoreCluster& cores() const { return cores_; }
+  mem::MemoryChiplet& memory() { return memory_; }
+  const mem::MemoryChiplet& memory() const { return memory_; }
+  mem::SramBank& private_mem(int core) { return private_mem_.at(core); }
+
+ private:
+  TileCoord coord_;
+  CoreCluster cores_;
+  mem::MemoryChiplet memory_;
+  std::vector<mem::SramBank> private_mem_;
+};
+
+}  // namespace wsp::arch

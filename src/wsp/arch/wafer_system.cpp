@@ -1,0 +1,151 @@
+#include "wsp/arch/wafer_system.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::arch {
+
+void TileContext::send(TileCoord dst, std::uint32_t tag,
+                       std::uint64_t payload) {
+  charge(1);  // store to the network adapter through the crossbar
+  Message m;
+  m.src = tile_->coord();
+  m.dst = dst;
+  m.tag = tag;
+  m.payload = payload;
+  outgoing_.push_back(m);
+}
+
+WaferSystem::WaferSystem(const SystemConfig& config, const FaultMap& faults,
+                         HandlerFactory factory,
+                         const noc::NocOptions& noc_options,
+                         bool single_layer_mode)
+    : config_(config), faults_(faults), noc_(faults, noc_options) {
+  config_.validate();
+  require(static_cast<int>(faults.grid().width()) == config.array_width &&
+              static_cast<int>(faults.grid().height()) == config.array_height,
+          "fault map does not match the configured array");
+  require(factory != nullptr, "a handler factory is required");
+
+  const TileGrid grid = config_.grid();
+  tiles_.resize(grid.tile_count());
+  handlers_.resize(grid.tile_count());
+  grid.for_each([&](TileCoord c) {
+    const auto i = grid.index_of(c);
+    tiles_[i] = std::make_unique<Tile>(config_, c, single_layer_mode);
+    if (faults_.is_healthy(c)) handlers_[i] = factory(c);
+  });
+
+  noc_.set_delivery_listener(
+      [this](const noc::Packet& p) { on_delivery(p); });
+}
+
+Tile& WaferSystem::tile(TileCoord c) {
+  require(config_.grid().contains(c), "tile out of bounds");
+  return *tiles_[config_.grid().index_of(c)];
+}
+
+const Tile& WaferSystem::tile(TileCoord c) const {
+  require(config_.grid().contains(c), "tile out of bounds");
+  return *tiles_[config_.grid().index_of(c)];
+}
+
+void WaferSystem::queue_send(std::uint64_t ready, const Message& m) {
+  sends_.push(PendingSend{ready, send_seq_++, m});
+}
+
+void WaferSystem::invoke(TileCoord where, const Message* message) {
+  const auto i = config_.grid().index_of(where);
+  TileHandler* handler = handlers_[i].get();
+  if (!handler) return;  // faulty tile: no software runs here
+
+  TileContext ctx;
+  ctx.tile_ = tiles_[i].get();
+  ctx.now_ = noc_.now();
+  if (message)
+    handler->on_message(ctx, *message);
+  else
+    handler->on_start(ctx);
+  ++stats_.handler_invocations;
+
+  // The invocation occupies a core; its sends enter the network when the
+  // core work retires.
+  const std::uint64_t cost = std::max<std::uint64_t>(1, ctx.charged_);
+  const std::uint64_t done = ctx.tile_->cores().schedule(ctx.now_, cost);
+  for (Message& m : ctx.outgoing_) {
+    m.sent_cycle = done;
+    queue_send(done, m);
+  }
+}
+
+void WaferSystem::on_delivery(const noc::Packet& packet) {
+  const auto it = in_flight_.find(packet.id);
+  if (it == in_flight_.end()) return;  // not an application message
+  Message m = it->second;
+  in_flight_.erase(it);
+  m.delivered_cycle = noc_.now();
+  ++stats_.messages_delivered;
+  invoke(m.dst, &m);
+}
+
+void WaferSystem::issue_due_sends() {
+  while (!sends_.empty() && sends_.top().ready_cycle <= noc_.now()) {
+    const Message m = sends_.top().message;
+    sends_.pop();
+    ++stats_.messages_sent;
+    const auto id = noc_.issue(m.src, m.dst, noc::PacketType::WriteRequest,
+                               m.payload, m.tag);
+    if (!id) {
+      ++stats_.messages_undeliverable;
+      continue;
+    }
+    in_flight_.emplace(*id, m);
+  }
+}
+
+void WaferSystem::start() {
+  require(!started_, "system already started");
+  started_ = true;
+  config_.grid().for_each([&](TileCoord c) {
+    if (faults_.is_healthy(c)) invoke(c, nullptr);
+  });
+}
+
+void WaferSystem::post(const Message& message) {
+  queue_send(noc_.now(), message);
+}
+
+bool WaferSystem::run_until_quiescent(std::uint64_t max_cycles) {
+  const std::uint64_t limit = noc_.now() + max_cycles;
+  std::vector<noc::CompletedTransaction> done;
+  while (noc_.now() < limit) {
+    issue_due_sends();
+    if (sends_.empty() && in_flight_.empty() &&
+        noc_.inflight_transactions() == 0)
+      return true;
+    noc_.step(done);
+  }
+  return sends_.empty() && in_flight_.empty() &&
+         noc_.inflight_transactions() == 0;
+}
+
+WaferSystemStats WaferSystem::stats() const {
+  WaferSystemStats s = stats_;
+  s.cycles = noc_.now();
+  s.makespan = noc_.now();
+  double util_sum = 0.0;
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    if (!handlers_[i]) continue;
+    ++healthy;
+    const CoreCluster& cores = tiles_[i]->cores();
+    s.core_busy_cycles += cores.total_busy_cycles();
+    s.makespan = std::max(s.makespan, cores.all_idle_at());
+    util_sum += cores.utilization(std::max<std::uint64_t>(1, noc_.now()));
+  }
+  s.mean_core_utilization = healthy ? util_sum / healthy : 0.0;
+  return s;
+}
+
+}  // namespace wsp::arch

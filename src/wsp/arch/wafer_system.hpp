@@ -1,0 +1,147 @@
+// Whole-wafer system simulator: tiles + NoC + a message-driven programming
+// model (Sec. II).
+//
+// The paper validated the architecture by emulating a reduced-size
+// multi-tile system on FPGAs and running graph workloads (BFS, SSSP).
+// This simulator plays that role in software: applications install a
+// per-tile handler; tiles exchange messages over the cycle-level dual-DoR
+// NoC (requests on one network, acks on the complement, exactly as the
+// hardware does); handler work occupies the tile's 14 cores.  The model is
+// an actor/message-passing view of the unified-memory machine — each
+// message stands for a remote memory transaction or an explicit core-to-
+// core notification.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "wsp/arch/tile.hpp"
+#include "wsp/common/config.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/noc/noc_system.hpp"
+
+namespace wsp::arch {
+
+/// An application-level message between tiles.
+struct Message {
+  TileCoord src;
+  TileCoord dst;
+  std::uint32_t tag = 0;
+  std::uint64_t payload = 0;
+  std::uint64_t sent_cycle = 0;
+  std::uint64_t delivered_cycle = 0;
+};
+
+class WaferSystem;
+
+/// Execution context passed to handlers; collects the invocation's core
+/// cost and outgoing messages (which enter the network when the handler's
+/// core work completes).
+class TileContext {
+ public:
+  TileCoord coord() const { return tile_->coord(); }
+  std::uint64_t now() const { return now_; }
+  Tile& tile() { return *tile_; }
+  mem::MemoryChiplet& memory() { return tile_->memory(); }
+
+  /// Accounts `cycles` of core work for this invocation.
+  void charge(std::uint64_t cycles) { charged_ += cycles; }
+
+  /// Queues a message to `dst`; it is injected when this invocation's core
+  /// work finishes.  Also charges one cycle for the store to the network
+  /// adapter.
+  void send(TileCoord dst, std::uint32_t tag, std::uint64_t payload);
+
+ private:
+  friend class WaferSystem;
+  Tile* tile_ = nullptr;
+  std::uint64_t now_ = 0;
+  std::uint64_t charged_ = 0;
+  std::vector<Message> outgoing_;
+};
+
+/// Application logic living on one tile.
+class TileHandler {
+ public:
+  virtual ~TileHandler() = default;
+  /// Invoked once on every healthy tile when the system starts.
+  virtual void on_start(TileContext&) {}
+  /// Invoked for every message delivered to this tile.
+  virtual void on_message(TileContext&, const Message&) = 0;
+};
+
+/// Factory producing the handler instance for each healthy tile.
+using HandlerFactory =
+    std::function<std::unique_ptr<TileHandler>(TileCoord)>;
+
+struct WaferSystemStats {
+  std::uint64_t cycles = 0;           ///< NoC cycles simulated
+  std::uint64_t makespan = 0;         ///< cycle all work (cores+NoC) done
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_undeliverable = 0;  ///< no route to destination
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t core_busy_cycles = 0;
+  double mean_core_utilization = 0.0;
+};
+
+class WaferSystem {
+ public:
+  WaferSystem(const SystemConfig& config, const FaultMap& faults,
+              HandlerFactory factory,
+              const noc::NocOptions& noc_options = {},
+              bool single_layer_mode = false);
+
+  const SystemConfig& config() const { return config_; }
+  const FaultMap& faults() const { return faults_; }
+  Tile& tile(TileCoord c);
+  const Tile& tile(TileCoord c) const;
+  noc::NocSystem& noc() { return noc_; }
+
+  /// Runs on_start on every healthy tile (cycle 0).
+  void start();
+
+  /// Advances until no messages are pending/in flight, or `max_cycles`
+  /// NoC cycles elapse.  Returns true when the system quiesced.
+  bool run_until_quiescent(std::uint64_t max_cycles = 10'000'000);
+
+  /// Host-side message injection (e.g. seeding a workload from the edge
+  /// controller).  Enters the network at the current cycle.
+  void post(const Message& message);
+
+  WaferSystemStats stats() const;
+
+ private:
+  struct PendingSend {
+    std::uint64_t ready_cycle;
+    std::uint64_t seq;  ///< insertion order: deterministic heap order
+    Message message;
+    friend bool operator>(const PendingSend& a, const PendingSend& b) {
+      return std::tie(a.ready_cycle, a.seq) > std::tie(b.ready_cycle, b.seq);
+    }
+  };
+
+  SystemConfig config_;
+  FaultMap faults_;
+  noc::NocSystem noc_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  std::vector<std::unique_ptr<TileHandler>> handlers_;
+  std::priority_queue<PendingSend, std::vector<PendingSend>, std::greater<>>
+      sends_;  ///< min-heap by ready cycle
+  std::uint64_t send_seq_ = 0;
+  std::unordered_map<std::uint64_t, Message> in_flight_;  ///< txn id -> msg
+  WaferSystemStats stats_;
+  bool started_ = false;
+
+  void queue_send(std::uint64_t ready, const Message& m);
+  void issue_due_sends();
+  void invoke(TileCoord where, const Message* message);
+  void on_delivery(const noc::Packet& packet);
+};
+
+}  // namespace wsp::arch

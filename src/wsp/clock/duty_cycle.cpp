@@ -1,0 +1,102 @@
+#include "wsp/clock/duty_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::clock {
+
+namespace {
+
+/// Applies one hop's distortion to a duty cycle, given the inversion
+/// parity at the *receiving* end of the hop.
+///
+/// The circuit imbalance always stretches the same physical phase (say the
+/// high phase of the wire signal).  Without inversion the logical high
+/// phase is always the physical high phase, so the stretch accumulates.
+/// With inverted forwarding the logical phase alternates with parity, so
+/// consecutive hops stretch opposite halves of the logical cycle.
+double apply_hop(double duty, double distortion, bool inverted_hop) {
+  return duty + (inverted_hop ? -distortion : distortion);
+}
+
+bool is_alive(double duty, double min_pulse) {
+  return duty >= min_pulse && duty <= 1.0 - min_pulse;
+}
+
+}  // namespace
+
+DutyCycleTrace propagate_duty_cycle(int hops,
+                                    const DutyCycleOptions& options) {
+  require(hops >= 0, "hop count cannot be negative");
+  require(options.distortion_per_hop >= 0.0 &&
+              options.distortion_per_hop < 0.5,
+          "distortion per hop must be in [0, 0.5)");
+  require(options.dcc_correction_strength >= 0.0 &&
+              options.dcc_correction_strength <= 1.0,
+          "DCC strength must be in [0,1]");
+
+  DutyCycleTrace trace;
+  trace.duty_per_hop.reserve(static_cast<std::size_t>(hops) + 1);
+  double duty = 0.5;
+  trace.duty_per_hop.push_back(duty);
+
+  for (int h = 1; h <= hops; ++h) {
+    const bool inverted_hop = options.inverted_forwarding && (h % 2 == 0);
+    duty = apply_hop(duty, options.distortion_per_hop, inverted_hop);
+    duty = std::clamp(duty, 0.0, 1.0);
+    if (options.dcc_enabled)
+      duty = 0.5 + (duty - 0.5) * (1.0 - options.dcc_correction_strength);
+
+    trace.duty_per_hop.push_back(duty);
+    trace.worst_excursion =
+        std::max(trace.worst_excursion, std::abs(duty - 0.5));
+    if (trace.clock_alive && !is_alive(duty, options.min_pulse_fraction)) {
+      trace.clock_alive = false;
+      trace.died_at_hop = h;
+    }
+    if (!trace.clock_alive && (duty <= 0.0 || duty >= 1.0)) {
+      // Once a half-cycle fully vanishes nothing downstream can revive it.
+      break;
+    }
+  }
+  return trace;
+}
+
+WaferDutyReport analyze_plan_duty(const ForwardingPlan& plan,
+                                  const TileGrid& grid,
+                                  const DutyCycleOptions& options) {
+  WaferDutyReport report;
+  report.duty.assign(grid.tile_count(), -1.0);
+  report.alive.assign(grid.tile_count(), 0);
+
+  // The duty at a tile depends only on its depth in the forwarding tree,
+  // so memoise per depth.
+  const int max_hops = plan.max_hops;
+  const DutyCycleTrace trace = propagate_duty_cycle(max_hops, options);
+
+  for (std::size_t i = 0; i < plan.tiles.size(); ++i) {
+    const TileClockState& st = plan.tiles[i];
+    if (!st.reached) continue;
+    const auto depth = static_cast<std::size_t>(st.hops_from_generator);
+    const double duty = depth < trace.duty_per_hop.size()
+                            ? trace.duty_per_hop[depth]
+                            : (trace.duty_per_hop.empty()
+                                   ? 0.5
+                                   : trace.duty_per_hop.back());
+    report.duty[i] = duty;
+    const bool alive =
+        duty >= options.min_pulse_fraction &&
+        duty <= 1.0 - options.min_pulse_fraction &&
+        (trace.clock_alive ||
+         st.hops_from_generator < trace.died_at_hop);
+    report.alive[i] = alive ? 1 : 0;
+    if (!alive) ++report.dead_tiles;
+    report.worst_excursion =
+        std::max(report.worst_excursion, std::abs(duty - 0.5));
+  }
+  return report;
+}
+
+}  // namespace wsp::clock

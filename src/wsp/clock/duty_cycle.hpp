@@ -1,0 +1,61 @@
+// Duty-cycle distortion along the forwarding chain (Sec. IV).
+//
+// Every hop of the forwarded clock passes through buffers, the forwarding
+// mux and the inter-chiplet I/O drivers, whose pull-up/pull-down imbalance
+// distorts the duty cycle.  The paper's numbers: ~5 % distortion per tile
+// would kill a naively-forwarded clock within ~10 tiles (50 % + 10 x 5 % =
+// 100 %: one half-cycle vanishes).  Two countermeasures are modelled:
+//
+//   * Inverted forwarding — each tile forwards the *inverse* of its clock,
+//     so the distortion alternates between the two half-cycles instead of
+//     accumulating monotonically: the excursion stays bounded at one hop's
+//     worth.
+//   * A duty-cycle-correction (DCC) unit per tile that pulls any residual
+//     distortion back toward 50 % (an all-digital corrector, [16]).
+//
+// The model tracks duty cycle (high-phase fraction) along a forwarding
+// path; a clock "dies" when either half-cycle shrinks below the minimum
+// pulse width the downstream logic can register.
+#pragma once
+
+#include <vector>
+
+#include "wsp/clock/forwarding.hpp"
+
+namespace wsp::clock {
+
+struct DutyCycleOptions {
+  double distortion_per_hop = 0.05;  ///< duty shift added by one tile (+5 %)
+  bool inverted_forwarding = true;   ///< forward the inverted clock
+  bool dcc_enabled = true;           ///< per-tile duty-cycle corrector
+  /// DCC pulls the duty toward 0.5 by this fraction of the residual error.
+  double dcc_correction_strength = 0.8;
+  /// Minimum surviving half-cycle fraction; below this the clock is dead.
+  double min_pulse_fraction = 0.05;
+};
+
+/// Duty-cycle state after each hop of a forwarding path.
+struct DutyCycleTrace {
+  std::vector<double> duty_per_hop;  ///< duty after hop i (index 0 = source)
+  bool clock_alive = true;           ///< survived the whole path
+  int died_at_hop = -1;              ///< first dead hop, -1 if alive
+  double worst_excursion = 0.0;      ///< max |duty - 0.5| along the path
+};
+
+/// Propagates the duty cycle along a chain of `hops` tiles.
+DutyCycleTrace propagate_duty_cycle(int hops, const DutyCycleOptions& options);
+
+/// Per-tile duty cycle over a whole forwarding plan: walks every tile's
+/// path depth and reports the duty it receives plus whether any healthy
+/// reached tile ends up with a dead clock.
+struct WaferDutyReport {
+  std::vector<double> duty;   ///< indexed by tile, 0.5 = ideal; <0 unreached
+  std::vector<char> alive;    ///< clock usable at this tile
+  std::size_t dead_tiles = 0;
+  double worst_excursion = 0.0;
+};
+WaferDutyReport analyze_plan_duty(const ForwardingPlan& plan,
+                                  const TileGrid& grid,
+                                  const DutyCycleOptions& options);
+
+}  // namespace wsp::clock

@@ -1,0 +1,35 @@
+#include "wsp/clock/pll.hpp"
+
+#include <cmath>
+
+namespace wsp::clock {
+
+PllResult Pll::generate(double input_hz, double target_hz,
+                        double supply_ripple_v) const {
+  PllResult r;
+  if (input_hz < input_min_hz_ || input_hz > input_max_hz_) {
+    r.failure_reason = "input clock outside PLL capture range";
+    return r;
+  }
+  if (target_hz > output_max_hz_) {
+    r.failure_reason = "target exceeds PLL maximum output frequency";
+    return r;
+  }
+  if (supply_ripple_v > kPllMaxSupplyRippleV) {
+    r.failure_reason = "reference supply too noisy for reliable lock";
+    return r;
+  }
+  // Integer feedback divider: the PLL realises the closest achievable
+  // multiple of the input frequency (at least 1x).
+  const double ratio = std::max(1.0, std::round(target_hz / input_hz));
+  const double out = input_hz * ratio;
+  if (out > output_max_hz_) {
+    r.failure_reason = "no feasible divider for the requested frequency";
+    return r;
+  }
+  r.locked = true;
+  r.output_hz = out;
+  return r;
+}
+
+}  // namespace wsp::clock

@@ -1,0 +1,49 @@
+// PLL model (Sec. IV).
+//
+// Each compute chiplet contains a PLL that multiplies an input clock in
+// [10 MHz, 133 MHz] up to at most 400 MHz.  The IP needs a stable reference
+// supply, which — because the LDO regulation away from the edge fluctuates
+// between 1.0 V and 1.2 V — is only available on edge tiles with nearby
+// off-wafer decoupling.  Hence the paper's scheme: generate the fast clock
+// at an edge tile and forward it everywhere else.
+#pragma once
+
+#include "wsp/common/config.hpp"
+
+namespace wsp::clock {
+
+/// Supply stability requirement for reliable PLL lock, expressed as the
+/// maximum tolerable reference ripple (volts peak-to-peak).
+inline constexpr double kPllMaxSupplyRippleV = 0.05;
+
+struct PllResult {
+  bool locked = false;
+  double output_hz = 0.0;
+  const char* failure_reason = nullptr;
+};
+
+/// Behavioural PLL: checks input range, multiplication feasibility and
+/// supply stability, and returns the generated clock.
+class Pll {
+ public:
+  explicit Pll(const SystemConfig& config)
+      : input_min_hz_(config.pll_input_min_hz),
+        input_max_hz_(config.pll_input_max_hz),
+        output_max_hz_(config.pll_output_max_hz) {}
+
+  /// Attempts to generate `target_hz` from `input_hz` given the observed
+  /// peak-to-peak ripple on the reference supply.
+  PllResult generate(double input_hz, double target_hz,
+                     double supply_ripple_v) const;
+
+  double input_min_hz() const { return input_min_hz_; }
+  double input_max_hz() const { return input_max_hz_; }
+  double output_max_hz() const { return output_max_hz_; }
+
+ private:
+  double input_min_hz_;
+  double input_max_hz_;
+  double output_max_hz_;
+};
+
+}  // namespace wsp::clock

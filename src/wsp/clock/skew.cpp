@@ -1,0 +1,47 @@
+#include "wsp/clock/skew.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wsp::clock {
+
+SkewReport analyze_skew(const ForwardingPlan& plan, const TileGrid& grid,
+                        double per_hop_delay_s) {
+  SkewReport report;
+  double delta_sum = 0.0;
+  grid.for_each([&](TileCoord c) {
+    const TileClockState& here = plan.tiles[grid.index_of(c)];
+    if (!here.reached) return;
+    // Count each link once: east and north neighbours only.
+    for (const Direction d : {Direction::East, Direction::North}) {
+      const auto n = grid.neighbor(c, d);
+      if (!n) continue;
+      const TileClockState& there = plan.tiles[grid.index_of(*n)];
+      if (!there.reached) continue;
+      const int delta =
+          std::abs(here.hops_from_generator - there.hops_from_generator);
+      report.max_adjacent_depth_delta =
+          std::max(report.max_adjacent_depth_delta, delta);
+      delta_sum += delta;
+      ++report.links_measured;
+      if (here.inverted != there.inverted) ++report.odd_parity_links;
+    }
+  });
+  if (report.links_measured > 0)
+    report.mean_adjacent_depth_delta =
+        delta_sum / static_cast<double>(report.links_measured);
+  report.worst_skew_s = report.max_adjacent_depth_delta * per_hop_delay_s;
+  grid.for_each([&](TileCoord c) {
+    const TileClockState& st = plan.tiles[grid.index_of(c)];
+    if (st.reached)
+      report.max_depth = std::max(report.max_depth, st.hops_from_generator);
+  });
+  report.global_spread_s = report.max_depth * per_hop_delay_s;
+  return report;
+}
+
+bool synchronous_links_feasible(const SkewReport& report, double budget_s) {
+  return report.worst_skew_s <= budget_s;
+}
+
+}  // namespace wsp::clock

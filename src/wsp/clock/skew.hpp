@@ -1,0 +1,53 @@
+// Clock skew across the forwarding network (Sec. IV, footnote 3).
+//
+// Forwarding accumulates one buffer/I/O delay per hop, so two
+// neighbouring tiles can sit at very different forwarding depths — up to
+// the full tree depth apart where two forwarding fronts meet.  The paper
+// dismisses this deliberately: "the half-cycle phase delay and any jitter
+// introduced is not a concern since our inter-chiplet communication uses
+// asynchronous FIFOs".  This module quantifies the skew that decision
+// absorbs: per-link depth differences, the worst seam on the wafer, and
+// the resulting phase uncertainty in nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsp/clock/forwarding.hpp"
+
+namespace wsp::clock {
+
+struct SkewReport {
+  /// Worst neighbouring-tile hop gap.  Because the auto-selection races
+  /// pick the *earliest* clock, forwarding depth equals graph distance
+  /// from the generators, and adjacent tiles' distances can differ by at
+  /// most 1 — a pleasant theorem this analysis verifies (a fixed,
+  /// configured forwarding tree would not enjoy it).
+  int max_adjacent_depth_delta = 0;
+  double mean_adjacent_depth_delta = 0.0;
+  std::size_t links_measured = 0;
+  /// Links whose endpoints' forwarding parities differ (the inverted
+  /// clock makes their edges nominally half a cycle apart).
+  std::size_t odd_parity_links = 0;
+  /// Worst tile-to-tile phase uncertainty in seconds given a per-hop
+  /// insertion delay: max_delta x hop_delay.
+  double worst_skew_s = 0.0;
+  /// Deepest forwarding depth, and the wafer-global skew between the
+  /// earliest and latest clocked tiles (matters for wafer-global
+  /// synchronous events, not for the async-FIFO links).
+  int max_depth = 0;
+  double global_spread_s = 0.0;
+};
+
+/// Analyses skew over a forwarding plan.  `per_hop_delay_s` is the
+/// insertion delay of one forwarding stage (buffers + mux + I/O driver).
+SkewReport analyze_skew(const ForwardingPlan& plan, const TileGrid& grid,
+                        double per_hop_delay_s);
+
+/// True when synchronous (skew-sensitive) inter-tile links would be safe:
+/// worst skew below `budget_s`.  The prototype's asynchronous-FIFO links
+/// need no such budget — this predicate quantifies what going synchronous
+/// would have required.
+bool synchronous_links_feasible(const SkewReport& report, double budget_s);
+
+}  // namespace wsp::clock

@@ -1,0 +1,60 @@
+#include "wsp/common/config.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp {
+
+SystemConfig SystemConfig::paper_prototype() { return SystemConfig{}; }
+
+SystemConfig SystemConfig::reduced(int width, int height) {
+  SystemConfig cfg;
+  cfg.array_width = width;
+  cfg.array_height = height;
+  // One JTAG chain per row, capped at the prototype's 32.
+  cfg.jtag_chains = std::min(cfg.jtag_chains, height);
+  cfg.validate();
+  return cfg;
+}
+
+void SystemConfig::validate() const {
+  require(array_width > 0 && array_height > 0,
+          "array dimensions must be positive");
+  require(cores_per_tile > 0, "cores_per_tile must be positive");
+  require(shared_banks_per_tile <= banks_per_memory_chiplet,
+          "shared banks cannot exceed banks per memory chiplet");
+  require(nominal_freq_hz > 0 && nominal_freq_hz <= pll_output_max_hz,
+          "nominal frequency must be within PLL range");
+  require(pll_input_min_hz < pll_input_max_hz, "PLL input range is empty");
+  require(edge_supply_voltage_v > nominal_voltage_v,
+          "edge supply must exceed nominal logic voltage");
+  require(min_center_supply_v > regulated_max_v - 0.3,
+          "center supply must leave LDO headroom");
+  require(pillar_bond_yield > 0.0 && pillar_bond_yield <= 1.0,
+          "pillar bond yield must be a probability");
+  require(pillars_per_pad >= 1, "at least one pillar per pad");
+  require(packet_bits <= link_width_bits_per_side,
+          "packet cannot be wider than the link escape width");
+  require(num_networks >= 1 && num_networks <= 2,
+          "this design supports one or two DoR networks");
+  require(payload_bits > 0 && payload_bits <= packet_bits,
+          "payload must fit inside the packet");
+  require(signal_routing_layers >= 1 && signal_routing_layers <= 2,
+          "substrate provides at most two signal routing layers");
+  require(jtag_chains >= 1 && jtag_chains <= array_height,
+          "JTAG chains are organised per tile row");
+  require(reticle_tiles_x > 0 && reticle_tiles_y > 0,
+          "reticle tile counts must be positive");
+}
+
+double SystemConfig::total_area_m2() const {
+  // The populated array plus an edge ring that carries the fan-out wiring
+  // and connector pads (built from unpopulated edge reticles, Sec. VIII).
+  const double w = geometry.tile_pitch_x_m() * array_width;
+  const double h = geometry.tile_pitch_y_m() * array_height;
+  const double m = edge_io_margin_m;
+  return (w + 2 * m) * (h + 2 * m);
+}
+
+}  // namespace wsp

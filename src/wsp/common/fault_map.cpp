@@ -1,0 +1,63 @@
+#include "wsp/common/fault_map.hpp"
+
+#include "wsp/common/error.hpp"
+
+namespace wsp {
+
+FaultMap::FaultMap(const TileGrid& grid)
+    : grid_(grid), faulty_(grid.tile_count(), 0) {}
+
+void FaultMap::set_faulty(TileCoord c, bool faulty) {
+  require(grid_.contains(c), "set_faulty: coordinate out of bounds");
+  char& slot = faulty_[grid_.index_of(c)];
+  if (slot == static_cast<char>(faulty)) return;
+  slot = static_cast<char>(faulty);
+  fault_count_ += faulty ? 1 : static_cast<std::size_t>(-1);
+}
+
+std::vector<TileCoord> FaultMap::faulty_tiles() const {
+  std::vector<TileCoord> out;
+  out.reserve(fault_count_);
+  for (std::size_t i = 0; i < faulty_.size(); ++i)
+    if (faulty_[i]) out.push_back(grid_.coord_of(i));
+  return out;
+}
+
+std::vector<TileCoord> FaultMap::healthy_tiles() const {
+  std::vector<TileCoord> out;
+  out.reserve(healthy_count());
+  for (std::size_t i = 0; i < faulty_.size(); ++i)
+    if (!faulty_[i]) out.push_back(grid_.coord_of(i));
+  return out;
+}
+
+bool FaultMap::all_neighbors_faulty(TileCoord c) const {
+  for (TileCoord n : grid_.neighbors(c))
+    if (is_healthy(n)) return false;
+  return true;
+}
+
+FaultMap FaultMap::random_with_count(const TileGrid& grid, std::size_t n,
+                                     Rng& rng) {
+  require(n <= grid.tile_count(), "more faults requested than tiles");
+  FaultMap map(grid);
+  // Floyd's algorithm would also work; with n << tiles, rejection is fine
+  // and keeps the draw order (and thus reproducibility) simple.
+  while (map.fault_count() < n) {
+    const auto idx = rng.below(grid.tile_count());
+    map.set_faulty(grid.coord_of(idx), true);
+  }
+  return map;
+}
+
+FaultMap FaultMap::random_with_probability(const TileGrid& grid, double p,
+                                           Rng& rng) {
+  require(p >= 0.0 && p <= 1.0, "fault probability must be in [0,1]");
+  FaultMap map(grid);
+  grid.for_each([&](TileCoord c) {
+    if (rng.bernoulli(p)) map.set_faulty(c, true);
+  });
+  return map;
+}
+
+}  // namespace wsp

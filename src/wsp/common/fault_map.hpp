@@ -1,0 +1,65 @@
+// Fault maps: which tiles of the assembled wafer are faulty.
+//
+// The paper's resiliency story (Sections IV-VII) revolves around the fault
+// map: after assembly, faulty tiles are identified by the JTAG test flow and
+// recorded; the clock-forwarding configuration and the kernel's network
+// selection are then derived from it.  This class is that record, plus
+// samplers for the randomly generated fault maps used by the Monte Carlo
+// studies of Figures 4 and 6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsp/common/geometry.hpp"
+#include "wsp/common/rng.hpp"
+
+namespace wsp {
+
+/// Boolean per-tile fault state over a TileGrid.
+class FaultMap {
+ public:
+  /// All tiles healthy.
+  explicit FaultMap(const TileGrid& grid);
+
+  const TileGrid& grid() const { return grid_; }
+
+  bool is_faulty(TileCoord c) const { return faulty_[grid_.index_of(c)]; }
+  bool is_healthy(TileCoord c) const { return !is_faulty(c); }
+
+  void set_faulty(TileCoord c, bool faulty = true);
+
+  std::size_t fault_count() const { return fault_count_; }
+  std::size_t healthy_count() const { return grid_.tile_count() - fault_count_; }
+
+  /// Coordinates of all faulty tiles, in linear-index order.
+  std::vector<TileCoord> faulty_tiles() const;
+  /// Coordinates of all healthy tiles, in linear-index order.
+  std::vector<TileCoord> healthy_tiles() const;
+
+  /// True when every in-bounds neighbour of `c` is faulty — the paper's
+  /// condition under which a tile is unreachable by both the forwarded
+  /// clock and the mesh network (Fig. 4's yellow tile).
+  bool all_neighbors_faulty(TileCoord c) const;
+
+  /// Samples a fault map with exactly `n` distinct faulty tiles chosen
+  /// uniformly at random — the fault model behind Figs. 4 and 6.
+  static FaultMap random_with_count(const TileGrid& grid, std::size_t n,
+                                    Rng& rng);
+
+  /// Samples a fault map where each tile fails independently with
+  /// probability `p` (the Bernoulli assembly-yield model of Sec. V).
+  static FaultMap random_with_probability(const TileGrid& grid, double p,
+                                          Rng& rng);
+
+  friend bool operator==(const FaultMap& a, const FaultMap& b) {
+    return a.faulty_ == b.faulty_;
+  }
+
+ private:
+  TileGrid grid_;
+  std::vector<char> faulty_;  // char, not bool: avoids bitset proxy overhead
+  std::size_t fault_count_ = 0;
+};
+
+}  // namespace wsp

@@ -1,0 +1,63 @@
+// Physical unit conventions used throughout the library.
+//
+// All quantities are stored in SI base units as `double` unless the name
+// says otherwise:  volts (V), amperes (A), watts (W), ohms (Ohm), farads (F),
+// henries (H), seconds (s), hertz (Hz), metres (m).  Named multipliers below
+// make call sites self-documenting: `3.15 * units::mm`, `350 * units::mW`.
+//
+// We deliberately use plain doubles rather than a strong-unit type system:
+// the solver inner loops (PDN nodal solve, NoC cycle loop) are performance
+// sensitive and the library's public API is narrow enough that the naming
+// convention (`supply_voltage_v`, `tile_pitch_m`) carries the unit.
+#pragma once
+
+namespace wsp::units {
+
+// --- length ---
+inline constexpr double m = 1.0;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// --- area ---
+inline constexpr double mm2 = 1e-6;
+inline constexpr double um2 = 1e-12;
+
+// --- electrical ---
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double ohm = 1.0;
+inline constexpr double mohm = 1e-3;
+inline constexpr double F = 1.0;
+inline constexpr double nF = 1e-9;
+inline constexpr double pF = 1e-12;
+inline constexpr double H = 1.0;
+inline constexpr double nH = 1e-9;
+
+// --- time / frequency ---
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// --- information ---
+inline constexpr double bit = 1.0;
+inline constexpr double byte = 8.0;
+inline constexpr double KiB = 8.0 * 1024.0;
+inline constexpr double MiB = 8.0 * 1024.0 * 1024.0;
+
+// --- energy ---
+inline constexpr double J = 1.0;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+}  // namespace wsp::units

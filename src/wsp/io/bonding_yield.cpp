@@ -1,0 +1,100 @@
+#include "wsp/io/bonding_yield.hpp"
+
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::io {
+
+namespace {
+
+/// Exact Binomial(n, p) sample for small p via geometric skipping: the
+/// index gap between consecutive failures is Geometric(p), so we jump from
+/// failure to failure instead of testing every pad individually.  O(np)
+/// expected work — effectively O(1) for p ~ 1e-8.
+std::size_t sample_binomial_small_p(std::size_t n, double p, wsp::Rng& rng) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  std::size_t failures = 0;
+  const double log1mp = std::log1p(-p);
+  double pos = 0.0;
+  while (true) {
+    // u in (0,1]; skip >= 1.
+    const double u = 1.0 - rng.uniform();
+    pos += std::floor(std::log(u) / log1mp) + 1.0;
+    if (pos > static_cast<double>(n)) break;
+    ++failures;
+  }
+  return failures;
+}
+
+}  // namespace
+
+double pad_failure_probability(double pillar_yield, int pillars_per_pad) {
+  require(pillar_yield >= 0.0 && pillar_yield <= 1.0,
+          "pillar yield must be a probability");
+  require(pillars_per_pad >= 1, "at least one pillar per pad");
+  // A pad fails only when every redundant pillar on it fails.
+  return std::pow(1.0 - pillar_yield, pillars_per_pad);
+}
+
+double chiplet_bond_yield(double pillar_yield, int pillars_per_pad,
+                          int pad_count) {
+  require(pad_count >= 0, "pad count cannot be negative");
+  const double q = pad_failure_probability(pillar_yield, pillars_per_pad);
+  return std::pow(1.0 - q, pad_count);
+}
+
+AssemblyYield analyze_assembly_yield(const SystemConfig& config,
+                                     int pillars_per_pad) {
+  AssemblyYield y;
+  const double p = config.pillar_bond_yield;
+  y.compute.pad_failure_prob = pad_failure_probability(p, pillars_per_pad);
+  y.memory.pad_failure_prob = y.compute.pad_failure_prob;
+  y.compute.chiplet_yield =
+      chiplet_bond_yield(p, pillars_per_pad, config.ios_per_compute_chiplet);
+  y.memory.chiplet_yield =
+      chiplet_bond_yield(p, pillars_per_pad, config.ios_per_memory_chiplet);
+  y.tile_yield = y.compute.chiplet_yield * y.memory.chiplet_yield;
+
+  const double tiles = config.total_tiles();
+  y.expected_faulty_chiplets =
+      tiles * ((1.0 - y.compute.chiplet_yield) + (1.0 - y.memory.chiplet_yield));
+  y.expected_faulty_tiles = tiles * (1.0 - y.tile_yield);
+  y.all_good_probability = std::pow(y.tile_yield, tiles);
+  return y;
+}
+
+AssemblyDraw simulate_assembly(const SystemConfig& config,
+                               int pillars_per_pad, Rng& rng) {
+  const TileGrid grid = config.grid();
+  AssemblyDraw draw{FaultMap(grid), 0, 0};
+  const double q =
+      pad_failure_probability(config.pillar_bond_yield, pillars_per_pad);
+
+  grid.for_each([&](TileCoord c) {
+    const std::size_t bad_compute = sample_binomial_small_p(
+        static_cast<std::size_t>(config.ios_per_compute_chiplet), q, rng);
+    const std::size_t bad_memory = sample_binomial_small_p(
+        static_cast<std::size_t>(config.ios_per_memory_chiplet), q, rng);
+    if (bad_compute > 0) ++draw.faulty_compute_chiplets;
+    if (bad_memory > 0) ++draw.faulty_memory_chiplets;
+    if (bad_compute > 0 || bad_memory > 0)
+      draw.tile_faults.set_faulty(c, true);
+  });
+  return draw;
+}
+
+double estimate_faulty_chiplets(const SystemConfig& config,
+                                int pillars_per_pad, int trials, Rng& rng) {
+  require(trials > 0, "need at least one Monte Carlo trial");
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const AssemblyDraw draw = simulate_assembly(config, pillars_per_pad, rng);
+    total += static_cast<double>(draw.faulty_compute_chiplets +
+                                 draw.faulty_memory_chiplets);
+  }
+  return total / trials;
+}
+
+}  // namespace wsp::io

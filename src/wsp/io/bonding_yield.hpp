@@ -1,0 +1,69 @@
+// Cu-pillar bonding yield: the dual-pillar redundancy story of Sec. V.
+//
+// Die-to-wafer bonding succeeds per pillar with probability >99.99 %.  A
+// chiplet with >2000 I/O pads bonded with one pillar each would only yield
+// 0.9999^2000 ~ 81.46 %; across 2048 chiplets that is ~380 expected faulty
+// chiplets per wafer.  Landing *two* pillars on every pad drops the per-pad
+// failure probability to (1e-4)^2 and lifts per-chiplet yield to 99.998 %
+// (expected faulty chiplets: ~1 per wafer, actually ~0.04).
+//
+// Both the closed-form model and a Monte Carlo assembly simulator are
+// provided; property tests cross-validate them, and the NoC fault-map
+// studies consume the Monte Carlo sampler.
+#pragma once
+
+#include <cstddef>
+
+#include "wsp/common/config.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/rng.hpp"
+
+namespace wsp::io {
+
+/// Closed-form yield figures for one chiplet type.
+struct ChipletYield {
+  double pad_failure_prob = 0.0;   ///< per-pad failure after redundancy
+  double chiplet_yield = 0.0;      ///< all pads bond correctly
+};
+
+/// Closed-form yield figures for the whole assembly.
+struct AssemblyYield {
+  ChipletYield compute;
+  ChipletYield memory;
+  double tile_yield = 0.0;           ///< both chiplets of a tile bond
+  double expected_faulty_chiplets = 0.0;  ///< over the full wafer
+  double expected_faulty_tiles = 0.0;
+  double all_good_probability = 0.0; ///< a wafer with zero faulty chiplets
+};
+
+/// Per-pad failure probability with `pillars_per_pad` redundant pillars,
+/// each failing independently with probability (1 - pillar_yield).
+double pad_failure_probability(double pillar_yield, int pillars_per_pad);
+
+/// Probability that a chiplet with `pad_count` pads bonds with no bad pad.
+double chiplet_bond_yield(double pillar_yield, int pillars_per_pad,
+                          int pad_count);
+
+/// Full-assembly closed-form yield for `config`, using `pillars_per_pad`
+/// (pass 1 to evaluate the non-redundant baseline the paper compares to).
+AssemblyYield analyze_assembly_yield(const SystemConfig& config,
+                                     int pillars_per_pad);
+
+/// Outcome of one Monte Carlo assembly.
+struct AssemblyDraw {
+  FaultMap tile_faults;               ///< tiles with >=1 badly-bonded chiplet
+  std::size_t faulty_compute_chiplets = 0;
+  std::size_t faulty_memory_chiplets = 0;
+};
+
+/// Samples one wafer assembly: every pad of every chiplet bonds with the
+/// redundant-pillar success probability; a tile is faulty when either of
+/// its chiplets has any bad pad.
+AssemblyDraw simulate_assembly(const SystemConfig& config,
+                               int pillars_per_pad, Rng& rng);
+
+/// Monte Carlo estimate (mean over `trials`) of faulty chiplets per wafer.
+double estimate_faulty_chiplets(const SystemConfig& config,
+                                int pillars_per_pad, int trials, Rng& rng);
+
+}  // namespace wsp::io

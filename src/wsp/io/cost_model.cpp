@@ -1,0 +1,108 @@
+#include "wsp/io/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+#include "wsp/io/bonding_yield.hpp"
+
+namespace wsp::io {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Poisson defect-limited yield of an area.
+double area_yield(double defect_density, double area_m2) {
+  return std::exp(-defect_density * area_m2);
+}
+
+}  // namespace
+
+MonolithicCost estimate_monolithic_cost(const SystemConfig& config,
+                                        const CostInputs& inputs) {
+  require(inputs.monolithic_spare_fraction >= 0.0 &&
+              inputs.monolithic_spare_fraction < 1.0,
+          "spare fraction must be in [0,1)");
+  MonolithicCost cost;
+  const double tile_area = config.geometry.tile_active_area_m2();
+  cost.tile_yield = area_yield(inputs.defect_density_per_m2, tile_area);
+
+  const auto n = static_cast<double>(config.total_tiles());
+  cost.expected_faulty_tiles = n * (1.0 - cost.tile_yield);
+  cost.spare_area_fraction = inputs.monolithic_spare_fraction;
+
+  // The system works when at least n x (1 - spares) tiles survive
+  // (normal approximation to the binomial).
+  const double need = n * (1.0 - inputs.monolithic_spare_fraction);
+  const double mean = n * cost.tile_yield;
+  const double sd =
+      std::sqrt(std::max(1e-12, n * cost.tile_yield * (1.0 - cost.tile_yield)));
+  cost.system_yield = std::clamp(phi((mean - need) / sd), 1e-9, 1.0);
+
+  // One whole processed wafer per attempt.
+  cost.cost_per_good_system = inputs.active_wafer_cost / cost.system_yield;
+  return cost;
+}
+
+ChipletCost estimate_chiplet_cost(const SystemConfig& config,
+                                  const CostInputs& inputs) {
+  ChipletCost cost;
+  const auto& g = config.geometry;
+  const double compute_area = g.compute_chiplet_width_m * g.compute_chiplet_height_m;
+  const double memory_area = g.memory_chiplet_width_m * g.memory_chiplet_height_m;
+  cost.compute_die_yield =
+      area_yield(inputs.defect_density_per_m2, compute_area);
+  cost.memory_die_yield =
+      area_yield(inputs.defect_density_per_m2, memory_area);
+
+  // KGD screening (Sec. VII) means only good dies are bonded; the scrap
+  // is paid for in the per-good-die silicon cost.
+  constexpr double kWaferUtilization = 0.9;  // sawing / edge loss
+  const double compute_dies =
+      inputs.wafer_area_m2 * kWaferUtilization / compute_area;
+  const double memory_dies =
+      inputs.wafer_area_m2 * kWaferUtilization / memory_area;
+  cost.dies_per_wafer = compute_dies;  // reported for the larger die
+
+  const double cost_per_compute =
+      inputs.active_wafer_cost / (compute_dies * cost.compute_die_yield);
+  const double cost_per_memory =
+      inputs.active_wafer_cost / (memory_dies * cost.memory_die_yield);
+  const auto tiles = static_cast<double>(config.total_tiles());
+  cost.silicon_cost = tiles * (cost_per_compute + cost_per_memory);
+
+  // Assembly succeeds when the wafer ends up with few enough faulty
+  // tiles for the fault-tolerant design to absorb (Fig. 6: a handful of
+  // faults cost <2% of pairs).  Poisson acceptance with the dual-pillar
+  // bonding fault rate.
+  const AssemblyYield bond = analyze_assembly_yield(config, config.pillars_per_pad);
+  const double lambda = bond.expected_faulty_tiles;
+  constexpr int kToleratedFaultyTiles = 5;
+  double acceptance = 0.0;
+  double term = std::exp(-lambda);
+  for (int k = 0; k <= kToleratedFaultyTiles; ++k) {
+    acceptance += term;
+    term *= lambda / (k + 1);
+  }
+  cost.assembly_yield = std::clamp(acceptance, 1e-9, 1.0);
+
+  const double assembled =
+      cost.silicon_cost + inputs.interconnect_wafer_cost +
+      inputs.assembly_cost_per_chiplet * config.total_chiplets();
+  cost.cost_per_good_system = assembled / cost.assembly_yield;
+  return cost;
+}
+
+CostComparison compare_costs(const SystemConfig& config,
+                             const CostInputs& inputs) {
+  CostComparison cmp;
+  cmp.monolithic = estimate_monolithic_cost(config, inputs);
+  cmp.chiplet = estimate_chiplet_cost(config, inputs);
+  cmp.chiplet_advantage = cmp.monolithic.cost_per_good_system /
+                          cmp.chiplet.cost_per_good_system;
+  return cmp;
+}
+
+}  // namespace wsp::io

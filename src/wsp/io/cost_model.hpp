@@ -1,0 +1,68 @@
+// Cost comparison: chiplet assembly vs monolithic waferscale (Sec. I).
+//
+// The paper's introduction makes two economic claims: (1) monolithic
+// waferscale chips must reserve redundant cores and links to yield at
+// all, and (2) pre-tested known-good-die chiplet assembly "can
+// potentially provide better cost-performance trade-offs".  This module
+// turns those claims into numbers:
+//
+//   * Monolithic: one whole-wafer die.  Defects arrive at density D0;
+//     each tile-sized region survives with Poisson probability
+//     e^(-D0 * A_tile).  The design reserves a spare-tile fraction; the
+//     wafer is good when enough tiles survive (normal approximation to
+//     the binomial).  Cost per good system = wafer cost / system yield,
+//     and the spares are dead area even when it works.
+//
+//   * Chiplet: small dies yield individually (same D0 — small area is
+//     the whole trick), are screened before assembly (KGD, Sec. VII),
+//     and bond with the dual-pillar yield of Sec. V.  Cost per good
+//     system = chiplet silicon (scrap included) + interconnect wafer +
+//     assembly, divided by the assembly-level yield.
+#pragma once
+
+#include "wsp/common/config.hpp"
+
+namespace wsp::io {
+
+struct CostInputs {
+  double defect_density_per_m2 = 1000.0;  ///< ~0.1 defects/cm^2, mature node
+  double active_wafer_cost = 5000.0;      ///< processed logic wafer (40nm-class)
+  double interconnect_wafer_cost = 1000.0;///< the passive Si-IF substrate
+  double wafer_area_m2 = 0.070;           ///< 300 mm wafer usable area
+  double assembly_cost_per_chiplet = 0.25;///< pick/place/bond amortised
+  /// Spare-tile fraction a monolithic design reserves (the paper:
+  /// "redundant cores and network links need to be reserved").
+  double monolithic_spare_fraction = 0.10;
+};
+
+struct MonolithicCost {
+  double tile_yield = 0.0;         ///< one tile-sized region survives
+  double expected_faulty_tiles = 0.0;
+  double system_yield = 0.0;       ///< enough tiles survive the spares
+  double cost_per_good_system = 0.0;
+  double spare_area_fraction = 0.0;
+};
+
+struct ChipletCost {
+  double compute_die_yield = 0.0;  ///< small die survives fabrication
+  double memory_die_yield = 0.0;
+  double dies_per_wafer = 0.0;
+  double silicon_cost = 0.0;       ///< good chiplets incl. scrap share
+  double assembly_yield = 0.0;     ///< all bonds good (dual pillar)
+  double cost_per_good_system = 0.0;
+};
+
+struct CostComparison {
+  MonolithicCost monolithic;
+  ChipletCost chiplet;
+  double chiplet_advantage = 0.0;  ///< monolithic / chiplet cost ratio
+};
+
+MonolithicCost estimate_monolithic_cost(const SystemConfig& config,
+                                        const CostInputs& inputs = {});
+ChipletCost estimate_chiplet_cost(const SystemConfig& config,
+                                  const CostInputs& inputs = {});
+CostComparison compare_costs(const SystemConfig& config,
+                             const CostInputs& inputs = {});
+
+}  // namespace wsp::io

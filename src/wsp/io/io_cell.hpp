@@ -1,0 +1,61 @@
+// Fine-pitch I/O cell model (Sec. V).
+//
+// Si-IF links are 200-500 um long, so the paper drives them with simple
+// cascaded-inverter transmitters and two-minimum-inverter receivers that
+// fit entirely under the 10 um-pitch pad (150 um^2 including stripped-down
+// 100 V-HBM ESD protection).  Headline numbers reproduced here: 1 GHz
+// signalling up to 500 um, 0.063 pJ/bit, total I/O area per compute chiplet
+// only ~0.4 mm^2.
+#pragma once
+
+#include <cstdint>
+
+#include "wsp/common/config.hpp"
+
+namespace wsp::io {
+
+/// ESD protection classes relevant to the design choice in Sec. V.
+enum class EsdClass : std::uint8_t {
+  PackagedHbm2kV,   ///< conventional packaged-part requirement
+  BareDieHbm100V,   ///< bare-die chiplet-to-wafer requirement (what we use)
+};
+
+/// Electrical/geometric description of one I/O cell.
+struct IoCellSpec {
+  double cell_area_m2 = 150e-12;       ///< pad + transceiver + ESD
+  double energy_per_bit_j = 0.063e-12;
+  double max_rate_hz = 1e9;            ///< at or below max_link_length
+  double max_link_length_m = 500e-6;
+  EsdClass esd = EsdClass::BareDieHbm100V;
+
+  static IoCellSpec from_config(const SystemConfig& config) {
+    return IoCellSpec{
+        .cell_area_m2 = config.io_cell_area_m2,
+        .energy_per_bit_j = config.io_energy_per_bit_j,
+        .max_rate_hz = config.io_signaling_rate_hz,
+        .max_link_length_m = config.max_link_length_m,
+        .esd = EsdClass::BareDieHbm100V,
+    };
+  }
+
+  /// Achievable signalling rate for a link of `length_m`: full rate up to
+  /// the rated length, then RC-limited rolloff (rate ~ 1/length for the
+  /// inverter driving a distributed RC wire).
+  double achievable_rate_hz(double length_m) const {
+    if (length_m <= max_link_length_m) return max_rate_hz;
+    return max_rate_hz * (max_link_length_m / length_m);
+  }
+
+  /// Energy to move `bits` across one link.
+  double transfer_energy_j(std::uint64_t bits) const {
+    return static_cast<double>(bits) * energy_per_bit_j;
+  }
+
+  /// Total I/O cell area for `io_count` I/Os (the paper quotes ~0.4 mm^2
+  /// for the 2020-I/O compute chiplet).
+  double total_area_m2(int io_count) const {
+    return cell_area_m2 * io_count;
+  }
+};
+
+}  // namespace wsp::io

@@ -1,0 +1,173 @@
+#include "wsp/io/pad_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::io {
+
+namespace {
+
+constexpr int kEssentialColumns = 2;  ///< set-1 columns per side
+constexpr int kMaxColumns = 8;        ///< perimeter depth budget
+
+/// Mutable placement cursor for one chiplet side.
+struct SideCursor {
+  Direction edge;
+  double edge_len;
+  int per_column;
+  int placed = 0;  ///< pads placed so far on this side (column-major)
+
+  int column() const { return placed / per_column; }
+  int slot() const { return placed % per_column; }
+};
+
+/// Computes the pad position for `side` at (column, slot).  Columns stack
+/// inward from the edge with a depth of two pillar pitches (the two
+/// redundant pillars sit orthogonal to the edge).
+Pad make_pad(const SideCursor& side, double width, double height,
+             double pitch, SignalClass signal, int bank) {
+  const double along = (side.slot() + 0.5) * pitch;
+  const double depth = (side.column() + 0.5) * 2.0 * pitch;
+  Pad pad;
+  pad.edge = side.edge;
+  pad.column = side.column();
+  pad.set = side.column() < kEssentialColumns ? PadSet::Essential
+                                              : PadSet::Secondary;
+  pad.signal = signal;
+  pad.bank = bank;
+  switch (side.edge) {
+    case Direction::North: pad.x_m = along; pad.y_m = height - depth; break;
+    case Direction::South: pad.x_m = along; pad.y_m = depth; break;
+    case Direction::East:  pad.x_m = width - depth; pad.y_m = along; break;
+    case Direction::West:  pad.x_m = depth; pad.y_m = along; break;
+  }
+  return pad;
+}
+
+}  // namespace
+
+int pads_per_column(double edge_len_m, double pitch_m) {
+  require(edge_len_m > 0.0 && pitch_m > 0.0,
+          "edge length and pitch must be positive");
+  // Guard against representation error (3.15e-3 / 10e-6 = 314.9999...).
+  return static_cast<int>(std::floor(edge_len_m / pitch_m + 1e-9));
+}
+
+double edge_escape_density_per_m(int layers, double wiring_pitch_m) {
+  require(layers >= 1 && wiring_pitch_m > 0.0, "invalid escape parameters");
+  return static_cast<double>(layers) / wiring_pitch_m;
+}
+
+PadLayout generate_pad_layout(double width_m, double height_m,
+                              double pitch_m, const PadDemand& demand,
+                              double cell_area_m2) {
+  PadLayout layout;
+
+  SideCursor sides[4] = {
+      {Direction::North, width_m, pads_per_column(width_m, pitch_m)},
+      {Direction::East, height_m, pads_per_column(height_m, pitch_m)},
+      {Direction::South, width_m, pads_per_column(width_m, pitch_m)},
+      {Direction::West, height_m, pads_per_column(height_m, pitch_m)},
+  };
+  auto& north = sides[0];
+  auto& west = sides[3];
+
+  bool overflow = false;
+  auto place = [&](SideCursor& side, SignalClass signal, int count,
+                   int bank = -1) {
+    for (int i = 0; i < count; ++i) {
+      if (side.column() >= kMaxColumns) {
+        overflow = true;
+        return;
+      }
+      layout.pads.push_back(
+          make_pad(side, width_m, height_m, pitch_m, signal, bank));
+      ++side.placed;
+    }
+  };
+
+  // Essential signals first so they land in columns 0-1: network links and
+  // forwarded clock on every side, JTAG on the west side, then the
+  // essential memory banks on the north side (facing the memory chiplet).
+  for (auto& side : sides) {
+    place(side, SignalClass::NetworkLink, demand.network_per_side);
+    place(side, SignalClass::ClockForward, demand.clock_per_side);
+  }
+  place(west, SignalClass::TestJtag, demand.jtag_total);
+
+  const int bank_count = static_cast<int>(demand.bank_ios.size());
+  for (int b = 0; b < std::min(demand.essential_banks, bank_count); ++b)
+    place(north, SignalClass::MemoryBank, demand.bank_ios[b], b);
+
+  // Secondary set: remaining banks and misc, stacked behind on the north /
+  // east sides.
+  for (int b = demand.essential_banks; b < bank_count; ++b) {
+    // Skip ahead to the secondary columns if still in the essential ones.
+    while (north.column() < kEssentialColumns && north.column() < kMaxColumns)
+      north.placed = (north.column() + 1) * north.per_column;
+    place(north, SignalClass::MemoryBank, demand.bank_ios[b], b);
+  }
+  place(sides[1], SignalClass::PowerSense, demand.misc_secondary);
+
+  for (const Pad& pad : layout.pads) {
+    layout.columns_used = std::max(layout.columns_used, pad.column + 1);
+    if (pad.set == PadSet::Essential)
+      ++layout.essential_count;
+    else
+      ++layout.secondary_count;
+  }
+  // Essential demand must genuinely fit in set 1 for the single-layer
+  // fallback to work.
+  bool essential_fits = true;
+  for (const Pad& pad : layout.pads) {
+    const bool is_essential_signal =
+        pad.signal == SignalClass::NetworkLink ||
+        pad.signal == SignalClass::ClockForward ||
+        pad.signal == SignalClass::TestJtag ||
+        (pad.signal == SignalClass::MemoryBank && pad.bank >= 0 &&
+         pad.bank < demand.essential_banks);
+    if (is_essential_signal && pad.set != PadSet::Essential)
+      essential_fits = false;
+  }
+  layout.feasible = !overflow && essential_fits;
+  layout.io_area_m2 = cell_area_m2 * static_cast<double>(layout.pads.size());
+
+  const double perimeter = 2.0 * (width_m + height_m);
+  layout.edge_density_per_m =
+      perimeter > 0.0 ? static_cast<double>(layout.essential_count) / perimeter
+                      : 0.0;
+  return layout;
+}
+
+PadDemand compute_chiplet_demand(const SystemConfig& config) {
+  PadDemand d;
+  d.network_per_side = config.link_width_bits_per_side;
+  d.clock_per_side = 2;  // forwarded clock in + out
+  d.jtag_total = 12;     // TDI/TDO/TMS/TCK/TRST + tile chain extensions
+  // Remaining compute-chiplet I/O budget is the memory-controller interface
+  // to the five banks, split evenly.
+  const int used = 4 * d.network_per_side + 4 * d.clock_per_side +
+                   d.jtag_total;
+  const int remaining = config.ios_per_compute_chiplet - used;
+  const int banks = config.banks_per_memory_chiplet;
+  d.bank_ios.assign(static_cast<std::size_t>(banks), remaining / banks);
+  d.bank_ios[0] += remaining % banks;
+  d.essential_banks = 2;
+  d.misc_secondary = 0;
+  return d;
+}
+
+SingleLayerImpact single_layer_impact(const SystemConfig& config) {
+  SingleLayerImpact impact;
+  impact.banks_connected = 2;  // the essential-set banks
+  impact.banks_lost = config.banks_per_memory_chiplet - impact.banks_connected;
+  impact.memory_capacity_fraction_lost =
+      static_cast<double>(impact.banks_lost) /
+      static_cast<double>(config.banks_per_memory_chiplet);
+  impact.network_intact = true;  // all network I/Os live in set 1
+  return impact;
+}
+
+}  // namespace wsp::io

@@ -1,0 +1,103 @@
+// Chiplet pad placement and the two-column-set escape plan
+// (Sec. V Fig. 5, Sec. VIII Fig. 8).
+//
+// Pads sit in columns along each chiplet edge at the 10 um Cu-pillar pitch,
+// oriented so the two redundant pillars of a pad land orthogonal to the
+// edge (maximising I/O density per mm of edge).  Each side carries two
+// *sets* of columns:
+//
+//   * Set 1 (essential), the two columns closest to the edge: all network
+//     link I/Os plus two of the five memory banks — routable with a single
+//     substrate metal layer.
+//   * Set 2 (secondary), further columns: the remaining three banks and
+//     non-essential signals — needs the second routing layer.
+//
+// If the substrate yields only one good signal layer, connecting set 1
+// alone still gives a fully working processor, at the cost of 60 % of the
+// memory capacity (3 of 5 banks per tile unreachable).
+//
+// Larger probe pads for pre-bond test (Sec. VII-A, Fig. 8) are modelled in
+// wsp/testinfra/prebond.hpp; this file covers the bonded fine-pitch pads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsp/common/config.hpp"
+#include "wsp/common/geometry.hpp"
+
+namespace wsp::io {
+
+/// What a pad carries.
+enum class SignalClass : std::uint8_t {
+  NetworkLink,   ///< inter-tile mesh wiring (essential)
+  MemoryBank,    ///< SRAM bank data/address (bank index in `bank`)
+  TestJtag,      ///< JTAG/debug signals (essential)
+  ClockForward,  ///< forwarded-clock in/out (essential)
+  PowerSense,    ///< supply sense / misc (secondary)
+};
+
+/// Which escape set (routing layer) a pad belongs to.
+enum class PadSet : std::uint8_t { Essential = 1, Secondary = 2 };
+
+struct Pad {
+  double x_m = 0.0;       ///< position on the chiplet, origin bottom-left
+  double y_m = 0.0;
+  Direction edge = Direction::North;  ///< chiplet edge the pad escapes from
+  int column = 0;         ///< 0 = closest to the edge
+  PadSet set = PadSet::Essential;
+  SignalClass signal = SignalClass::NetworkLink;
+  int bank = -1;          ///< memory bank index when signal == MemoryBank
+};
+
+/// Demand to place on a chiplet's perimeter.
+struct PadDemand {
+  int network_per_side = 0;   ///< network wires escaping each side
+  int clock_per_side = 0;     ///< forwarded-clock wires per side
+  int jtag_total = 0;         ///< test signals (placed on the west side)
+  std::vector<int> bank_ios;  ///< I/Os per memory bank, in bank order
+  int essential_banks = 2;    ///< banks whose I/Os go in set 1
+  int misc_secondary = 0;     ///< non-essential signals for set 2
+};
+
+/// Result of generating a layout.
+struct PadLayout {
+  std::vector<Pad> pads;
+  int columns_used = 0;          ///< deepest column index + 1
+  int essential_count = 0;
+  int secondary_count = 0;
+  bool feasible = false;         ///< everything fit on the perimeter
+  double io_area_m2 = 0.0;       ///< total I/O cell area
+  double edge_density_per_m = 0.0;  ///< escape wires per metre of edge
+};
+
+/// Pads that fit in one column along an edge of `edge_len_m` at `pitch_m`.
+int pads_per_column(double edge_len_m, double pitch_m);
+
+/// Escape wiring density per metre of chiplet edge achievable with
+/// `layers` signal layers at `wiring_pitch_m` (the paper: 2 layers at 5 um
+/// pitch = 400 wires/mm).
+double edge_escape_density_per_m(int layers, double wiring_pitch_m);
+
+/// Generates a perimeter pad layout for a chiplet of the given dimensions.
+/// Essential signals (network, clock, JTAG, the first `essential_banks`
+/// banks) fill columns 0-1; everything else goes in deeper columns.
+PadLayout generate_pad_layout(double width_m, double height_m,
+                              double pitch_m, const PadDemand& demand,
+                              double cell_area_m2);
+
+/// The compute-chiplet demand implied by the prototype config (network
+/// links on all four sides, clock forwarding, JTAG, memory-controller
+/// connections to the five banks).
+PadDemand compute_chiplet_demand(const SystemConfig& config);
+
+/// Summary of running with only one good routing layer (Sec. VIII).
+struct SingleLayerImpact {
+  int banks_connected = 0;
+  int banks_lost = 0;
+  double memory_capacity_fraction_lost = 0.0;  ///< paper: 0.60
+  bool network_intact = true;  ///< the processor still fully works
+};
+SingleLayerImpact single_layer_impact(const SystemConfig& config);
+
+}  // namespace wsp::io

@@ -1,0 +1,67 @@
+#include "wsp/mem/address_map.hpp"
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::mem {
+
+GlobalAddressMap::GlobalAddressMap(const SystemConfig& config,
+                                   AddressLayout layout)
+    : grid_(config.grid()),
+      layout_(layout),
+      banks_(config.shared_banks_per_tile),
+      bank_bytes_(config.bank_bytes),
+      shared_bytes_(config.total_shared_memory_bytes()) {}
+
+std::optional<MemoryLocation> GlobalAddressMap::decode(
+    std::uint64_t address) const {
+  if (address >= shared_bytes_) return std::nullopt;
+
+  const std::uint64_t per_tile = tile_bytes();
+  const std::uint64_t tile_index = address / per_tile;
+  const std::uint64_t within_tile = address % per_tile;
+
+  MemoryLocation loc;
+  loc.tile = grid_.coord_of(static_cast<std::size_t>(tile_index));
+
+  if (layout_ == AddressLayout::TileMajor) {
+    loc.bank = static_cast<int>(within_tile / bank_bytes_);
+    loc.offset = static_cast<std::uint32_t>(within_tile % bank_bytes_);
+  } else {
+    // Word-interleaved across the shared banks of the tile.
+    const std::uint64_t word = within_tile / word_bytes_;
+    const std::uint64_t byte_in_word = within_tile % word_bytes_;
+    loc.bank = static_cast<int>(word % static_cast<std::uint64_t>(banks_));
+    loc.offset = static_cast<std::uint32_t>(
+        (word / static_cast<std::uint64_t>(banks_)) * word_bytes_ +
+        byte_in_word);
+  }
+  return loc;
+}
+
+std::uint64_t GlobalAddressMap::encode(const MemoryLocation& loc) const {
+  require(grid_.contains(loc.tile), "encode: tile out of bounds");
+  require(loc.bank >= 0 && loc.bank < banks_, "encode: bad bank index");
+  require(loc.offset < bank_bytes_, "encode: offset past bank end");
+
+  const std::uint64_t tile_index = grid_.index_of(loc.tile);
+  std::uint64_t within_tile;
+  if (layout_ == AddressLayout::TileMajor) {
+    within_tile = static_cast<std::uint64_t>(loc.bank) * bank_bytes_ +
+                  loc.offset;
+  } else {
+    const std::uint64_t word = loc.offset / word_bytes_;
+    const std::uint64_t byte_in_word = loc.offset % word_bytes_;
+    within_tile = (word * static_cast<std::uint64_t>(banks_) +
+                   static_cast<std::uint64_t>(loc.bank)) *
+                      word_bytes_ +
+                  byte_in_word;
+  }
+  return tile_index * tile_bytes() + within_tile;
+}
+
+std::uint64_t GlobalAddressMap::tile_base(TileCoord tile) const {
+  require(grid_.contains(tile), "tile_base: tile out of bounds");
+  return grid_.index_of(tile) * tile_bytes();
+}
+
+}  // namespace wsp::mem

@@ -1,0 +1,64 @@
+// Global shared-memory address map (Sec. II).
+//
+// The system is a unified-memory machine: any core on any tile can address
+// the 512 MB of globally shared SRAM (4 of the 5 banks on each of the 1024
+// memory chiplets).  A physical address therefore decodes to
+// (tile, bank, offset); the NoC carries accesses to remote tiles.
+//
+// Two decodings are provided:
+//   * TileMajor — consecutive addresses fill one tile's banks before moving
+//     to the next tile (natural for partitioned data, e.g. per-tile graph
+//     partitions).
+//   * BankInterleaved — consecutive 32-bit words rotate across the shared
+//     banks of one tile, exposing the 4-banks-in-parallel bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "wsp/common/config.hpp"
+
+namespace wsp::mem {
+
+/// Decoded location of a shared-memory word.
+struct MemoryLocation {
+  TileCoord tile;
+  int bank = 0;             ///< shared-bank index, 0-based
+  std::uint32_t offset = 0; ///< byte offset within the bank
+};
+
+enum class AddressLayout : std::uint8_t { TileMajor, BankInterleaved };
+
+/// Bidirectional address <-> location mapping over the shared space.
+class GlobalAddressMap {
+ public:
+  GlobalAddressMap(const SystemConfig& config,
+                   AddressLayout layout = AddressLayout::TileMajor);
+
+  std::uint64_t shared_bytes() const { return shared_bytes_; }
+  int shared_banks_per_tile() const { return banks_; }
+  std::uint64_t bank_bytes() const { return bank_bytes_; }
+
+  /// Decodes a byte address; nullopt when out of the shared space.
+  std::optional<MemoryLocation> decode(std::uint64_t address) const;
+
+  /// Inverse of decode.  Throws wsp::Error for an invalid location.
+  std::uint64_t encode(const MemoryLocation& loc) const;
+
+  /// First byte address owned by `tile` under TileMajor layout (useful for
+  /// placing per-tile partitions).
+  std::uint64_t tile_base(TileCoord tile) const;
+
+  /// Bytes of shared memory owned by one tile.
+  std::uint64_t tile_bytes() const { return banks_ * bank_bytes_; }
+
+ private:
+  TileGrid grid_;
+  AddressLayout layout_;
+  int banks_;
+  std::uint64_t bank_bytes_;
+  std::uint64_t shared_bytes_;
+  std::uint64_t word_bytes_ = 4;
+};
+
+}  // namespace wsp::mem

@@ -1,0 +1,64 @@
+#include "wsp/mem/memory_chiplet.hpp"
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::mem {
+
+MemoryChiplet::MemoryChiplet(const SystemConfig& config,
+                             bool single_layer_mode)
+    : shared_banks_(config.shared_banks_per_tile),
+      connected_banks_(single_layer_mode ? 2
+                                         : config.banks_per_memory_chiplet),
+      // Half the tile decap budget lives on the memory chiplet's two decap
+      // banks; the other half is on the compute chiplet.
+      decap_f_(config.decap_per_tile_f / 2.0),
+      feedthroughs_(config.link_width_bits_per_side) {
+  banks_.reserve(static_cast<std::size_t>(config.banks_per_memory_chiplet));
+  for (int b = 0; b < config.banks_per_memory_chiplet; ++b)
+    banks_.emplace_back(static_cast<std::uint32_t>(config.bank_bytes));
+}
+
+bool MemoryChiplet::bank_connected(int bank) const {
+  return valid_bank(bank) && bank < connected_banks_;
+}
+
+std::uint64_t MemoryChiplet::connected_bytes() const {
+  std::uint64_t bytes = 0;
+  for (int b = 0; b < bank_count(); ++b)
+    if (bank_connected(b)) bytes += banks_[b].capacity();
+  return bytes;
+}
+
+AccessResult MemoryChiplet::read(int bank, std::uint32_t offset,
+                                 std::uint64_t cycle) {
+  if (!valid_bank(bank) || offset % 4 != 0 ||
+      offset + 4 > banks_[bank].capacity())
+    return {AccessStatus::BadAddress, 0};
+  if (!bank_connected(bank)) return {AccessStatus::BankUnconnected, 0};
+  if (!banks_[bank].claim_port(cycle)) return {AccessStatus::BankBusy, 0};
+  return {AccessStatus::Ok, banks_[bank].read_word(offset)};
+}
+
+AccessResult MemoryChiplet::write(int bank, std::uint32_t offset,
+                                  std::uint32_t value, std::uint64_t cycle) {
+  if (!valid_bank(bank) || offset % 4 != 0 ||
+      offset + 4 > banks_[bank].capacity())
+    return {AccessStatus::BadAddress, 0};
+  if (!bank_connected(bank)) return {AccessStatus::BankUnconnected, 0};
+  if (!banks_[bank].claim_port(cycle)) return {AccessStatus::BankBusy, 0};
+  banks_[bank].write_word(offset, value);
+  return {AccessStatus::Ok, value};
+}
+
+std::uint32_t MemoryChiplet::peek(int bank, std::uint32_t offset) const {
+  require(valid_bank(bank), "peek: bad bank index");
+  return banks_[bank].read_word(offset);
+}
+
+void MemoryChiplet::poke(int bank, std::uint32_t offset,
+                         std::uint32_t value) {
+  require(valid_bank(bank), "poke: bad bank index");
+  banks_[bank].write_word(offset, value);
+}
+
+}  // namespace wsp::mem

@@ -1,0 +1,82 @@
+// Memory chiplet (Sec. II-c).
+//
+// Five 128 KB SRAM banks: four addressable through the global shared
+// address space, one private to the tile (cores and the network routers on
+// the same tile).  The chiplet also provides buffered feedthroughs for the
+// north-south inter-tile links (the compute chiplet's N/S network wiring
+// physically crosses it) and two banks of decoupling capacitors for the
+// tile's LDO.
+//
+// In single-routing-layer fallback mode (Sec. VIII) only the two
+// essential-set banks are connected: accesses to the others fail, costing
+// 60 % of the memory capacity while the processor stays fully functional.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wsp/common/config.hpp"
+#include "wsp/mem/sram_bank.hpp"
+
+namespace wsp::mem {
+
+/// Result of a bank access attempt.
+enum class AccessStatus : std::uint8_t {
+  Ok,
+  BankBusy,        ///< single port already claimed this cycle
+  BankUnconnected, ///< bank lost to single-layer fallback
+  BadAddress,
+};
+
+struct AccessResult {
+  AccessStatus status = AccessStatus::Ok;
+  std::uint32_t data = 0;
+  bool ok() const { return status == AccessStatus::Ok; }
+};
+
+class MemoryChiplet {
+ public:
+  /// `single_layer_mode` connects only the first two banks (Sec. VIII).
+  MemoryChiplet(const SystemConfig& config, bool single_layer_mode = false);
+
+  int bank_count() const { return static_cast<int>(banks_.size()); }
+  int shared_bank_count() const { return shared_banks_; }
+  /// Index of the tile-private bank (the last one).
+  int local_bank_index() const { return bank_count() - 1; }
+
+  bool bank_connected(int bank) const;
+  /// Bytes of connected capacity (shared + local).
+  std::uint64_t connected_bytes() const;
+
+  /// Cycle-accurate 32-bit read/write through a bank port.
+  AccessResult read(int bank, std::uint32_t offset, std::uint64_t cycle);
+  AccessResult write(int bank, std::uint32_t offset, std::uint32_t value,
+                     std::uint64_t cycle);
+
+  /// Functional (zero-time) access for program loading and checking.
+  std::uint32_t peek(int bank, std::uint32_t offset) const;
+  void poke(int bank, std::uint32_t offset, std::uint32_t value);
+
+  const SramBank& bank(int index) const { return banks_[index]; }
+
+  /// Decoupling capacitance contributed by the chiplet's two decap banks
+  /// (part of the tile's ~20 nF budget).
+  double decap_farads() const { return decap_f_; }
+
+  /// Buffered feedthrough count for the north-south network links.
+  int feedthrough_count() const { return feedthroughs_; }
+
+ private:
+  std::vector<SramBank> banks_;
+  int shared_banks_;
+  int connected_banks_;
+  double decap_f_;
+  int feedthroughs_;
+
+  bool valid_bank(int bank) const {
+    return bank >= 0 && bank < bank_count();
+  }
+};
+
+}  // namespace wsp::mem

@@ -1,0 +1,68 @@
+#include "wsp/mem/sram_bank.hpp"
+
+#include <cstring>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::mem {
+
+SramBank::SramBank(std::uint32_t capacity_bytes) : capacity_(capacity_bytes) {
+  require(capacity_bytes > 0 && capacity_bytes % kPageBytes == 0,
+          "bank capacity must be a positive multiple of the page size");
+  pages_.resize(capacity_bytes / kPageBytes);
+}
+
+std::uint8_t* SramBank::page_for(std::uint32_t offset, bool create) const {
+  const std::uint32_t page = offset / kPageBytes;
+  auto& slot = pages_[page];
+  if (!slot) {
+    if (!create) return nullptr;
+    slot = std::make_unique<std::uint8_t[]>(kPageBytes);
+    std::memset(slot.get(), 0, kPageBytes);
+  }
+  return slot.get();
+}
+
+std::uint32_t SramBank::read_word(std::uint32_t offset) const {
+  require(offset % 4 == 0 && offset + 4 <= capacity_,
+          "unaligned or out-of-range word read");
+  const std::uint8_t* page = page_for(offset, false);
+  if (!page) return 0;  // untouched SRAM reads as zero in the model
+  std::uint32_t value;
+  std::memcpy(&value, page + offset % kPageBytes, 4);
+  return value;
+}
+
+void SramBank::write_word(std::uint32_t offset, std::uint32_t value) {
+  require(offset % 4 == 0 && offset + 4 <= capacity_,
+          "unaligned or out-of-range word write");
+  std::uint8_t* page = page_for(offset, true);
+  std::memcpy(page + offset % kPageBytes, &value, 4);
+}
+
+std::uint8_t SramBank::read_byte(std::uint32_t offset) const {
+  require(offset < capacity_, "out-of-range byte read");
+  const std::uint8_t* page = page_for(offset, false);
+  return page ? page[offset % kPageBytes] : 0;
+}
+
+void SramBank::write_byte(std::uint32_t offset, std::uint8_t value) {
+  require(offset < capacity_, "out-of-range byte write");
+  page_for(offset, true)[offset % kPageBytes] = value;
+}
+
+bool SramBank::claim_port(std::uint64_t cycle) {
+  if (last_claim_cycle_ == cycle) return false;
+  last_claim_cycle_ = cycle;
+  ++accesses_;
+  return true;
+}
+
+std::uint64_t SramBank::resident_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& p : pages_)
+    if (p) bytes += kPageBytes;
+  return bytes;
+}
+
+}  // namespace wsp::mem

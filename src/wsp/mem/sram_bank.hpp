@@ -1,0 +1,55 @@
+// Cycle-level SRAM bank model (Sec. II).
+//
+// Each memory chiplet holds five 128 KB single-port SRAM banks.  A bank
+// services one 32-bit access per cycle; all five banks of a chiplet operate
+// in parallel, which is where the system's 6.144 TB/s aggregate shared-
+// memory bandwidth comes from (1024 tiles x 5 banks x 4 B x 300 MHz).
+//
+// Storage is allocated lazily in 4 KB pages so that a full 2048-chiplet
+// system (512 MB+ of modelled SRAM) can be instantiated without committing
+// memory for untouched banks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace wsp::mem {
+
+/// One SRAM bank with lazily allocated backing storage.
+class SramBank {
+ public:
+  explicit SramBank(std::uint32_t capacity_bytes);
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// 32-bit word access.  Offsets must be word-aligned and in range
+  /// (throws wsp::Error otherwise — the memory controller guarantees this).
+  std::uint32_t read_word(std::uint32_t offset) const;
+  void write_word(std::uint32_t offset, std::uint32_t value);
+
+  std::uint8_t read_byte(std::uint32_t offset) const;
+  void write_byte(std::uint32_t offset, std::uint8_t value);
+
+  // --- cycle-level port model -------------------------------------------
+  /// Marks the bank busy for this cycle; returns false when the single
+  /// port was already claimed (the crossbar must retry next cycle).
+  bool claim_port(std::uint64_t cycle);
+  /// Accesses performed so far (for bandwidth accounting).
+  std::uint64_t access_count() const { return accesses_; }
+
+  /// Bytes of backing store actually allocated (diagnostics).
+  std::uint64_t resident_bytes() const;
+
+ private:
+  static constexpr std::uint32_t kPageBytes = 4096;
+
+  std::uint32_t capacity_;
+  mutable std::vector<std::unique_ptr<std::uint8_t[]>> pages_;
+  std::uint64_t last_claim_cycle_ = ~0ull;
+  std::uint64_t accesses_ = 0;
+
+  std::uint8_t* page_for(std::uint32_t offset, bool create) const;
+};
+
+}  // namespace wsp::mem

@@ -1,0 +1,73 @@
+#include "wsp/mem/technology.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::mem {
+
+// Densities are usable (periphery-included) figures; the 40nm baseline is
+// calibrated so that the prototype's 5 x 128 KB fits its measured chiplet
+// footprint exactly, and the others scale by published bit-cell ratios.
+MemoryTechnology sram_40nm() {
+  return {"SRAM 40nm (prototype)", 2.522e12, 0.20e-12, 400e6, false};
+}
+MemoryTechnology sram_22nm() {
+  return {"SRAM 22nm", 7.6e12, 0.12e-12, 500e6, false};
+}
+MemoryTechnology sram_7nm() {
+  return {"SRAM 7nm", 2.8e13, 0.05e-12, 1000e6, false};
+}
+MemoryTechnology edram_22nm() {
+  return {"eDRAM 22nm", 3.2e13, 0.35e-12, 300e6, true};
+}
+MemoryTechnology dram_1x() {
+  return {"DRAM 1x-nm die", 1.6e14, 1.0e-12, 200e6, true};
+}
+
+MemoryTechOutcome evaluate_memory_technology(const SystemConfig& config,
+                                             const MemoryTechnology& tech,
+                                             double array_area_fraction) {
+  require(array_area_fraction > 0.0 && array_area_fraction <= 1.0,
+          "array area fraction must be in (0,1]");
+  require(tech.bit_density_bits_per_m2 > 0.0, "density must be positive");
+
+  MemoryTechOutcome out;
+  out.tech = tech;
+
+  const double footprint = config.geometry.memory_chiplet_width_m *
+                           config.geometry.memory_chiplet_height_m;
+  const double bits = tech.bit_density_bits_per_m2 * footprint *
+                      array_area_fraction;
+  // Keep the prototype's 5-bank organisation; banks page-aligned so the
+  // cycle-level SramBank model can instantiate them directly.
+  const auto raw_bank_bytes = static_cast<std::uint64_t>(
+      bits / 8.0 / config.banks_per_memory_chiplet);
+  out.bank_bytes = raw_bank_bytes / 4096 * 4096;
+  out.chiplet_bytes = out.bank_bytes * config.banks_per_memory_chiplet;
+  out.system_shared_bytes = static_cast<std::uint64_t>(config.total_tiles()) *
+                            config.shared_banks_per_tile * out.bank_bytes;
+
+  const double port_hz = std::min(config.nominal_freq_hz, tech.max_frequency_hz);
+  out.shared_bandwidth_bytes_per_s = static_cast<double>(config.total_tiles()) *
+                                     config.banks_per_memory_chiplet *
+                                     config.bank_port_bytes * port_hz;
+
+  const double baseline_bytes =
+      static_cast<double>(config.banks_per_memory_chiplet) *
+      static_cast<double>(config.bank_bytes);
+  out.capacity_vs_baseline =
+      static_cast<double>(out.chiplet_bytes) / baseline_bytes;
+  return out;
+}
+
+std::vector<MemoryTechOutcome> memory_technology_survey(
+    const SystemConfig& config) {
+  std::vector<MemoryTechOutcome> out;
+  for (const MemoryTechnology& tech :
+       {sram_40nm(), sram_22nm(), sram_7nm(), edram_22nm(), dram_1x()})
+    out.push_back(evaluate_memory_technology(config, tech));
+  return out;
+}
+
+}  // namespace wsp::mem

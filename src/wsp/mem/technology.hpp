@@ -1,0 +1,58 @@
+// Memory-technology exploration (Sec. II-c).
+//
+// The prototype implements its memory chiplet in the same TSMC 40nm-LP
+// node as the compute chiplet purely "for ease of design", and the paper
+// notes it "can be easily implemented in a newer or denser memory
+// technology for higher memory capacity and/or area savings" — the whole
+// point of heterogeneous chiplet integration on the Si-IF.  This module
+// quantifies that option: given a bit-cell technology, how much capacity
+// fits in the same 3.15 x 1.1 mm chiplet footprint, and what the system
+// totals become.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wsp/common/config.hpp"
+
+namespace wsp::mem {
+
+/// A candidate memory technology for the memory chiplet.
+struct MemoryTechnology {
+  std::string name;
+  double bit_density_bits_per_m2;  ///< usable density incl. periphery
+  double access_energy_j_per_bit;
+  double max_frequency_hz;         ///< bank port frequency
+  bool requires_refresh = false;   ///< DRAM-class technologies
+};
+
+/// Technology presets (public density figures, order-of-magnitude).
+MemoryTechnology sram_40nm();    ///< the prototype's baseline
+MemoryTechnology sram_22nm();
+MemoryTechnology sram_7nm();
+MemoryTechnology edram_22nm();   ///< embedded DRAM
+MemoryTechnology dram_1x();      ///< commodity DRAM die as the chiplet
+
+/// System-level outcome of re-implementing the memory chiplet in `tech`,
+/// keeping the chiplet footprint and bank organisation of the prototype.
+struct MemoryTechOutcome {
+  MemoryTechnology tech;
+  std::uint64_t chiplet_bytes = 0;      ///< capacity per memory chiplet
+  std::uint64_t bank_bytes = 0;         ///< capacity per bank (5 banks)
+  std::uint64_t system_shared_bytes = 0;///< 4 shared banks x 1024 tiles
+  double shared_bandwidth_bytes_per_s = 0.0;
+  double capacity_vs_baseline = 0.0;    ///< x over the 40nm prototype
+};
+
+/// Evaluates `tech` in the prototype's memory-chiplet footprint.  The
+/// memory array gets `array_area_fraction` of the die (the rest is I/O,
+/// feedthroughs and decap, as in the prototype).
+MemoryTechOutcome evaluate_memory_technology(
+    const SystemConfig& config, const MemoryTechnology& tech,
+    double array_area_fraction = 0.6);
+
+/// Convenience: evaluates all presets.
+std::vector<MemoryTechOutcome> memory_technology_survey(
+    const SystemConfig& config);
+
+}  // namespace wsp::mem

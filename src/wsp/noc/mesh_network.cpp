@@ -1,0 +1,160 @@
+#include "wsp/noc/mesh_network.hpp"
+
+#include "wsp/common/error.hpp"
+#include "wsp/noc/odd_even.hpp"
+
+namespace wsp::noc {
+
+MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
+                         const MeshOptions& options)
+    : faults_(faults),
+      grid_(faults.grid()),
+      kind_(kind),
+      options_(options),
+      routers_(grid_.tile_count()),
+      pending_toward_(grid_.tile_count()) {
+  require(options.input_queue_capacity >= 1,
+          "input queues need capacity >= 1");
+  require(options.link_latency >= 1, "links take at least one cycle");
+}
+
+bool MeshNetwork::queue_has_space(std::size_t tile, Port port) const {
+  const auto p = static_cast<std::size_t>(port);
+  return routers_[tile].in_q[p].size() +
+             pending_toward_[tile][p] <
+         static_cast<std::size_t>(options_.input_queue_capacity);
+}
+
+bool MeshNetwork::can_inject(TileCoord src) const {
+  if (!grid_.contains(src) || faults_.is_faulty(src)) return false;
+  return queue_has_space(grid_.index_of(src),
+                         Port::Local);
+}
+
+bool MeshNetwork::inject(const Packet& packet) {
+  if (!can_inject(packet.src)) return false;
+  const auto tile = grid_.index_of(packet.src);
+  Packet p = packet;
+  p.network = kind_;
+  routers_[tile].in_q[static_cast<std::size_t>(Port::Local)].push_back(p);
+  ++stats_.injected;
+  ++in_flight_;
+  return true;
+}
+
+void MeshNetwork::step(std::vector<Packet>& ejected) {
+  const std::uint64_t now = stats_.cycles;
+
+  // Phase 1: land in-transit packets due this cycle.  All transfers share
+  // the same latency, so the deque stays sorted by arrival cycle.
+  while (!in_transit_.empty() && in_transit_.front().arrival_cycle <= now) {
+    LinkTransfer& t = in_transit_.front();
+    auto& q = routers_[t.dst_tile].in_q[static_cast<std::size_t>(t.dst_port)];
+    q.push_back(t.packet);
+    --pending_toward_[t.dst_tile][static_cast<std::size_t>(t.dst_port)];
+    in_transit_.pop_front();
+  }
+
+  // Phase 2: per-router arbitration.  Each input head wants exactly one
+  // output; each output grants at most one input per cycle, rotating
+  // priority, subject to downstream credit.
+  for (std::size_t tile = 0; tile < routers_.size(); ++tile) {
+    const TileCoord here = grid_.coord_of(tile);
+    if (faults_.is_faulty(here)) continue;
+    RouterState& router = routers_[tile];
+
+    // Desired output per input port (-1: empty input or stalled).
+    std::array<int, kPortCount> want{};
+    for (std::size_t in = 0; in < kPortCount; ++in) {
+      auto& q = router.in_q[in];
+      if (q.empty()) {
+        want[in] = -1;
+        continue;
+      }
+      const Packet& head = q.front();
+
+      // Candidate outputs in preference order: a single DoR direction, or
+      // the odd-even minimal-adaptive choice set.
+      RouteChoices cand;
+      if (options_.adaptive_odd_even) {
+        cand = odd_even_route(head.src, here, head.dst);
+      } else {
+        const RouteDecision d = next_hop(here, head.dst, kind_);
+        cand.eject = d.eject;
+        if (!d.eject) cand.dirs[cand.count++] = d.dir;
+      }
+      if (cand.eject) {
+        want[in] = static_cast<int>(Port::Local);
+        continue;
+      }
+
+      // Pick the first candidate that is healthy and has downstream
+      // credit; a healthy-but-full candidate stalls the input for this
+      // cycle, a route with no healthy candidate at all drops the packet
+      // (the kernel's fault-map discipline exists to prevent this).
+      want[in] = -1;
+      bool any_healthy = false;
+      for (int i = 0; i < cand.count; ++i) {
+        const auto n = grid_.neighbor(here, cand.dirs[i]);
+        if (!n || faults_.is_faulty(*n)) continue;
+        any_healthy = true;
+        if (queue_has_space(grid_.index_of(*n),
+                            port_from(opposite(cand.dirs[i])))) {
+          want[in] = static_cast<int>(port_from(cand.dirs[i]));
+          break;
+        }
+      }
+      if (!any_healthy) {
+        q.pop_front();
+        ++stats_.dropped_at_fault;
+        --in_flight_;
+      }
+    }
+
+    for (std::size_t out = 0; out < kPortCount; ++out) {
+      // Downstream capacity for direction outputs.
+      std::size_t dst_tile = 0;
+      Port dst_port = Port::Local;
+      if (out != static_cast<std::size_t>(Port::Local)) {
+        const auto dir = static_cast<Direction>(out);
+        const auto n = grid_.neighbor(here, dir);
+        if (!n || faults_.is_faulty(*n)) continue;
+        dst_tile = grid_.index_of(*n);
+        dst_port = port_from(opposite(dir));
+        if (!queue_has_space(dst_tile, dst_port)) continue;
+      }
+
+      // Rotating-priority arbitration among inputs wanting this output.
+      int winner = -1;
+      for (std::size_t k = 0; k < kPortCount; ++k) {
+        const std::size_t in = (router.rr_ptr[out] + k) % kPortCount;
+        if (want[in] == static_cast<int>(out)) {
+          winner = static_cast<int>(in);
+          break;
+        }
+      }
+      if (winner < 0) continue;
+      router.rr_ptr[out] = static_cast<std::uint8_t>((winner + 1) % kPortCount);
+
+      Packet packet = router.in_q[static_cast<std::size_t>(winner)].front();
+      router.in_q[static_cast<std::size_t>(winner)].pop_front();
+
+      if (out == static_cast<std::size_t>(Port::Local)) {
+        packet.delivered_cycle = now;
+        ejected.push_back(packet);
+        ++stats_.ejected;
+        --in_flight_;
+      } else {
+        ++pending_toward_[dst_tile][static_cast<std::size_t>(dst_port)];
+        ++stats_.link_traversals;
+        in_transit_.push_back(LinkTransfer{
+            packet, dst_tile, dst_port,
+            now + static_cast<std::uint64_t>(options_.link_latency)});
+      }
+    }
+  }
+
+  ++stats_.cycles;
+}
+
+}  // namespace wsp::noc

@@ -1,0 +1,106 @@
+// Cycle-level simulator of one DoR mesh network (Sec. VI).
+//
+// Each healthy tile carries one router per network with five ports
+// (N, E, S, W, Local).  Packets are bus-wide (100 bits = one packet per
+// link per cycle), so a router moves whole packets: every cycle each
+// output port grants one waiting input packet (rotating priority),
+// respecting downstream buffer credits, and ships it across the
+// inter-chiplet link.  Links cross chiplet boundaries through asynchronous
+// FIFOs (the BaseJump BSG IP in the real design), modelled as extra link
+// latency — which is also why duty-cycle/jitter accumulation on the
+// forwarded clock is tolerable (Sec. IV footnote 3).
+//
+// Faulty tiles have no functional router: nothing is ever granted toward
+// them, and a packet whose DoR route demands one is dropped and counted
+// (the kernel's fault-map discipline is what prevents this in practice).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "wsp/common/fault_map.hpp"
+#include "wsp/noc/packet.hpp"
+#include "wsp/noc/routing.hpp"
+
+namespace wsp::noc {
+
+/// Router ports.  The first four alias the mesh directions.
+enum class Port : std::uint8_t {
+  North = 0, East = 1, South = 2, West = 3, Local = 4,
+};
+inline constexpr std::size_t kPortCount = 5;
+
+constexpr Port port_from(Direction d) { return static_cast<Port>(d); }
+
+struct MeshOptions {
+  int input_queue_capacity = 4;  ///< packets per input FIFO
+  int link_latency = 2;          ///< cycles per hop (wire + async FIFO sync)
+  /// Route with the minimal-adaptive odd-even turn model instead of
+  /// dimension order (the paper's future-work scheme, see
+  /// wsp/noc/odd_even.hpp).  Deadlock-free without virtual channels; the
+  /// adaptivity steers around congestion and faulty tiles.
+  bool adaptive_odd_even = false;
+};
+
+struct MeshStats {
+  std::uint64_t injected = 0;
+  std::uint64_t ejected = 0;
+  std::uint64_t dropped_at_fault = 0;  ///< routed into a faulty tile
+  std::uint64_t link_traversals = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// One DoR network spanning the wafer.
+class MeshNetwork {
+ public:
+  MeshNetwork(const FaultMap& faults, NetworkKind kind,
+              const MeshOptions& options = {});
+
+  NetworkKind kind() const { return kind_; }
+  const TileGrid& grid() const { return grid_; }
+  const MeshStats& stats() const { return stats_; }
+  std::uint64_t now() const { return stats_.cycles; }
+
+  /// True when the local injection FIFO at `src` can take a packet.
+  bool can_inject(TileCoord src) const;
+
+  /// Injects a packet at its source tile.  Returns false (and does
+  /// nothing) when the local FIFO is full or the tile is faulty.
+  bool inject(const Packet& packet);
+
+  /// Advances one cycle; appends packets ejected at their destination this
+  /// cycle to `ejected`.
+  void step(std::vector<Packet>& ejected);
+
+  /// Total packets buffered in routers or in flight on links.
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  struct RouterState {
+    std::array<std::deque<Packet>, kPortCount> in_q;
+    std::array<std::uint8_t, kPortCount> rr_ptr{};  ///< per-output rotation
+  };
+  struct LinkTransfer {
+    Packet packet;
+    std::size_t dst_tile;
+    Port dst_port;
+    std::uint64_t arrival_cycle;
+  };
+
+  FaultMap faults_;
+  TileGrid grid_;
+  NetworkKind kind_;
+  MeshOptions options_;
+  std::vector<RouterState> routers_;
+  /// Credits reserved by granted-but-not-landed transfers, per input FIFO.
+  std::vector<std::array<std::uint16_t, kPortCount>> pending_toward_;
+  std::deque<LinkTransfer> in_transit_;  ///< sorted by arrival cycle
+  MeshStats stats_;
+  std::size_t in_flight_ = 0;
+
+  bool queue_has_space(std::size_t tile, Port port) const;
+};
+
+}  // namespace wsp::noc

@@ -1,0 +1,210 @@
+#include "wsp/noc/noc_system.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::noc {
+
+NetworkSelector::NetworkSelector(const FaultMap& faults) : analyzer_(faults) {}
+
+RoutePlan NetworkSelector::plan(TileCoord src, TileCoord dst) const {
+  RoutePlan plan;
+  const FaultMap& faults = analyzer_.faults();
+  if (!faults.grid().contains(src) || !faults.grid().contains(dst) ||
+      faults.is_faulty(src) || faults.is_faulty(dst))
+    return plan;
+
+  auto choose = [&](TileCoord a, TileCoord b) -> std::optional<NetworkKind> {
+    const bool xy = analyzer_.xy_connected(a, b);
+    const bool yx = analyzer_.yx_connected(a, b);
+    if (xy && yx) {
+      // Both paths healthy: balance pairs across the networks with a
+      // deterministic parity hash; one pair always maps to one network so
+      // its packets stay in order.
+      const unsigned h = static_cast<unsigned>(a.x + 3 * a.y + 5 * b.x +
+                                               7 * b.y);
+      return (h & 1u) ? NetworkKind::YX : NetworkKind::XY;
+    }
+    if (xy) return NetworkKind::XY;
+    if (yx) return NetworkKind::YX;
+    return std::nullopt;
+  };
+
+  if (const auto direct = choose(src, dst)) {
+    plan.waypoints = {src, dst};
+    plan.segment_networks = {*direct};
+    plan.reachable = true;
+    return plan;
+  }
+
+  // No direct path on either network: relay through an intermediate tile.
+  if (const auto mid = find_intermediate(faults, src, dst)) {
+    const auto first = choose(src, *mid);
+    const auto second = choose(*mid, dst);
+    if (first && second) {
+      plan.waypoints = {src, *mid, dst};
+      plan.segment_networks = {*first, *second};
+      plan.reachable = true;
+      plan.relayed = true;
+      return plan;
+    }
+  }
+  return plan;
+}
+
+NocSystem::NocSystem(const FaultMap& faults, const NocOptions& options)
+    : faults_(faults),
+      options_(options),
+      selector_(faults),
+      xy_(faults, NetworkKind::XY, options.mesh),
+      yx_(faults, NetworkKind::YX, options.mesh) {
+  require(options.service_latency >= 1, "service latency must be >= 1");
+  require(options.relay_latency >= 1, "relay latency must be >= 1");
+}
+
+void NocSystem::schedule(std::uint64_t due, const Packet& p) {
+  pending_.push(PendingInjection{due, pending_seq_++, p});
+}
+
+std::optional<std::uint64_t> NocSystem::issue(TileCoord src, TileCoord dst,
+                                              PacketType type,
+                                              std::uint64_t payload,
+                                              std::uint32_t address) {
+  require(is_request(type), "issue() takes a request packet type");
+  RoutePlan plan = selector_.plan(src, dst);
+  if (!plan.reachable) {
+    ++stats_.unreachable;
+    return std::nullopt;
+  }
+
+  const std::uint64_t id = next_id_++;
+  LiveTransaction txn;
+  txn.plan = std::move(plan);
+  txn.type = type;
+  txn.payload = payload;
+  txn.address = address;
+  txn.issue_cycle = cycle_;
+
+  Packet p;
+  p.src = txn.plan.waypoints[0];
+  p.dst = txn.plan.waypoints[1];
+  p.type = type;
+  p.network = txn.plan.segment_networks[0];
+  p.payload = payload;
+  p.address = address;
+  p.id = id;
+  p.request_id = id;
+  p.injected_cycle = cycle_;
+
+  if (txn.plan.relayed) ++stats_.relayed;
+  live_.emplace(id, std::move(txn));
+  schedule(cycle_, p);
+  ++stats_.issued;
+  return id;
+}
+
+void NocSystem::handle_ejection(const Packet& p,
+                                std::vector<CompletedTransaction>& done) {
+  const auto it = live_.find(p.id);
+  require(it != live_.end(), "ejected packet belongs to no live transaction");
+  LiveTransaction& txn = it->second;
+  const auto& wp = txn.plan.waypoints;
+  const auto& nets = txn.plan.segment_networks;
+
+  if (!txn.returning) {
+    if (txn.segment + 2 == wp.size()) {
+      // Reached the final destination: the tile services the request and
+      // answers on the complementary network along the same tiles.
+      if (delivery_listener_) delivery_listener_(p);
+      txn.returning = true;
+      Packet resp;
+      resp.src = wp[txn.segment + 1];
+      resp.dst = wp[txn.segment];
+      resp.type = response_type(txn.type);
+      resp.network = complementary(nets[txn.segment]);
+      resp.payload = txn.payload;
+      resp.address = txn.address;
+      resp.id = p.id;
+      resp.request_id = p.id;
+      resp.injected_cycle = cycle_;
+      schedule(cycle_ + static_cast<std::uint64_t>(options_.service_latency),
+               resp);
+    } else {
+      // Relay tile: the core re-injects the request toward the next
+      // waypoint after spending relay cycles on it.
+      ++txn.segment;
+      Packet fwd = p;
+      fwd.src = wp[txn.segment];
+      fwd.dst = wp[txn.segment + 1];
+      fwd.network = nets[txn.segment];
+      schedule(cycle_ + static_cast<std::uint64_t>(options_.relay_latency),
+               fwd);
+    }
+    return;
+  }
+
+  // Response arriving back at the origin of the current segment.
+  if (txn.segment == 0) {
+    CompletedTransaction ct;
+    ct.id = p.id;
+    ct.src = wp.front();
+    ct.dst = wp.back();
+    ct.request_type = txn.type;
+    ct.issue_cycle = txn.issue_cycle;
+    ct.complete_cycle = cycle_;
+    ct.relayed = txn.plan.relayed;
+    done.push_back(ct);
+    ++stats_.completed;
+    stats_.latency_sum += ct.latency();
+    stats_.latency_max = std::max(stats_.latency_max, ct.latency());
+    live_.erase(it);
+    return;
+  }
+
+  --txn.segment;
+  Packet resp = p;
+  resp.src = wp[txn.segment + 1];
+  resp.dst = wp[txn.segment];
+  resp.network = complementary(nets[txn.segment]);
+  schedule(cycle_ + static_cast<std::uint64_t>(options_.relay_latency), resp);
+}
+
+void NocSystem::step(std::vector<CompletedTransaction>& done) {
+  // Move everything due into the per-tile ready queues, then drain each
+  // tile's queue head-first while its local FIFO accepts packets.
+  while (!pending_.empty() && pending_.top().due_cycle <= cycle_) {
+    const Packet& p = pending_.top().packet;
+    ready_[static_cast<std::size_t>(p.network)]
+        [grid_index_of(p.src)].push_back(p);
+    ++ready_count_;
+    pending_.pop();
+  }
+  for (auto& per_net : ready_) {
+    for (auto it = per_net.begin(); it != per_net.end();) {
+      std::deque<Packet>& q = it->second;
+      while (!q.empty() && net(q.front().network).inject(q.front())) {
+        q.pop_front();
+        --ready_count_;
+      }
+      it = q.empty() ? per_net.erase(it) : std::next(it);
+    }
+  }
+
+  std::vector<Packet> ejected;
+  xy_.step(ejected);
+  yx_.step(ejected);
+  for (const Packet& p : ejected) handle_ejection(p, done);
+  ++cycle_;
+}
+
+bool NocSystem::drain(std::vector<CompletedTransaction>& done,
+                      std::uint64_t max_cycles) {
+  const std::uint64_t limit = cycle_ + max_cycles;
+  while ((!live_.empty() || !pending_.empty() || ready_count_ > 0) &&
+         cycle_ < limit)
+    step(done);
+  return live_.empty() && pending_.empty() && ready_count_ == 0;
+}
+
+}  // namespace wsp::noc

@@ -1,0 +1,190 @@
+// The full waferscale NoC: two DoR networks plus the kernel-software
+// routing policy (Sec. VI, Fig. 7).
+//
+// Protocol rules reproduced from the paper:
+//   * Requests and responses travel on complementary networks: a request
+//     sent X-Y is answered Y-X, so the pair traverses the same tiles
+//     (two-way communication works whenever one non-faulty path exists)
+//     and request/response deadlock is impossible.
+//   * The kernel consults the post-assembly fault map: if only one of the
+//     two paths between a pair is healthy it uses that one; if both are
+//     healthy it load-balances pairs across the networks — but *all*
+//     packets of one source/destination pair stay on one network so
+//     packets arrive in order.
+//   * If neither direct path is healthy, the kernel routes via an
+//     intermediate tile whose core forwards the packets (two chained
+//     transactions), costing extra hops and core cycles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "wsp/common/fault_map.hpp"
+#include "wsp/noc/connectivity.hpp"
+#include "wsp/noc/mesh_network.hpp"
+#include "wsp/noc/packet.hpp"
+
+namespace wsp::noc {
+
+/// The kernel's per-pair network choice.
+struct RoutePlan {
+  /// Tile sequence of transaction segments: {src, dst} for a direct route,
+  /// {src, mid, dst} when relayed through an intermediate tile.
+  std::vector<TileCoord> waypoints;
+  /// Network of the *request* on each segment (responses use the
+  /// complement).  networks[i] covers waypoints[i] -> waypoints[i+1].
+  std::vector<NetworkKind> segment_networks;
+  bool reachable = false;
+  bool relayed = false;
+};
+
+/// Kernel-software network selection from the fault map (Sec. VI).
+class NetworkSelector {
+ public:
+  explicit NetworkSelector(const FaultMap& faults);
+
+  /// Route plan for src -> dst.  Balanced pairs alternate networks via a
+  /// deterministic parity hash so both networks are equally utilised while
+  /// any one pair always uses a single network (in-order delivery).
+  RoutePlan plan(TileCoord src, TileCoord dst) const;
+
+  const ConnectivityAnalyzer& connectivity() const { return analyzer_; }
+
+ private:
+  ConnectivityAnalyzer analyzer_;
+};
+
+/// Completed round-trip record.
+struct CompletedTransaction {
+  std::uint64_t id = 0;
+  TileCoord src;
+  TileCoord dst;
+  PacketType request_type = PacketType::ReadRequest;
+  std::uint64_t issue_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+  bool relayed = false;
+  std::uint64_t latency() const { return complete_cycle - issue_cycle; }
+};
+
+struct NocOptions {
+  MeshOptions mesh{};
+  /// Cycles the destination tile takes to produce a response (memory
+  /// access through the intra-tile crossbar).
+  int service_latency = 4;
+  /// Core cycles an intermediate tile spends relaying one packet.
+  int relay_latency = 8;
+};
+
+struct NocStats {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t unreachable = 0;  ///< rejected: no plan exists
+  std::uint64_t relayed = 0;
+  std::uint64_t latency_sum = 0;
+  std::uint64_t latency_max = 0;
+  double mean_latency() const {
+    return completed ? static_cast<double>(latency_sum) / completed : 0.0;
+  }
+};
+
+/// Dual-network waferscale NoC with request/response semantics.
+class NocSystem {
+ public:
+  NocSystem(const FaultMap& faults, const NocOptions& options = {});
+
+  /// Issues a read/write transaction.  Returns the transaction id, or
+  /// nullopt when the kernel has no route (caller sees an unreachable
+  /// tile) — also counted in stats().unreachable.
+  std::optional<std::uint64_t> issue(TileCoord src, TileCoord dst,
+                                     PacketType type,
+                                     std::uint64_t payload = 0,
+                                     std::uint32_t address = 0);
+
+  /// Advances one cycle; completed transactions are appended to `done`.
+  void step(std::vector<CompletedTransaction>& done);
+
+  /// Runs until all in-flight transactions complete or `max_cycles` pass.
+  /// Returns true when everything drained.
+  bool drain(std::vector<CompletedTransaction>& done,
+             std::uint64_t max_cycles = 1'000'000);
+
+  /// Invoked when a request packet reaches its *final* destination tile
+  /// (before the response is generated).  Used by higher layers (e.g. the
+  /// message-passing runtime in wsp/arch) to observe one-way deliveries.
+  using DeliveryListener = std::function<void(const Packet&)>;
+  void set_delivery_listener(DeliveryListener listener) {
+    delivery_listener_ = std::move(listener);
+  }
+
+  std::uint64_t now() const { return cycle_; }
+  const NocStats& stats() const { return stats_; }
+  const NetworkSelector& selector() const { return selector_; }
+  const MeshNetwork& network(NetworkKind k) const {
+    return k == NetworkKind::XY ? xy_ : yx_;
+  }
+  std::size_t inflight_transactions() const { return live_.size(); }
+
+ private:
+  struct LiveTransaction {
+    RoutePlan plan;
+    PacketType type;
+    std::uint64_t payload;
+    std::uint32_t address;
+    std::uint64_t issue_cycle = 0;
+    /// Current segment index; requests walk 0..n-1 forward, responses walk
+    /// back.  `returning` flips at the final destination.
+    std::size_t segment = 0;
+    bool returning = false;
+  };
+  struct PendingInjection {
+    std::uint64_t due_cycle;
+    std::uint64_t seq;  ///< insertion order: makes heap order deterministic
+    Packet packet;
+    friend bool operator>(const PendingInjection& a,
+                          const PendingInjection& b) {
+      return std::tie(a.due_cycle, a.seq) > std::tie(b.due_cycle, b.seq);
+    }
+  };
+
+  FaultMap faults_;
+  NocOptions options_;
+  NetworkSelector selector_;
+  MeshNetwork xy_;
+  MeshNetwork yx_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, LiveTransaction> live_;
+  std::priority_queue<PendingInjection, std::vector<PendingInjection>,
+                      std::greater<>> pending_;  ///< min-heap by due cycle
+  std::uint64_t pending_seq_ = 0;
+  /// Packets due for injection, queued per (network, source tile) so a
+  /// full local FIFO only stalls its own tile's queue head instead of
+  /// forcing a whole-heap retry every cycle.  std::map keeps the per-cycle
+  /// service order deterministic.
+  std::array<std::map<std::size_t, std::deque<Packet>>, 2> ready_;
+  std::size_t ready_count_ = 0;
+  NocStats stats_;
+  DeliveryListener delivery_listener_;
+
+  MeshNetwork& net(NetworkKind k) { return k == NetworkKind::XY ? xy_ : yx_; }
+  std::size_t grid_index_of(TileCoord c) const {
+    return faults_.grid().index_of(c);
+  }
+  void schedule(std::uint64_t due, const Packet& p);
+  void handle_ejection(const Packet& p,
+                       std::vector<CompletedTransaction>& done);
+  static PacketType response_type(PacketType request) {
+    return request == PacketType::ReadRequest ? PacketType::ReadResponse
+                                              : PacketType::WriteAck;
+  }
+};
+
+}  // namespace wsp::noc

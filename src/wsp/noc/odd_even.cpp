@@ -1,0 +1,151 @@
+#include "wsp/noc/odd_even.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace wsp::noc {
+
+RouteChoices odd_even_route(TileCoord src, TileCoord cur, TileCoord dst) {
+  RouteChoices out;
+  const int ex = dst.x - cur.x;
+  const int ey = dst.y - cur.y;
+  if (ex == 0 && ey == 0) {
+    out.eject = true;
+    return out;
+  }
+
+  const bool odd_column = (cur.x & 1) != 0;
+  const Direction vertical = ey > 0 ? Direction::North : Direction::South;
+
+  if (ex == 0) {
+    out.add(vertical);
+  } else if (ex > 0) {  // eastbound
+    if (ey == 0) {
+      out.add(Direction::East);
+    } else {
+      // EN/ES turns only in odd columns (or the source column).
+      if (odd_column || cur.x == src.x) out.add(vertical);
+      // Keep going east unless the turn at the destination column would
+      // land in an even column one hop away (Chiu's ex != 1 condition).
+      if ((dst.x & 1) != 0 || ex != 1) out.add(Direction::East);
+    }
+  } else {  // westbound: NW/SW turns only in even columns
+    out.add(Direction::West);
+    if (ey != 0 && !odd_column) out.add(vertical);
+  }
+
+  // Adaptive selection heuristic: offer the dimension with the larger
+  // remaining distance first.
+  if (out.count == 2 && std::abs(ey) > std::abs(ex))
+    std::swap(out.dirs[0], out.dirs[1]);
+  return out;
+}
+
+bool odd_even_connected(const FaultMap& faults, TileCoord src,
+                        TileCoord dst) {
+  const TileGrid& grid = faults.grid();
+  if (!grid.contains(src) || !grid.contains(dst)) return false;
+  if (faults.is_faulty(src) || faults.is_faulty(dst)) return false;
+  if (src == dst) return true;
+
+  std::vector<char> visited(grid.tile_count(), 0);
+  std::queue<TileCoord> frontier;
+  visited[grid.index_of(src)] = 1;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const TileCoord cur = frontier.front();
+    frontier.pop();
+    const RouteChoices choices = odd_even_route(src, cur, dst);
+    if (choices.eject) return true;
+    for (int i = 0; i < choices.count; ++i) {
+      const TileCoord next = step(cur, choices.dirs[i]);
+      if (next == dst) return true;
+      if (!grid.contains(next) || faults.is_faulty(next)) continue;
+      char& seen = visited[grid.index_of(next)];
+      if (!seen) {
+        seen = 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return false;
+}
+
+OddEvenStats census_odd_even(const FaultMap& faults) {
+  OddEvenStats stats;
+  const std::vector<TileCoord> healthy = faults.healthy_tiles();
+  for (const TileCoord src : healthy) {
+    for (const TileCoord dst : healthy) {
+      if (src == dst) continue;
+      ++stats.healthy_pairs;
+      if (!odd_even_connected(faults, src, dst)) ++stats.disconnected;
+    }
+  }
+  return stats;
+}
+
+bool channel_dependency_graph_is_acyclic(int width, int height) {
+  const TileGrid grid(width, height);
+  // Channel id: tile index * 4 + direction of travel.
+  const auto channel = [&](TileCoord from, Direction d) {
+    return grid.index_of(from) * 4 + static_cast<std::size_t>(d);
+  };
+  const std::size_t channels = grid.tile_count() * 4;
+  std::vector<std::set<std::size_t>> deps(channels);
+
+  // A dependency c1 -> c2 exists when some (src, dst) routing can use
+  // channel c1 into a tile and continue on channel c2 out of it.
+  grid.for_each([&](TileCoord src) {
+    grid.for_each([&](TileCoord dst) {
+      if (src == dst) return;
+      // Walk all allowed minimal paths with BFS over (tile, in-channel).
+      std::set<std::pair<std::size_t, int>> seen;  // (tile, in-channel id)
+      std::queue<std::pair<TileCoord, int>> frontier;
+      frontier.push({src, -1});
+      while (!frontier.empty()) {
+        const auto [cur, in_ch] = frontier.front();
+        frontier.pop();
+        const RouteChoices choices = odd_even_route(src, cur, dst);
+        if (choices.eject) continue;
+        for (int i = 0; i < choices.count; ++i) {
+          const Direction d = choices.dirs[i];
+          const TileCoord next = step(cur, d);
+          if (!grid.contains(next)) continue;
+          const auto out_ch = static_cast<int>(channel(cur, d));
+          if (in_ch >= 0)
+            deps[static_cast<std::size_t>(in_ch)].insert(
+                static_cast<std::size_t>(out_ch));
+          const auto key = std::make_pair(grid.index_of(next), out_ch);
+          if (seen.insert(key).second) frontier.push({next, out_ch});
+        }
+      }
+    });
+  });
+
+  // Cycle detection by iterative DFS colouring.
+  std::vector<char> color(channels, 0);  // 0 white, 1 grey, 2 black
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < channels; ++start) {
+    if (color[start] != 0) continue;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::size_t c = stack.back();
+      if (color[c] == 0) {
+        color[c] = 1;
+        for (const std::size_t next : deps[c]) {
+          if (color[next] == 1) return false;  // back edge: cycle
+          if (color[next] == 0) stack.push_back(next);
+        }
+      } else {
+        color[c] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace wsp::noc

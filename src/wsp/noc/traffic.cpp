@@ -1,0 +1,114 @@
+#include "wsp/noc/traffic.hpp"
+
+#include <algorithm>
+
+namespace wsp::noc {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::UniformRandom: return "uniform-random";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bit-complement";
+    case TrafficPattern::Hotspot: return "hotspot";
+    case TrafficPattern::NearNeighbor: return "near-neighbor";
+  }
+  return "?";
+}
+
+TileCoord pick_destination(const FaultMap& faults, TileCoord src,
+                           const TrafficConfig& config, Rng& rng) {
+  const TileGrid& grid = faults.grid();
+  switch (config.pattern) {
+    case TrafficPattern::UniformRandom: {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const TileCoord d = grid.coord_of(rng.below(grid.tile_count()));
+        if (faults.is_healthy(d) && !(d == src)) return d;
+      }
+      return src;
+    }
+    case TrafficPattern::Transpose: {
+      TileCoord d{src.y % grid.width(), src.x % grid.height()};
+      return d;
+    }
+    case TrafficPattern::BitComplement:
+      return {grid.width() - 1 - src.x, grid.height() - 1 - src.y};
+    case TrafficPattern::Hotspot: {
+      if (rng.uniform() < config.hotspot_fraction) return config.hotspot;
+      TrafficConfig uniform = config;
+      uniform.pattern = TrafficPattern::UniformRandom;
+      return pick_destination(faults, src, uniform, rng);
+    }
+    case TrafficPattern::NearNeighbor: {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int dx = static_cast<int>(rng.below(5)) - 2;
+        const int dy = static_cast<int>(rng.below(5)) - 2;
+        const TileCoord d{src.x + dx, src.y + dy};
+        if (grid.contains(d) && faults.is_healthy(d) && !(d == src)) return d;
+      }
+      return src;
+    }
+  }
+  return src;
+}
+
+TrafficReport run_traffic(NocSystem& noc, const TrafficConfig& config,
+                          std::uint64_t cycles, Rng& rng) {
+  const FaultMap& faults = noc.selector().connectivity().faults();
+  const std::vector<TileCoord> healthy = faults.healthy_tiles();
+
+  const NocStats before = noc.stats();
+  const std::uint64_t start = noc.now();
+  std::vector<CompletedTransaction> done;
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (const TileCoord src : healthy) {
+      if (!rng.bernoulli(config.injection_rate)) continue;
+      const TileCoord dst = pick_destination(faults, src, config, rng);
+      if (dst == src) continue;
+      (void)noc.issue(src, dst,
+                      rng.bernoulli(0.5) ? PacketType::ReadRequest
+                                         : PacketType::WriteRequest,
+                      rng(), static_cast<std::uint32_t>(rng()));
+    }
+    noc.step(done);
+  }
+  noc.drain(done);
+
+  const NocStats after = noc.stats();
+  TrafficReport report;
+  report.cycles = cycles;
+  report.issued = after.issued - before.issued;
+  report.completed = after.completed - before.completed;
+  report.unreachable = after.unreachable - before.unreachable;
+  report.offered_load =
+      cycles ? static_cast<double>(report.issued) / cycles : 0.0;
+  report.throughput =
+      cycles ? static_cast<double>(report.completed) / cycles : 0.0;
+
+  std::uint64_t lat_sum = 0;
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(done.size());
+  for (const auto& t : done) {
+    if (t.issue_cycle < start) continue;
+    lat_sum += t.latency();
+    latencies.push_back(t.latency());
+    report.max_latency = std::max(report.max_latency, t.latency());
+  }
+  report.mean_latency =
+      report.completed ? static_cast<double>(lat_sum) / report.completed : 0.0;
+  if (!latencies.empty()) {
+    auto percentile = [&](double p) {
+      const auto k = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      std::nth_element(latencies.begin(), latencies.begin() + k,
+                       latencies.end());
+      return latencies[k];
+    };
+    report.p50_latency = percentile(0.50);
+    report.p95_latency = percentile(0.95);
+    report.p99_latency = percentile(0.99);
+  }
+  return report;
+}
+
+}  // namespace wsp::noc

@@ -1,0 +1,64 @@
+#include "wsp/pdn/ldo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::pdn {
+
+Ldo::Ldo(const LdoParams& params) : params_(params) {
+  require(params.dropout_v > 0.0, "LDO dropout must be positive");
+  require(params.min_output_v < params.target_v &&
+              params.target_v < params.max_output_v,
+          "LDO target must lie inside the guaranteed band");
+  require(params.min_input_v > params.min_output_v,
+          "LDO minimum input must exceed the output band floor");
+}
+
+LdoOperatingPoint Ldo::evaluate(double v_in, double i_load) const {
+  require(i_load >= 0.0, "load current cannot be negative");
+  LdoOperatingPoint op;
+
+  // Line regulation: the real output drifts slightly with input voltage.
+  const double mid_in = 0.5 * (params_.min_input_v + params_.max_input_v);
+  const double ideal_out =
+      params_.target_v + params_.line_regulation * (v_in - mid_in);
+
+  if (v_in - params_.dropout_v >= ideal_out) {
+    op.v_out = ideal_out;
+    op.in_dropout = false;
+  } else {
+    // Dropout: the pass device is fully on; output follows the input.
+    op.v_out = std::max(0.0, v_in - params_.dropout_v);
+    op.in_dropout = true;
+  }
+
+  op.in_regulation = op.v_out >= params_.min_output_v &&
+                     op.v_out <= params_.max_output_v &&
+                     i_load <= params_.max_load_a;
+
+  op.i_in = i_load + params_.quiescent_a;
+  const double p_in = v_in * op.i_in;
+  const double p_out = op.v_out * i_load;
+  op.power_loss_w = p_in - p_out;
+  op.efficiency = p_in > 0.0 ? p_out / p_in : 0.0;
+  return op;
+}
+
+double Ldo::load_step_droop(double i_step, double decap_f,
+                            double response_s) {
+  require(decap_f > 0.0, "decoupling capacitance must be positive");
+  return std::abs(i_step) * response_s / decap_f;
+}
+
+bool Ldo::regulation_holds(double v_in, double i_load, double i_step,
+                           double decap_f, double response_s) const {
+  const LdoOperatingPoint op = evaluate(v_in, i_load);
+  if (!op.in_regulation) return false;
+  const double droop = load_step_droop(i_step, decap_f, response_s);
+  return (op.v_out - droop) >= params_.min_output_v &&
+         (op.v_out + droop) <= params_.max_output_v;
+}
+
+}  // namespace wsp::pdn

@@ -1,0 +1,157 @@
+#include "wsp/pdn/resistive_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::pdn {
+
+ResistiveGrid::ResistiveGrid(int width, int height)
+    : width_(width), height_(height) {
+  require(width >= 2 && height >= 2, "ResistiveGrid needs at least 2x2 nodes");
+  const auto nodes = static_cast<std::size_t>(width) * height;
+  g_east_.assign(static_cast<std::size_t>(width - 1) * height, 0.0);
+  g_north_.assign(static_cast<std::size_t>(width) * (height - 1), 0.0);
+  sink_.assign(nodes, 0.0);
+  shunt_g_.assign(nodes, 0.0);
+  shunt_v_.assign(nodes, 0.0);
+  dirichlet_.assign(nodes, 0);
+  v_.assign(nodes, 0.0);
+}
+
+void ResistiveGrid::set_conductance_east(int x, int y, double siemens) {
+  require(x >= 0 && x < width_ - 1 && y >= 0 && y < height_,
+          "east edge out of range");
+  require(siemens >= 0.0, "conductance must be non-negative");
+  g_east_[east_index(x, y)] = siemens;
+}
+
+void ResistiveGrid::set_conductance_north(int x, int y, double siemens) {
+  require(x >= 0 && x < width_ && y >= 0 && y < height_ - 1,
+          "north edge out of range");
+  require(siemens >= 0.0, "conductance must be non-negative");
+  g_north_[north_index(x, y)] = siemens;
+}
+
+void ResistiveGrid::fill_conductances(double gx, double gy) {
+  std::fill(g_east_.begin(), g_east_.end(), gx);
+  std::fill(g_north_.begin(), g_north_.end(), gy);
+}
+
+void ResistiveGrid::set_dirichlet(int x, int y, double volts) {
+  const auto i = index(x, y);
+  dirichlet_[i] = 1;
+  v_[i] = volts;
+}
+
+void ResistiveGrid::clear_dirichlet(int x, int y) {
+  dirichlet_[index(x, y)] = 0;
+}
+
+void ResistiveGrid::set_current_sink(int x, int y, double amperes) {
+  sink_[index(x, y)] = amperes;
+}
+
+void ResistiveGrid::set_shunt(int x, int y, double siemens, double v_ref) {
+  require(siemens >= 0.0, "shunt conductance must be non-negative");
+  const auto i = index(x, y);
+  shunt_g_[i] = siemens;
+  shunt_v_[i] = v_ref;
+}
+
+SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
+  require(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
+  SolveStats stats;
+  for (int it = 0; it < max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        const auto i = index(x, y);
+        if (dirichlet_[i]) continue;
+        double gsum = 0.0;
+        double flow = 0.0;
+        if (x > 0) {
+          const double g = g_east_[east_index(x - 1, y)];
+          gsum += g;
+          flow += g * v_[i - 1];
+        }
+        if (x < width_ - 1) {
+          const double g = g_east_[east_index(x, y)];
+          gsum += g;
+          flow += g * v_[i + 1];
+        }
+        if (y > 0) {
+          const double g = g_north_[north_index(x, y - 1)];
+          gsum += g;
+          flow += g * v_[i - static_cast<std::size_t>(width_)];
+        }
+        if (y < height_ - 1) {
+          const double g = g_north_[north_index(x, y)];
+          gsum += g;
+          flow += g * v_[i + static_cast<std::size_t>(width_)];
+        }
+        if (shunt_g_[i] > 0.0) {
+          gsum += shunt_g_[i];
+          flow += shunt_g_[i] * shunt_v_[i];
+        }
+        if (gsum <= 0.0) continue;  // isolated node: leave as-is
+        const double v_new = (flow - sink_[i]) / gsum;
+        const double updated = v_[i] + omega * (v_new - v_[i]);
+        max_delta = std::max(max_delta, std::abs(updated - v_[i]));
+        v_[i] = updated;
+      }
+    }
+    stats.iterations = it + 1;
+    stats.residual = max_delta;
+    if (max_delta < tol) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+double ResistiveGrid::total_supply_current() const {
+  // Current flowing out of every Dirichlet node into the grid.
+  double total = 0.0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const auto i = index(x, y);
+      if (!dirichlet_[i]) continue;
+      double out = 0.0;
+      if (x > 0)
+        out += g_east_[east_index(x - 1, y)] * (v_[i] - v_[i - 1]);
+      if (x < width_ - 1)
+        out += g_east_[east_index(x, y)] * (v_[i] - v_[i + 1]);
+      if (y > 0)
+        out += g_north_[north_index(x, y - 1)] *
+               (v_[i] - v_[i - static_cast<std::size_t>(width_)]);
+      if (y < height_ - 1)
+        out += g_north_[north_index(x, y)] *
+               (v_[i] - v_[i + static_cast<std::size_t>(width_)]);
+      // Subtract any sink placed directly on the Dirichlet node.
+      total += out + sink_[i];
+    }
+  }
+  return total;
+}
+
+double ResistiveGrid::dissipated_power() const {
+  double p = 0.0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_ - 1; ++x) {
+      const double dv = v_[index(x, y)] - v_[index(x + 1, y)];
+      p += g_east_[east_index(x, y)] * dv * dv;
+    }
+  }
+  for (int y = 0; y < height_ - 1; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const double dv = v_[index(x, y)] - v_[index(x, y + 1)];
+      p += g_north_[north_index(x, y)] * dv * dv;
+    }
+  }
+  return p;
+}
+
+}  // namespace wsp::pdn

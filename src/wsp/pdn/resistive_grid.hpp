@@ -1,0 +1,108 @@
+// Discretised resistive power-plane solver.
+//
+// The Si-IF substrate dedicates its bottom two metal layers to power: one
+// VDD plane and one ground plane, each a 2 um-thick slotted copper sheet
+// (Sec. VIII).  Power enters at the wafer edge (Sec. III) and every tile
+// draws load current through its LDO.  IR droop across the planes is what
+// produces the paper's Fig. 2 profile: 2.5 V at the edge falling to about
+// 1.4 V at the center of the wafer at peak draw.
+//
+// This class solves the nodal equations of a rectangular resistor grid with
+// Dirichlet (fixed-voltage) nodes and nodal current sinks, using successive
+// over-relaxation.  It is deliberately self-contained so it can also model
+// other planes (e.g. a clock mesh) if needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wsp::pdn {
+
+/// Result of a grid solve.
+struct SolveStats {
+  int iterations = 0;        ///< SOR sweeps executed
+  double residual = 0.0;     ///< max |node update| at the final sweep, volts
+  bool converged = false;
+};
+
+/// Rectangular grid of nodes connected by resistors to their 4-neighbours.
+///
+/// Node (x, y) has index y*width+x.  Conductances are per-edge; current
+/// sinks draw current out of nodes; Dirichlet nodes are held at a fixed
+/// voltage (the edge supply).  Units: volts, amperes, siemens.
+class ResistiveGrid {
+ public:
+  ResistiveGrid(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t node_count() const { return v_.size(); }
+
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  /// Sets the conductance (siemens) of the edge between (x,y) and (x+1,y).
+  void set_conductance_east(int x, int y, double siemens);
+  /// Sets the conductance (siemens) of the edge between (x,y) and (x,y+1).
+  void set_conductance_north(int x, int y, double siemens);
+
+  /// Sets every horizontal edge to `gx` and every vertical edge to `gy`.
+  void fill_conductances(double gx, double gy);
+
+  /// Fixes node (x,y) at `volts` (a supply connection).
+  void set_dirichlet(int x, int y, double volts);
+  /// Removes a previously-set Dirichlet constraint.
+  void clear_dirichlet(int x, int y);
+  bool is_dirichlet(int x, int y) const { return dirichlet_[index(x, y)]; }
+
+  /// Sets the current (amperes) drawn *out of* node (x,y) — a load.
+  /// Negative values inject current.
+  void set_current_sink(int x, int y, double amperes);
+  double current_sink(int x, int y) const { return sink_[index(x, y)]; }
+
+  /// Connects node (x,y) to a fixed reference `v_ref` through `siemens`
+  /// (a shunt).  Electrically: a load to ground; thermally (the solver
+  /// doubles as a heat-spreader model): the vertical path to the cold
+  /// plate at ambient temperature.
+  void set_shunt(int x, int y, double siemens, double v_ref);
+
+  /// Solves the nodal system by SOR.  `omega` in (1,2) accelerates
+  /// convergence; `tol` is the max per-node voltage change that counts as
+  /// converged.  The previous solution (if any) seeds the iteration.
+  SolveStats solve(double tol = 1e-7, int max_iterations = 200000,
+                   double omega = 1.9);
+
+  double voltage(int x, int y) const { return v_[index(x, y)]; }
+  const std::vector<double>& voltages() const { return v_; }
+
+  /// Total current delivered through all Dirichlet nodes (should equal the
+  /// sum of sinks at convergence — used as a solver sanity check).
+  double total_supply_current() const;
+
+  /// Resistive power dissipated in the grid edges, watts.
+  double dissipated_power() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<double> g_east_;   // (width-1) x height edges
+  std::vector<double> g_north_;  // width x (height-1) edges
+  std::vector<double> sink_;     // amperes out of each node
+  std::vector<double> shunt_g_;  // siemens to the shunt reference
+  std::vector<double> shunt_v_;  // shunt reference voltage
+  std::vector<char> dirichlet_;
+  std::vector<double> v_;
+
+  std::size_t east_index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_ - 1) +
+           static_cast<std::size_t>(x);
+  }
+  std::size_t north_index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace wsp::pdn

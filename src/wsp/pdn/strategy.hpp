@@ -1,0 +1,108 @@
+// Power-delivery strategy comparison (Sec. III).
+//
+// The paper weighs two schemes before committing to edge power delivery
+// with per-chiplet LDOs:
+//
+//   1. "Buck": deliver ~12 V at the edge and down-convert near the chiplets
+//      with switching regulators.  Plane current falls ~12x (so plane loss
+//      falls ~144x), but the bulky off-chip inductors/capacitors consume an
+//      estimated 25-30 % of wafer area, disrupt the regular chiplet array,
+//      and increase design complexity.
+//
+//   2. "LDO": deliver 2.5 V at the edge, let the planes droop toward the
+//      center, and regulate locally with wide-input LDOs.  No area
+//      overhead, simple — but the plane carries the full ~290 A and the
+//      LDO burns its headroom, so efficiency is lower.
+//
+// The paper chose (2) for its sub-kW prototype.  This module quantifies
+// that trade-off so the decision can be reproduced (and explored at other
+// power levels, the paper's stated future work).
+#pragma once
+
+#include "wsp/common/config.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+
+namespace wsp::pdn {
+
+/// Parameters of the hypothetical buck-converter scheme.
+struct BuckParams {
+  double input_voltage_v = 12.0;     ///< edge delivery voltage
+  double converter_efficiency = 0.9; ///< switching converter efficiency
+  double area_overhead_fraction = 0.275;  ///< 25-30 % of wafer area
+};
+
+/// Outcome of evaluating one strategy at peak draw.
+struct StrategyReport {
+  double edge_voltage_v = 0.0;
+  double plane_current_a = 0.0;   ///< total current in the power planes
+  double plane_loss_w = 0.0;      ///< IR loss in the planes
+  double regulation_loss_w = 0.0; ///< LDO headroom or buck switching loss
+  double delivered_power_w = 0.0; ///< power reaching tile logic
+  double input_power_w = 0.0;
+  double efficiency = 0.0;        ///< delivered / input
+  double area_overhead_fraction = 0.0;  ///< wafer area lost to regulation
+  double min_tile_supply_v = 0.0; ///< worst-case voltage at a chiplet
+};
+
+/// Side-by-side comparison (the quantitative core of Sec. III).
+struct StrategyComparison {
+  StrategyReport ldo;
+  StrategyReport buck;
+  StrategyReport twv;  ///< the under-development alternative (ref [13])
+  /// Ratio of plane currents (LDO scheme / buck scheme); the paper quotes
+  /// "lower the current delivered through the power planes by ~12x".
+  double plane_current_ratio = 0.0;
+};
+
+/// Deep-trench decoupling capacitors in the Si-IF substrate (the paper's
+/// footnote 2, ref [14]): moving decap off the chiplets recovers the
+/// ~35 % of tile area currently spent on it and increases the capacitance
+/// budget.
+struct DtcBenefit {
+  double onchip_decap_f = 0.0;      ///< today's 20 nF/tile
+  double dtc_decap_f = 0.0;         ///< achievable under one tile footprint
+  double recovered_area_fraction = 0.0;  ///< of each tile, freed for logic
+  double max_load_step_a = 0.0;     ///< step the new decap absorbs in-band
+};
+
+/// Evaluates substrate deep-trench decap at `dtc_density_f_per_m2`
+/// (state-of-the-art trench caps reach ~200-1000 nF/mm^2).
+DtcBenefit evaluate_deep_trench_decap(const SystemConfig& config,
+                                      double dtc_density_f_per_m2,
+                                      double loop_response_s = 4e-9);
+
+/// Evaluates the edge-LDO scheme by solving the wafer PDN at peak draw.
+StrategyReport evaluate_ldo_strategy(const SystemConfig& config,
+                                     const WaferPdnOptions& options = {});
+
+/// Evaluates the buck scheme analytically: the same tile load, delivered
+/// at `buck.input_voltage_v` through the same planes, down-converted near
+/// the tiles at `converter_efficiency`, paying `area_overhead_fraction`.
+StrategyReport evaluate_buck_strategy(const SystemConfig& config,
+                                      const BuckParams& buck = {},
+                                      const WaferPdnOptions& options = {});
+
+/// Parameters of the through-wafer-via (TWV) scheme the paper rejected
+/// only because the technology was "still under development" (Sec. III,
+/// ref [13]): power enters through ~700 um-deep vias across the full
+/// wafer thickness, directly under every tile, so the lateral planes
+/// carry almost no current.
+struct TwvParams {
+  double supply_voltage_v = 1.5;   ///< headroom just above the LDO band
+  double via_resistance_ohm = 0.01;  ///< one TWV
+  int vias_per_tile = 16;
+};
+
+/// Evaluates backside TWV delivery: per-tile drop is only the via-bundle
+/// IR drop; lateral plane loss is negligible; no wafer-area overhead
+/// (vias sit under the tiles).  This is the paper's "ongoing work"
+/// endpoint for higher-power systems.
+StrategyReport evaluate_twv_strategy(const SystemConfig& config,
+                                     const TwvParams& twv = {});
+
+/// Runs both evaluations and pairs them.
+StrategyComparison compare_strategies(const SystemConfig& config,
+                                      const BuckParams& buck = {},
+                                      const WaferPdnOptions& options = {});
+
+}  // namespace wsp::pdn

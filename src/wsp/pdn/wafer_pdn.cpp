@@ -1,0 +1,204 @@
+#include "wsp/pdn/wafer_pdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::pdn {
+
+namespace {
+constexpr int kMaxConstantPowerIterations = 40;
+constexpr double kConstantPowerTolV = 1e-5;
+}  // namespace
+
+WaferPdn::WaferPdn(const SystemConfig& config, const WaferPdnOptions& options)
+    : config_(config), options_(options), ldo_(options.ldo) {
+  config_.validate();
+  require(options.nodes_per_tile >= 1, "nodes_per_tile must be >= 1");
+  require(options.plane_slotting_factor >= 1.0,
+          "slotting can only increase sheet resistance");
+  require(options.powered_edges[0] || options.powered_edges[1] ||
+              options.powered_edges[2] || options.powered_edges[3],
+          "at least one wafer edge must be powered");
+}
+
+double WaferPdn::loop_sheet_resistance() const {
+  // VDD and ground planes in series for the current loop, each slotted.
+  const double per_plane = config_.copper_sheet_resistance_ohm_per_sq *
+                           options_.plane_slotting_factor;
+  return 2.0 * per_plane;
+}
+
+ResistiveGrid WaferPdn::build_grid() const {
+  const int k = options_.nodes_per_tile;
+  const int nx = config_.array_width * k;
+  const int ny = config_.array_height * k;
+  ResistiveGrid grid(nx, ny);
+
+  // Plane discretisation: node spacing dx x dy; the conductance of an edge
+  // spanning dx with strip width dy is (1/Rs) * dy / dx.
+  const double dx = config_.geometry.tile_pitch_x_m() / k;
+  const double dy = config_.geometry.tile_pitch_y_m() / k;
+  const double rs = loop_sheet_resistance();
+  grid.fill_conductances((1.0 / rs) * (dy / dx), (1.0 / rs) * (dx / dy));
+
+  // Powered edges held at the edge supply voltage (connectors are modelled
+  // as ideal; connector resistance would simply shift the whole profile).
+  const auto& pe = options_.powered_edges;
+  const double v_edge = config_.edge_supply_voltage_v;
+  for (int x = 0; x < nx; ++x) {
+    if (pe[static_cast<int>(Direction::North)]) grid.set_dirichlet(x, ny - 1, v_edge);
+    if (pe[static_cast<int>(Direction::South)]) grid.set_dirichlet(x, 0, v_edge);
+  }
+  for (int y = 0; y < ny; ++y) {
+    if (pe[static_cast<int>(Direction::East)]) grid.set_dirichlet(nx - 1, y, v_edge);
+    if (pe[static_cast<int>(Direction::West)]) grid.set_dirichlet(0, y, v_edge);
+  }
+  return grid;
+}
+
+PdnReport WaferPdn::solve_uniform(double activity) {
+  require(activity >= 0.0 && activity <= 1.0, "activity must be in [0,1]");
+  std::vector<double> power(
+      static_cast<std::size_t>(config_.total_tiles()),
+      activity * config_.tile_peak_power_w);
+  return solve(power);
+}
+
+PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
+  const TileGrid tiles = config_.grid();
+  require(tile_power_w.size() == tiles.tile_count(),
+          "tile power vector size mismatch");
+
+  ResistiveGrid grid = build_grid();
+  const int k = options_.nodes_per_tile;
+  const double nodes_per_tile = static_cast<double>(k) * k;
+
+  // Initial tile currents.  In ConstantCurrent mode the LDO passes through
+  // I = P / V_ff regardless of the plane voltage, so one linear solve
+  // suffices.  In ConstantPower mode we iterate I = P / V_node.
+  std::vector<double> tile_current(tile_power_w.size());
+  for (std::size_t i = 0; i < tile_power_w.size(); ++i)
+    tile_current[i] = tile_power_w[i] / config_.ff_corner_voltage_v +
+                      (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
+
+  auto apply_sinks = [&] {
+    tiles.for_each([&](TileCoord c) {
+      const double per_node =
+          tile_current[tiles.index_of(c)] / nodes_per_tile;
+      for (int sy = 0; sy < k; ++sy)
+        for (int sx = 0; sx < k; ++sx)
+          grid.set_current_sink(c.x * k + sx, c.y * k + sy, per_node);
+    });
+  };
+
+  apply_sinks();
+  SolveStats stats = grid.solve();
+  bool converged = stats.converged;
+
+  if (options_.load_model == LoadModel::ConstantPower) {
+    for (int outer = 0; outer < kMaxConstantPowerIterations; ++outer) {
+      double max_dv = 0.0;
+      std::vector<double> prev_v(tile_power_w.size());
+      tiles.for_each([&](TileCoord c) {
+        prev_v[tiles.index_of(c)] =
+            grid.voltage(c.x * k, c.y * k);
+      });
+      tiles.for_each([&](TileCoord c) {
+        const auto i = tiles.index_of(c);
+        const double v = std::max(prev_v[i], 0.5);  // guard divide-by-small
+        tile_current[i] = tile_power_w[i] / v +
+                          (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
+      });
+      apply_sinks();
+      stats = grid.solve();
+      converged = stats.converged;
+      tiles.for_each([&](TileCoord c) {
+        const auto i = tiles.index_of(c);
+        max_dv = std::max(max_dv,
+                          std::abs(grid.voltage(c.x * k, c.y * k) - prev_v[i]));
+      });
+      if (max_dv < kConstantPowerTolV) break;
+    }
+  }
+
+  return extract_report(grid, tile_power_w, converged);
+}
+
+PdnReport WaferPdn::extract_report(ResistiveGrid& grid,
+                                   const std::vector<double>& tile_power_w,
+                                   bool converged) const {
+  const TileGrid tiles = config_.grid();
+  const int k = options_.nodes_per_tile;
+
+  PdnReport report;
+  report.solver_converged = converged;
+  report.tiles.resize(tiles.tile_count());
+  report.min_supply_v = std::numeric_limits<double>::infinity();
+  report.max_supply_v = -std::numeric_limits<double>::infinity();
+
+  tiles.for_each([&](TileCoord c) {
+    const auto i = tiles.index_of(c);
+    // Tile supply voltage: mean of its solver nodes.
+    double v = 0.0;
+    for (int sy = 0; sy < k; ++sy)
+      for (int sx = 0; sx < k; ++sx)
+        v += grid.voltage(c.x * k + sx, c.y * k + sy);
+    v /= static_cast<double>(k) * k;
+
+    TilePower& tp = report.tiles[i];
+    tp.supply_v = v;
+    const double i_load = tile_power_w[i] / config_.ff_corner_voltage_v;
+    const LdoOperatingPoint op = ldo_.evaluate(v, i_load);
+    tp.regulated_v = op.v_out;
+    tp.plane_current_a = op.i_in;
+    tp.ldo_loss_w = op.power_loss_w;
+    tp.in_regulation = op.in_regulation;
+
+    report.min_supply_v = std::min(report.min_supply_v, v);
+    report.max_supply_v = std::max(report.max_supply_v, v);
+    report.ldo_loss_w += op.power_loss_w;
+    report.delivered_power_w += op.v_out * i_load;
+    if (!op.in_regulation) ++report.tiles_out_of_regulation;
+  });
+
+  report.total_supply_current_a = grid.total_supply_current();
+  report.plane_loss_w = grid.dissipated_power();
+  report.total_input_power_w =
+      report.total_supply_current_a * config_.edge_supply_voltage_v;
+  report.efficiency = report.total_input_power_w > 0.0
+                          ? report.delivered_power_w / report.total_input_power_w
+                          : 0.0;
+  return report;
+}
+
+std::vector<double> WaferPdn::midline_profile(const PdnReport& report,
+                                              const TileGrid& grid) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(grid.width()));
+  const int y = grid.height() / 2;
+  for (int x = 0; x < grid.width(); ++x)
+    out.push_back(report.tiles[grid.index_of({x, y})].supply_v);
+  return out;
+}
+
+std::vector<double> WaferPdn::ring_profile(const PdnReport& report,
+                                           const TileGrid& grid) {
+  const int max_ring = std::min(grid.width(), grid.height()) / 2;
+  std::vector<double> sum(static_cast<std::size_t>(max_ring) + 1, 0.0);
+  std::vector<int> count(static_cast<std::size_t>(max_ring) + 1, 0);
+  grid.for_each([&](TileCoord c) {
+    const int ring = std::min(grid.distance_to_edge(c), max_ring);
+    sum[ring] += report.tiles[grid.index_of(c)].supply_v;
+    ++count[ring];
+  });
+  std::vector<double> out;
+  out.reserve(sum.size());
+  for (std::size_t i = 0; i < sum.size(); ++i)
+    out.push_back(count[i] > 0 ? sum[i] / count[i] : 0.0);
+  return out;
+}
+
+}  // namespace wsp::pdn

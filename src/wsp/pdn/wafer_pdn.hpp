@@ -1,0 +1,111 @@
+// Whole-wafer power-delivery analysis (Sec. III, Fig. 2).
+//
+// Combines the resistive-plane solver with the per-tile LDO model to answer
+// the paper's power-delivery questions: what voltage does each tile receive,
+// does the LDO hold regulation everywhere, how much power is lost in the
+// planes and the regulators, and what does the droop profile from edge to
+// center look like.
+//
+// Electrical model: the VDD and ground planes are each a slotted 2 um
+// copper sheet; the load current traverses both, so the solver uses the
+// round-trip (loop) sheet resistance.  The wafer edge is held at the edge
+// supply voltage on the powered edges.  Each tile's LDO passes its load
+// current through unchanged (constant-current load), which is why the paper
+// can quote "about 290 A" independent of where the droop settles; a
+// constant-power mode is provided as an ablation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "wsp/common/config.hpp"
+#include "wsp/common/geometry.hpp"
+#include "wsp/pdn/ldo.hpp"
+#include "wsp/pdn/resistive_grid.hpp"
+
+namespace wsp::pdn {
+
+/// How tile loads are modelled during the plane solve.
+enum class LoadModel {
+  ConstantCurrent,  ///< I_tile fixed at P_peak / V_ff (LDO pass-through)
+  ConstantPower,    ///< I_tile = P_tile / V_node, solved self-consistently
+};
+
+struct WaferPdnOptions {
+  /// Grid refinement: solver nodes per tile along each axis.
+  int nodes_per_tile = 2;
+  /// Multiplier on plane sheet resistance accounting for plane slotting
+  /// (slotted planes are required for manufacturability; calibrated so the
+  /// full prototype's center voltage lands at the paper's ~1.4 V).
+  double plane_slotting_factor = 2.9;
+  /// Which wafer edges carry power connectors (N, E, S, W).
+  std::array<bool, 4> powered_edges{true, true, true, true};
+  LoadModel load_model = LoadModel::ConstantCurrent;
+  LdoParams ldo{};
+};
+
+/// Per-tile result of a PDN solve.
+struct TilePower {
+  double supply_v = 0.0;      ///< plane voltage delivered to the tile
+  double regulated_v = 0.0;   ///< LDO output
+  double plane_current_a = 0.0;
+  double ldo_loss_w = 0.0;
+  bool in_regulation = false;
+};
+
+/// Aggregate result of a PDN solve.
+struct PdnReport {
+  std::vector<TilePower> tiles;       ///< indexed by TileGrid::index_of
+  double min_supply_v = 0.0;          ///< worst (center) plane voltage
+  double max_supply_v = 0.0;          ///< best (edge) plane voltage
+  double total_supply_current_a = 0.0;
+  double total_input_power_w = 0.0;   ///< power entering the wafer edge
+  double plane_loss_w = 0.0;          ///< IR loss in the power planes
+  double ldo_loss_w = 0.0;            ///< headroom loss in all LDOs
+  double delivered_power_w = 0.0;     ///< power reaching tile logic
+  double efficiency = 0.0;            ///< delivered / input
+  int tiles_out_of_regulation = 0;
+  bool solver_converged = false;
+};
+
+/// Whole-wafer PDN model bound to one SystemConfig.
+class WaferPdn {
+ public:
+  WaferPdn(const SystemConfig& config, const WaferPdnOptions& options = {});
+
+  /// Solves the planes with every tile drawing `activity` x its peak power
+  /// (activity = 1.0 reproduces Fig. 2's peak-draw condition).
+  PdnReport solve_uniform(double activity = 1.0);
+
+  /// Solves with an explicit per-tile power vector (watts, indexed by
+  /// TileGrid::index_of) — used for workload-dependent power maps.
+  PdnReport solve(const std::vector<double>& tile_power_w);
+
+  /// Loop (VDD+GND) sheet resistance after slotting derate, ohm/sq.
+  double loop_sheet_resistance() const;
+
+  /// Voltage profile along the horizontal mid-line of the wafer: one entry
+  /// per tile column.  This is the Fig. 2 edge-to-center-to-edge curve.
+  static std::vector<double> midline_profile(const PdnReport& report,
+                                             const TileGrid& grid);
+
+  /// Mean supply voltage at each distance-to-edge ring (index = tile rings
+  /// from the boundary inward).  Shows droop vs distance from edge.
+  static std::vector<double> ring_profile(const PdnReport& report,
+                                          const TileGrid& grid);
+
+  const SystemConfig& config() const { return config_; }
+  const WaferPdnOptions& options() const { return options_; }
+
+ private:
+  SystemConfig config_;
+  WaferPdnOptions options_;
+  Ldo ldo_;
+
+  ResistiveGrid build_grid() const;
+  PdnReport extract_report(ResistiveGrid& grid,
+                           const std::vector<double>& tile_power_w,
+                           bool converged) const;
+};
+
+}  // namespace wsp::pdn

@@ -1,0 +1,64 @@
+#include "wsp/route/net_timing.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::route {
+
+NetTiming analyze_wire(double length_m, const WireRule& rule,
+                       const WireElectrical& electrical) {
+  require(length_m > 0.0, "wire length must be positive");
+  require(rule.width_m > 0.0, "wire width must be positive");
+
+  NetTiming t;
+  t.wire_resistance_ohm = electrical.resistivity_ohm_m * length_m /
+                          (rule.width_m * electrical.thickness_m);
+  t.wire_capacitance_f = electrical.capacitance_f_per_m * length_m;
+  // Elmore: driver charges everything, the distributed wire adds half its
+  // own RC.
+  t.elmore_delay_s =
+      electrical.driver_resistance_ohm *
+          (t.wire_capacitance_f + electrical.load_capacitance_f) +
+      0.5 * t.wire_resistance_ohm * t.wire_capacitance_f;
+  // Conservative signalling rate: a bit period of four Elmore delays
+  // (full swing + margin).
+  t.max_rate_hz = 1.0 / (4.0 * t.elmore_delay_s);
+  return t;
+}
+
+TimingReport analyze_routing_timing(const SystemConfig& config,
+                                    const RoutingReport& routing,
+                                    const WireElectrical& electrical) {
+  const ReticlePlan reticles(config);
+  TimingReport report;
+  double worst_len[3] = {0.0, 0.0, 0.0};
+  bool worst_stitched[3] = {false, false, false};
+  for (const RoutedNet& net : routing.nets) {
+    const auto cls = static_cast<std::size_t>(net.net_class);
+    if (net.length_m > worst_len[cls]) {
+      worst_len[cls] = net.length_m;
+      worst_stitched[cls] = net.stitched;
+    }
+  }
+  auto timing_of = [&](std::size_t cls) {
+    if (worst_len[cls] <= 0.0) return NetTiming{};
+    return analyze_wire(worst_len[cls],
+                        reticles.wire_rule(worst_stitched[cls]), electrical);
+  };
+  report.worst_inter_tile =
+      timing_of(static_cast<std::size_t>(NetClass::InterTileLink));
+  report.worst_bank_bus =
+      timing_of(static_cast<std::size_t>(NetClass::BankBus));
+  report.worst_edge_fanout =
+      timing_of(static_cast<std::size_t>(NetClass::EdgeFanout));
+
+  report.inter_tile_meets_rate =
+      report.worst_inter_tile.max_rate_hz >= config.io_signaling_rate_hz;
+  report.bank_bus_meets_rate =
+      report.worst_bank_bus.max_rate_hz >= config.io_signaling_rate_hz;
+  report.edge_fanout_rate_hz = report.worst_edge_fanout.max_rate_hz;
+  return report;
+}
+
+}  // namespace wsp::route

@@ -1,0 +1,52 @@
+// Electrical timing of routed substrate nets (Sec. V + VIII).
+//
+// Si-IF wires are fine (2-3 um wide, 2 um thick) and unbuffered — the
+// substrate is passive — so every net is a lumped-driver + distributed-RC
+// line.  The paper's claim that simple cascaded-inverter I/Os drive
+// 200-500 um links at 1 GHz falls out of exactly this model; it also
+// quantifies why the multi-millimetre edge fan-out wires need lower
+// signalling rates (fine for JTAG/config, which is all they carry).
+#pragma once
+
+#include "wsp/common/config.hpp"
+#include "wsp/route/reticle.hpp"
+#include "wsp/route/substrate_router.hpp"
+
+namespace wsp::route {
+
+/// Electrical parameters of the Si-IF wiring and the I/O drivers.
+struct WireElectrical {
+  double resistivity_ohm_m = 1.72e-8;   ///< copper
+  double thickness_m = 2e-6;            ///< Si-IF signal-layer metal
+  double capacitance_f_per_m = 2e-10;   ///< ~0.2 fF/um to neighbours+plane
+  double driver_resistance_ohm = 1000;  ///< cascaded-inverter output
+  double load_capacitance_f = 5e-15;    ///< receiver (two min inverters)
+};
+
+/// Timing of one net.
+struct NetTiming {
+  double wire_resistance_ohm = 0.0;
+  double wire_capacitance_f = 0.0;
+  double elmore_delay_s = 0.0;
+  double max_rate_hz = 0.0;  ///< conservative: one bit per 4 delays
+};
+
+/// Elmore timing for a straight wire of `length_m` at `rule`'s width.
+NetTiming analyze_wire(double length_m, const WireRule& rule,
+                       const WireElectrical& electrical = {});
+
+/// Summary over a routing report: the slowest net of each class and
+/// whether every class meets its required signalling rate.
+struct TimingReport {
+  NetTiming worst_inter_tile;
+  NetTiming worst_bank_bus;
+  NetTiming worst_edge_fanout;
+  bool inter_tile_meets_rate = false;  ///< vs config.io_signaling_rate_hz
+  bool bank_bus_meets_rate = false;
+  double edge_fanout_rate_hz = 0.0;    ///< whatever the long wires allow
+};
+TimingReport analyze_routing_timing(const SystemConfig& config,
+                                    const RoutingReport& routing,
+                                    const WireElectrical& electrical = {});
+
+}  // namespace wsp::route

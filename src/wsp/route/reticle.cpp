@@ -1,0 +1,69 @@
+#include "wsp/route/reticle.hpp"
+
+namespace wsp::route {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+ReticlePlan::ReticlePlan(const SystemConfig& config)
+    : config_(config),
+      tiles_x_(config.reticle_tiles_x),
+      tiles_y_(config.reticle_tiles_y),
+      reticles_x_(ceil_div(config.array_width, config.reticle_tiles_x)),
+      reticles_y_(ceil_div(config.array_height, config.reticle_tiles_y)) {
+  config_.validate();
+}
+
+ReticleCoord ReticlePlan::reticle_of(TileCoord c) const {
+  return {c.x / tiles_x_, c.y / tiles_y_};
+}
+
+bool ReticlePlan::crosses_boundary(TileCoord a, TileCoord b) const {
+  return !(reticle_of(a) == reticle_of(b));
+}
+
+WireRule ReticlePlan::wire_rule(bool stitched) const {
+  if (stitched)
+    return {config_.stitch_wire_width_m, config_.stitch_wire_space_m};
+  return {config_.intra_reticle_wire_width_m,
+          config_.intra_reticle_wire_space_m};
+}
+
+std::vector<ReticleInfo> ReticlePlan::enumerate() const {
+  // The populated array plus one ring of edge-I/O reticles on all sides.
+  std::vector<ReticleInfo> out;
+  for (int ry = -1; ry <= reticles_y_; ++ry) {
+    for (int rx = -1; rx <= reticles_x_; ++rx) {
+      ReticleInfo info;
+      info.coord = {rx, ry};
+      info.tile_slots = tiles_per_reticle();
+      const bool in_array =
+          rx >= 0 && rx < reticles_x_ && ry >= 0 && ry < reticles_y_;
+      if (!in_array) {
+        info.role = ReticleRole::EdgeIo;
+        info.populated_tiles = 0;
+        info.block_etch_needed = false;  // pads here become connectors
+        out.push_back(info);
+        continue;
+      }
+      // Slots may hang past the array edge when the array size is not a
+      // multiple of the reticle size.
+      const int x0 = rx * tiles_x_;
+      const int y0 = ry * tiles_y_;
+      const int x1 = std::min(x0 + tiles_x_, config_.array_width);
+      const int y1 = std::min(y0 + tiles_y_, config_.array_height);
+      info.role = ReticleRole::Populated;
+      info.populated_tiles = (x1 - x0) * (y1 - y0);
+      info.block_etch_needed = info.populated_tiles < info.tile_slots;
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
+int ReticlePlan::exposure_count() const {
+  return (reticles_x_ + 2) * (reticles_y_ + 2);
+}
+
+}  // namespace wsp::route

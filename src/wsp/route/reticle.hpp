@@ -1,0 +1,79 @@
+// Reticle step-and-repeat plan for the waferscale substrate (Sec. VIII).
+//
+// The wafer is far larger than one reticle, so the Si-IF substrate is
+// fabricated by stitching identical reticles of 12x6 tiles.  Wires that
+// cross a reticle boundary are drawn *fatter* (3 um wide / 2 um space
+// instead of 2 um / 3 um, same 5 um pitch) to tolerate stitching
+// misalignment.  Reticles beyond the populated tile array carry the edge
+// fan-out wiring and connector pads; their unused chiplet-slot pads are
+// removed by a block-etch step.
+#pragma once
+
+#include <vector>
+
+#include "wsp/common/config.hpp"
+#include "wsp/common/geometry.hpp"
+
+namespace wsp::route {
+
+/// Position of a reticle in the stepping grid.
+struct ReticleCoord {
+  int rx = 0;
+  int ry = 0;
+  friend constexpr bool operator==(const ReticleCoord&,
+                                   const ReticleCoord&) = default;
+};
+
+enum class ReticleRole : std::uint8_t {
+  Populated,  ///< carries bonded chiplets
+  EdgeIo,     ///< unpopulated; carries fan-out wiring and connector pads
+};
+
+struct ReticleInfo {
+  ReticleCoord coord;
+  ReticleRole role = ReticleRole::Populated;
+  int tile_slots = 0;       ///< chiplet-slot pairs printed in this reticle
+  int populated_tiles = 0;  ///< slots actually carrying chiplets
+  bool block_etch_needed = false;  ///< unused pads must be etched away
+};
+
+/// Wire geometry rule applied to a routed segment.
+struct WireRule {
+  double width_m = 0.0;
+  double space_m = 0.0;
+  double pitch() const { return width_m + space_m; }
+};
+
+class ReticlePlan {
+ public:
+  explicit ReticlePlan(const SystemConfig& config);
+
+  int reticles_x() const { return reticles_x_; }
+  int reticles_y() const { return reticles_y_; }
+  int tiles_per_reticle() const { return tiles_x_ * tiles_y_; }
+
+  /// Reticle containing tile `c`.
+  ReticleCoord reticle_of(TileCoord c) const;
+
+  /// True when tiles `a` and `b` (assumed adjacent) sit in different
+  /// reticles, i.e. a wire between them crosses a stitch boundary.
+  bool crosses_boundary(TileCoord a, TileCoord b) const;
+
+  /// Wire rule for a segment: `stitched` selects the fat-wire rule.
+  WireRule wire_rule(bool stitched) const;
+
+  /// All reticles of the stepping plan, including the edge-I/O ring.
+  std::vector<ReticleInfo> enumerate() const;
+
+  /// Number of reticle exposures to print the whole substrate.
+  int exposure_count() const;
+
+ private:
+  SystemConfig config_;
+  int tiles_x_;
+  int tiles_y_;
+  int reticles_x_;  ///< reticle columns covering the populated array
+  int reticles_y_;
+};
+
+}  // namespace wsp::route

@@ -1,0 +1,130 @@
+#include "wsp/route/substrate_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::route {
+
+SubstrateRouter::SubstrateRouter(const SystemConfig& config)
+    : config_(config), reticles_(config) {
+  config_.validate();
+}
+
+int SubstrateRouter::gap_track_capacity() const {
+  // A tile-gap routing channel spans the chiplet width; tracks at the
+  // substrate wiring pitch.
+  return static_cast<int>(std::floor(config_.geometry.compute_chiplet_width_m /
+                                     config_.wiring_pitch_m));
+}
+
+int SubstrateRouter::bank_bus_width() const {
+  // The compute chiplet's remaining I/O budget divided over the banks
+  // (matches wsp::io::compute_chiplet_demand).
+  const int used = 4 * config_.link_width_bits_per_side + 4 * 2 + 12;
+  return (config_.ios_per_compute_chiplet - used) /
+         config_.banks_per_memory_chiplet;
+}
+
+SubstrateRouter::EdgeBudget SubstrateRouter::edge_fanout_budget() const {
+  EdgeBudget b;
+  // Each boundary tile fans its outward-facing link plus test signals out
+  // to the wafer edge.
+  b.wires_per_edge =
+      config_.array_width * (config_.link_width_bits_per_side + 12);
+  const double edge_len =
+      config_.geometry.tile_pitch_x_m() * config_.array_width;
+  // Fan-out escapes on a single layer at the substrate wiring pitch.
+  b.capacity_per_edge =
+      static_cast<int>(std::floor(edge_len / config_.wiring_pitch_m));
+  return b;
+}
+
+RoutingReport SubstrateRouter::route(int available_layers) const {
+  require(available_layers == 1 || available_layers == 2,
+          "the substrate has one or two signal layers");
+
+  RoutingReport report;
+  const TileGrid grid = config_.grid();
+  const auto& geom = config_.geometry;
+  const int link_bits = config_.link_width_bits_per_side;
+  const int bank_bits = bank_bus_width();
+  const int capacity = gap_track_capacity();
+
+  // Link lengths.  Horizontal links cross one inter-chiplet gap; vertical
+  // links pass through the memory chiplet's buffered feedthroughs, so the
+  // substrate wire is gap + pad-escape on both ends.
+  const double escape = 8.0 * config_.io_pitch_m;  // across the pad columns
+  const double h_len = geom.inter_chiplet_gap_m + 2.0 * escape;
+  const double v_len = geom.inter_chiplet_gap_m + 2.0 * escape;
+  const double bank_len = geom.inter_chiplet_gap_m + 2.0 * escape;
+
+  // Per-gap track usage: [layer-1, layer-2] for the worst gap per class.
+  int gap1_l1 = 0, gap1_l2 = 0;  // compute<->memory gap inside a tile
+  int gap2_l1 = 0;               // tile<->tile gaps
+
+  auto add_net = [&](NetClass cls, TileCoord a, TileCoord b, int bit,
+                     int layer, double len) {
+    ++report.nets_requested;
+    if (layer > available_layers) {
+      ++report.nets_unroutable;
+      return;
+    }
+    const bool stitched =
+        cls == NetClass::InterTileLink && reticles_.crosses_boundary(a, b);
+    report.nets.push_back({cls, a, b, bit, layer, len, stitched});
+    ++report.nets_routed;
+    report.total_wirelength_m += len;
+    if (stitched) ++report.stitched_nets;
+  };
+
+  grid.for_each([&](TileCoord c) {
+    // East links (each internal horizontal gap handled once).
+    if (c.x + 1 < grid.width()) {
+      for (int bit = 0; bit < link_bits; ++bit)
+        add_net(NetClass::InterTileLink, c, {c.x + 1, c.y}, bit, 1, h_len);
+    }
+    // North links.
+    if (c.y + 1 < grid.height()) {
+      for (int bit = 0; bit < link_bits; ++bit)
+        add_net(NetClass::InterTileLink, c, {c.x, c.y + 1}, bit, 1, v_len);
+    }
+    // Bank buses: essential banks on layer 1, the rest on layer 2.
+    for (int bank = 0; bank < config_.banks_per_memory_chiplet; ++bank) {
+      const int layer = bank < 2 ? 1 : 2;
+      for (int bit = 0; bit < bank_bits; ++bit)
+        add_net(NetClass::BankBus, c, c, bank * bank_bits + bit, layer,
+                bank_len);
+    }
+    // Edge fan-out from boundary tiles to the wafer-edge connectors.
+    const bool edge = grid.is_edge(c);
+    if (edge) {
+      int outward_sides = 0;
+      if (c.x == 0 || c.x == grid.width() - 1) ++outward_sides;
+      if (c.y == 0 || c.y == grid.height() - 1) ++outward_sides;
+      for (int s = 0; s < outward_sides; ++s)
+        for (int bit = 0; bit < link_bits + 12; ++bit)
+          add_net(NetClass::EdgeFanout, c, c, bit, 1,
+                  config_.edge_io_margin_m);
+    }
+  });
+
+  // Channel occupancy (uniform by construction, so one gap of each class
+  // represents the worst case).
+  gap2_l1 = link_bits;                  // tile-to-tile gap: network only
+  gap1_l1 = link_bits + 2 * bank_bits;  // intra-tile gap: network + 2 banks
+  gap1_l2 = (config_.banks_per_memory_chiplet - 2) * bank_bits;
+
+  report.max_gap_utilization_layer1 =
+      static_cast<double>(std::max(gap1_l1, gap2_l1)) / capacity;
+  report.max_gap_utilization_layer2 =
+      available_layers >= 2 ? static_cast<double>(gap1_l2) / capacity : 0.0;
+  report.capacity_ok = report.max_gap_utilization_layer1 <= 1.0 &&
+                       report.max_gap_utilization_layer2 <= 1.0 &&
+                       edge_fanout_budget().fits();
+  report.jog_free = true;  // every net above is a single straight segment
+  return report;
+}
+
+}  // namespace wsp::route

@@ -1,0 +1,95 @@
+// Lightweight jog-free substrate router (Sec. VIII).
+//
+// Commercial routers blow up on a >15,000 mm^2 four-layer design, so the
+// paper's team wrote their own minimal router: inter-chiplet connections
+// are routed jog-free (straight segments between facing pads across the
+// ~100 um chiplet gap), which is sufficient because chiplet-assembly
+// substrates have low wiring density and regular geometry.  This module
+// is that router:
+//
+//   * every inter-tile network link becomes one straight wire in the gap
+//     between the two tiles, on signal layer 1 (the pads sit in the
+//     essential column set);
+//   * intra-tile compute<->memory bank buses route on layer 1 for the two
+//     essential banks and layer 2 for the other three (their pads sit in
+//     the deeper column set, whose escape must fly over the outer pad
+//     columns);
+//   * edge-tile I/Os fan out across the edge-I/O reticles to the wafer-
+//     edge connector pads;
+//   * wires crossing a reticle stitch boundary use the fat-wire rule.
+//
+// The router checks per-gap track capacity, computes wirelength, and
+// reports whether the design routes with two layers or just one (the
+// single-layer fallback drops the layer-2 nets: 3 of 5 banks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsp/common/config.hpp"
+#include "wsp/route/reticle.hpp"
+
+namespace wsp::route {
+
+enum class NetClass : std::uint8_t {
+  InterTileLink,   ///< mesh network wire between adjacent tiles
+  BankBus,         ///< compute->memory chiplet bank connection
+  EdgeFanout,      ///< edge tile to wafer-edge connector
+};
+
+/// One routed straight wire.
+struct RoutedNet {
+  NetClass net_class = NetClass::InterTileLink;
+  TileCoord a;          ///< owning / source tile
+  TileCoord b;          ///< destination tile (== a for intra-tile nets)
+  int bit = 0;          ///< bit lane within the bus
+  int layer = 1;        ///< 1 or 2
+  double length_m = 0.0;
+  bool stitched = false;  ///< crosses a reticle boundary (fat-wire rule)
+};
+
+struct RoutingReport {
+  std::vector<RoutedNet> nets;
+  std::size_t nets_requested = 0;
+  std::size_t nets_routed = 0;
+  std::size_t nets_unroutable = 0;  ///< layer-2 nets in single-layer mode
+  double total_wirelength_m = 0.0;
+  std::size_t stitched_nets = 0;
+  /// Worst per-gap track utilisation (used / capacity) per layer.
+  double max_gap_utilization_layer1 = 0.0;
+  double max_gap_utilization_layer2 = 0.0;
+  bool capacity_ok = true;  ///< no gap exceeds its track capacity
+  bool jog_free = true;     ///< every net is a single straight segment
+  bool success() const { return capacity_ok && nets_unroutable == 0; }
+};
+
+class SubstrateRouter {
+ public:
+  explicit SubstrateRouter(const SystemConfig& config);
+
+  /// Routes the full substrate with `available_layers` signal layers
+  /// (2 = nominal, 1 = single-layer fallback of Sec. VIII).
+  RoutingReport route(int available_layers = 2) const;
+
+  /// Track capacity of one tile-gap channel on one layer.
+  int gap_track_capacity() const;
+
+  /// Wires that must escape each wafer edge (for connector budgeting),
+  /// and the wafer-edge wire capacity at the escape density.
+  struct EdgeBudget {
+    int wires_per_edge = 0;
+    int capacity_per_edge = 0;
+    bool fits() const { return wires_per_edge <= capacity_per_edge; }
+  };
+  EdgeBudget edge_fanout_budget() const;
+
+  const ReticlePlan& reticles() const { return reticles_; }
+
+ private:
+  SystemConfig config_;
+  ReticlePlan reticles_;
+
+  int bank_bus_width() const;
+};
+
+}  // namespace wsp::route

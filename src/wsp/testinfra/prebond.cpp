@@ -1,0 +1,39 @@
+#include "wsp/testinfra/prebond.hpp"
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::testinfra {
+
+bool probeable(double pitch_m, const ProbePadRules& rules) {
+  return pitch_m >= rules.min_probe_pitch_m;
+}
+
+ProbePadPlan plan_probe_pads(int signal_count, const ProbePadRules& rules) {
+  require(signal_count >= 0, "signal count cannot be negative");
+  ProbePadPlan plan;
+  plan.probe_pad_count = signal_count;
+  plan.probe_pad_pitch_m = rules.min_probe_pitch_m;
+  plan.area_m2 = static_cast<double>(signal_count) *
+                 rules.min_probe_pitch_m * rules.min_probe_pitch_m;
+  plan.probed_pads_bonded = false;
+  return plan;
+}
+
+KgdBenefit kgd_benefit(const SystemConfig& config, double die_defect_rate,
+                       double chiplet_bond_yield) {
+  require(die_defect_rate >= 0.0 && die_defect_rate <= 1.0,
+          "die defect rate must be a probability");
+  require(chiplet_bond_yield >= 0.0 && chiplet_bond_yield <= 1.0,
+          "bond yield must be a probability");
+  KgdBenefit b;
+  b.faulty_chiplet_rate_with_kgd = 1.0 - chiplet_bond_yield;
+  b.faulty_chiplet_rate_without_kgd =
+      1.0 - chiplet_bond_yield * (1.0 - die_defect_rate);
+  const double chiplets = static_cast<double>(config.total_chiplets());
+  b.expected_faulty_with_kgd = chiplets * b.faulty_chiplet_rate_with_kgd;
+  b.expected_faulty_without_kgd =
+      chiplets * b.faulty_chiplet_rate_without_kgd;
+  return b;
+}
+
+}  // namespace wsp::testinfra

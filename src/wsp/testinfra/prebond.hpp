@@ -1,0 +1,52 @@
+// Pre-bond (known-good-die) testing model (Sec. VII-A, Fig. 8).
+//
+// Fine-pitch pads (10 um pitch, 7 um width) cannot be probe-tested: probe
+// cards need >=50 um pitch, and a probe landing scrubs the pad surface,
+// ruining the planarity that direct Cu-Cu bonding depends on.  The design
+// therefore duplicates the JTAG + auxiliary signals on *larger probe pads*
+// that are used only before bonding; the fine-pitch copies of those
+// signals are bonded, the probed pads are not.
+//
+// This module checks the probe-pad geometry constraints and quantifies the
+// KGD benefit: how many assembly faults pre-bond screening avoids.
+#pragma once
+
+#include "wsp/common/config.hpp"
+
+namespace wsp::testinfra {
+
+struct ProbePadRules {
+  double min_probe_pitch_m = 50e-6;  ///< probe-card capability
+  double fine_pitch_m = 10e-6;
+  double fine_pad_width_m = 7e-6;
+};
+
+/// True when a pad at `pitch_m` can be probe-card tested.
+bool probeable(double pitch_m, const ProbePadRules& rules = {});
+
+struct ProbePadPlan {
+  int probe_pad_count = 0;       ///< duplicated JTAG + auxiliary signals
+  double probe_pad_pitch_m = 0;
+  double area_m2 = 0.0;          ///< extra chiplet area for probe pads
+  bool probed_pads_bonded = false;  ///< must stay false (planarity rule)
+};
+
+/// Probe-pad plan for one chiplet: duplicates `signal_count` signals at
+/// the minimum probeable pitch with square pads of that pitch.
+ProbePadPlan plan_probe_pads(int signal_count,
+                             const ProbePadRules& rules = {});
+
+/// Known-good-die economics: with pre-bond screening, dies with
+/// manufacturing defects (probability `die_defect_rate`) never reach
+/// assembly, so the assembled wafer only suffers bonding faults.  Without
+/// screening both defect classes land on the wafer.
+struct KgdBenefit {
+  double faulty_chiplet_rate_with_kgd = 0.0;     ///< bonding faults only
+  double faulty_chiplet_rate_without_kgd = 0.0;  ///< bonding + die defects
+  double expected_faulty_with_kgd = 0.0;         ///< over the full wafer
+  double expected_faulty_without_kgd = 0.0;
+};
+KgdBenefit kgd_benefit(const SystemConfig& config, double die_defect_rate,
+                       double chiplet_bond_yield);
+
+}  // namespace wsp::testinfra

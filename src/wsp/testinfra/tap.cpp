@@ -1,0 +1,65 @@
+#include "wsp/testinfra/tap.hpp"
+
+namespace wsp::testinfra {
+
+const char* to_string(TapState s) {
+  switch (s) {
+    case TapState::TestLogicReset: return "Test-Logic-Reset";
+    case TapState::RunTestIdle: return "Run-Test/Idle";
+    case TapState::SelectDrScan: return "Select-DR-Scan";
+    case TapState::CaptureDr: return "Capture-DR";
+    case TapState::ShiftDr: return "Shift-DR";
+    case TapState::Exit1Dr: return "Exit1-DR";
+    case TapState::PauseDr: return "Pause-DR";
+    case TapState::Exit2Dr: return "Exit2-DR";
+    case TapState::UpdateDr: return "Update-DR";
+    case TapState::SelectIrScan: return "Select-IR-Scan";
+    case TapState::CaptureIr: return "Capture-IR";
+    case TapState::ShiftIr: return "Shift-IR";
+    case TapState::Exit1Ir: return "Exit1-IR";
+    case TapState::PauseIr: return "Pause-IR";
+    case TapState::Exit2Ir: return "Exit2-IR";
+    case TapState::UpdateIr: return "Update-IR";
+  }
+  return "?";
+}
+
+TapState tap_next_state(TapState state, bool tms) {
+  switch (state) {
+    case TapState::TestLogicReset:
+      return tms ? TapState::TestLogicReset : TapState::RunTestIdle;
+    case TapState::RunTestIdle:
+      return tms ? TapState::SelectDrScan : TapState::RunTestIdle;
+    case TapState::SelectDrScan:
+      return tms ? TapState::SelectIrScan : TapState::CaptureDr;
+    case TapState::CaptureDr:
+      return tms ? TapState::Exit1Dr : TapState::ShiftDr;
+    case TapState::ShiftDr:
+      return tms ? TapState::Exit1Dr : TapState::ShiftDr;
+    case TapState::Exit1Dr:
+      return tms ? TapState::UpdateDr : TapState::PauseDr;
+    case TapState::PauseDr:
+      return tms ? TapState::Exit2Dr : TapState::PauseDr;
+    case TapState::Exit2Dr:
+      return tms ? TapState::UpdateDr : TapState::ShiftDr;
+    case TapState::UpdateDr:
+      return tms ? TapState::SelectDrScan : TapState::RunTestIdle;
+    case TapState::SelectIrScan:
+      return tms ? TapState::TestLogicReset : TapState::CaptureIr;
+    case TapState::CaptureIr:
+      return tms ? TapState::Exit1Ir : TapState::ShiftIr;
+    case TapState::ShiftIr:
+      return tms ? TapState::Exit1Ir : TapState::ShiftIr;
+    case TapState::Exit1Ir:
+      return tms ? TapState::UpdateIr : TapState::PauseIr;
+    case TapState::PauseIr:
+      return tms ? TapState::Exit2Ir : TapState::PauseIr;
+    case TapState::Exit2Ir:
+      return tms ? TapState::UpdateIr : TapState::ShiftIr;
+    case TapState::UpdateIr:
+      return tms ? TapState::SelectDrScan : TapState::RunTestIdle;
+  }
+  return TapState::TestLogicReset;
+}
+
+}  // namespace wsp::testinfra

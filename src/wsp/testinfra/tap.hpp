@@ -1,0 +1,43 @@
+// IEEE 1149.1 TAP controller finite-state machine (Sec. VII).
+//
+// The ARM Cortex-M3 Debug Access Port speaks "JTAG minus boundary scan":
+// the standard 16-state TAP controller driven by TMS on each TCK rising
+// edge, with instruction-register and data-register scan paths.  Every
+// test feature of the waferscale system — program loading, fault
+// isolation, the broadcast and unrolling tricks — rides on this FSM, so it
+// is modelled bit-accurately.
+#pragma once
+
+#include <cstdint>
+
+namespace wsp::testinfra {
+
+/// The 16 TAP controller states of IEEE 1149.1.
+enum class TapState : std::uint8_t {
+  TestLogicReset, RunTestIdle,
+  SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr, Exit2Dr, UpdateDr,
+  SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir, UpdateIr,
+};
+
+const char* to_string(TapState s);
+
+/// Next state on a TCK rising edge with the given TMS value.
+TapState tap_next_state(TapState state, bool tms);
+
+/// A TAP controller instance (one per DAP).
+class TapController {
+ public:
+  TapState state() const { return state_; }
+
+  /// Advances one TCK rising edge; returns the new state.
+  TapState step(bool tms) { return state_ = tap_next_state(state_, tms); }
+
+  /// Synchronous reset: five TCKs with TMS high reach Test-Logic-Reset
+  /// from any state (a property test asserts this invariant).
+  void reset() { state_ = TapState::TestLogicReset; }
+
+ private:
+  TapState state_ = TapState::TestLogicReset;
+};
+
+}  // namespace wsp::testinfra

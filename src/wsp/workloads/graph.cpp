@@ -1,0 +1,117 @@
+#include "wsp/workloads/graph.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::workloads {
+
+Graph::Graph(std::uint32_t vertex_count)
+    : offsets_(static_cast<std::size_t>(vertex_count) + 1, 0) {}
+
+void Graph::add_edge(std::uint32_t from, std::uint32_t to,
+                     std::uint32_t weight) {
+  require(!finalized_, "cannot add edges after finalize()");
+  require(from < vertex_count() && to < vertex_count(),
+          "edge endpoint out of range");
+  pending_.push_back({from, to, weight});
+}
+
+void Graph::add_undirected_edge(std::uint32_t a, std::uint32_t b,
+                                std::uint32_t weight) {
+  add_edge(a, b, weight);
+  add_edge(b, a, weight);
+}
+
+void Graph::finalize() {
+  require(!finalized_, "finalize() called twice");
+  std::vector<std::uint64_t> degree(offsets_.size() - 1, 0);
+  for (const PendingEdge& e : pending_) ++degree[e.from];
+  for (std::size_t v = 0; v < degree.size(); ++v)
+    offsets_[v + 1] = offsets_[v] + degree[v];
+  targets_.resize(pending_.size());
+  weights_.resize(pending_.size());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const PendingEdge& e : pending_) {
+    const std::uint64_t slot = cursor[e.from]++;
+    targets_[slot] = e.to;
+    weights_[slot] = e.weight;
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  finalized_ = true;
+}
+
+Graph::EdgeRange Graph::out_edges(std::uint32_t v) const {
+  require(finalized_, "out_edges() requires finalize()");
+  require(v < vertex_count(), "vertex out of range");
+  const std::uint64_t begin = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+  return {targets_.data() + begin, weights_.data() + begin,
+          static_cast<std::size_t>(end - begin)};
+}
+
+std::uint32_t Graph::out_degree(std::uint32_t v) const {
+  require(finalized_, "out_degree() requires finalize()");
+  return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+Graph make_grid_graph(std::uint32_t w, std::uint32_t h) {
+  Graph g(w * h);
+  auto id = [w](std::uint32_t x, std::uint32_t y) { return y * w + x; };
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w) g.add_undirected_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < h) g.add_undirected_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph make_random_graph(std::uint32_t n, std::uint64_t m,
+                        std::uint32_t max_weight, Rng& rng) {
+  require(n >= 2, "random graph needs >= 2 vertices");
+  require(max_weight >= 1, "max weight must be >= 1");
+  Graph g(n);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    auto b = static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) b = (b + 1) % n;
+    const auto w = static_cast<std::uint32_t>(1 + rng.below(max_weight));
+    g.add_undirected_edge(a, b, w);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph make_rmat_graph(int scale, std::uint64_t edges,
+                      std::uint32_t max_weight, Rng& rng) {
+  require(scale >= 1 && scale <= 30, "R-MAT scale out of range");
+  const std::uint32_t n = 1u << scale;
+  Graph g(n);
+  constexpr double a = 0.57, b = 0.19, c = 0.19;  // d = 0.05
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    std::uint32_t x = 0, y = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        x |= (1u << bit);
+      } else if (r < a + b + c) {
+        y |= (1u << bit);
+      } else {
+        x |= (1u << bit);
+        y |= (1u << bit);
+      }
+    }
+    if (x == y) y = (y + 1) % n;
+    const auto w = static_cast<std::uint32_t>(1 + rng.below(max_weight));
+    g.add_undirected_edge(x, y, w);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace wsp::workloads

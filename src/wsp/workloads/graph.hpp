@@ -1,0 +1,64 @@
+// Graphs and graph generators for the paper's workload validation
+// (Sec. II: "graph applications such as breadth-first search (BFS),
+// single-source shortest path (SSSP)").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsp/common/rng.hpp"
+
+namespace wsp::workloads {
+
+/// Directed graph in CSR form with per-edge weights.
+class Graph {
+ public:
+  explicit Graph(std::uint32_t vertex_count);
+
+  std::uint32_t vertex_count() const {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+  std::uint64_t edge_count() const { return targets_.size(); }
+
+  /// Builder: add edges, then call finalize() before reading adjacency.
+  void add_edge(std::uint32_t from, std::uint32_t to, std::uint32_t weight = 1);
+  void add_undirected_edge(std::uint32_t a, std::uint32_t b,
+                           std::uint32_t weight = 1);
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Out-neighbours of `v` (valid after finalize()).
+  struct EdgeRange {
+    const std::uint32_t* targets;
+    const std::uint32_t* weights;
+    std::size_t count;
+  };
+  EdgeRange out_edges(std::uint32_t v) const;
+  std::uint32_t out_degree(std::uint32_t v) const;
+
+ private:
+  struct PendingEdge {
+    std::uint32_t from, to, weight;
+  };
+  std::vector<PendingEdge> pending_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> targets_;
+  std::vector<std::uint32_t> weights_;
+  bool finalized_ = false;
+};
+
+/// 2-D grid graph (w x h vertices, 4-neighbour, undirected, unit weights):
+/// the stencil-like topology that maps naturally onto the tile array.
+Graph make_grid_graph(std::uint32_t w, std::uint32_t h);
+
+/// Erdos-Renyi G(n, m) multigraph-free random graph, undirected, with
+/// weights uniform in [1, max_weight].
+Graph make_random_graph(std::uint32_t n, std::uint64_t m,
+                        std::uint32_t max_weight, Rng& rng);
+
+/// R-MAT power-law graph (a=0.57 b=c=0.19), the standard proxy for the
+/// irregular graph workloads the paper's introduction motivates.
+Graph make_rmat_graph(int scale, std::uint64_t edges,
+                      std::uint32_t max_weight, Rng& rng);
+
+}  // namespace wsp::workloads

@@ -1,0 +1,240 @@
+#include "wsp/workloads/graph_apps.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "wsp/arch/power_map.hpp"
+#include "wsp/common/error.hpp"
+
+namespace wsp::workloads {
+
+VertexPartition::VertexPartition(const Graph& graph, const FaultMap& faults)
+    : vertex_count_(graph.vertex_count()),
+      owners_(faults.healthy_tiles()),
+      grid_(faults.grid()) {
+  require(!owners_.empty(), "no healthy tiles to own vertices");
+  const std::uint32_t k = static_cast<std::uint32_t>(owners_.size());
+  const std::uint32_t base = vertex_count_ / k;
+  const std::uint32_t extra = vertex_count_ % k;
+  starts_.resize(owners_.size() + 1);
+  std::uint32_t v = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    starts_[i] = v;
+    v += base + (i < extra ? 1 : 0);
+  }
+  starts_[k] = vertex_count_;
+
+  tile_slot_.assign(grid_.tile_count(), -1);
+  for (std::size_t i = 0; i < owners_.size(); ++i)
+    tile_slot_[grid_.index_of(owners_[i])] = static_cast<int>(i);
+}
+
+TileCoord VertexPartition::owner(std::uint32_t vertex) const {
+  require(vertex < vertex_count_, "vertex out of range");
+  const auto it =
+      std::upper_bound(starts_.begin(), starts_.end(), vertex) - 1;
+  return owners_[static_cast<std::size_t>(it - starts_.begin())];
+}
+
+std::pair<std::uint32_t, std::uint32_t> VertexPartition::range(
+    TileCoord tile) const {
+  const int slot = tile_slot_[grid_.index_of(tile)];
+  if (slot < 0) return {0, 0};
+  return {starts_[static_cast<std::size_t>(slot)],
+          starts_[static_cast<std::size_t>(slot) + 1]};
+}
+
+namespace {
+
+constexpr std::uint32_t kRelaxTag = 1;
+
+std::uint64_t pack(std::uint32_t vertex, std::uint32_t dist) {
+  return (static_cast<std::uint64_t>(vertex) << 32) | dist;
+}
+
+/// Shared immutable context for all tile handlers of one run.
+struct AppContext {
+  const Graph* graph;
+  const VertexPartition* partition;
+  GraphAppCosts costs;
+  bool use_weights;
+  std::uint32_t source;
+  std::uint32_t words_per_bank;
+  int shared_banks;
+};
+
+class GraphAppHandler : public arch::TileHandler {
+ public:
+  GraphAppHandler(std::shared_ptr<const AppContext> app, TileCoord coord)
+      : app_(std::move(app)) {
+    std::tie(begin_, end_) = app_->partition->range(coord);
+  }
+
+  void on_start(arch::TileContext& ctx) override {
+    // Initialise the owned slice of the distance array in the shared banks.
+    for (std::uint32_t v = begin_; v < end_; ++v)
+      store_dist(ctx, v, kUnreachedDistance);
+    ctx.charge(end_ - begin_);
+    if (app_->source >= begin_ && app_->source < end_)
+      relax_local(ctx, app_->source, 0);
+  }
+
+  void on_message(arch::TileContext& ctx, const arch::Message& m) override {
+    if (m.tag != kRelaxTag) return;
+    ctx.charge(app_->costs.per_message_base);
+    const auto vertex = static_cast<std::uint32_t>(m.payload >> 32);
+    const auto dist = static_cast<std::uint32_t>(m.payload & 0xFFFFFFFFu);
+    relax_local(ctx, vertex, dist);
+  }
+
+ private:
+  std::shared_ptr<const AppContext> app_;
+  std::uint32_t begin_ = 0;
+  std::uint32_t end_ = 0;
+
+  std::uint32_t load_dist(arch::TileContext& ctx, std::uint32_t v) const {
+    const std::uint32_t w = v - begin_;
+    return ctx.memory().peek(
+        static_cast<int>(w / app_->words_per_bank),
+        (w % app_->words_per_bank) * 4);
+  }
+  void store_dist(arch::TileContext& ctx, std::uint32_t v,
+                  std::uint32_t d) const {
+    const std::uint32_t w = v - begin_;
+    ctx.memory().poke(static_cast<int>(w / app_->words_per_bank),
+                      (w % app_->words_per_bank) * 4, d);
+  }
+
+  /// Label-correcting relaxation of the locally owned worklist; remote
+  /// neighbours become RELAX messages.
+  void relax_local(arch::TileContext& ctx, std::uint32_t vertex,
+                   std::uint32_t dist) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> work;
+    work.emplace_back(vertex, dist);
+    while (!work.empty()) {
+      const auto [v, d] = work.back();
+      work.pop_back();
+      if (d >= load_dist(ctx, v)) continue;
+      store_dist(ctx, v, d);
+      const Graph::EdgeRange edges = app_->graph->out_edges(v);
+      ctx.charge(app_->costs.per_edge * edges.count + 1);
+      for (std::size_t e = 0; e < edges.count; ++e) {
+        const std::uint32_t u = edges.targets[e];
+        const std::uint32_t nd =
+            d + (app_->use_weights ? edges.weights[e] : 1u);
+        if (u >= begin_ && u < end_) {
+          work.emplace_back(u, nd);
+        } else {
+          ctx.send(app_->partition->owner(u), kRelaxTag, pack(u, nd));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+GraphAppResult run_graph_app(const SystemConfig& config,
+                             const FaultMap& faults, const Graph& graph,
+                             std::uint32_t source, bool use_weights,
+                             const GraphAppCosts& costs,
+                             const noc::NocOptions& noc_options) {
+  require(graph.finalized(), "graph must be finalized");
+  require(source < graph.vertex_count(), "source out of range");
+
+  auto partition = std::make_shared<VertexPartition>(graph, faults);
+  auto app = std::make_shared<AppContext>();
+  app->graph = &graph;
+  app->partition = partition.get();
+  app->costs = costs;
+  app->use_weights = use_weights;
+  app->source = source;
+  app->words_per_bank = static_cast<std::uint32_t>(config.bank_bytes / 4);
+  app->shared_banks = config.shared_banks_per_tile;
+
+  // Capacity: each tile's distance slice must fit its shared banks.
+  const std::uint64_t per_tile_capacity =
+      static_cast<std::uint64_t>(app->words_per_bank) *
+      static_cast<std::uint64_t>(app->shared_banks);
+  const std::uint64_t worst_slice =
+      (graph.vertex_count() + partition->tile_count() - 1) /
+      partition->tile_count();
+  require(worst_slice <= per_tile_capacity,
+          "graph too large for the shared banks of the healthy tiles");
+
+  require(faults.is_healthy(partition->owner(source)),
+          "source vertex owned by a faulty tile");
+
+  arch::WaferSystem system(
+      config, faults,
+      [&](TileCoord c) {
+        return std::make_unique<GraphAppHandler>(app, c);
+      },
+      noc_options);
+
+  // Keep the shared context alive for the system's lifetime.
+  system.start();
+  GraphAppResult result;
+  result.quiesced = system.run_until_quiescent();
+  result.stats = system.stats();
+  result.tile_power_w = arch::tile_power_map(system);
+
+  result.distance.assign(graph.vertex_count(), kUnreachedDistance);
+  for (std::uint32_t v = 0; v < graph.vertex_count(); ++v) {
+    const TileCoord owner = partition->owner(v);
+    const auto [begin, end] = partition->range(owner);
+    (void)end;
+    const std::uint32_t w = v - begin;
+    result.distance[v] = system.tile(owner).memory().peek(
+        static_cast<int>(w / app->words_per_bank),
+        (w % app->words_per_bank) * 4);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> reference_bfs(const Graph& graph,
+                                         std::uint32_t source) {
+  std::vector<std::uint32_t> dist(graph.vertex_count(), kUnreachedDistance);
+  std::queue<std::uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    const Graph::EdgeRange edges = graph.out_edges(v);
+    for (std::size_t e = 0; e < edges.count; ++e) {
+      const std::uint32_t u = edges.targets[e];
+      if (dist[u] == kUnreachedDistance) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> reference_sssp(const Graph& graph,
+                                          std::uint32_t source) {
+  std::vector<std::uint32_t> dist(graph.vertex_count(), kUnreachedDistance);
+  using Entry = std::pair<std::uint64_t, std::uint32_t>;  // (dist, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    const Graph::EdgeRange edges = graph.out_edges(v);
+    for (std::size_t e = 0; e < edges.count; ++e) {
+      const std::uint32_t u = edges.targets[e];
+      const std::uint64_t nd = d + edges.weights[e];
+      if (nd < dist[u]) {
+        dist[u] = static_cast<std::uint32_t>(nd);
+        heap.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace wsp::workloads

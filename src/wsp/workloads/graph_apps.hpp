@@ -1,0 +1,88 @@
+// Distributed BFS and SSSP on the waferscale system (Sec. II).
+//
+// The graph is block-partitioned across the healthy tiles; every tile's
+// handler owns a contiguous vertex range, keeps the distance array in its
+// memory chiplet's shared banks, and relaxes edges by messaging the owner
+// tiles of neighbouring vertices over the NoC.  Both kernels are
+// label-correcting (asynchronous Bellman-Ford style): a RELAX(v, d)
+// message improves dist[v] and propagates; the computation is done when
+// the system quiesces.  BFS is the unit-weight special case.
+//
+// Sequential references (classic BFS / Dijkstra) are provided for
+// verification — every simulated run is checked against them in the tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "wsp/arch/wafer_system.hpp"
+#include "wsp/workloads/graph.hpp"
+
+namespace wsp::workloads {
+
+inline constexpr std::uint32_t kUnreachedDistance =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Block partition of vertices over the healthy tiles of a wafer.
+class VertexPartition {
+ public:
+  VertexPartition(const Graph& graph, const FaultMap& faults);
+
+  TileCoord owner(std::uint32_t vertex) const;
+  /// Owned vertex range [begin, end) of `tile`; empty when the tile is
+  /// faulty or owns nothing.
+  std::pair<std::uint32_t, std::uint32_t> range(TileCoord tile) const;
+  std::uint32_t vertex_count() const { return vertex_count_; }
+  std::size_t tile_count() const { return owners_.size(); }
+
+ private:
+  std::uint32_t vertex_count_;
+  std::vector<TileCoord> owners_;         ///< healthy tiles, in order
+  std::vector<std::uint32_t> starts_;     ///< starts_[i] = first vertex of owners_[i]
+  std::vector<int> tile_slot_;            ///< grid index -> owners_ slot (-1)
+  TileGrid grid_;
+};
+
+/// Tuning knobs for the cost model (core cycles charged per action).
+struct GraphAppCosts {
+  std::uint64_t per_message_base = 4;  ///< header decode + bank access
+  std::uint64_t per_edge = 2;          ///< relaxation work per out-edge
+};
+
+struct GraphAppResult {
+  std::vector<std::uint32_t> distance;  ///< per vertex; kUnreachedDistance
+  arch::WaferSystemStats stats;
+  /// Per-tile power (watts) implied by the run's core activity — feed it
+  /// to wsp::pdn::WaferPdn::solve() for workload-driven droop analysis.
+  std::vector<double> tile_power_w;
+  bool quiesced = false;
+};
+
+/// Runs distributed BFS from `source` on a wafer described by
+/// `config`/`faults`.  `use_weights` switches to SSSP relaxation.
+GraphAppResult run_graph_app(const SystemConfig& config,
+                             const FaultMap& faults, const Graph& graph,
+                             std::uint32_t source, bool use_weights,
+                             const GraphAppCosts& costs = {},
+                             const noc::NocOptions& noc_options = {});
+
+inline GraphAppResult run_bfs(const SystemConfig& config,
+                              const FaultMap& faults, const Graph& graph,
+                              std::uint32_t source) {
+  return run_graph_app(config, faults, graph, source, /*use_weights=*/false);
+}
+inline GraphAppResult run_sssp(const SystemConfig& config,
+                               const FaultMap& faults, const Graph& graph,
+                               std::uint32_t source) {
+  return run_graph_app(config, faults, graph, source, /*use_weights=*/true);
+}
+
+/// Sequential references for verification.
+std::vector<std::uint32_t> reference_bfs(const Graph& graph,
+                                         std::uint32_t source);
+std::vector<std::uint32_t> reference_sssp(const Graph& graph,
+                                          std::uint32_t source);
+
+}  // namespace wsp::workloads

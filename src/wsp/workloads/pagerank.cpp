@@ -1,0 +1,168 @@
+#include "wsp/workloads/pagerank.hpp"
+
+#include <memory>
+
+#include "wsp/common/error.hpp"
+#include "wsp/workloads/graph_apps.hpp"
+
+namespace wsp::workloads {
+
+namespace {
+
+constexpr std::uint32_t kContributionTag = 10;
+constexpr std::uint32_t kIterateTag = 11;
+
+struct PrContext {
+  const Graph* graph;
+  const VertexPartition* partition;
+  PageRankOptions options;
+};
+
+class PageRankHandler : public arch::TileHandler {
+ public:
+  PageRankHandler(std::shared_ptr<const PrContext> pr, TileCoord coord)
+      : pr_(std::move(pr)) {
+    std::tie(begin_, end_) = pr_->partition->range(coord);
+    rank_.assign(end_ - begin_, pr_->options.initial_rank);
+    accum_.assign(end_ - begin_, 0);
+  }
+
+  std::uint64_t rank_of(std::uint32_t v) const { return rank_[v - begin_]; }
+
+  void on_message(arch::TileContext& ctx, const arch::Message& m) override {
+    if (m.tag == kContributionTag) {
+      const auto vertex = static_cast<std::uint32_t>(m.payload >> 40);
+      const std::uint64_t value = m.payload & ((1ull << 40) - 1);
+      accum_[vertex - begin_] += value;
+      ctx.charge(2);
+      return;
+    }
+    if (m.tag != kIterateTag) return;
+
+    // Apply the damped update for the iteration that just completed
+    // (skipped on the first tick: nothing has been scattered yet).
+    const auto& opt = pr_->options;
+    if (tick_ > 0) {
+      const std::uint64_t base =
+          opt.initial_rank / 1000 * (1000 - opt.damping_permille);
+      for (std::uint64_t& a : accum_) {
+        a = base + a / 1000 * opt.damping_permille;
+      }
+      rank_.swap(accum_);
+      std::fill(accum_.begin(), accum_.end(), 0);
+      ctx.charge(2 * rank_.size());
+    }
+    ++tick_;
+    if (tick_ > opt.iterations) return;  // final tick: apply only
+
+    // Scatter rank/degree along out-edges.
+    for (std::uint32_t v = begin_; v < end_; ++v) {
+      const Graph::EdgeRange edges = pr_->graph->out_edges(v);
+      if (edges.count == 0) continue;
+      const std::uint64_t share =
+          rank_[v - begin_] / static_cast<std::uint64_t>(edges.count);
+      ctx.charge(edges.count);
+      for (std::size_t e = 0; e < edges.count; ++e) {
+        const std::uint32_t u = edges.targets[e];
+        if (u >= begin_ && u < end_) {
+          accum_[u - begin_] += share;
+        } else {
+          ctx.send(pr_->partition->owner(u), kContributionTag,
+                   (static_cast<std::uint64_t>(u) << 40) | share);
+        }
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const PrContext> pr_;
+  std::uint32_t begin_ = 0;
+  std::uint32_t end_ = 0;
+  int tick_ = 0;
+  std::vector<std::uint64_t> rank_;
+  std::vector<std::uint64_t> accum_;
+};
+
+}  // namespace
+
+PageRankResult run_pagerank(const SystemConfig& config,
+                            const FaultMap& faults, const Graph& graph,
+                            const PageRankOptions& options,
+                            const noc::NocOptions& noc_options) {
+  require(graph.finalized(), "graph must be finalized");
+  require(options.iterations >= 1, "need at least one iteration");
+  require(options.damping_permille <= 1000, "damping is a permille value");
+  // Contribution payloads pack (vertex << 40 | share): the total rank
+  // mass bounds any single share, so it must fit in 40 bits.
+  require(options.initial_rank * graph.vertex_count() < (1ull << 40),
+          "rank mass too large for the payload packing");
+  require(graph.vertex_count() < (1u << 24), "vertex id must fit 24 bits");
+
+  auto partition = std::make_shared<VertexPartition>(graph, faults);
+  auto pr = std::make_shared<PrContext>();
+  pr->graph = &graph;
+  pr->partition = partition.get();
+  pr->options = options;
+
+  std::vector<PageRankHandler*> handlers(faults.grid().tile_count(), nullptr);
+  arch::WaferSystem system(
+      config, faults,
+      [&](TileCoord c) {
+        auto h = std::make_unique<PageRankHandler>(pr, c);
+        handlers[faults.grid().index_of(c)] = h.get();
+        return h;
+      },
+      noc_options);
+  system.start();
+
+  PageRankResult result;
+  // iterations+1 ticks: tick k scatters iteration k's contributions and
+  // tick k+1 applies them; the final tick applies only.
+  for (int tick = 0; tick <= options.iterations; ++tick) {
+    for (const TileCoord c : faults.healthy_tiles()) {
+      arch::Message m;
+      m.src = c;
+      m.dst = c;
+      m.tag = kIterateTag;
+      system.post(m);
+    }
+    result.quiesced = system.run_until_quiescent();
+    if (!result.quiesced) break;
+    ++result.iterations_run;
+  }
+  result.iterations_run = std::max(0, result.iterations_run - 1);
+
+  result.rank.assign(graph.vertex_count(), 0);
+  for (std::uint32_t v = 0; v < graph.vertex_count(); ++v) {
+    const TileCoord owner = partition->owner(v);
+    const auto* h = handlers[faults.grid().index_of(owner)];
+    if (h) result.rank[v] = h->rank_of(v);
+  }
+  result.stats = system.stats();
+  return result;
+}
+
+std::vector<std::uint64_t> reference_pagerank(const Graph& graph,
+                                              const PageRankOptions& options) {
+  const std::uint32_t n = graph.vertex_count();
+  std::vector<std::uint64_t> rank(n, options.initial_rank);
+  std::vector<std::uint64_t> accum(n, 0);
+  const std::uint64_t base =
+      options.initial_rank / 1000 * (1000 - options.damping_permille);
+  for (int it = 0; it < options.iterations; ++it) {
+    std::fill(accum.begin(), accum.end(), 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const Graph::EdgeRange edges = graph.out_edges(v);
+      if (edges.count == 0) continue;
+      const std::uint64_t share =
+          rank[v] / static_cast<std::uint64_t>(edges.count);
+      for (std::size_t e = 0; e < edges.count; ++e)
+        accum[edges.targets[e]] += share;
+    }
+    for (std::uint32_t v = 0; v < n; ++v)
+      rank[v] = base + accum[v] / 1000 * options.damping_permille;
+  }
+  return rank;
+}
+
+}  // namespace wsp::workloads

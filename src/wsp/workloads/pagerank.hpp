@@ -1,0 +1,51 @@
+// Distributed PageRank on the waferscale system.
+//
+// The paper's introduction motivates the machine with "graph processing,
+// data analytics, and machine learning"; BFS/SSSP cover the traversal
+// class, PageRank covers the iterative-analytics class (and exercises the
+// bulk-synchronous pattern: per-iteration barriers over the asynchronous
+// NoC).  Each tile owns a vertex slice; every iteration it scatters
+// rank/degree contributions to the owners of out-neighbours and applies
+// the damped update when the next iteration tick arrives.
+//
+// All arithmetic is 64-bit fixed point with integer division, performed
+// in the same order-independent way (pure additions between ticks) by
+// both the distributed run and the sequential reference — so the two
+// match *exactly*, not approximately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsp/arch/wafer_system.hpp"
+#include "wsp/workloads/graph.hpp"
+
+namespace wsp::workloads {
+
+struct PageRankOptions {
+  int iterations = 10;
+  std::uint32_t damping_permille = 850;  ///< d = 0.85
+  /// Initial rank per vertex, fixed-point.  Total rank mass
+  /// (initial_rank x vertices) must stay below 2^40 so contribution
+  /// payloads pack into the 100-bit packet's payload field.
+  std::uint64_t initial_rank = 1ull << 24;
+};
+
+struct PageRankResult {
+  std::vector<std::uint64_t> rank;  ///< fixed-point, per vertex
+  arch::WaferSystemStats stats;
+  bool quiesced = false;
+  int iterations_run = 0;
+};
+
+/// Runs PageRank across the healthy tiles of a wafer.
+PageRankResult run_pagerank(const SystemConfig& config,
+                            const FaultMap& faults, const Graph& graph,
+                            const PageRankOptions& options = {},
+                            const noc::NocOptions& noc_options = {});
+
+/// Sequential reference performing the identical fixed-point updates.
+std::vector<std::uint64_t> reference_pagerank(
+    const Graph& graph, const PageRankOptions& options = {});
+
+}  // namespace wsp::workloads

@@ -1,0 +1,285 @@
+// Tests for the architecture layer: intra-tile crossbar, core cluster
+// scheduling, and the message-passing WaferSystem runtime.
+#include <gtest/gtest.h>
+
+#include "wsp/arch/core_cluster.hpp"
+#include "wsp/arch/crossbar.hpp"
+#include "wsp/arch/tile.hpp"
+#include "wsp/arch/wafer_system.hpp"
+#include "wsp/common/error.hpp"
+
+namespace wsp::arch {
+namespace {
+
+// ---------------------------------------------------------------- crossbar
+
+TEST(Crossbar, SingleRequestGranted) {
+  Crossbar xbar(16, 6);
+  const XbarGrants g = xbar.arbitrate({{3, 2}});
+  EXPECT_EQ(g.granted_count, 1);
+  EXPECT_EQ(g.per_master[3], 2);
+}
+
+TEST(Crossbar, OneGrantPerSlavePerCycle) {
+  Crossbar xbar(16, 6);
+  // Four masters fight for slave 0; one wins.
+  const XbarGrants g = xbar.arbitrate({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  EXPECT_EQ(g.granted_count, 1);
+}
+
+TEST(Crossbar, DisjointSlavesAllGranted) {
+  // The parallel-banks property: masters hitting different banks all
+  // proceed in one cycle.
+  Crossbar xbar(16, 6);
+  const XbarGrants g =
+      xbar.arbitrate({{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  EXPECT_EQ(g.granted_count, 5);
+  for (int m = 0; m < 5; ++m) EXPECT_EQ(g.per_master[m], m);
+}
+
+TEST(Crossbar, RoundRobinIsFairUnderSaturation) {
+  Crossbar xbar(4, 1);
+  std::array<int, 4> wins{};
+  for (int c = 0; c < 400; ++c) {
+    const XbarGrants g = xbar.arbitrate({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    for (int m = 0; m < 4; ++m)
+      if (g.per_master[m]) ++wins[m];
+  }
+  for (const int w : wins) EXPECT_EQ(w, 100);
+}
+
+TEST(Crossbar, RejectsDuplicateMasterRequests) {
+  Crossbar xbar(4, 4);
+  EXPECT_THROW(xbar.arbitrate({{0, 1}, {0, 2}}), Error);
+  EXPECT_THROW(xbar.arbitrate({{9, 0}}), Error);
+  EXPECT_THROW(xbar.arbitrate({{0, 9}}), Error);
+}
+
+TEST(Crossbar, GrantAccountingAccumulates) {
+  Crossbar xbar(2, 2);
+  xbar.arbitrate({{0, 0}, {1, 1}});
+  xbar.arbitrate({{0, 1}});
+  EXPECT_EQ(xbar.total_grants(), 3u);
+  EXPECT_EQ(xbar.slave_grant_counts()[0], 1u);
+  EXPECT_EQ(xbar.slave_grant_counts()[1], 2u);
+  EXPECT_EQ(xbar.cycles(), 2u);
+}
+
+// ------------------------------------------------------------ core cluster
+
+TEST(CoreCluster, ParallelWorkAcrossCores) {
+  CoreCluster cores(14);
+  // 14 work items of 100 cycles all finish at cycle 100.
+  for (int i = 0; i < 14; ++i) EXPECT_EQ(cores.schedule(0, 100), 100u);
+  // The 15th must wait for a core.
+  EXPECT_EQ(cores.schedule(0, 100), 200u);
+  EXPECT_EQ(cores.all_idle_at(), 200u);
+}
+
+TEST(CoreCluster, ReadyTimeRespected) {
+  CoreCluster cores(2);
+  EXPECT_EQ(cores.schedule(50, 10), 60u);
+  EXPECT_EQ(cores.next_free_at(), 0u);  // the second core is still free
+}
+
+TEST(CoreCluster, UtilizationMath) {
+  CoreCluster cores(4);
+  cores.schedule(0, 100);
+  cores.schedule(0, 100);
+  EXPECT_NEAR(cores.utilization(100), 0.5, 1e-12);
+  EXPECT_EQ(cores.total_busy_cycles(), 200u);
+  EXPECT_EQ(cores.work_items(), 2u);
+}
+
+TEST(CoreCluster, RejectsZeroCores) { EXPECT_THROW(CoreCluster(0), Error); }
+
+// ------------------------------------------------------------------ tile
+
+TEST(Tile, ResourcesMatchConfig) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  Tile tile(cfg, {3, 4});
+  EXPECT_EQ(tile.coord(), (TileCoord{3, 4}));
+  EXPECT_EQ(tile.cores().core_count(), 14);
+  EXPECT_EQ(tile.memory().bank_count(), 5);
+  EXPECT_EQ(tile.private_mem(0).capacity(), 64u * 1024);
+  EXPECT_EQ(tile.private_mem(13).capacity(), 64u * 1024);
+  EXPECT_THROW(tile.private_mem(14), std::out_of_range);
+}
+
+// ------------------------------------------------------------ wafer system
+
+/// Ping-pong: tile A sends a counter to B, B increments and returns it,
+/// until the counter hits a limit.
+class PingPong : public TileHandler {
+ public:
+  PingPong(TileCoord peer, bool starter, std::uint64_t limit,
+           std::uint64_t* final_value)
+      : peer_(peer), starter_(starter), limit_(limit), final_(final_value) {}
+
+  void on_start(TileContext& ctx) override {
+    if (starter_) ctx.send(peer_, /*tag=*/7, /*payload=*/1);
+  }
+  void on_message(TileContext& ctx, const Message& m) override {
+    ctx.charge(5);
+    if (m.payload >= limit_) {
+      *final_ = m.payload;
+      return;
+    }
+    ctx.send(peer_, 7, m.payload + 1);
+  }
+
+ private:
+  TileCoord peer_;
+  bool starter_;
+  std::uint64_t limit_;
+  std::uint64_t* final_;
+};
+
+TEST(WaferSystem, PingPongConvergesAndCounts) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  std::uint64_t final_value = 0;
+  const TileCoord a{0, 0}, b{3, 3};
+  WaferSystem sys(cfg, faults, [&](TileCoord c) -> std::unique_ptr<TileHandler> {
+    if (c == a) return std::make_unique<PingPong>(b, true, 20, &final_value);
+    if (c == b) return std::make_unique<PingPong>(a, false, 20, &final_value);
+    return std::make_unique<PingPong>(c, false, 20, &final_value);
+  });
+  sys.start();
+  ASSERT_TRUE(sys.run_until_quiescent());
+  EXPECT_EQ(final_value, 20u);
+  const WaferSystemStats st = sys.stats();
+  EXPECT_EQ(st.messages_sent, 20u);
+  EXPECT_EQ(st.messages_delivered, 20u);
+  EXPECT_EQ(st.messages_undeliverable, 0u);
+  EXPECT_GT(st.makespan, 0u);
+  EXPECT_GE(st.handler_invocations, 20u + 16u);  // messages + on_start
+}
+
+/// Broadcast-tree handler: on_start at the root sends to all tiles.
+class Scatter : public TileHandler {
+ public:
+  Scatter(bool root, const TileGrid& grid, std::vector<int>* hits)
+      : root_(root), grid_(grid), hits_(hits) {}
+  void on_start(TileContext& ctx) override {
+    if (!root_) return;
+    grid_.for_each([&](TileCoord c) {
+      if (!(c == ctx.coord())) ctx.send(c, 1, 99);
+    });
+  }
+  void on_message(TileContext& ctx, const Message& m) override {
+    ctx.charge(3);
+    (*hits_)[grid_.index_of(ctx.coord())] += static_cast<int>(m.payload);
+  }
+
+ private:
+  bool root_;
+  TileGrid grid_;
+  std::vector<int>* hits_;
+};
+
+TEST(WaferSystem, ScatterReachesEveryHealthyTile) {
+  const SystemConfig cfg = SystemConfig::reduced(5, 5);
+  const FaultMap faults(cfg.grid());
+  std::vector<int> hits(25, 0);
+  WaferSystem sys(cfg, faults, [&](TileCoord c) -> std::unique_ptr<TileHandler> {
+    return std::make_unique<Scatter>(c == TileCoord{0, 0}, cfg.grid(), &hits);
+  });
+  sys.start();
+  ASSERT_TRUE(sys.run_until_quiescent());
+  for (std::size_t i = 1; i < hits.size(); ++i) EXPECT_EQ(hits[i], 99);
+  EXPECT_EQ(hits[0], 0);  // root does not message itself
+}
+
+TEST(WaferSystem, MessagesToWalledInTileAreUndeliverable) {
+  const SystemConfig cfg = SystemConfig::reduced(8, 8);
+  FaultMap faults(cfg.grid());
+  for (TileCoord f : {TileCoord{4, 5}, TileCoord{5, 4}, TileCoord{4, 3},
+                      TileCoord{3, 4}})
+    faults.set_faulty(f);
+  std::vector<int> hits(64, 0);
+  WaferSystem sys(cfg, faults, [&](TileCoord c) -> std::unique_ptr<TileHandler> {
+    return std::make_unique<Scatter>(c == TileCoord{0, 0}, cfg.grid(), &hits);
+  });
+  sys.start();
+  ASSERT_TRUE(sys.run_until_quiescent());
+  const WaferSystemStats st = sys.stats();
+  // (4,4) is healthy but unreachable; the 4 faulty tiles get no handler
+  // and no messages (they are excluded from the scatter destinations via
+  // issue() returning unreachable).
+  EXPECT_EQ(st.messages_undeliverable, 5u);
+  EXPECT_EQ(hits[cfg.grid().index_of({4, 4})], 0);
+}
+
+TEST(WaferSystem, HostPostSeedsTheSystem) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  std::vector<int> hits(16, 0);
+  WaferSystem sys(cfg, faults, [&](TileCoord) -> std::unique_ptr<TileHandler> {
+    return std::make_unique<Scatter>(false, cfg.grid(), &hits);
+  });
+  sys.start();
+  Message m;
+  m.src = {0, 0};
+  m.dst = {2, 2};
+  m.tag = 1;
+  m.payload = 7;
+  sys.post(m);
+  ASSERT_TRUE(sys.run_until_quiescent());
+  EXPECT_EQ(hits[cfg.grid().index_of({2, 2})], 7);
+}
+
+TEST(WaferSystem, CoreCostDelaysOutgoingMessages) {
+  // A handler that charges heavily delays its sends: the paper's model of
+  // cores spending cycles on network/relay duties.
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+
+  class Heavy : public TileHandler {
+   public:
+    explicit Heavy(std::uint64_t* delivered) : delivered_(delivered) {}
+    void on_start(TileContext& ctx) override {
+      if (ctx.coord() == TileCoord{0, 0}) {
+        ctx.charge(1000);
+        ctx.send({3, 3}, 2, 1);
+      }
+    }
+    void on_message(TileContext&, const Message& m) override {
+      *delivered_ = m.delivered_cycle;
+    }
+   private:
+    std::uint64_t* delivered_;
+  };
+
+  std::uint64_t delivered = 0;
+  WaferSystem sys(cfg, faults, [&](TileCoord) {
+    return std::make_unique<Heavy>(&delivered);
+  });
+  sys.start();
+  ASSERT_TRUE(sys.run_until_quiescent());
+  EXPECT_GT(delivered, 1000u);  // the charge gated the send
+}
+
+TEST(WaferSystem, RequiresMatchingFaultMapAndFactory) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap wrong(TileGrid(5, 5));
+  auto factory = [](TileCoord) -> std::unique_ptr<TileHandler> {
+    return nullptr;
+  };
+  EXPECT_THROW(WaferSystem(cfg, wrong, factory), Error);
+  EXPECT_THROW(WaferSystem(cfg, FaultMap(cfg.grid()), nullptr), Error);
+}
+
+TEST(WaferSystem, StartTwiceThrows) {
+  const SystemConfig cfg = SystemConfig::reduced(3, 3);
+  const FaultMap faults(cfg.grid());
+  std::vector<int> hits(9, 0);
+  WaferSystem sys(cfg, faults, [&](TileCoord) -> std::unique_ptr<TileHandler> {
+    return std::make_unique<Scatter>(false, cfg.grid(), &hits);
+  });
+  sys.start();
+  EXPECT_THROW(sys.start(), Error);
+}
+
+}  // namespace
+}  // namespace wsp::arch

@@ -1,0 +1,313 @@
+// Unit and property tests for wsp/common: geometry, configuration
+// (Table I derivations), fault maps and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "wsp/common/config.hpp"
+#include "wsp/common/error.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/geometry.hpp"
+#include "wsp/common/rng.hpp"
+#include "wsp/common/units.hpp"
+
+namespace wsp {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(Direction, OppositeIsInvolution) {
+  for (Direction d : kAllDirections) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+}
+
+TEST(Direction, StepThenOppositeReturns) {
+  const TileCoord c{5, 7};
+  for (Direction d : kAllDirections)
+    EXPECT_EQ(step(step(c, d), opposite(d)), c);
+}
+
+TEST(TileGrid, ContainsAndBounds) {
+  const TileGrid grid(4, 3);
+  EXPECT_TRUE(grid.contains({0, 0}));
+  EXPECT_TRUE(grid.contains({3, 2}));
+  EXPECT_FALSE(grid.contains({4, 0}));
+  EXPECT_FALSE(grid.contains({0, 3}));
+  EXPECT_FALSE(grid.contains({-1, 0}));
+  EXPECT_EQ(grid.tile_count(), 12u);
+}
+
+TEST(TileGrid, IndexRoundTrip) {
+  const TileGrid grid(7, 5);
+  for (std::size_t i = 0; i < grid.tile_count(); ++i)
+    EXPECT_EQ(grid.index_of(grid.coord_of(i)), i);
+}
+
+TEST(TileGrid, NeighborsAtCornerAndCenter) {
+  const TileGrid grid(4, 4);
+  EXPECT_EQ(grid.neighbors({0, 0}).size(), 2u);
+  EXPECT_EQ(grid.neighbors({1, 0}).size(), 3u);
+  EXPECT_EQ(grid.neighbors({1, 1}).size(), 4u);
+  EXPECT_FALSE(grid.neighbor({0, 0}, Direction::West).has_value());
+  EXPECT_EQ(grid.neighbor({0, 0}, Direction::East).value(), (TileCoord{1, 0}));
+}
+
+TEST(TileGrid, EdgeClassification) {
+  const TileGrid grid(5, 5);
+  int edge_count = 0;
+  grid.for_each([&](TileCoord c) {
+    if (grid.is_edge(c)) ++edge_count;
+  });
+  EXPECT_EQ(edge_count, 16);  // perimeter of a 5x5 array
+}
+
+TEST(TileGrid, DistanceToEdge) {
+  const TileGrid grid(5, 5);
+  EXPECT_EQ(grid.distance_to_edge({0, 0}), 0);
+  EXPECT_EQ(grid.distance_to_edge({2, 2}), 2);
+  EXPECT_EQ(grid.distance_to_edge({1, 2}), 1);
+  EXPECT_THROW(grid.distance_to_edge({9, 9}), Error);
+}
+
+TEST(TileGrid, RejectsEmpty) {
+  EXPECT_THROW(TileGrid(0, 4), Error);
+  EXPECT_THROW(TileGrid(4, -1), Error);
+}
+
+TEST(PhysicalGeometry, TilePitchAndArea) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  const auto& g = cfg.geometry;
+  EXPECT_NEAR(g.tile_pitch_x_m(), 3.25e-3, 1e-9);
+  EXPECT_NEAR(g.tile_pitch_y_m(), 3.7e-3, 1e-9);
+  // One tile's active silicon: 3.15x2.4 + 3.15x1.1 = 11.025 mm^2.
+  EXPECT_NEAR(g.tile_active_area_m2(), 11.025e-6, 1e-10);
+}
+
+// ------------------------------------------------------------ Table I (cfg)
+
+TEST(SystemConfig, PaperPrototypeValidates) {
+  EXPECT_NO_THROW(SystemConfig::paper_prototype().validate());
+}
+
+TEST(SystemConfig, TableI_Counts) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  EXPECT_EQ(cfg.total_tiles(), 1024);
+  EXPECT_EQ(cfg.total_chiplets(), 2048);
+  EXPECT_EQ(cfg.total_cores(), 14336);
+}
+
+TEST(SystemConfig, TableI_ComputeThroughput) {
+  // 14336 cores x 300 MHz = 4.3 TOPS.
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  EXPECT_NEAR(cfg.compute_throughput_ops(), 4.3008e12, 1e9);
+}
+
+TEST(SystemConfig, TableI_SharedMemoryCapacity) {
+  // 1024 tiles x 4 shared banks x 128 KB = 512 MB.
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  EXPECT_EQ(cfg.total_shared_memory_bytes(), 512ull * 1024 * 1024);
+}
+
+TEST(SystemConfig, TableI_SharedMemoryBandwidth) {
+  // 1024 tiles x 5 banks x 4 B x 300 MHz = 6.144 TB/s.
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  EXPECT_NEAR(cfg.shared_memory_bandwidth_bytes_per_s(), 6.144e12, 1e6);
+}
+
+TEST(SystemConfig, TableI_NetworkBandwidth) {
+  // 1024 tiles x 2 networks x 2 buses x 8 B payload x 300 MHz = 9.83 TB/s.
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  EXPECT_NEAR(cfg.network_bandwidth_bytes_per_s(), 9.8304e12, 1e7);
+}
+
+TEST(SystemConfig, TableI_PeakCurrentAndPower) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  // Paper: "about 290 A"; the exact pass-through figure is 1024 x 350 mW
+  // at the 1.21 V fast-fast corner = 296 A.
+  EXPECT_NEAR(cfg.total_peak_current_a(), 296.2, 1.0);
+  // Paper Table I: 725 W (290 A x 2.5 V); computed: 296 A x 2.5 V = 740 W.
+  EXPECT_NEAR(cfg.total_peak_power_w(), 740.5, 3.0);
+  EXPECT_LT(std::abs(cfg.total_peak_power_w() - 725.0) / 725.0, 0.03);
+}
+
+TEST(SystemConfig, TableI_TotalArea) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  const double area_mm2 = cfg.total_area_m2() / 1e-6;
+  // Paper: 15,100 mm^2 including edge I/Os; the model lands within 2 %.
+  EXPECT_LT(std::abs(area_mm2 - 15100.0) / 15100.0, 0.02);
+  // Active silicon: 1024 x 11.025 mm^2.
+  EXPECT_NEAR(cfg.active_silicon_area_m2() / 1e-6, 11289.6, 0.5);
+}
+
+TEST(SystemConfig, TableI_IoCount) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  // 1024 x (2020 + 1250) = 3.35 M fine-pitch I/Os ("3.7 M+" in the paper,
+  // which also counts edge-connector pads).
+  EXPECT_EQ(cfg.total_inter_chip_ios(), 3348480);
+}
+
+TEST(SystemConfig, ReducedSystemScales) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  EXPECT_EQ(cfg.total_tiles(), 16);
+  EXPECT_EQ(cfg.total_cores(), 16 * 14);
+  EXPECT_EQ(cfg.total_shared_memory_bytes(), 16ull * 4 * 128 * 1024);
+}
+
+TEST(SystemConfig, ValidateCatchesBadConfigs) {
+  SystemConfig cfg = SystemConfig::paper_prototype();
+  cfg.array_width = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = SystemConfig::paper_prototype();
+  cfg.shared_banks_per_tile = 6;  // more than banks on the chiplet
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = SystemConfig::paper_prototype();
+  cfg.nominal_freq_hz = 500e6;  // beyond PLL max output
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = SystemConfig::paper_prototype();
+  cfg.packet_bits = 500;  // wider than the link
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = SystemConfig::paper_prototype();
+  cfg.num_networks = 3;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = SystemConfig::paper_prototype();
+  cfg.jtag_chains = 64;  // more chains than rows
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+// ------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(99);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) ++counts[rng.below(7)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+// -------------------------------------------------------------- fault map
+
+TEST(FaultMap, StartsAllHealthy) {
+  const TileGrid grid(8, 8);
+  const FaultMap map(grid);
+  EXPECT_EQ(map.fault_count(), 0u);
+  EXPECT_EQ(map.healthy_count(), 64u);
+  grid.for_each([&](TileCoord c) { EXPECT_TRUE(map.is_healthy(c)); });
+}
+
+TEST(FaultMap, SetAndClear) {
+  FaultMap map(TileGrid(4, 4));
+  map.set_faulty({1, 1});
+  EXPECT_TRUE(map.is_faulty({1, 1}));
+  EXPECT_EQ(map.fault_count(), 1u);
+  map.set_faulty({1, 1});  // idempotent
+  EXPECT_EQ(map.fault_count(), 1u);
+  map.set_faulty({1, 1}, false);
+  EXPECT_EQ(map.fault_count(), 0u);
+  EXPECT_THROW(map.set_faulty({9, 9}), Error);
+}
+
+TEST(FaultMap, RandomWithCountExact) {
+  const TileGrid grid(16, 16);
+  Rng rng(3);
+  for (const std::size_t n : {0u, 1u, 5u, 50u, 255u}) {
+    const FaultMap map = FaultMap::random_with_count(grid, n, rng);
+    EXPECT_EQ(map.fault_count(), n);
+    EXPECT_EQ(map.faulty_tiles().size(), n);
+  }
+  EXPECT_THROW(FaultMap::random_with_count(grid, 257, rng), Error);
+}
+
+TEST(FaultMap, RandomWithProbabilityMatchesExpectation) {
+  const TileGrid grid(32, 32);
+  Rng rng(11);
+  std::size_t total = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t)
+    total += FaultMap::random_with_probability(grid, 0.1, rng).fault_count();
+  EXPECT_NEAR(static_cast<double>(total) / trials, 102.4, 10.0);
+}
+
+TEST(FaultMap, AllNeighborsFaultyDetection) {
+  FaultMap map(TileGrid(5, 5));
+  for (TileCoord f : {TileCoord{2, 1}, TileCoord{2, 3}, TileCoord{1, 2},
+                      TileCoord{3, 2}})
+    map.set_faulty(f);
+  EXPECT_TRUE(map.all_neighbors_faulty({2, 2}));
+  EXPECT_FALSE(map.all_neighbors_faulty({1, 1}));
+  // A corner tile is boxed in by its two neighbours only.
+  FaultMap corner(TileGrid(5, 5));
+  corner.set_faulty({1, 0});
+  corner.set_faulty({0, 1});
+  EXPECT_TRUE(corner.all_neighbors_faulty({0, 0}));
+}
+
+TEST(FaultMap, HealthyPlusFaultyPartition) {
+  const TileGrid grid(10, 10);
+  Rng rng(17);
+  const FaultMap map = FaultMap::random_with_count(grid, 23, rng);
+  std::set<std::pair<int, int>> seen;
+  for (const TileCoord c : map.faulty_tiles()) seen.insert({c.x, c.y});
+  for (const TileCoord c : map.healthy_tiles()) {
+    EXPECT_EQ(seen.count({c.x, c.y}), 0u);
+    seen.insert({c.x, c.y});
+  }
+  EXPECT_EQ(seen.size(), grid.tile_count());
+}
+
+// Parameterized property: random_with_count never repeats a tile and is
+// reproducible for a fixed seed.
+class FaultMapSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultMapSeedTest, ReproducibleDraws) {
+  const TileGrid grid(12, 12);
+  Rng a(GetParam()), b(GetParam());
+  const FaultMap m1 = FaultMap::random_with_count(grid, 10, a);
+  const FaultMap m2 = FaultMap::random_with_count(grid, 10, b);
+  EXPECT_TRUE(m1 == m2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultMapSeedTest,
+                         ::testing::Values(1, 2, 3, 17, 999, 123456789));
+
+}  // namespace
+}  // namespace wsp

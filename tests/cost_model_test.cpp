@@ -1,0 +1,84 @@
+// Tests for the Sec. I cost comparison: chiplet assembly vs monolithic
+// waferscale with reserved redundancy.
+#include <gtest/gtest.h>
+
+#include "wsp/common/error.hpp"
+#include "wsp/io/cost_model.hpp"
+
+namespace wsp::io {
+namespace {
+
+SystemConfig cfg() { return SystemConfig::paper_prototype(); }
+
+TEST(CostModel, SmallDiesYieldBetterThanTiles) {
+  // The foundational chiplet argument: yield falls exponentially with
+  // area, so the 7.6 mm^2 compute die out-yields nothing, but the wafer-
+  // sized monolithic die only survives via redundancy.
+  const CostInputs in;
+  const ChipletCost c = estimate_chiplet_cost(cfg(), in);
+  EXPECT_GT(c.compute_die_yield, 0.99);
+  EXPECT_GT(c.memory_die_yield, c.compute_die_yield);  // smaller die
+}
+
+TEST(CostModel, MonolithicNeedsItsSpares) {
+  // With generous spares the monolithic wafer yields; squeeze the spare
+  // budget below the expected fault rate and the yield collapses — the
+  // paper's "redundant cores and network links need to be reserved".
+  CostInputs in;
+  in.defect_density_per_m2 = 5000.0;  // 0.5 defects/cm^2
+  in.monolithic_spare_fraction = 0.10;
+  const MonolithicCost generous = estimate_monolithic_cost(cfg(), in);
+  EXPECT_GT(generous.system_yield, 0.99);
+
+  in.monolithic_spare_fraction = 0.02;
+  const MonolithicCost tight = estimate_monolithic_cost(cfg(), in);
+  EXPECT_LT(tight.system_yield, 0.01);
+  EXPECT_GT(tight.cost_per_good_system,
+            100.0 * generous.cost_per_good_system);
+}
+
+TEST(CostModel, ChipletAssemblyYieldIsHighWithDualPillars) {
+  const ChipletCost c = estimate_chiplet_cost(cfg());
+  // Dual-pillar bonding leaves ~0.03 expected faulty tiles; tolerating a
+  // handful makes assembly acceptance essentially certain.
+  EXPECT_GT(c.assembly_yield, 0.999);
+}
+
+TEST(CostModel, ChipletWinsAtRealisticDefectDensities) {
+  for (const double d0 : {1000.0, 3000.0, 5000.0}) {
+    CostInputs in;
+    in.defect_density_per_m2 = d0;
+    const CostComparison cmp = compare_costs(cfg(), in);
+    EXPECT_GT(cmp.chiplet_advantage, 1.0) << "D0=" << d0;
+  }
+}
+
+TEST(CostModel, AdvantageGrowsWithDefectDensity) {
+  CostInputs low;
+  low.defect_density_per_m2 = 1000.0;
+  CostInputs high = low;
+  high.defect_density_per_m2 = 8000.0;
+  const double adv_low = compare_costs(cfg(), low).chiplet_advantage;
+  const double adv_high = compare_costs(cfg(), high).chiplet_advantage;
+  EXPECT_GT(adv_high, adv_low);
+}
+
+TEST(CostModel, CostsAreAccountedConsistently) {
+  const CostInputs in;
+  const ChipletCost c = estimate_chiplet_cost(cfg(), in);
+  // Silicon + substrate + assembly, inflated only by the (near-one)
+  // assembly yield.
+  const double parts = c.silicon_cost + in.interconnect_wafer_cost +
+                       in.assembly_cost_per_chiplet * 2048;
+  EXPECT_NEAR(c.cost_per_good_system, parts / c.assembly_yield, 1e-6);
+  EXPECT_GT(c.silicon_cost, 0.0);
+}
+
+TEST(CostModel, ValidatesInputs) {
+  CostInputs bad;
+  bad.monolithic_spare_fraction = 1.0;
+  EXPECT_THROW(estimate_monolithic_cost(cfg(), bad), Error);
+}
+
+}  // namespace
+}  // namespace wsp::io

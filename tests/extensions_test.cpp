@@ -1,0 +1,263 @@
+// Tests for the paper's stated-future-work extensions implemented in this
+// library: through-wafer-via power delivery (Sec. III ref [13]),
+// substrate deep-trench decap (footnote 2, ref [14]), and clock-skew
+// quantification for the forwarding network (footnote 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wsp/arch/power_map.hpp"
+#include "wsp/clock/skew.hpp"
+#include "wsp/common/error.hpp"
+#include "wsp/mem/technology.hpp"
+#include "wsp/pdn/strategy.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+#include "wsp/route/net_timing.hpp"
+#include "wsp/workloads/graph_apps.hpp"
+
+namespace wsp {
+namespace {
+
+SystemConfig cfg() { return SystemConfig::paper_prototype(); }
+
+// ------------------------------------------------------------------- TWV
+
+TEST(Twv, EliminatesTheLateralDroopGradient) {
+  const pdn::StrategyReport twv = pdn::evaluate_twv_strategy(cfg());
+  // Per-tile drop is just the via bundle: millivolts, not the volt-scale
+  // droop of edge delivery.
+  EXPECT_GT(twv.min_tile_supply_v, 1.45);
+  EXPECT_LT(1.5 - twv.min_tile_supply_v, 0.01);
+}
+
+TEST(Twv, BeatsEdgeLdoEfficiency) {
+  const pdn::StrategyComparison cmp = pdn::compare_strategies(cfg());
+  EXPECT_GT(cmp.twv.efficiency, cmp.ldo.efficiency + 0.2);
+  EXPECT_EQ(cmp.twv.area_overhead_fraction, 0.0);
+  // Still delivers the full logic power.
+  EXPECT_NEAR(cmp.twv.delivered_power_w, cmp.ldo.delivered_power_w,
+              cmp.ldo.delivered_power_w * 0.05);
+}
+
+TEST(Twv, PlaneLossIsNegligible) {
+  const pdn::StrategyReport twv = pdn::evaluate_twv_strategy(cfg());
+  const pdn::StrategyReport ldo = pdn::evaluate_ldo_strategy(cfg());
+  EXPECT_LT(twv.plane_loss_w, ldo.plane_loss_w / 100.0);
+}
+
+TEST(Twv, ViaBundleSizingMatters) {
+  pdn::TwvParams few;
+  few.vias_per_tile = 1;
+  pdn::TwvParams many;
+  many.vias_per_tile = 64;
+  const auto r_few = pdn::evaluate_twv_strategy(cfg(), few);
+  const auto r_many = pdn::evaluate_twv_strategy(cfg(), many);
+  EXPECT_LT(r_few.min_tile_supply_v, r_many.min_tile_supply_v);
+  EXPECT_GT(r_few.plane_loss_w, r_many.plane_loss_w);
+}
+
+// ------------------------------------------------------------------- DTC
+
+TEST(DeepTrenchDecap, RecoversTheDecapAreaAndGrowsTheBudget) {
+  // 500 nF/mm^2 trench density under a ~12 mm^2 tile: two orders of
+  // magnitude more capacitance than the 20 nF on-chip budget.
+  const pdn::DtcBenefit b =
+      pdn::evaluate_deep_trench_decap(cfg(), 500e-9 / 1e-6);
+  EXPECT_NEAR(b.onchip_decap_f, 20e-9, 1e-12);
+  EXPECT_GT(b.dtc_decap_f, 100.0 * b.onchip_decap_f);
+  EXPECT_DOUBLE_EQ(b.recovered_area_fraction, 0.35);
+}
+
+TEST(DeepTrenchDecap, SupportsMuchLargerLoadSteps) {
+  const pdn::DtcBenefit b =
+      pdn::evaluate_deep_trench_decap(cfg(), 500e-9 / 1e-6);
+  // Today's 20 nF absorbs the paper's 200 mA step; the DTC budget should
+  // absorb multi-ampere steps (the higher-power future systems).
+  EXPECT_GT(b.max_load_step_a, 10.0);
+  // Consistency with the transient model: 20 nF alone at a 100 mV margin
+  // and 4 ns response gives 0.5 A.
+  const pdn::DtcBenefit none = pdn::evaluate_deep_trench_decap(cfg(), 0.0);
+  EXPECT_NEAR(none.max_load_step_a, 0.5, 0.01);
+}
+
+// ------------------------------------------------------------------ skew
+
+TEST(Skew, SingleGeneratorSeamHasBoundedDelta) {
+  // With one corner generator the wavefronts are monotone: neighbouring
+  // tiles differ by exactly one hop everywhere.
+  const TileGrid grid(16, 16);
+  const FaultMap healthy(grid);
+  const clock::ForwardingPlan plan =
+      clock::simulate_forwarding(healthy, {{0, 0}});
+  const clock::SkewReport report = clock::analyze_skew(plan, grid, 100e-12);
+  EXPECT_EQ(report.max_adjacent_depth_delta, 1);
+  EXPECT_EQ(report.odd_parity_links, report.links_measured);
+  EXPECT_NEAR(report.worst_skew_s, 100e-12, 1e-15);
+}
+
+TEST(Skew, OpposingGeneratorsCreateASeam) {
+  // Two generators on the same edge: their fronts meet mid-wafer with
+  // opposite distance parities, so seam links exist whose endpoints sit
+  // at the *same* depth (aligned parity) — unlike the single-generator
+  // case where every link is half-cycle offset.
+  const TileGrid grid(16, 16);
+  const FaultMap healthy(grid);
+  const clock::ForwardingPlan plan =
+      clock::simulate_forwarding(healthy, {{0, 0}, {15, 0}});
+  const clock::SkewReport report = clock::analyze_skew(plan, grid, 100e-12);
+  EXPECT_GE(report.max_adjacent_depth_delta, 1);
+  EXPECT_LT(report.odd_parity_links, report.links_measured);
+}
+
+TEST(Skew, AdjacentDeltaIsAtMostOneEvenUnderFaults) {
+  // Theorem: auto-selection locks onto the earliest clock, so forwarding
+  // depth is graph distance and adjacent reached tiles differ by <=1 hop
+  // — even when a wall of faults forces long detours.
+  const TileGrid grid(16, 16);
+  FaultMap faults(grid);
+  for (int y = 0; y < 15; ++y) faults.set_faulty({8, y});  // wall, gap at top
+  const clock::ForwardingPlan plan =
+      clock::simulate_forwarding(faults, {{0, 0}});
+  const clock::SkewReport report = clock::analyze_skew(plan, grid, 100e-12);
+  EXPECT_LE(report.max_adjacent_depth_delta, 1);
+  // But the detour shows up in the wafer-global spread: the right half is
+  // reached over the top of the wall, far deeper than the fault-free
+  // 30-hop radius.
+  EXPECT_GT(report.max_depth, 35);
+}
+
+TEST(Skew, GlobalSpreadScalesWithWaferSize) {
+  const FaultMap small(TileGrid(8, 8));
+  const FaultMap large(TileGrid(32, 32));
+  const auto plan_s = clock::simulate_forwarding(small, {{0, 0}});
+  const auto plan_l = clock::simulate_forwarding(large, {{0, 0}});
+  const auto rep_s = clock::analyze_skew(plan_s, small.grid(), 100e-12);
+  const auto rep_l = clock::analyze_skew(plan_l, large.grid(), 100e-12);
+  EXPECT_GT(rep_l.global_spread_s, 4.0 * rep_s.global_spread_s);
+  EXPECT_EQ(rep_l.max_depth, 62);
+}
+
+TEST(Skew, SynchronousFeasibilityPredicate) {
+  const TileGrid grid(8, 8);
+  const FaultMap healthy(grid);
+  const clock::ForwardingPlan plan =
+      clock::simulate_forwarding(healthy, {{0, 0}});
+  const clock::SkewReport report = clock::analyze_skew(plan, grid, 200e-12);
+  EXPECT_TRUE(clock::synchronous_links_feasible(report, 1e-9));
+  EXPECT_FALSE(clock::synchronous_links_feasible(report, 100e-12));
+}
+
+// -------------------------------------------------------- memory tech
+
+TEST(MemoryTech, BaselineReproducesThePrototype) {
+  // The 40nm preset is calibrated: same footprint must give 5 x 128 KB.
+  const auto o = mem::evaluate_memory_technology(cfg(), mem::sram_40nm());
+  EXPECT_EQ(o.bank_bytes, 128u * 1024);
+  EXPECT_EQ(o.chiplet_bytes, 5u * 128 * 1024);
+  EXPECT_EQ(o.system_shared_bytes, 512ull * 1024 * 1024);
+  EXPECT_NEAR(o.capacity_vs_baseline, 1.0, 0.01);
+}
+
+TEST(MemoryTech, DenserNodesScaleCapacity) {
+  const auto survey = mem::memory_technology_survey(cfg());
+  ASSERT_EQ(survey.size(), 5u);
+  for (std::size_t i = 1; i < survey.size(); ++i)
+    EXPECT_GT(survey[i].chiplet_bytes, survey[0].chiplet_bytes);
+  // DRAM-class chiplets push the system toward the paper's "TBs of
+  // memory" pitch: > 30 GB of shared SRAM-socket capacity per wafer.
+  EXPECT_GT(survey.back().system_shared_bytes, 30ull << 30);
+}
+
+TEST(MemoryTech, SlowTechnologyCapsBandwidth) {
+  const auto dram = mem::evaluate_memory_technology(cfg(), mem::dram_1x());
+  const auto sram = mem::evaluate_memory_technology(cfg(), mem::sram_40nm());
+  EXPECT_LT(dram.shared_bandwidth_bytes_per_s,
+            sram.shared_bandwidth_bytes_per_s);
+}
+
+TEST(MemoryTech, ValidatesArguments) {
+  EXPECT_THROW(
+      mem::evaluate_memory_technology(cfg(), mem::sram_40nm(), 0.0),
+      Error);
+  mem::MemoryTechnology bad = mem::sram_40nm();
+  bad.bit_density_bits_per_m2 = 0.0;
+  EXPECT_THROW(mem::evaluate_memory_technology(cfg(), bad), Error);
+}
+
+// -------------------------------------------------------- net timing
+
+TEST(NetTiming, ShortLinksMeetOneGigahertz) {
+  // The Sec. V claim: simple drivers handle 1 GHz up to 500 um.
+  const route::WireRule rule{2e-6, 3e-6};
+  const route::NetTiming t = route::analyze_wire(300e-6, rule);
+  EXPECT_GT(t.max_rate_hz, 1e9);
+  const route::NetTiming t500 = route::analyze_wire(500e-6, rule);
+  EXPECT_GT(t500.max_rate_hz, 1e9);
+}
+
+TEST(NetTiming, LongWiresSlowDown) {
+  const route::WireRule rule{2e-6, 3e-6};
+  const route::NetTiming short_wire = route::analyze_wire(300e-6, rule);
+  const route::NetTiming long_wire = route::analyze_wire(6.2e-3, rule);
+  EXPECT_GT(short_wire.max_rate_hz, 10.0 * long_wire.max_rate_hz);
+  EXPECT_GT(long_wire.elmore_delay_s, short_wire.elmore_delay_s);
+}
+
+TEST(NetTiming, FullRoutingTimingReport) {
+  const SystemConfig c = cfg();
+  const route::SubstrateRouter router(c);
+  const route::RoutingReport routing = router.route(2);
+  const route::TimingReport report =
+      route::analyze_routing_timing(c, routing);
+  EXPECT_TRUE(report.inter_tile_meets_rate);
+  EXPECT_TRUE(report.bank_bus_meets_rate);
+  // The 6.2 mm edge fan-out is RC-limited but still far above the 10 MHz
+  // the JTAG/config signals need.
+  EXPECT_LT(report.edge_fanout_rate_hz, 1e9);
+  EXPECT_GT(report.edge_fanout_rate_hz, c.jtag_tck_hz);
+}
+
+TEST(NetTiming, ValidatesArguments) {
+  EXPECT_THROW(route::analyze_wire(0.0, route::WireRule{2e-6, 3e-6}), Error);
+  EXPECT_THROW(route::analyze_wire(1e-3, route::WireRule{0.0, 3e-6}), Error);
+}
+
+// -------------------------------------------------------- power map
+
+TEST(PowerMap, WorkloadRunYieldsABoundedPowerMap) {
+  const SystemConfig c = SystemConfig::reduced(4, 4);
+  const FaultMap faults(c.grid());
+  const workloads::Graph g = workloads::make_grid_graph(10, 10);
+  const workloads::GraphAppResult r = workloads::run_bfs(c, faults, g, 0);
+  ASSERT_EQ(r.tile_power_w.size(), 16u);
+  for (const double p : r.tile_power_w) {
+    EXPECT_GE(p, 0.3 * c.tile_peak_power_w - 1e-12);  // idle floor
+    EXPECT_LE(p, c.tile_peak_power_w + 1e-12);
+  }
+}
+
+TEST(PowerMap, FaultyTilesDrawNothing) {
+  const SystemConfig c = SystemConfig::reduced(4, 4);
+  FaultMap faults(c.grid());
+  faults.set_faulty({2, 2});
+  const workloads::Graph g = workloads::make_grid_graph(10, 10);
+  const workloads::GraphAppResult r = workloads::run_bfs(c, faults, g, 0);
+  EXPECT_DOUBLE_EQ(r.tile_power_w[c.grid().index_of({2, 2})], 0.0);
+}
+
+TEST(PowerMap, FeedsThePdnSolver) {
+  const SystemConfig c = SystemConfig::reduced(8, 8);
+  const FaultMap faults(c.grid());
+  const workloads::Graph g = workloads::make_grid_graph(16, 16);
+  const workloads::GraphAppResult r = workloads::run_bfs(c, faults, g, 0);
+  pdn::WaferPdn pdn(c, {});
+  const pdn::PdnReport workload = pdn.solve(r.tile_power_w);
+  pdn::WaferPdn pdn2(c, {});
+  const pdn::PdnReport peak = pdn2.solve_uniform(1.0);
+  ASSERT_TRUE(workload.solver_converged);
+  // A near-idle kernel droops less than the Fig. 2 worst case.
+  EXPECT_GT(workload.min_supply_v, peak.min_supply_v);
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,224 @@
+// Tests for Sec. V: I/O cell model, dual-pillar bonding yield (analytic
+// and Monte Carlo) and the perimeter pad layout with two column sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wsp/common/error.hpp"
+#include "wsp/io/bonding_yield.hpp"
+#include "wsp/io/io_cell.hpp"
+#include "wsp/io/pad_layout.hpp"
+
+namespace wsp::io {
+namespace {
+
+SystemConfig cfg() { return SystemConfig::paper_prototype(); }
+
+// ---------------------------------------------------------------- I/O cell
+
+TEST(IoCell, PaperHeadlineNumbers) {
+  const IoCellSpec spec = IoCellSpec::from_config(cfg());
+  EXPECT_DOUBLE_EQ(spec.cell_area_m2, 150e-12);       // 150 um^2
+  EXPECT_DOUBLE_EQ(spec.energy_per_bit_j, 0.063e-12); // 0.063 pJ/bit
+  EXPECT_DOUBLE_EQ(spec.max_rate_hz, 1e9);            // 1 GHz
+}
+
+TEST(IoCell, FullRateUpToRatedLength) {
+  const IoCellSpec spec = IoCellSpec::from_config(cfg());
+  EXPECT_DOUBLE_EQ(spec.achievable_rate_hz(200e-6), 1e9);
+  EXPECT_DOUBLE_EQ(spec.achievable_rate_hz(500e-6), 1e9);
+  // Beyond the rated length the RC rolloff kicks in: 1 mm -> 500 MHz.
+  EXPECT_NEAR(spec.achievable_rate_hz(1000e-6), 0.5e9, 1e6);
+}
+
+TEST(IoCell, TransferEnergyScalesLinearly) {
+  const IoCellSpec spec = IoCellSpec::from_config(cfg());
+  EXPECT_NEAR(spec.transfer_energy_j(1'000'000), 0.063e-6, 1e-12);
+}
+
+TEST(IoCell, ComputeChipletTotalIoArea) {
+  // 2020 I/Os x 150 um^2 ~ 0.3 mm^2 (the paper rounds to "only 0.4 mm^2").
+  const IoCellSpec spec = IoCellSpec::from_config(cfg());
+  const double area_mm2 = spec.total_area_m2(2020) / 1e-6;
+  EXPECT_NEAR(area_mm2, 0.303, 0.01);
+  EXPECT_LT(area_mm2, 0.4);
+}
+
+// ------------------------------------------------------------------ yield
+
+TEST(BondingYield, PadFailureWithRedundancy) {
+  // One pillar: q = 1e-4.  Two pillars: q = 1e-8.
+  EXPECT_NEAR(pad_failure_probability(0.9999, 1), 1e-4, 1e-12);
+  EXPECT_NEAR(pad_failure_probability(0.9999, 2), 1e-8, 1e-14);
+  EXPECT_THROW(pad_failure_probability(1.5, 1), Error);
+  EXPECT_THROW(pad_failure_probability(0.9, 0), Error);
+}
+
+TEST(BondingYield, PaperSinglePillarChipletYield) {
+  // Paper: "bonding yield for a chiplet would ... improve from 81.46% to
+  // 99.998%" for >2000 I/Os.  0.9999^2048 = 81.48 %.
+  EXPECT_NEAR(chiplet_bond_yield(0.9999, 1, 2048), 0.8148, 0.001);
+  EXPECT_NEAR(chiplet_bond_yield(0.9999, 2, 2048), 0.99998, 0.00001);
+}
+
+TEST(BondingYield, ComputeChipletYieldWithActualPadCount) {
+  EXPECT_NEAR(chiplet_bond_yield(0.9999, 1, 2020), 0.8171, 0.001);
+  EXPECT_NEAR(chiplet_bond_yield(0.9999, 2, 2020), 0.99998, 0.00001);
+}
+
+TEST(BondingYield, AssemblySinglePillarExpectsHundredsOfFaults) {
+  // Paper's simplified estimate (2048 chiplets x ~2048 pads): ~380 faulty.
+  // With the real per-chiplet pad counts (2020 compute / 1250 memory) the
+  // expectation is ~308; both are catastrophic without redundancy.
+  const AssemblyYield y = analyze_assembly_yield(cfg(), 1);
+  EXPECT_NEAR(y.expected_faulty_chiplets, 308.0, 5.0);
+  EXPECT_LT(y.all_good_probability, 1e-100);
+}
+
+TEST(BondingYield, AssemblyDualPillarExpectsAtMostOneFault) {
+  // Paper: redundancy reduces expected faulty chiplets "from 380 down to 1".
+  const AssemblyYield y = analyze_assembly_yield(cfg(), 2);
+  EXPECT_LT(y.expected_faulty_chiplets, 1.0);
+  EXPECT_GT(y.all_good_probability, 0.9);
+  EXPECT_NEAR(y.compute.chiplet_yield, 0.99998, 1e-5);
+}
+
+TEST(BondingYield, MonteCarloMatchesAnalyticSinglePillar) {
+  Rng rng(1234);
+  const double mc = estimate_faulty_chiplets(cfg(), 1, 20, rng);
+  const AssemblyYield y = analyze_assembly_yield(cfg(), 1);
+  EXPECT_NEAR(mc, y.expected_faulty_chiplets,
+              y.expected_faulty_chiplets * 0.1);
+}
+
+TEST(BondingYield, MonteCarloMatchesAnalyticDualPillar) {
+  Rng rng(99);
+  const double mc = estimate_faulty_chiplets(cfg(), 2, 200, rng);
+  EXPECT_LT(mc, 0.5);  // expectation is ~0.04 faulty chiplets per wafer
+}
+
+TEST(BondingYield, AssemblyDrawProducesConsistentFaultMap) {
+  Rng rng(5);
+  const AssemblyDraw draw = simulate_assembly(cfg(), 1, rng);
+  // Every faulty chiplet marks its tile faulty; tiles can host two faults.
+  EXPECT_LE(draw.tile_faults.fault_count(),
+            draw.faulty_compute_chiplets + draw.faulty_memory_chiplets);
+  EXPECT_GT(draw.tile_faults.fault_count(), 0u);
+  // The memory chiplet (1250 pads) fails less often than compute (2020).
+  EXPECT_LT(draw.faulty_memory_chiplets, draw.faulty_compute_chiplets * 2);
+}
+
+TEST(BondingYield, MorePillarsNeverHurt) {
+  for (int pads : {100, 1000, 2020}) {
+    double prev = 0.0;
+    for (int pillars = 1; pillars <= 4; ++pillars) {
+      const double y = chiplet_bond_yield(0.9999, pillars, pads);
+      EXPECT_GE(y, prev);
+      prev = y;
+    }
+  }
+}
+
+// Property: analytic chiplet yield is monotone decreasing in pad count.
+class YieldMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(YieldMonotonicity, DecreasesWithPadCount) {
+  const int pads = GetParam();
+  EXPECT_GT(chiplet_bond_yield(0.9999, 1, pads),
+            chiplet_bond_yield(0.9999, 1, pads + 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(PadCounts, YieldMonotonicity,
+                         ::testing::Values(10, 100, 500, 1000, 2000, 4000));
+
+// ------------------------------------------------------------- pad layout
+
+TEST(PadLayout, PadsPerColumnFromPitch) {
+  // 3.15 mm edge at 10 um pitch -> 315 pads per column.
+  EXPECT_EQ(pads_per_column(3.15e-3, 10e-6), 315);
+  EXPECT_EQ(pads_per_column(2.4e-3, 10e-6), 240);
+  EXPECT_THROW(pads_per_column(0.0, 10e-6), Error);
+}
+
+TEST(PadLayout, EdgeEscapeDensityMatchesPaper) {
+  // "With two layers of signaling, the edge interconnect density we
+  // achieve is 400 wires/mm."
+  const double per_m = edge_escape_density_per_m(2, 5e-6);
+  EXPECT_NEAR(per_m / 1000.0, 400.0, 1e-9);
+}
+
+TEST(PadLayout, ComputeChipletDemandAccountsAllIos) {
+  const PadDemand d = compute_chiplet_demand(cfg());
+  int total = 4 * d.network_per_side + 4 * d.clock_per_side + d.jtag_total +
+              d.misc_secondary;
+  for (const int b : d.bank_ios) total += b;
+  EXPECT_EQ(total, cfg().ios_per_compute_chiplet);
+  EXPECT_EQ(d.network_per_side, 400);
+  EXPECT_EQ(static_cast<int>(d.bank_ios.size()), 5);
+}
+
+TEST(PadLayout, FullComputeChipletLayoutIsFeasible) {
+  const SystemConfig c = cfg();
+  const PadDemand d = compute_chiplet_demand(c);
+  const PadLayout layout = generate_pad_layout(
+      c.geometry.compute_chiplet_width_m, c.geometry.compute_chiplet_height_m,
+      c.io_pitch_m, d, c.io_cell_area_m2);
+  EXPECT_TRUE(layout.feasible);
+  EXPECT_EQ(static_cast<int>(layout.pads.size()), c.ios_per_compute_chiplet);
+  EXPECT_EQ(layout.essential_count + layout.secondary_count,
+            static_cast<int>(layout.pads.size()));
+  EXPECT_GT(layout.secondary_count, 0);  // three banks live in set 2
+}
+
+TEST(PadLayout, EssentialSignalsStayInFirstTwoColumns) {
+  const SystemConfig c = cfg();
+  const PadLayout layout = generate_pad_layout(
+      c.geometry.compute_chiplet_width_m, c.geometry.compute_chiplet_height_m,
+      c.io_pitch_m, compute_chiplet_demand(c), c.io_cell_area_m2);
+  for (const Pad& pad : layout.pads) {
+    if (pad.signal == SignalClass::NetworkLink ||
+        pad.signal == SignalClass::ClockForward ||
+        pad.signal == SignalClass::TestJtag) {
+      EXPECT_LT(pad.column, 2) << "essential pad in deep column";
+    }
+    if (pad.signal == SignalClass::MemoryBank && pad.bank >= 2) {
+      EXPECT_GE(pad.column, 2) << "secondary bank in essential column";
+    }
+  }
+}
+
+TEST(PadLayout, PadsLieInsideTheChiplet) {
+  const SystemConfig c = cfg();
+  const double w = c.geometry.compute_chiplet_width_m;
+  const double h = c.geometry.compute_chiplet_height_m;
+  const PadLayout layout = generate_pad_layout(
+      w, h, c.io_pitch_m, compute_chiplet_demand(c), c.io_cell_area_m2);
+  for (const Pad& pad : layout.pads) {
+    EXPECT_GE(pad.x_m, 0.0);
+    EXPECT_LE(pad.x_m, w);
+    EXPECT_GE(pad.y_m, 0.0);
+    EXPECT_LE(pad.y_m, h);
+  }
+}
+
+TEST(PadLayout, OverflowDetected) {
+  // Demanding far more I/O than the perimeter offers must be flagged.
+  PadDemand d;
+  d.network_per_side = 5000;
+  const PadLayout layout =
+      generate_pad_layout(3.15e-3, 2.4e-3, 10e-6, d, 150e-12);
+  EXPECT_FALSE(layout.feasible);
+}
+
+TEST(PadLayout, SingleLayerImpactMatchesPaper) {
+  // "The only downside would be the reduction of shared memory capacity
+  // by 60%" — 3 of the 5 banks are lost.
+  const SingleLayerImpact impact = single_layer_impact(cfg());
+  EXPECT_EQ(impact.banks_connected, 2);
+  EXPECT_EQ(impact.banks_lost, 3);
+  EXPECT_DOUBLE_EQ(impact.memory_capacity_fraction_lost, 0.6);
+  EXPECT_TRUE(impact.network_intact);
+}
+
+}  // namespace
+}  // namespace wsp::io

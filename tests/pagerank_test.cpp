@@ -1,0 +1,121 @@
+// Tests for distributed PageRank: exact agreement with the sequential
+// fixed-point reference, across graphs, system sizes and fault maps.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "wsp/common/error.hpp"
+#include "wsp/workloads/pagerank.hpp"
+
+namespace wsp::workloads {
+namespace {
+
+TEST(PageRank, StarGraphConcentratesRank) {
+  // Star: everyone points at vertex 0 (and back).  The hub must end up
+  // with far more rank than any leaf.
+  Graph g(9);
+  for (std::uint32_t v = 1; v < 9; ++v) g.add_undirected_edge(0, v);
+  g.finalize();
+
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  const PageRankResult r = run_pagerank(cfg, faults, g, {});
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.rank, reference_pagerank(g, {}));
+  for (std::uint32_t v = 1; v < 9; ++v)
+    EXPECT_GT(r.rank[0], 3 * r.rank[v]);
+}
+
+TEST(PageRank, MatchesReferenceOnRmat) {
+  Rng rng(17);
+  const Graph g = make_rmat_graph(9, 2500, 1, rng);
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  const PageRankResult r = run_pagerank(cfg, faults, g, {});
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.iterations_run, 10);
+  EXPECT_EQ(r.rank, reference_pagerank(g, {}));
+}
+
+TEST(PageRank, MatchesReferenceWithFaults) {
+  Rng rng(29);
+  const Graph g = make_random_graph(300, 900, 1, rng);
+  const SystemConfig cfg = SystemConfig::reduced(5, 5);
+  FaultMap faults(cfg.grid());
+  faults.set_faulty({2, 2});
+  faults.set_faulty({3, 1});
+  const PageRankResult r = run_pagerank(cfg, faults, g, {});
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.rank, reference_pagerank(g, {}));
+}
+
+TEST(PageRank, IterationCountMatters) {
+  Rng rng(5);
+  const Graph g = make_random_graph(100, 300, 1, rng);
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  PageRankOptions two;
+  two.iterations = 2;
+  PageRankOptions ten;
+  ten.iterations = 10;
+  const PageRankResult r2 = run_pagerank(cfg, faults, g, two);
+  const PageRankResult r10 = run_pagerank(cfg, faults, g, ten);
+  EXPECT_EQ(r2.rank, reference_pagerank(g, two));
+  EXPECT_EQ(r10.rank, reference_pagerank(g, ten));
+  EXPECT_NE(r2.rank, r10.rank);
+}
+
+TEST(PageRank, RankMassRoughlyConserved) {
+  // With damping, total mass converges to ~initial mass (dangling
+  // vertices and integer truncation leak a little).
+  Rng rng(7);
+  const Graph g = make_random_graph(200, 800, 1, rng);
+  const SystemConfig cfg = SystemConfig::reduced(3, 3);
+  const FaultMap faults(cfg.grid());
+  const PageRankResult r = run_pagerank(cfg, faults, g, {});
+  const double total = std::accumulate(r.rank.begin(), r.rank.end(), 0.0);
+  const double initial = 200.0 * static_cast<double>(PageRankOptions{}.initial_rank);
+  EXPECT_GT(total, 0.5 * initial);
+  EXPECT_LT(total, 1.1 * initial);
+}
+
+TEST(PageRank, ValidatesOptions) {
+  Graph g(8);
+  g.finalize();
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  PageRankOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW(run_pagerank(cfg, faults, g, bad), Error);
+  bad = {};
+  bad.damping_permille = 1500;
+  EXPECT_THROW(run_pagerank(cfg, faults, g, bad), Error);
+  bad = {};
+  bad.initial_rank = 1ull << 39;  // mass overflows the payload packing
+  EXPECT_THROW(run_pagerank(cfg, faults, g, bad), Error);
+}
+
+// Property sweep: exact reference agreement over seeds and shapes.
+class PageRankSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(PageRankSweep, ExactMatch) {
+  const auto [seed, iters] = GetParam();
+  Rng rng(seed);
+  const Graph g = make_random_graph(150, 500, 1, rng);
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  PageRankOptions opt;
+  opt.iterations = iters;
+  const PageRankResult r = run_pagerank(cfg, faults, g, opt);
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.rank, reference_pagerank(g, opt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndIters, PageRankSweep,
+    ::testing::Combine(::testing::Values(101, 202, 303),
+                       ::testing::Values(1, 5, 12)));
+
+}  // namespace
+}  // namespace wsp::workloads

@@ -1,0 +1,176 @@
+// Tests for the LDO behavioural model and the load-step transient
+// simulation (Sec. III requirements).
+#include <gtest/gtest.h>
+
+#include "wsp/common/error.hpp"
+#include "wsp/pdn/ldo.hpp"
+#include "wsp/pdn/transient.hpp"
+
+namespace wsp::pdn {
+namespace {
+
+constexpr double kPeakLoadA = 0.29;  // ~350 mW / 1.21 V
+
+TEST(Ldo, RegulatesAcrossTheWholeInputRange) {
+  // The paper's key LDO requirement: stable output from 1.4 V to 2.5 V in.
+  const Ldo ldo;
+  for (double v_in = 1.4; v_in <= 2.5; v_in += 0.05) {
+    const LdoOperatingPoint op = ldo.evaluate(v_in, kPeakLoadA);
+    EXPECT_TRUE(op.in_regulation) << "v_in=" << v_in;
+    EXPECT_GE(op.v_out, 1.0);
+    EXPECT_LE(op.v_out, 1.2);
+    EXPECT_FALSE(op.in_dropout);
+  }
+}
+
+TEST(Ldo, EfficiencyIsOutputOverInput) {
+  const Ldo ldo;
+  const LdoOperatingPoint edge = ldo.evaluate(2.5, kPeakLoadA);
+  const LdoOperatingPoint center = ldo.evaluate(1.4, kPeakLoadA);
+  // Edge tiles burn more headroom: efficiency ~ V_out / V_in.
+  EXPECT_NEAR(edge.efficiency, edge.v_out / 2.5, 0.02);
+  EXPECT_NEAR(center.efficiency, center.v_out / 1.4, 0.02);
+  EXPECT_GT(center.efficiency, edge.efficiency);
+}
+
+TEST(Ldo, PassThroughCurrent) {
+  // An LDO's input current equals load + quiescent, independent of V_in —
+  // the property that makes the wafer a constant-current load (~290 A).
+  const Ldo ldo;
+  const double i1 = ldo.evaluate(2.5, kPeakLoadA).i_in;
+  const double i2 = ldo.evaluate(1.4, kPeakLoadA).i_in;
+  EXPECT_NEAR(i1, i2, 1e-12);
+  EXPECT_NEAR(i1, kPeakLoadA + ldo.params().quiescent_a, 1e-12);
+}
+
+TEST(Ldo, DropoutBelowHeadroom) {
+  const Ldo ldo;
+  const LdoOperatingPoint op = ldo.evaluate(1.0, kPeakLoadA);
+  EXPECT_TRUE(op.in_dropout);
+  EXPECT_FALSE(op.in_regulation);
+  EXPECT_LT(op.v_out, 1.0);
+}
+
+TEST(Ldo, OverloadFlagsOutOfRegulation) {
+  const Ldo ldo;
+  const LdoOperatingPoint op = ldo.evaluate(2.0, 0.5);  // > max_load_a
+  EXPECT_FALSE(op.in_regulation);
+}
+
+TEST(Ldo, PowerLossIsHeadroomTimesCurrent) {
+  const Ldo ldo;
+  const LdoOperatingPoint op = ldo.evaluate(2.5, kPeakLoadA);
+  const double expected =
+      (2.5 - op.v_out) * kPeakLoadA + 2.5 * ldo.params().quiescent_a;
+  EXPECT_NEAR(op.power_loss_w, expected, 1e-9);
+}
+
+TEST(Ldo, LoadStepDroopFormula) {
+  // dV = I * t / C: the paper's 200 mA step on 20 nF with a 4 ns loop
+  // response droops 40 mV — comfortably inside the 1.0-1.2 V band.
+  EXPECT_NEAR(Ldo::load_step_droop(0.2, 20e-9, 4e-9), 0.04, 1e-12);
+  EXPECT_THROW(Ldo::load_step_droop(0.2, 0.0, 4e-9), Error);
+}
+
+TEST(Ldo, RegulationHoldsWithPaperDecap) {
+  const Ldo ldo;
+  EXPECT_TRUE(ldo.regulation_holds(1.4, kPeakLoadA, 0.2, 20e-9, 4e-9));
+  // With 20x less decap the same step would violate the band.
+  EXPECT_FALSE(ldo.regulation_holds(1.4, kPeakLoadA, 0.2, 1e-9, 4e-9));
+}
+
+TEST(Ldo, BadParamsRejected) {
+  LdoParams p;
+  p.dropout_v = 0.0;
+  EXPECT_THROW(Ldo{p}, Error);
+  p = LdoParams{};
+  p.target_v = 1.3;  // outside the guaranteed band
+  EXPECT_THROW(Ldo{p}, Error);
+  const Ldo ok;
+  EXPECT_THROW(ok.evaluate(2.0, -0.1), Error);
+}
+
+// ------------------------------------------------------------- transient
+
+TEST(Transient, StepStaysInsideBand) {
+  // Worst-case 200 mA step at the paper's 20 nF/tile decap.
+  const LdoParams ldo;
+  const TransientParams params;
+  const TransientResult r =
+      simulate_load_step(ldo, params, 0.09, 0.29, 100e-9, 400e-9);
+  EXPECT_TRUE(r.stayed_in_band) << "min=" << r.min_v << " max=" << r.max_v;
+  EXPECT_GT(r.min_v, 1.0);
+  EXPECT_LT(r.max_v, 1.2);
+}
+
+TEST(Transient, SettlesWithinAFewCycles) {
+  // "up to 200 mA current demand fluctuation within a few cycles":
+  // settling must fit inside ~10 cycles at 300 MHz (33 ns).
+  const LdoParams ldo;
+  const TransientParams params;
+  const TransientResult r =
+      simulate_load_step(ldo, params, 0.09, 0.29, 100e-9, 400e-9);
+  ASSERT_GE(r.settle_time_s, 0.0);
+  EXPECT_LT(r.settle_time_s, 33e-9);
+}
+
+TEST(Transient, SmallerDecapDroopsMore) {
+  const LdoParams ldo;
+  TransientParams big;
+  TransientParams small = big;
+  small.decap_f = 5e-9;
+  const TransientResult rb =
+      simulate_load_step(ldo, big, 0.09, 0.29, 50e-9, 300e-9);
+  const TransientResult rs =
+      simulate_load_step(ldo, small, 0.09, 0.29, 50e-9, 300e-9);
+  EXPECT_LT(rs.min_v, rb.min_v);
+}
+
+TEST(Transient, LoadReleaseOvershoots) {
+  // Dropping the load overshoots upward symmetrically.
+  const LdoParams ldo;
+  const TransientParams params;
+  const TransientResult r =
+      simulate_load_step(ldo, params, 0.29, 0.09, 50e-9, 300e-9);
+  EXPECT_GT(r.max_v, ldo.target_v);
+  EXPECT_TRUE(r.stayed_in_band);
+}
+
+TEST(Transient, WaveformIsDense) {
+  const LdoParams ldo;
+  const TransientParams params;
+  const TransientResult r =
+      simulate_load_step(ldo, params, 0.1, 0.2, 10e-9, 100e-9);
+  EXPECT_GT(r.waveform.size(), 1000u);
+  // Time axis strictly increasing.
+  for (std::size_t i = 1; i < r.waveform.size(); ++i)
+    EXPECT_GT(r.waveform[i].t_s, r.waveform[i - 1].t_s);
+}
+
+TEST(Transient, RejectsBadIntegrationStep) {
+  const LdoParams ldo;
+  TransientParams params;
+  params.dt_s = 10e-9;  // coarser than the loop time constant
+  EXPECT_THROW(
+      simulate_load_step(ldo, params, 0.1, 0.2, 10e-9, 100e-9),
+      Error);
+}
+
+// Property sweep: for any step size up to the rated 200 mA, the paper
+// decap keeps the output in band.
+class StepSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StepSweep, BandHolds) {
+  const LdoParams ldo;
+  const TransientParams params;
+  const double step = GetParam();
+  const TransientResult r =
+      simulate_load_step(ldo, params, 0.05, 0.05 + step, 50e-9, 300e-9);
+  EXPECT_TRUE(r.stayed_in_band) << "step=" << step;
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, StepSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.15, 0.2));
+
+}  // namespace
+}  // namespace wsp::pdn

@@ -1,0 +1,196 @@
+// Whole-wafer PDN tests: the Fig. 2 droop profile and the Sec. III
+// strategy comparison.
+#include <gtest/gtest.h>
+
+#include "wsp/common/error.hpp"
+#include "wsp/pdn/strategy.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+
+namespace wsp::pdn {
+namespace {
+
+SystemConfig full() { return SystemConfig::paper_prototype(); }
+
+TEST(WaferPdn, Fig2_EdgeAndCenterVoltages) {
+  // The headline Fig. 2 numbers: 2.5 V at the edge, ~1.4 V at the center
+  // at peak draw.
+  WaferPdn pdn(full(), {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+  ASSERT_TRUE(r.solver_converged);
+  EXPECT_GT(r.max_supply_v, 2.3);   // edge tiles sit just below 2.5 V
+  EXPECT_LE(r.max_supply_v, 2.5);
+  EXPECT_NEAR(r.min_supply_v, 1.4, 0.1);  // center of the wafer
+}
+
+TEST(WaferPdn, Fig2_TotalCurrentMatchesTableI) {
+  WaferPdn pdn(full(), {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+  // ~290-296 A of pass-through current (Sec. III "about 290 A").
+  EXPECT_NEAR(r.total_supply_current_a, 296.7, 3.0);
+}
+
+TEST(WaferPdn, Fig2_ProfileDecreasesTowardCenter) {
+  WaferPdn pdn(full(), {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+  const auto rings = WaferPdn::ring_profile(r, full().grid());
+  ASSERT_GE(rings.size(), 16u);
+  for (std::size_t i = 1; i < rings.size(); ++i)
+    EXPECT_LT(rings[i], rings[i - 1]) << "ring " << i;
+}
+
+TEST(WaferPdn, Fig2_MidlineIsSymmetricAndValleyShaped) {
+  WaferPdn pdn(full(), {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+  const auto line = WaferPdn::midline_profile(r, full().grid());
+  ASSERT_EQ(line.size(), 32u);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(line[i], line[31 - i], 5e-3) << i;
+  // Valley: strictly decreasing to the middle.
+  for (std::size_t i = 0; i + 1 < 16; ++i) EXPECT_GT(line[i], line[i + 1]);
+}
+
+TEST(WaferPdn, EveryTileStaysInRegulationAtPeak) {
+  // The design goal: the wide-input LDO keeps all 1024 tiles regulated at
+  // peak draw despite the droop.
+  WaferPdn pdn(full(), {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+  EXPECT_EQ(r.tiles_out_of_regulation, 0);
+  for (const TilePower& tp : r.tiles) {
+    EXPECT_GE(tp.regulated_v, 1.0);
+    EXPECT_LE(tp.regulated_v, 1.2);
+  }
+}
+
+TEST(WaferPdn, LowActivityDroopsLess) {
+  WaferPdn pdn(full(), {});
+  const PdnReport idle = pdn.solve_uniform(0.1);
+  WaferPdn pdn2(full(), {});
+  const PdnReport peak = pdn2.solve_uniform(1.0);
+  EXPECT_GT(idle.min_supply_v, peak.min_supply_v);
+  EXPECT_LT(idle.total_supply_current_a, peak.total_supply_current_a);
+}
+
+TEST(WaferPdn, EnergyBalanceCloses) {
+  // Input power = delivered + plane loss + LDO loss (within solver tol).
+  WaferPdn pdn(full(), {});
+  const PdnReport r = pdn.solve_uniform(1.0);
+  const double accounted =
+      r.delivered_power_w + r.plane_loss_w + r.ldo_loss_w;
+  EXPECT_NEAR(accounted / r.total_input_power_w, 1.0, 0.02);
+}
+
+TEST(WaferPdn, FewerPoweredEdgesDroopMore) {
+  WaferPdnOptions all_edges;
+  WaferPdnOptions two_edges;
+  two_edges.powered_edges = {false, true, false, true};  // E + W only
+  WaferPdn pdn4(full(), all_edges);
+  WaferPdn pdn2(full(), two_edges);
+  const double min4 = pdn4.solve_uniform(1.0).min_supply_v;
+  const double min2 = pdn2.solve_uniform(1.0).min_supply_v;
+  EXPECT_LT(min2, min4);
+}
+
+TEST(WaferPdn, ConstantPowerLoadDroopsLessAtHighPlaneVoltage) {
+  // Ablation: a hypothetical power-conserving regulator (buck-like) draws
+  // I = P / V_node.  Because the plane voltage (1.4-2.5 V) sits far above
+  // the logic voltage, such a load pulls *less* current than the LDO's
+  // pass-through I = P / V_ff, so the droop is shallower.  (The LDO's
+  // constant-current behaviour is exactly why the full ~290 A crosses the
+  // planes, Sec. III.)
+  WaferPdnOptions cc;
+  WaferPdnOptions cp;
+  cp.load_model = LoadModel::ConstantPower;
+  const double min_cc = WaferPdn(full(), cc).solve_uniform(1.0).min_supply_v;
+  const double min_cp = WaferPdn(full(), cp).solve_uniform(1.0).min_supply_v;
+  EXPECT_GT(min_cp, min_cc);
+  EXPECT_LT(min_cp, full().edge_supply_voltage_v);
+}
+
+TEST(WaferPdn, RefinementIsConsistent) {
+  WaferPdnOptions coarse;
+  coarse.nodes_per_tile = 1;
+  WaferPdnOptions fine;
+  fine.nodes_per_tile = 3;
+  const double min_c =
+      WaferPdn(full(), coarse).solve_uniform(1.0).min_supply_v;
+  const double min_f = WaferPdn(full(), fine).solve_uniform(1.0).min_supply_v;
+  EXPECT_NEAR(min_c, min_f, 0.05);
+}
+
+TEST(WaferPdn, PerTilePowerVectorSupported) {
+  const SystemConfig cfg = SystemConfig::reduced(8, 8);
+  WaferPdn pdn(cfg, {});
+  std::vector<double> power(64, 0.0);
+  power[cfg.grid().index_of({4, 4})] = cfg.tile_peak_power_w;
+  const PdnReport r = pdn.solve(power);
+  ASSERT_TRUE(r.solver_converged);
+  // Only one tile draws: droop is tiny and deepest at that tile.
+  const double v_hot = r.tiles[cfg.grid().index_of({4, 4})].supply_v;
+  EXPECT_EQ(r.min_supply_v, v_hot);
+  EXPECT_GT(v_hot, 2.45);
+  EXPECT_THROW(pdn.solve(std::vector<double>(3, 0.0)), Error);
+}
+
+TEST(WaferPdn, RejectsBadOptions) {
+  WaferPdnOptions bad;
+  bad.nodes_per_tile = 0;
+  EXPECT_THROW(WaferPdn(full(), bad), Error);
+  bad = {};
+  bad.plane_slotting_factor = 0.5;
+  EXPECT_THROW(WaferPdn(full(), bad), Error);
+  bad = {};
+  bad.powered_edges = {false, false, false, false};
+  EXPECT_THROW(WaferPdn(full(), bad), Error);
+  WaferPdn ok(full(), {});
+  EXPECT_THROW(ok.solve_uniform(1.5), Error);
+}
+
+// --------------------------------------------------------- Sec. III study
+
+TEST(Strategy, BuckLowersPlaneCurrentRoughlyTenfold) {
+  const StrategyComparison cmp = compare_strategies(full());
+  // Paper: down-conversion "would lower the current delivered through the
+  // power planes by ~12x" (the exact factor depends on the converter
+  // efficiency asumption; the model lands at V_buck*eff/V_ff ~ 9).
+  EXPECT_GT(cmp.plane_current_ratio, 7.0);
+  EXPECT_LT(cmp.plane_current_ratio, 13.0);
+}
+
+TEST(Strategy, BuckPlaneLossIsQuadraticallySmaller) {
+  const StrategyComparison cmp = compare_strategies(full());
+  const double ratio = cmp.ldo.plane_loss_w / cmp.buck.plane_loss_w;
+  EXPECT_NEAR(ratio, cmp.plane_current_ratio * cmp.plane_current_ratio,
+              ratio * 0.05);
+}
+
+TEST(Strategy, BuckPaysAreaLdoPaysEfficiency) {
+  const StrategyComparison cmp = compare_strategies(full());
+  // The paper's trade-off: buck burns 25-30 % of the wafer area, the LDO
+  // scheme none; buck delivers power more efficiently.
+  EXPECT_GE(cmp.buck.area_overhead_fraction, 0.25);
+  EXPECT_LE(cmp.buck.area_overhead_fraction, 0.30);
+  EXPECT_EQ(cmp.ldo.area_overhead_fraction, 0.0);
+  EXPECT_GT(cmp.buck.efficiency, cmp.ldo.efficiency);
+  // The LDO scheme still delivers every watt the logic needs: the peak
+  // 350 mW/tile is specified at the 1.21 V FF corner; at the regulated
+  // ~1.1 V output the same pass-through current carries 350 * 1.1/1.21 mW.
+  const double expected = 1024 * 0.350 * (1.1 / 1.21);
+  EXPECT_NEAR(cmp.ldo.delivered_power_w, expected, expected * 0.05);
+}
+
+TEST(Strategy, BuckDroopIsNegligible) {
+  const StrategyComparison cmp = compare_strategies(full());
+  const double ldo_droop = 2.5 - cmp.ldo.min_tile_supply_v;
+  const double buck_droop = 12.0 - cmp.buck.min_tile_supply_v;
+  EXPECT_LT(buck_droop, ldo_droop / 5.0);
+}
+
+TEST(Strategy, SubKwSystemTotalPowerIsSane) {
+  const StrategyComparison cmp = compare_strategies(full());
+  // "this prototype is a sub-kW system".
+  EXPECT_LT(cmp.ldo.input_power_w, 1000.0);
+  EXPECT_GT(cmp.ldo.input_power_w, 400.0);
+}
+
+}  // namespace
+}  // namespace wsp::pdn

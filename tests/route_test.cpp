@@ -1,0 +1,182 @@
+// Tests for Sec. VIII: reticle step-and-repeat plan and the jog-free
+// substrate router.
+#include <gtest/gtest.h>
+
+#include "wsp/common/error.hpp"
+#include "wsp/route/reticle.hpp"
+#include "wsp/route/substrate_router.hpp"
+
+namespace wsp::route {
+namespace {
+
+SystemConfig cfg() { return SystemConfig::paper_prototype(); }
+
+// ---------------------------------------------------------------- reticle
+
+TEST(Reticle, PaperReticleIs12x6Tiles) {
+  const ReticlePlan plan(cfg());
+  EXPECT_EQ(plan.tiles_per_reticle(), 72);  // "Each reticle consists of 72
+                                            // tiles (12x6)"
+  EXPECT_EQ(plan.reticles_x(), 3);  // ceil(32/12)
+  EXPECT_EQ(plan.reticles_y(), 6);  // ceil(32/6)
+}
+
+TEST(Reticle, TileToReticleMapping) {
+  const ReticlePlan plan(cfg());
+  EXPECT_EQ(plan.reticle_of({0, 0}), (ReticleCoord{0, 0}));
+  EXPECT_EQ(plan.reticle_of({11, 5}), (ReticleCoord{0, 0}));
+  EXPECT_EQ(plan.reticle_of({12, 5}), (ReticleCoord{1, 0}));
+  EXPECT_EQ(plan.reticle_of({11, 6}), (ReticleCoord{0, 1}));
+  EXPECT_EQ(plan.reticle_of({31, 31}), (ReticleCoord{2, 5}));
+}
+
+TEST(Reticle, BoundaryCrossingDetection) {
+  const ReticlePlan plan(cfg());
+  EXPECT_FALSE(plan.crosses_boundary({0, 0}, {1, 0}));
+  EXPECT_TRUE(plan.crosses_boundary({11, 0}, {12, 0}));
+  EXPECT_TRUE(plan.crosses_boundary({0, 5}, {0, 6}));
+  EXPECT_FALSE(plan.crosses_boundary({12, 6}, {13, 6}));
+}
+
+TEST(Reticle, FatWireRuleKeepsPitchConstant) {
+  // "links escaping are made fatter (width increases to 3um and spacing
+  // reduces to 2um), while keeping the pitch constant".
+  const ReticlePlan plan(cfg());
+  const WireRule normal = plan.wire_rule(false);
+  const WireRule fat = plan.wire_rule(true);
+  EXPECT_DOUBLE_EQ(normal.width_m, 2e-6);
+  EXPECT_DOUBLE_EQ(normal.space_m, 3e-6);
+  EXPECT_DOUBLE_EQ(fat.width_m, 3e-6);
+  EXPECT_DOUBLE_EQ(fat.space_m, 2e-6);
+  EXPECT_DOUBLE_EQ(normal.pitch(), fat.pitch());
+}
+
+TEST(Reticle, EnumerationCoversArrayPlusEdgeRing) {
+  const ReticlePlan plan(cfg());
+  const auto reticles = plan.enumerate();
+  EXPECT_EQ(static_cast<int>(reticles.size()), plan.exposure_count());
+  EXPECT_EQ(plan.exposure_count(), (3 + 2) * (6 + 2));
+  int populated_tiles = 0;
+  int edge_reticles = 0;
+  int etch_needed = 0;
+  for (const ReticleInfo& r : reticles) {
+    if (r.role == ReticleRole::EdgeIo) {
+      ++edge_reticles;
+      EXPECT_EQ(r.populated_tiles, 0);
+    }
+    populated_tiles += r.populated_tiles;
+    if (r.block_etch_needed) ++etch_needed;
+  }
+  EXPECT_EQ(populated_tiles, 1024);  // every tile printed exactly once
+  EXPECT_EQ(edge_reticles, plan.exposure_count() - 3 * 6);
+  // 32 is not a multiple of 12: the right column of array reticles hangs
+  // over and needs the block etch; 32 is not a multiple of 6 either.
+  EXPECT_GT(etch_needed, 0);
+}
+
+TEST(Reticle, ExactFitNeedsNoBlockEtchInside) {
+  SystemConfig small = SystemConfig::reduced(24, 12);  // 2x2 reticles exact
+  const ReticlePlan plan(small);
+  for (const ReticleInfo& r : plan.enumerate()) {
+    if (r.role == ReticleRole::Populated) {
+      EXPECT_FALSE(r.block_etch_needed);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- router
+
+TEST(Router, FullWaferRoutesWithTwoLayers) {
+  const SubstrateRouter router(cfg());
+  const RoutingReport report = router.route(2);
+  EXPECT_TRUE(report.success());
+  EXPECT_TRUE(report.jog_free);
+  EXPECT_EQ(report.nets_unroutable, 0u);
+  EXPECT_EQ(report.nets_routed, report.nets_requested);
+  EXPECT_GT(report.total_wirelength_m, 0.0);
+}
+
+TEST(Router, NetCountsMatchTheDesign) {
+  const SubstrateRouter router(cfg());
+  const RoutingReport report = router.route(2);
+  // Inter-tile: 2 * 31 * 32 gaps x 400 bits.
+  const std::size_t inter_tile = 2ull * 31 * 32 * 400;
+  // Bank buses: 1024 tiles x 5 banks x 80 bits.
+  const std::size_t banks = 1024ull * 5 * 80;
+  // Edge fan-out: boundary tiles' outward sides x (400 + 12).
+  const std::size_t fanout = 4ull * 32 * (400 + 12);
+  EXPECT_EQ(report.nets_requested, inter_tile + banks + fanout);
+}
+
+TEST(Router, ChannelUtilizationWithinCapacity) {
+  const SubstrateRouter router(cfg());
+  const RoutingReport report = router.route(2);
+  // Layer 1 worst gap: 400 network + 2x80 bank = 560 of 630 tracks.
+  EXPECT_NEAR(report.max_gap_utilization_layer1, 560.0 / 630.0, 0.01);
+  EXPECT_NEAR(report.max_gap_utilization_layer2, 240.0 / 630.0, 0.01);
+  EXPECT_EQ(router.gap_track_capacity(), 630);
+}
+
+TEST(Router, StitchedNetsGetFatWireRule) {
+  const SubstrateRouter router(cfg());
+  const RoutingReport report = router.route(2);
+  // Links crossing the 2 internal vertical + 5 internal horizontal reticle
+  // boundaries: (2 boundaries x 32 rows + 5 boundaries x 32 cols) x 400.
+  EXPECT_EQ(report.stitched_nets, (2ull * 32 + 5ull * 32) * 400);
+  for (const RoutedNet& net : report.nets) {
+    if (net.stitched) {
+      EXPECT_EQ(net.net_class, NetClass::InterTileLink);
+    }
+  }
+}
+
+TEST(Router, SingleLayerFallbackDropsSecondaryBanks) {
+  // Sec. VIII: with one routing layer the system still works; only the
+  // three secondary banks per tile are lost.
+  const SubstrateRouter router(cfg());
+  const RoutingReport report = router.route(1);
+  EXPECT_EQ(report.nets_unroutable, 1024ull * 3 * 80);
+  EXPECT_FALSE(report.success());  // not everything asked for was routed...
+  EXPECT_TRUE(report.capacity_ok); // ...but what routed, fits
+  // All network and fan-out nets still routed.
+  std::size_t network_nets = 0;
+  for (const RoutedNet& net : report.nets)
+    if (net.net_class == NetClass::InterTileLink) ++network_nets;
+  EXPECT_EQ(network_nets, 2ull * 31 * 32 * 400);
+}
+
+TEST(Router, EdgeFanoutFitsTheEscapeDensity) {
+  const SubstrateRouter router(cfg());
+  const auto budget = router.edge_fanout_budget();
+  EXPECT_TRUE(budget.fits());
+  EXPECT_EQ(budget.wires_per_edge, 32 * 412);
+  EXPECT_GT(budget.capacity_per_edge, budget.wires_per_edge);
+}
+
+TEST(Router, EveryNetIsShortStraightWire) {
+  const SubstrateRouter router(SystemConfig::reduced(8, 8));
+  const RoutingReport report = router.route(2);
+  for (const RoutedNet& net : report.nets) {
+    EXPECT_GT(net.length_m, 0.0);
+    if (net.net_class != NetClass::EdgeFanout) {
+      // Inter-chiplet links stay within the I/O cell drive range (500 um).
+      EXPECT_LE(net.length_m, 500e-6);
+    }
+  }
+}
+
+TEST(Router, RejectsBadLayerCount) {
+  const SubstrateRouter router(SystemConfig::reduced(4, 4));
+  EXPECT_THROW(router.route(0), Error);
+  EXPECT_THROW(router.route(3), Error);
+}
+
+TEST(Router, SmallSystemScalesDown) {
+  const SubstrateRouter router(SystemConfig::reduced(4, 4));
+  const RoutingReport report = router.route(2);
+  EXPECT_TRUE(report.success());
+  EXPECT_EQ(report.stitched_nets, 0u);  // a 4x4 array fits in one reticle
+}
+
+}  // namespace
+}  // namespace wsp::route

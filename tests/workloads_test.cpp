@@ -1,0 +1,263 @@
+// Tests for the workload layer: graph construction/generators and the
+// distributed BFS/SSSP kernels verified against sequential references
+// (the software analogue of the paper's FPGA validation, Sec. II).
+#include <gtest/gtest.h>
+
+#include "wsp/common/error.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/workloads/graph.hpp"
+#include "wsp/workloads/graph_apps.hpp"
+
+namespace wsp::workloads {
+namespace {
+
+/// Samples fault maps until every healthy pair is routable (directly or
+/// via a relay).  Fault maps that physically partition the wafer cannot
+/// host a coherent unified-memory computation — the kernel would refuse to
+/// schedule onto the cut-off region — so the workload tests use maps the
+/// kernel would accept.
+FaultMap routable_fault_map(const TileGrid& grid, std::size_t n, Rng& rng) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    FaultMap faults = FaultMap::random_with_count(grid, n, rng);
+    const noc::NetworkSelector sel(faults);
+    const auto healthy = faults.healthy_tiles();
+    bool ok = true;
+    for (std::size_t i = 0; i < healthy.size() && ok; ++i)
+      for (std::size_t j = 0; j < healthy.size() && ok; ++j)
+        if (i != j && !sel.plan(healthy[i], healthy[j]).reachable) ok = false;
+    if (ok) return faults;
+  }
+  return FaultMap(grid);
+}
+
+// ------------------------------------------------------------------ graph
+
+TEST(Graph, BuildAndAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(0, 2, 7);
+  g.add_edge(2, 3, 1);
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  const auto e = g.out_edges(0);
+  EXPECT_EQ(e.count, 2u);
+  EXPECT_EQ(e.targets[0], 1u);
+  EXPECT_EQ(e.weights[1], 7u);
+}
+
+TEST(Graph, GuardsMisuse) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+  EXPECT_THROW(g.out_edges(0), Error);  // not finalized
+  g.finalize();
+  EXPECT_THROW(g.add_edge(0, 1), Error);  // already finalized
+  EXPECT_THROW(g.finalize(), Error);
+  EXPECT_THROW(g.out_edges(3), Error);
+}
+
+TEST(Graph, GridGeneratorDegrees) {
+  const Graph g = make_grid_graph(5, 4);
+  EXPECT_EQ(g.vertex_count(), 20u);
+  // Undirected edges stored twice: 2*(4*4 + 5*3) = 62 directed edges.
+  EXPECT_EQ(g.edge_count(), 62u);
+  EXPECT_EQ(g.out_degree(0), 2u);        // corner
+  EXPECT_EQ(g.out_degree(2), 3u);        // edge
+  EXPECT_EQ(g.out_degree(7), 4u);        // interior
+}
+
+TEST(Graph, RandomGeneratorShape) {
+  Rng rng(4);
+  const Graph g = make_random_graph(100, 300, 10, rng);
+  EXPECT_EQ(g.vertex_count(), 100u);
+  EXPECT_EQ(g.edge_count(), 600u);  // undirected -> 2x
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    const auto e = g.out_edges(v);
+    for (std::size_t i = 0; i < e.count; ++i) {
+      EXPECT_NE(e.targets[i], v);  // no self loops
+      EXPECT_GE(e.weights[i], 1u);
+      EXPECT_LE(e.weights[i], 10u);
+    }
+  }
+}
+
+TEST(Graph, RmatGeneratorIsSkewed) {
+  Rng rng(9);
+  const Graph g = make_rmat_graph(10, 4000, 1, rng);
+  EXPECT_EQ(g.vertex_count(), 1024u);
+  std::uint32_t max_deg = 0;
+  std::uint32_t isolated = 0;
+  for (std::uint32_t v = 0; v < g.vertex_count(); ++v) {
+    max_deg = std::max(max_deg, g.out_degree(v));
+    if (g.out_degree(v) == 0) ++isolated;
+  }
+  // Power-law: a heavy hub plus a long tail of isolated vertices.
+  EXPECT_GT(max_deg, 50u);
+  EXPECT_GT(isolated, 50u);
+}
+
+// ------------------------------------------------------------- partition
+
+TEST(VertexPartition, CoversAllVerticesOnce) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  const Graph g = make_grid_graph(10, 10);
+  const VertexPartition part(g, faults);
+  std::size_t covered = 0;
+  cfg.grid().for_each([&](TileCoord t) {
+    const auto [b, e] = part.range(t);
+    covered += e - b;
+    for (std::uint32_t v = b; v < e; ++v) EXPECT_EQ(part.owner(v), t);
+  });
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(VertexPartition, SkipsFaultyTiles) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  FaultMap faults(cfg.grid());
+  faults.set_faulty({1, 1});
+  faults.set_faulty({2, 2});
+  const Graph g = make_grid_graph(10, 10);
+  const VertexPartition part(g, faults);
+  EXPECT_EQ(part.tile_count(), 14u);
+  const auto [b, e] = part.range({1, 1});
+  EXPECT_EQ(b, e);  // faulty tile owns nothing
+  for (std::uint32_t v = 0; v < 100; ++v)
+    EXPECT_TRUE(faults.is_healthy(part.owner(v)));
+}
+
+// ------------------------------------------------------------ BFS / SSSP
+
+TEST(Bfs, GridGraphMatchesReference) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  const Graph g = make_grid_graph(12, 12);
+  const GraphAppResult r = run_bfs(cfg, faults, g, 0);
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.distance, reference_bfs(g, 0));
+  EXPECT_GT(r.stats.messages_delivered, 0u);
+  EXPECT_EQ(r.stats.messages_undeliverable, 0u);
+}
+
+TEST(Bfs, DisconnectedComponentStaysUnreached) {
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  Graph g(6);
+  g.add_undirected_edge(0, 1);
+  g.add_undirected_edge(1, 2);
+  g.add_undirected_edge(4, 5);  // separate component
+  g.finalize();
+  const GraphAppResult r = run_bfs(cfg, faults, g, 0);
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.distance[2], 2u);
+  EXPECT_EQ(r.distance[3], kUnreachedDistance);
+  EXPECT_EQ(r.distance[4], kUnreachedDistance);
+}
+
+TEST(Sssp, RandomGraphMatchesDijkstra) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  Rng rng(31);
+  const Graph g = make_random_graph(200, 800, 9, rng);
+  const GraphAppResult r = run_sssp(cfg, faults, g, 7);
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.distance, reference_sssp(g, 7));
+}
+
+TEST(Sssp, WeightsMatterVersusBfs) {
+  // A triangle where the direct edge is heavier than the two-hop path.
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  Graph g(3);
+  g.add_undirected_edge(0, 2, 10);
+  g.add_undirected_edge(0, 1, 2);
+  g.add_undirected_edge(1, 2, 3);
+  g.finalize();
+  const GraphAppResult sssp = run_sssp(cfg, faults, g, 0);
+  const GraphAppResult bfs = run_bfs(cfg, faults, g, 0);
+  EXPECT_EQ(sssp.distance[2], 5u);  // via vertex 1
+  EXPECT_EQ(bfs.distance[2], 1u);   // hop count
+}
+
+TEST(Bfs, SurvivesFaultyTiles) {
+  // Faulty tiles own no vertices and the NoC routes around them: results
+  // must still match the reference exactly.
+  const SystemConfig cfg = SystemConfig::reduced(6, 6);
+  FaultMap faults(cfg.grid());
+  faults.set_faulty({2, 3});
+  faults.set_faulty({4, 1});
+  faults.set_faulty({0, 5});
+  const Graph g = make_grid_graph(14, 14);
+  const GraphAppResult r = run_bfs(cfg, faults, g, 5);
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.distance, reference_bfs(g, 5));
+}
+
+TEST(Bfs, RmatGraphMatchesReference) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  Rng rng(77);
+  const Graph g = make_rmat_graph(9, 2000, 1, rng);
+  const GraphAppResult r = run_bfs(cfg, faults, g, 1);
+  ASSERT_TRUE(r.quiesced);
+  EXPECT_EQ(r.distance, reference_bfs(g, 1));
+}
+
+TEST(GraphApp, StatsReflectWork) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  const Graph g = make_grid_graph(10, 10);
+  const GraphAppResult r = run_bfs(cfg, faults, g, 0);
+  EXPECT_GT(r.stats.core_busy_cycles, 0u);
+  EXPECT_GT(r.stats.makespan, 0u);
+  EXPECT_GE(r.stats.makespan, r.stats.cycles);
+  EXPECT_GT(r.stats.handler_invocations, 16u);
+}
+
+TEST(GraphApp, RejectsOversizedGraph) {
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  // 4 tiles x 4 banks x 32K words = 524288 vertices max; ask for more.
+  Graph g(600000);
+  g.finalize();
+  EXPECT_THROW(run_bfs(cfg, faults, g, 0), Error);
+}
+
+TEST(GraphApp, RejectsBadSource) {
+  const SystemConfig cfg = SystemConfig::reduced(2, 2);
+  const FaultMap faults(cfg.grid());
+  Graph g = make_grid_graph(4, 4);
+  EXPECT_THROW(run_bfs(cfg, faults, g, 99), Error);
+}
+
+// Property sweep: BFS and SSSP match their references across seeds, graph
+// shapes and fault patterns.
+class AppSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(AppSweep, BfsAndSsspMatchReferences) {
+  const auto [seed, nfaults] = GetParam();
+  Rng rng(seed);
+  const SystemConfig cfg = SystemConfig::reduced(5, 5);
+  const FaultMap faults = routable_fault_map(
+      cfg.grid(), static_cast<std::size_t>(nfaults), rng);
+  const Graph g = make_random_graph(150, 450, 7, rng);
+  const auto src = static_cast<std::uint32_t>(rng.below(150));
+
+  const GraphAppResult bfs = run_bfs(cfg, faults, g, src);
+  ASSERT_TRUE(bfs.quiesced);
+  EXPECT_EQ(bfs.distance, reference_bfs(g, src));
+
+  const GraphAppResult sssp = run_sssp(cfg, faults, g, src);
+  ASSERT_TRUE(sssp.quiesced);
+  EXPECT_EQ(sssp.distance, reference_sssp(g, src));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFaults, AppSweep,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44),
+                       ::testing::Values(0, 2, 5)));
+
+}  // namespace
+}  // namespace wsp::workloads
