@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clock_forwarding.dir/bench_clock_forwarding.cpp.o"
+  "CMakeFiles/bench_clock_forwarding.dir/bench_clock_forwarding.cpp.o.d"
+  "bench_clock_forwarding"
+  "bench_clock_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

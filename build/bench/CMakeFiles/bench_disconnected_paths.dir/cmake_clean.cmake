@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disconnected_paths.dir/bench_disconnected_paths.cpp.o"
+  "CMakeFiles/bench_disconnected_paths.dir/bench_disconnected_paths.cpp.o.d"
+  "bench_disconnected_paths"
+  "bench_disconnected_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disconnected_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_yield.dir/bench_io_yield.cpp.o"
+  "CMakeFiles/bench_io_yield.dir/bench_io_yield.cpp.o.d"
+  "bench_io_yield"
+  "bench_io_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jtag.dir/bench_jtag.cpp.o"
+  "CMakeFiles/bench_jtag.dir/bench_jtag.cpp.o.d"
+  "bench_jtag"
+  "bench_jtag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jtag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

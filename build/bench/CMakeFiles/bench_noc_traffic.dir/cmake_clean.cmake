@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc_traffic.dir/bench_noc_traffic.cpp.o"
+  "CMakeFiles/bench_noc_traffic.dir/bench_noc_traffic.cpp.o.d"
+  "bench_noc_traffic"
+  "bench_noc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdn_droop.dir/bench_pdn_droop.cpp.o"
+  "CMakeFiles/bench_pdn_droop.dir/bench_pdn_droop.cpp.o.d"
+  "bench_pdn_droop"
+  "bench_pdn_droop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdn_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdn_strategies.dir/bench_pdn_strategies.cpp.o"
+  "CMakeFiles/bench_pdn_strategies.dir/bench_pdn_strategies.cpp.o.d"
+  "bench_pdn_strategies"
+  "bench_pdn_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdn_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

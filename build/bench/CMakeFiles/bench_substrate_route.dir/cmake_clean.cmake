@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_substrate_route.dir/bench_substrate_route.cpp.o"
+  "CMakeFiles/bench_substrate_route.dir/bench_substrate_route.cpp.o.d"
+  "bench_substrate_route"
+  "bench_substrate_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substrate_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bringup_flow.dir/bringup_flow.cpp.o"
+  "CMakeFiles/bringup_flow.dir/bringup_flow.cpp.o.d"
+  "bringup_flow"
+  "bringup_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bringup_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("wsp/common")
+subdirs("wsp/pdn")
+subdirs("wsp/clock")
+subdirs("wsp/io")
+subdirs("wsp/noc")
+subdirs("wsp/mem")
+subdirs("wsp/arch")
+subdirs("wsp/testinfra")
+subdirs("wsp/route")
+subdirs("wsp/workloads")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/arch/bringup.cpp" "src/wsp/arch/CMakeFiles/wsp_arch.dir/bringup.cpp.o" "gcc" "src/wsp/arch/CMakeFiles/wsp_arch.dir/bringup.cpp.o.d"
+  "/root/repo/src/wsp/arch/core_cluster.cpp" "src/wsp/arch/CMakeFiles/wsp_arch.dir/core_cluster.cpp.o" "gcc" "src/wsp/arch/CMakeFiles/wsp_arch.dir/core_cluster.cpp.o.d"
+  "/root/repo/src/wsp/arch/crossbar.cpp" "src/wsp/arch/CMakeFiles/wsp_arch.dir/crossbar.cpp.o" "gcc" "src/wsp/arch/CMakeFiles/wsp_arch.dir/crossbar.cpp.o.d"
+  "/root/repo/src/wsp/arch/power_map.cpp" "src/wsp/arch/CMakeFiles/wsp_arch.dir/power_map.cpp.o" "gcc" "src/wsp/arch/CMakeFiles/wsp_arch.dir/power_map.cpp.o.d"
+  "/root/repo/src/wsp/arch/wafer_system.cpp" "src/wsp/arch/CMakeFiles/wsp_arch.dir/wafer_system.cpp.o" "gcc" "src/wsp/arch/CMakeFiles/wsp_arch.dir/wafer_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/mem/CMakeFiles/wsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/noc/CMakeFiles/wsp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/clock/CMakeFiles/wsp_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

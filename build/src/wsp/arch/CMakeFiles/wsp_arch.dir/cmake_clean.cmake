@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_arch.dir/bringup.cpp.o"
+  "CMakeFiles/wsp_arch.dir/bringup.cpp.o.d"
+  "CMakeFiles/wsp_arch.dir/core_cluster.cpp.o"
+  "CMakeFiles/wsp_arch.dir/core_cluster.cpp.o.d"
+  "CMakeFiles/wsp_arch.dir/crossbar.cpp.o"
+  "CMakeFiles/wsp_arch.dir/crossbar.cpp.o.d"
+  "CMakeFiles/wsp_arch.dir/power_map.cpp.o"
+  "CMakeFiles/wsp_arch.dir/power_map.cpp.o.d"
+  "CMakeFiles/wsp_arch.dir/wafer_system.cpp.o"
+  "CMakeFiles/wsp_arch.dir/wafer_system.cpp.o.d"
+  "libwsp_arch.a"
+  "libwsp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

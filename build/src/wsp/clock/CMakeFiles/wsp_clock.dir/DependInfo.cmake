@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/clock/duty_cycle.cpp" "src/wsp/clock/CMakeFiles/wsp_clock.dir/duty_cycle.cpp.o" "gcc" "src/wsp/clock/CMakeFiles/wsp_clock.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/wsp/clock/forwarding.cpp" "src/wsp/clock/CMakeFiles/wsp_clock.dir/forwarding.cpp.o" "gcc" "src/wsp/clock/CMakeFiles/wsp_clock.dir/forwarding.cpp.o.d"
+  "/root/repo/src/wsp/clock/pll.cpp" "src/wsp/clock/CMakeFiles/wsp_clock.dir/pll.cpp.o" "gcc" "src/wsp/clock/CMakeFiles/wsp_clock.dir/pll.cpp.o.d"
+  "/root/repo/src/wsp/clock/selector.cpp" "src/wsp/clock/CMakeFiles/wsp_clock.dir/selector.cpp.o" "gcc" "src/wsp/clock/CMakeFiles/wsp_clock.dir/selector.cpp.o.d"
+  "/root/repo/src/wsp/clock/skew.cpp" "src/wsp/clock/CMakeFiles/wsp_clock.dir/skew.cpp.o" "gcc" "src/wsp/clock/CMakeFiles/wsp_clock.dir/skew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_clock.dir/duty_cycle.cpp.o"
+  "CMakeFiles/wsp_clock.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/wsp_clock.dir/forwarding.cpp.o"
+  "CMakeFiles/wsp_clock.dir/forwarding.cpp.o.d"
+  "CMakeFiles/wsp_clock.dir/pll.cpp.o"
+  "CMakeFiles/wsp_clock.dir/pll.cpp.o.d"
+  "CMakeFiles/wsp_clock.dir/selector.cpp.o"
+  "CMakeFiles/wsp_clock.dir/selector.cpp.o.d"
+  "CMakeFiles/wsp_clock.dir/skew.cpp.o"
+  "CMakeFiles/wsp_clock.dir/skew.cpp.o.d"
+  "libwsp_clock.a"
+  "libwsp_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/common/config.cpp" "src/wsp/common/CMakeFiles/wsp_common.dir/config.cpp.o" "gcc" "src/wsp/common/CMakeFiles/wsp_common.dir/config.cpp.o.d"
+  "/root/repo/src/wsp/common/fault_map.cpp" "src/wsp/common/CMakeFiles/wsp_common.dir/fault_map.cpp.o" "gcc" "src/wsp/common/CMakeFiles/wsp_common.dir/fault_map.cpp.o.d"
+  "/root/repo/src/wsp/common/geometry.cpp" "src/wsp/common/CMakeFiles/wsp_common.dir/geometry.cpp.o" "gcc" "src/wsp/common/CMakeFiles/wsp_common.dir/geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_common.dir/config.cpp.o"
+  "CMakeFiles/wsp_common.dir/config.cpp.o.d"
+  "CMakeFiles/wsp_common.dir/fault_map.cpp.o"
+  "CMakeFiles/wsp_common.dir/fault_map.cpp.o.d"
+  "CMakeFiles/wsp_common.dir/geometry.cpp.o"
+  "CMakeFiles/wsp_common.dir/geometry.cpp.o.d"
+  "libwsp_common.a"
+  "libwsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

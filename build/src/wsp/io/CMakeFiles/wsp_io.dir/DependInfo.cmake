@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/io/bonding_yield.cpp" "src/wsp/io/CMakeFiles/wsp_io.dir/bonding_yield.cpp.o" "gcc" "src/wsp/io/CMakeFiles/wsp_io.dir/bonding_yield.cpp.o.d"
+  "/root/repo/src/wsp/io/cost_model.cpp" "src/wsp/io/CMakeFiles/wsp_io.dir/cost_model.cpp.o" "gcc" "src/wsp/io/CMakeFiles/wsp_io.dir/cost_model.cpp.o.d"
+  "/root/repo/src/wsp/io/pad_layout.cpp" "src/wsp/io/CMakeFiles/wsp_io.dir/pad_layout.cpp.o" "gcc" "src/wsp/io/CMakeFiles/wsp_io.dir/pad_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

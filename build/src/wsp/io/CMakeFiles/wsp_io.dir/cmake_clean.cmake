@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_io.dir/bonding_yield.cpp.o"
+  "CMakeFiles/wsp_io.dir/bonding_yield.cpp.o.d"
+  "CMakeFiles/wsp_io.dir/cost_model.cpp.o"
+  "CMakeFiles/wsp_io.dir/cost_model.cpp.o.d"
+  "CMakeFiles/wsp_io.dir/pad_layout.cpp.o"
+  "CMakeFiles/wsp_io.dir/pad_layout.cpp.o.d"
+  "libwsp_io.a"
+  "libwsp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/mem/address_map.cpp" "src/wsp/mem/CMakeFiles/wsp_mem.dir/address_map.cpp.o" "gcc" "src/wsp/mem/CMakeFiles/wsp_mem.dir/address_map.cpp.o.d"
+  "/root/repo/src/wsp/mem/memory_chiplet.cpp" "src/wsp/mem/CMakeFiles/wsp_mem.dir/memory_chiplet.cpp.o" "gcc" "src/wsp/mem/CMakeFiles/wsp_mem.dir/memory_chiplet.cpp.o.d"
+  "/root/repo/src/wsp/mem/sram_bank.cpp" "src/wsp/mem/CMakeFiles/wsp_mem.dir/sram_bank.cpp.o" "gcc" "src/wsp/mem/CMakeFiles/wsp_mem.dir/sram_bank.cpp.o.d"
+  "/root/repo/src/wsp/mem/technology.cpp" "src/wsp/mem/CMakeFiles/wsp_mem.dir/technology.cpp.o" "gcc" "src/wsp/mem/CMakeFiles/wsp_mem.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_mem.dir/address_map.cpp.o"
+  "CMakeFiles/wsp_mem.dir/address_map.cpp.o.d"
+  "CMakeFiles/wsp_mem.dir/memory_chiplet.cpp.o"
+  "CMakeFiles/wsp_mem.dir/memory_chiplet.cpp.o.d"
+  "CMakeFiles/wsp_mem.dir/sram_bank.cpp.o"
+  "CMakeFiles/wsp_mem.dir/sram_bank.cpp.o.d"
+  "CMakeFiles/wsp_mem.dir/technology.cpp.o"
+  "CMakeFiles/wsp_mem.dir/technology.cpp.o.d"
+  "libwsp_mem.a"
+  "libwsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

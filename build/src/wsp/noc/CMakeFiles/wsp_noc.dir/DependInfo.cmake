@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/noc/connectivity.cpp" "src/wsp/noc/CMakeFiles/wsp_noc.dir/connectivity.cpp.o" "gcc" "src/wsp/noc/CMakeFiles/wsp_noc.dir/connectivity.cpp.o.d"
+  "/root/repo/src/wsp/noc/mesh_network.cpp" "src/wsp/noc/CMakeFiles/wsp_noc.dir/mesh_network.cpp.o" "gcc" "src/wsp/noc/CMakeFiles/wsp_noc.dir/mesh_network.cpp.o.d"
+  "/root/repo/src/wsp/noc/noc_system.cpp" "src/wsp/noc/CMakeFiles/wsp_noc.dir/noc_system.cpp.o" "gcc" "src/wsp/noc/CMakeFiles/wsp_noc.dir/noc_system.cpp.o.d"
+  "/root/repo/src/wsp/noc/odd_even.cpp" "src/wsp/noc/CMakeFiles/wsp_noc.dir/odd_even.cpp.o" "gcc" "src/wsp/noc/CMakeFiles/wsp_noc.dir/odd_even.cpp.o.d"
+  "/root/repo/src/wsp/noc/routing.cpp" "src/wsp/noc/CMakeFiles/wsp_noc.dir/routing.cpp.o" "gcc" "src/wsp/noc/CMakeFiles/wsp_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/wsp/noc/traffic.cpp" "src/wsp/noc/CMakeFiles/wsp_noc.dir/traffic.cpp.o" "gcc" "src/wsp/noc/CMakeFiles/wsp_noc.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

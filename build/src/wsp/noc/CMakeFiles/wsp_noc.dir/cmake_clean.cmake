@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_noc.dir/connectivity.cpp.o"
+  "CMakeFiles/wsp_noc.dir/connectivity.cpp.o.d"
+  "CMakeFiles/wsp_noc.dir/mesh_network.cpp.o"
+  "CMakeFiles/wsp_noc.dir/mesh_network.cpp.o.d"
+  "CMakeFiles/wsp_noc.dir/noc_system.cpp.o"
+  "CMakeFiles/wsp_noc.dir/noc_system.cpp.o.d"
+  "CMakeFiles/wsp_noc.dir/odd_even.cpp.o"
+  "CMakeFiles/wsp_noc.dir/odd_even.cpp.o.d"
+  "CMakeFiles/wsp_noc.dir/routing.cpp.o"
+  "CMakeFiles/wsp_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/wsp_noc.dir/traffic.cpp.o"
+  "CMakeFiles/wsp_noc.dir/traffic.cpp.o.d"
+  "libwsp_noc.a"
+  "libwsp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

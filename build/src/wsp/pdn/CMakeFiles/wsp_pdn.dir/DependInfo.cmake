@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/pdn/ldo.cpp" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/ldo.cpp.o" "gcc" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/ldo.cpp.o.d"
+  "/root/repo/src/wsp/pdn/resistive_grid.cpp" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/resistive_grid.cpp.o" "gcc" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/resistive_grid.cpp.o.d"
+  "/root/repo/src/wsp/pdn/strategy.cpp" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/strategy.cpp.o" "gcc" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/strategy.cpp.o.d"
+  "/root/repo/src/wsp/pdn/thermal.cpp" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/thermal.cpp.o" "gcc" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/thermal.cpp.o.d"
+  "/root/repo/src/wsp/pdn/transient.cpp" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/transient.cpp.o" "gcc" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/transient.cpp.o.d"
+  "/root/repo/src/wsp/pdn/wafer_pdn.cpp" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/wafer_pdn.cpp.o" "gcc" "src/wsp/pdn/CMakeFiles/wsp_pdn.dir/wafer_pdn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_pdn.dir/ldo.cpp.o"
+  "CMakeFiles/wsp_pdn.dir/ldo.cpp.o.d"
+  "CMakeFiles/wsp_pdn.dir/resistive_grid.cpp.o"
+  "CMakeFiles/wsp_pdn.dir/resistive_grid.cpp.o.d"
+  "CMakeFiles/wsp_pdn.dir/strategy.cpp.o"
+  "CMakeFiles/wsp_pdn.dir/strategy.cpp.o.d"
+  "CMakeFiles/wsp_pdn.dir/thermal.cpp.o"
+  "CMakeFiles/wsp_pdn.dir/thermal.cpp.o.d"
+  "CMakeFiles/wsp_pdn.dir/transient.cpp.o"
+  "CMakeFiles/wsp_pdn.dir/transient.cpp.o.d"
+  "CMakeFiles/wsp_pdn.dir/wafer_pdn.cpp.o"
+  "CMakeFiles/wsp_pdn.dir/wafer_pdn.cpp.o.d"
+  "libwsp_pdn.a"
+  "libwsp_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsp_pdn.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/route/net_timing.cpp" "src/wsp/route/CMakeFiles/wsp_route.dir/net_timing.cpp.o" "gcc" "src/wsp/route/CMakeFiles/wsp_route.dir/net_timing.cpp.o.d"
+  "/root/repo/src/wsp/route/reticle.cpp" "src/wsp/route/CMakeFiles/wsp_route.dir/reticle.cpp.o" "gcc" "src/wsp/route/CMakeFiles/wsp_route.dir/reticle.cpp.o.d"
+  "/root/repo/src/wsp/route/substrate_router.cpp" "src/wsp/route/CMakeFiles/wsp_route.dir/substrate_router.cpp.o" "gcc" "src/wsp/route/CMakeFiles/wsp_route.dir/substrate_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_route.dir/net_timing.cpp.o"
+  "CMakeFiles/wsp_route.dir/net_timing.cpp.o.d"
+  "CMakeFiles/wsp_route.dir/reticle.cpp.o"
+  "CMakeFiles/wsp_route.dir/reticle.cpp.o.d"
+  "CMakeFiles/wsp_route.dir/substrate_router.cpp.o"
+  "CMakeFiles/wsp_route.dir/substrate_router.cpp.o.d"
+  "libwsp_route.a"
+  "libwsp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsp_route.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/testinfra/dap_chain.cpp" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/dap_chain.cpp.o" "gcc" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/dap_chain.cpp.o.d"
+  "/root/repo/src/wsp/testinfra/prebond.cpp" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/prebond.cpp.o" "gcc" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/prebond.cpp.o.d"
+  "/root/repo/src/wsp/testinfra/tap.cpp" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/tap.cpp.o" "gcc" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/tap.cpp.o.d"
+  "/root/repo/src/wsp/testinfra/test_time.cpp" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/test_time.cpp.o" "gcc" "src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/mem/CMakeFiles/wsp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

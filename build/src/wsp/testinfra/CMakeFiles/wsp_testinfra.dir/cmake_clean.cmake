@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_testinfra.dir/dap_chain.cpp.o"
+  "CMakeFiles/wsp_testinfra.dir/dap_chain.cpp.o.d"
+  "CMakeFiles/wsp_testinfra.dir/prebond.cpp.o"
+  "CMakeFiles/wsp_testinfra.dir/prebond.cpp.o.d"
+  "CMakeFiles/wsp_testinfra.dir/tap.cpp.o"
+  "CMakeFiles/wsp_testinfra.dir/tap.cpp.o.d"
+  "CMakeFiles/wsp_testinfra.dir/test_time.cpp.o"
+  "CMakeFiles/wsp_testinfra.dir/test_time.cpp.o.d"
+  "libwsp_testinfra.a"
+  "libwsp_testinfra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_testinfra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

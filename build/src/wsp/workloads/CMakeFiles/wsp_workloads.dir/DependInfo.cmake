@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsp/workloads/graph.cpp" "src/wsp/workloads/CMakeFiles/wsp_workloads.dir/graph.cpp.o" "gcc" "src/wsp/workloads/CMakeFiles/wsp_workloads.dir/graph.cpp.o.d"
+  "/root/repo/src/wsp/workloads/graph_apps.cpp" "src/wsp/workloads/CMakeFiles/wsp_workloads.dir/graph_apps.cpp.o" "gcc" "src/wsp/workloads/CMakeFiles/wsp_workloads.dir/graph_apps.cpp.o.d"
+  "/root/repo/src/wsp/workloads/pagerank.cpp" "src/wsp/workloads/CMakeFiles/wsp_workloads.dir/pagerank.cpp.o" "gcc" "src/wsp/workloads/CMakeFiles/wsp_workloads.dir/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/arch/CMakeFiles/wsp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/noc/CMakeFiles/wsp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/clock/CMakeFiles/wsp_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/mem/CMakeFiles/wsp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

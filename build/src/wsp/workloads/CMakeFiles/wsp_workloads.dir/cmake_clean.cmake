@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_workloads.dir/graph.cpp.o"
+  "CMakeFiles/wsp_workloads.dir/graph.cpp.o.d"
+  "CMakeFiles/wsp_workloads.dir/graph_apps.cpp.o"
+  "CMakeFiles/wsp_workloads.dir/graph_apps.cpp.o.d"
+  "CMakeFiles/wsp_workloads.dir/pagerank.cpp.o"
+  "CMakeFiles/wsp_workloads.dir/pagerank.cpp.o.d"
+  "libwsp_workloads.a"
+  "libwsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

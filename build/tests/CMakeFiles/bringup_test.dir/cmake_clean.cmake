@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bringup_test.dir/bringup_test.cpp.o"
+  "CMakeFiles/bringup_test.dir/bringup_test.cpp.o.d"
+  "bringup_test"
+  "bringup_test.pdb"
+  "bringup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bringup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtag_load_test.dir/jtag_load_test.cpp.o"
+  "CMakeFiles/jtag_load_test.dir/jtag_load_test.cpp.o.d"
+  "jtag_load_test"
+  "jtag_load_test.pdb"
+  "jtag_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtag_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_odd_even_test.dir/noc_odd_even_test.cpp.o"
+  "CMakeFiles/noc_odd_even_test.dir/noc_odd_even_test.cpp.o.d"
+  "noc_odd_even_test"
+  "noc_odd_even_test.pdb"
+  "noc_odd_even_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_odd_even_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

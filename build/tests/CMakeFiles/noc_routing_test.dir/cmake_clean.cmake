@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_routing_test.dir/noc_routing_test.cpp.o"
+  "CMakeFiles/noc_routing_test.dir/noc_routing_test.cpp.o.d"
+  "noc_routing_test"
+  "noc_routing_test.pdb"
+  "noc_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

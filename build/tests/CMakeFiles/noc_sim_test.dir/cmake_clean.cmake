@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_sim_test.dir/noc_sim_test.cpp.o"
+  "CMakeFiles/noc_sim_test.dir/noc_sim_test.cpp.o.d"
+  "noc_sim_test"
+  "noc_sim_test.pdb"
+  "noc_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_test.dir/pagerank_test.cpp.o"
+  "CMakeFiles/pagerank_test.dir/pagerank_test.cpp.o.d"
+  "pagerank_test"
+  "pagerank_test.pdb"
+  "pagerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_grid_test.dir/pdn_grid_test.cpp.o"
+  "CMakeFiles/pdn_grid_test.dir/pdn_grid_test.cpp.o.d"
+  "pdn_grid_test"
+  "pdn_grid_test.pdb"
+  "pdn_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

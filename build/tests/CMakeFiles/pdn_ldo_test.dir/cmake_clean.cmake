@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_ldo_test.dir/pdn_ldo_test.cpp.o"
+  "CMakeFiles/pdn_ldo_test.dir/pdn_ldo_test.cpp.o.d"
+  "pdn_ldo_test"
+  "pdn_ldo_test.pdb"
+  "pdn_ldo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_ldo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

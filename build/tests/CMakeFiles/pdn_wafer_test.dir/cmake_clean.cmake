@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_wafer_test.dir/pdn_wafer_test.cpp.o"
+  "CMakeFiles/pdn_wafer_test.dir/pdn_wafer_test.cpp.o.d"
+  "pdn_wafer_test"
+  "pdn_wafer_test.pdb"
+  "pdn_wafer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_wafer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testinfra_test.dir/testinfra_test.cpp.o"
+  "CMakeFiles/testinfra_test.dir/testinfra_test.cpp.o.d"
+  "testinfra_test"
+  "testinfra_test.pdb"
+  "testinfra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testinfra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsp/common/CMakeFiles/wsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/pdn/CMakeFiles/wsp_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/clock/CMakeFiles/wsp_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/io/CMakeFiles/wsp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/noc/CMakeFiles/wsp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/mem/CMakeFiles/wsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/arch/CMakeFiles/wsp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/testinfra/CMakeFiles/wsp_testinfra.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/route/CMakeFiles/wsp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsp/workloads/CMakeFiles/wsp_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
