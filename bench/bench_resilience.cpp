@@ -1,0 +1,130 @@
+// Runtime-resilience experiments: Monte Carlo degradation campaigns (how
+// much usable wafer and pair reachability survive bursts of runtime
+// faults), clock re-selection latency after mid-tree tile deaths, and the
+// cycle cost of arming the NoC timeout/retry machinery.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "wsp/clock/forwarding.hpp"
+#include "wsp/clock/recovery.hpp"
+#include "wsp/noc/traffic.hpp"
+#include "wsp/resilience/campaign.hpp"
+
+namespace {
+
+using namespace wsp;
+using namespace wsp::resilience;
+
+void print_campaign_sweep() {
+  std::printf("== Monte Carlo degradation campaigns (16x16 wafer section, "
+              "5 trials each) ==\n");
+  std::printf("%12s %14s %16s %16s %12s %8s %8s\n", "tile deaths",
+              "usable frac", "reachability %", "recovery (cyc)", "lost/issued",
+              "SSI", "drained");
+  for (const std::size_t deaths : {1u, 3u, 6u, 12u}) {
+    CampaignOptions o;
+    o.config = SystemConfig::reduced(16, 16);
+    o.seed = 1;
+    o.run_cycles = 1500;
+    o.fault_horizon = 1000;
+    o.injection_rate = 0.01;
+    o.mix.tile_deaths = deaths;
+    o.mix.link_failures = deaths / 2;
+    o.mix.ldo_brownouts = 1;
+    o.mix.packet_corruptions = 2;
+    const CampaignSummary s =
+        summarize(DegradationCampaign(o).run_trials(5));
+    std::printf("%12zu %14.3f %16.2f %16.1f %12.4f %5d/5 %6d/5\n", deaths,
+                s.mean_final_usable_fraction, s.mean_pair_reachability_pct,
+                s.mean_recovery_cycles, s.lost_per_issued,
+                s.single_system_image_survived, s.fully_drained);
+  }
+  std::printf("\n");
+}
+
+void print_clock_recovery_latency() {
+  std::printf("-- clock re-selection after an interior tile death (single "
+              "generator) --\n");
+  std::printf("%10s %14s %14s %14s\n", "array", "invalidated", "relatched",
+              "wave steps");
+  for (const int n : {8, 16, 32}) {
+    const TileGrid grid(n, n);
+    FaultMap fm(grid);
+    const std::vector<TileCoord> gens = {{0, 0}};
+    const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+    fm.set_faulty({n / 2, n / 2});
+    const clock::ReclockReport r =
+        clock::reselect_after_faults(plan, fm, gens);
+    std::printf("%7dx%-2d %14zu %14zu %14d\n", n, n, r.invalidated.size(),
+                r.relatched.size(), r.relatch_steps);
+  }
+  std::printf("\n");
+}
+
+void BM_CampaignRun(benchmark::State& state) {
+  CampaignOptions o;
+  o.config = SystemConfig::reduced(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(0)));
+  o.seed = 3;
+  o.run_cycles = 800;
+  o.fault_horizon = 500;
+  o.injection_rate = 0.01;
+  const DegradationCampaign campaign(o);
+  for (auto _ : state) {
+    const DegradationReport r = campaign.run();
+    benchmark::DoNotOptimize(r.final_usable);
+  }
+}
+BENCHMARK(BM_CampaignRun)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_ReclockWave(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TileGrid grid(n, n);
+  FaultMap fm(grid);
+  const std::vector<TileCoord> gens = {{0, 0}};
+  const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+  fm.set_faulty({n / 2, n / 2});
+  for (auto _ : state) {
+    const clock::ReclockReport r =
+        clock::reselect_after_faults(plan, fm, gens);
+    benchmark::DoNotOptimize(r.relatched.size());
+  }
+}
+BENCHMARK(BM_ReclockWave)->Arg(16)->Arg(32);
+
+/// Cycle cost of the armed timeout/retry machinery on a fault-free run:
+/// the deadline heap should be invisible next to the mesh simulation.
+void BM_NocStepTimeoutMachinery(benchmark::State& state) {
+  noc::NocOptions opt;
+  opt.response_timeout = state.range(0) ? 512 : 0;
+  noc::NocSystem noc(FaultMap(TileGrid(16, 16)), opt);
+  Rng rng(1);
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.02;
+  const auto healthy = noc.faults().healthy_tiles();
+  std::vector<noc::CompletedTransaction> done;
+  for (auto _ : state) {
+    for (const TileCoord src : healthy) {
+      if (!rng.bernoulli(cfg.injection_rate)) continue;
+      const TileCoord dst = pick_destination(noc.faults(), src, cfg, rng);
+      if (!(dst == src))
+        (void)noc.issue(src, dst, noc::PacketType::ReadRequest);
+    }
+    noc.step(done);
+    done.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) ? "timeout armed" : "timeout off");
+}
+BENCHMARK(BM_NocStepTimeoutMachinery)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_campaign_sweep();
+  print_clock_recovery_latency();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "wsp/clock/recovery.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "wsp/clock/selector.hpp"
+#include "wsp/common/error.hpp"
+
+namespace wsp::clock {
+
+ReclockReport reselect_after_faults(const ForwardingPlan& old_plan,
+                                    const FaultMap& faults,
+                                    const std::vector<TileCoord>& generators,
+                                    const ForwardingOptions& options) {
+  const TileGrid& grid = faults.grid();
+  require(old_plan.tiles.size() == grid.tile_count(),
+          "reselect_after_faults: plan does not match the fault map's grid");
+  require(options.toggle_threshold > 0, "toggle threshold must be positive");
+
+  ReclockReport report;
+  report.plan = old_plan;
+  auto& tiles = report.plan.tiles;
+
+  // --- 1. Which selections survive?  Walk the old forwarding tree down
+  // from the surviving generators; a tile keeps its clock iff it is still
+  // healthy and its whole upstream chain roots at a surviving generator.
+  std::vector<char> valid(grid.tile_count(), 0);
+  std::queue<std::size_t> frontier;
+  for (TileCoord g : generators) {
+    require(grid.contains(g), "surviving generator out of bounds");
+    const auto i = grid.index_of(g);
+    require(old_plan.tiles[i].is_generator,
+            "surviving generator was not a generator in the old plan");
+    if (faults.is_faulty(g)) continue;  // a dead tile generates nothing
+    if (!valid[i]) {
+      valid[i] = 1;
+      frontier.push(i);
+      ++report.surviving_generator_count;
+    }
+  }
+  std::vector<std::vector<std::size_t>> children(grid.tile_count());
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileClockState& st = old_plan.tiles[i];
+    if (!st.reached || st.is_generator || !st.selected_input) continue;
+    if (const auto up = grid.neighbor(grid.coord_of(i), *st.selected_input))
+      children[grid.index_of(*up)].push_back(i);
+  }
+  while (!frontier.empty()) {
+    const std::size_t i = frontier.front();
+    frontier.pop();
+    for (std::size_t c : children[i]) {
+      if (valid[c] || faults.is_faulty(grid.coord_of(c))) continue;
+      valid[c] = 1;
+      frontier.push(c);
+    }
+  }
+
+  // --- 2. Invalidate broken chains.  Dead tiles lose their state outright;
+  // healthy tiles whose chain broke (including a generator that lost its
+  // clock source: it re-latches like any other tile) enter the re-selection
+  // wave.  Linear-index order keeps everything deterministic.
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileCoord c = grid.coord_of(i);
+    if (!old_plan.tiles[i].reached) continue;  // was never clocked
+    if (faults.is_faulty(c)) {
+      tiles[i] = TileClockState{};
+      continue;
+    }
+    if (valid[i]) continue;  // selection survives untouched
+    tiles[i] = TileClockState{};
+    report.invalidated.push_back(c);
+  }
+
+  // --- 3. Re-selection wave, reusing the ClockSelector FSM: invalidated
+  // selectors are reset into auto-select and fed, step by step, the toggle
+  // activity of their neighbours.  Valid tiles toggle from the start; a
+  // tile that re-latches starts toggling its own outputs the next step.
+  std::vector<char> toggling = valid;
+  std::vector<ClockSelector> selectors;
+  selectors.reserve(report.invalidated.size());
+  for (std::size_t k = 0; k < report.invalidated.size(); ++k) {
+    selectors.emplace_back(options.toggle_threshold);
+    selectors.back().begin_auto_select();
+  }
+  std::vector<char> latched(report.invalidated.size(), 0);
+
+  // If no tile latches for threshold+1 consecutive steps, none ever will:
+  // counts only advance on toggling neighbours, and the toggling set only
+  // grows when something latches.
+  const int quiet_limit = options.toggle_threshold + 1;
+  int quiet = 0;
+  int step_no = 0;
+  while (quiet < quiet_limit &&
+         report.relatched.size() < report.invalidated.size()) {
+    ++step_no;
+    std::vector<std::size_t> newly;
+    for (std::size_t k = 0; k < report.invalidated.size(); ++k) {
+      if (latched[k]) continue;
+      const TileCoord c = report.invalidated[k];
+      std::array<bool, 4> toggled{};
+      for (Direction d : kAllDirections) {
+        const auto n = grid.neighbor(c, d);
+        toggled[static_cast<std::size_t>(d)] =
+            n && toggling[grid.index_of(*n)];
+      }
+      const auto source = selectors[k].step(toggled);
+      if (!source) continue;
+      const auto dir = direction_of(*source);
+      const auto up = grid.neighbor(c, *dir);
+      const TileClockState& upstream = tiles[grid.index_of(*up)];
+      TileClockState& st = tiles[grid.index_of(c)];
+      st.reached = true;
+      st.selected_input = *dir;
+      st.hops_from_generator = upstream.hops_from_generator + 1;
+      st.inverted = !upstream.inverted;
+      // Race-equivalent lock time: threshold periods after the upstream
+      // clock (re)appeared at this tile's input.
+      st.lock_time = upstream.lock_time + options.hop_latency_periods +
+                     options.toggle_threshold;
+      newly.push_back(k);
+      report.relatched.push_back(c);
+    }
+    for (std::size_t k : newly) {
+      latched[k] = 1;
+      toggling[grid.index_of(report.invalidated[k])] = 1;
+    }
+    if (newly.empty()) {
+      ++quiet;
+    } else {
+      quiet = 0;
+      report.relatch_steps = step_no;
+    }
+  }
+
+  // --- 4. Whoever did not re-latch is newly orphaned: healthy but cut off
+  // from every surviving generator.
+  for (std::size_t k = 0; k < report.invalidated.size(); ++k)
+    if (!latched[k]) report.newly_orphaned.push_back(report.invalidated[k]);
+
+  // --- 5. Recount the plan's aggregates.
+  report.plan.reached_count = 0;
+  report.plan.unreached_healthy_count = 0;
+  report.plan.unreached_healthy.clear();
+  report.plan.max_hops = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileCoord c = grid.coord_of(i);
+    if (tiles[i].reached) {
+      ++report.plan.reached_count;
+      report.plan.max_hops =
+          std::max(report.plan.max_hops, tiles[i].hops_from_generator);
+    } else if (faults.is_healthy(c)) {
+      ++report.plan.unreached_healthy_count;
+      report.plan.unreached_healthy.push_back(c);
+    }
+  }
+  return report;
+}
+
+}  // namespace wsp::clock

@@ -1,0 +1,53 @@
+// Runtime clock recovery: re-selection after tiles or generators die
+// (wsp::resilience degradation layer for Sec. IV's forwarding network).
+//
+// The assembly-time story locks every tile's selector once and for all.
+// If a tile on the forwarding tree later dies — or an edge generator stops
+// toggling — every tile downstream of it loses its clock.  The hardware
+// remedy is the same circuit that performed the original selection: the
+// affected selectors are reset over JTAG into the auto-select phase and
+// re-latch onto the first *still-toggling* neighbour to reach the toggle
+// threshold.  This module simulates that re-selection wave, reusing the
+// cycle-level ClockSelector FSM, and reports which tiles re-latched and
+// which are newly orphaned (healthy but cut off from every surviving
+// generator).
+#pragma once
+
+#include <vector>
+
+#include "wsp/clock/forwarding.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/geometry.hpp"
+
+namespace wsp::clock {
+
+/// Outcome of a clock re-selection wave.
+struct ReclockReport {
+  /// Updated forwarding plan (counts and unreached lists recomputed).
+  ForwardingPlan plan;
+  /// Tiles whose chain to a surviving generator broke (healthy tiles only).
+  std::vector<TileCoord> invalidated;
+  /// Invalidated tiles that re-latched onto a surviving neighbour.
+  std::vector<TileCoord> relatched;
+  /// Invalidated tiles that could not re-latch: healthy but cut off from
+  /// every surviving generator (the runtime analogue of Fig. 4's yellow
+  /// tile).  The bring-up layer marks these unusable.
+  std::vector<TileCoord> newly_orphaned;
+  std::size_t surviving_generator_count = 0;
+  /// Selector sampling steps until the last re-latch locked (0 when
+  /// nothing was invalidated) — the clock-recovery latency.
+  int relatch_steps = 0;
+};
+
+/// Simulates re-selection after `faults` (the *updated* map) struck a wafer
+/// whose clock network was configured per `old_plan`.  `generators` must be
+/// the surviving generator tiles — a generator hit by ClockGenLoss or tile
+/// death is simply omitted (an empty list orphans every dependent tile).
+/// Tiles upstream-connected to surviving generators keep their selection
+/// untouched; only broken chains re-run the ClockSelector FSM.
+ReclockReport reselect_after_faults(const ForwardingPlan& old_plan,
+                                    const FaultMap& faults,
+                                    const std::vector<TileCoord>& generators,
+                                    const ForwardingOptions& options = {});
+
+}  // namespace wsp::clock

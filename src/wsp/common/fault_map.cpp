@@ -1,5 +1,8 @@
 #include "wsp/common/fault_map.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "wsp/common/error.hpp"
 
 namespace wsp {
@@ -12,7 +15,12 @@ void FaultMap::set_faulty(TileCoord c, bool faulty) {
   char& slot = faulty_[grid_.index_of(c)];
   if (slot == static_cast<char>(faulty)) return;
   slot = static_cast<char>(faulty);
-  fault_count_ += faulty ? 1 : static_cast<std::size_t>(-1);
+  if (faulty)
+    ++fault_count_;
+  else
+    --fault_count_;
+  assert(fault_count_ == static_cast<std::size_t>(std::count(
+                             faulty_.begin(), faulty_.end(), char{1})));
 }
 
 std::vector<TileCoord> FaultMap::faulty_tiles() const {
@@ -58,6 +66,29 @@ FaultMap FaultMap::random_with_probability(const TileGrid& grid, double p,
     if (rng.bernoulli(p)) map.set_faulty(c, true);
   });
   return map;
+}
+
+void LinkFaultSet::set_failed(TileCoord from, Direction d, bool failed) {
+  require(grid_.contains(from), "set_failed: coordinate out of bounds");
+  require(!failed_.empty(), "LinkFaultSet was default-constructed");
+  char& slot = failed_[index_of(from, d)];
+  if (slot == static_cast<char>(failed)) return;
+  slot = static_cast<char>(failed);
+  if (failed)
+    ++failed_count_;
+  else
+    --failed_count_;
+}
+
+std::vector<std::pair<TileCoord, Direction>> LinkFaultSet::failed_links()
+    const {
+  std::vector<std::pair<TileCoord, Direction>> out;
+  out.reserve(failed_count_);
+  for (std::size_t i = 0; i < failed_.size(); ++i)
+    if (failed_[i])
+      out.emplace_back(grid_.coord_of(i / 4),
+                       static_cast<Direction>(i % 4));
+  return out;
 }
 
 }  // namespace wsp

@@ -62,4 +62,48 @@ class FaultMap {
   std::size_t fault_count_ = 0;
 };
 
+/// Directed inter-tile link failures, independent of tile health.
+///
+/// A tile can be fully alive while one of its outgoing links is dead — the
+/// async-FIFO link crossings of Sec. VI are their own failure domain (a
+/// stuck synchroniser kills one direction of one link).  The set is keyed
+/// by (source tile, outgoing direction); the reverse direction of the same
+/// physical channel fails independently.
+class LinkFaultSet {
+ public:
+  LinkFaultSet() : grid_(1, 1) {}
+  explicit LinkFaultSet(const TileGrid& grid)
+      : grid_(grid), failed_(grid.tile_count() * 4, 0) {}
+
+  const TileGrid& grid() const { return grid_; }
+
+  /// True when the link leaving `from` in direction `d` is failed.  Links
+  /// that leave the array (no neighbour) are never reported failed.
+  bool is_failed(TileCoord from, Direction d) const {
+    if (failed_.empty() || !grid_.contains(from)) return false;
+    return failed_[index_of(from, d)];
+  }
+
+  void set_failed(TileCoord from, Direction d, bool failed = true);
+
+  std::size_t failed_count() const { return failed_count_; }
+  bool empty() const { return failed_count_ == 0; }
+
+  /// All failed links as (source, direction) pairs, in index order.
+  std::vector<std::pair<TileCoord, Direction>> failed_links() const;
+
+  friend bool operator==(const LinkFaultSet& a, const LinkFaultSet& b) {
+    return a.failed_ == b.failed_;
+  }
+
+ private:
+  TileGrid grid_;
+  std::vector<char> failed_;  ///< tile-major, 4 directions per tile
+  std::size_t failed_count_ = 0;
+
+  std::size_t index_of(TileCoord c, Direction d) const {
+    return grid_.index_of(c) * 4 + static_cast<std::size_t>(d);
+  }
+};
+
 }  // namespace wsp

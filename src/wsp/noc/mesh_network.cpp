@@ -8,6 +8,7 @@ namespace wsp::noc {
 MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
                          const MeshOptions& options)
     : faults_(faults),
+      link_faults_(faults.grid()),
       grid_(faults.grid()),
       kind_(kind),
       options_(options),
@@ -46,12 +47,19 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
   const std::uint64_t now = stats_.cycles;
 
   // Phase 1: land in-transit packets due this cycle.  All transfers share
-  // the same latency, so the deque stays sorted by arrival cycle.
+  // the same latency, so the deque stays sorted by arrival cycle.  A
+  // packet arriving at a tile that died while it was on the wire is lost.
   while (!in_transit_.empty() && in_transit_.front().arrival_cycle <= now) {
     LinkTransfer& t = in_transit_.front();
-    auto& q = routers_[t.dst_tile].in_q[static_cast<std::size_t>(t.dst_port)];
-    q.push_back(t.packet);
     --pending_toward_[t.dst_tile][static_cast<std::size_t>(t.dst_port)];
+    if (faults_.is_faulty(grid_.coord_of(t.dst_tile))) {
+      ++stats_.dropped_at_fault;
+      --in_flight_;
+    } else {
+      routers_[t.dst_tile]
+          .in_q[static_cast<std::size_t>(t.dst_port)]
+          .push_back(t.packet);
+    }
     in_transit_.pop_front();
   }
 
@@ -96,7 +104,9 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
       bool any_healthy = false;
       for (int i = 0; i < cand.count; ++i) {
         const auto n = grid_.neighbor(here, cand.dirs[i]);
-        if (!n || faults_.is_faulty(*n)) continue;
+        if (!n || faults_.is_faulty(*n) ||
+            link_faults_.is_failed(here, cand.dirs[i]))
+          continue;
         any_healthy = true;
         if (queue_has_space(grid_.index_of(*n),
                             port_from(opposite(cand.dirs[i])))) {
@@ -118,7 +128,8 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
       if (out != static_cast<std::size_t>(Port::Local)) {
         const auto dir = static_cast<Direction>(out);
         const auto n = grid_.neighbor(here, dir);
-        if (!n || faults_.is_faulty(*n)) continue;
+        if (!n || faults_.is_faulty(*n) || link_faults_.is_failed(here, dir))
+          continue;
         dst_tile = grid_.index_of(*n);
         dst_port = port_from(opposite(dir));
         if (!queue_has_space(dst_tile, dst_port)) continue;
@@ -155,6 +166,40 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
   }
 
   ++stats_.cycles;
+}
+
+void MeshNetwork::apply_fault_state(const FaultMap& faults,
+                                    const LinkFaultSet& links) {
+  require(faults.grid().width() == grid_.width() &&
+              faults.grid().height() == grid_.height(),
+          "apply_fault_state: fault map grid mismatch");
+  faults_ = faults;
+  link_faults_ = links;
+
+  // Packets buffered inside a router that just died are gone: the tile no
+  // longer arbitrates, so they would otherwise sit in its queues forever.
+  for (std::size_t tile = 0; tile < routers_.size(); ++tile) {
+    if (!faults_.is_faulty(grid_.coord_of(tile))) continue;
+    for (auto& q : routers_[tile].in_q) {
+      stats_.purged_in_dead_router += q.size();
+      in_flight_ -= q.size();
+      q.clear();
+    }
+  }
+}
+
+std::optional<std::uint64_t> MeshNetwork::corrupt_head_packet(TileCoord tile) {
+  if (!grid_.contains(tile)) return std::nullopt;
+  RouterState& router = routers_[grid_.index_of(tile)];
+  for (auto& q : router.in_q) {
+    if (q.empty()) continue;
+    const std::uint64_t id = q.front().id;
+    q.pop_front();
+    --in_flight_;
+    ++stats_.corrupted;
+    return id;
+  }
+  return std::nullopt;
 }
 
 }  // namespace wsp::noc

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "wsp/common/fault_map.hpp"
@@ -47,9 +48,12 @@ struct MeshOptions {
 struct MeshStats {
   std::uint64_t injected = 0;
   std::uint64_t ejected = 0;
-  std::uint64_t dropped_at_fault = 0;  ///< routed into a faulty tile
+  std::uint64_t dropped_at_fault = 0;  ///< routed into a faulty tile/link
   std::uint64_t link_traversals = 0;
   std::uint64_t cycles = 0;
+  // Runtime-fault accounting (wsp::resilience):
+  std::uint64_t purged_in_dead_router = 0;  ///< buffered in a tile that died
+  std::uint64_t corrupted = 0;              ///< killed by injected corruption
 };
 
 /// One DoR network spanning the wafer.
@@ -77,6 +81,20 @@ class MeshNetwork {
   /// Total packets buffered in routers or in flight on links.
   std::size_t in_flight() const { return in_flight_; }
 
+  /// Adopts a new fault state mid-run (runtime fault injection).  Packets
+  /// buffered inside routers of newly dead tiles are purged and counted in
+  /// stats().purged_in_dead_router; packets in flight on a link toward a
+  /// dead tile are dropped on arrival.  The grids must match.
+  void apply_fault_state(const FaultMap& faults, const LinkFaultSet& links);
+
+  const LinkFaultSet& link_faults() const { return link_faults_; }
+
+  /// Transient-fault model: corrupts (drops) the oldest packet buffered at
+  /// `tile`, scanning input ports in fixed order.  Returns the id of the
+  /// killed packet, or nullopt when nothing is buffered there.  The lost
+  /// packet surfaces upstream as a transaction timeout.
+  std::optional<std::uint64_t> corrupt_head_packet(TileCoord tile);
+
  private:
   struct RouterState {
     std::array<std::deque<Packet>, kPortCount> in_q;
@@ -90,6 +108,7 @@ class MeshNetwork {
   };
 
   FaultMap faults_;
+  LinkFaultSet link_faults_;
   TileGrid grid_;
   NetworkKind kind_;
   MeshOptions options_;

@@ -3,12 +3,69 @@
 #include <algorithm>
 
 #include "wsp/common/error.hpp"
+#include "wsp/noc/routing.hpp"
 
 namespace wsp::noc {
 
-NetworkSelector::NetworkSelector(const FaultMap& faults) : analyzer_(faults) {}
+namespace {
 
-RoutePlan NetworkSelector::plan(TileCoord src, TileCoord dst) const {
+/// Direction of the single-step move a -> b (adjacent tiles).
+Direction direction_between(TileCoord a, TileCoord b) {
+  if (b.x > a.x) return Direction::East;
+  if (b.x < a.x) return Direction::West;
+  if (b.y > a.y) return Direction::North;
+  return Direction::South;
+}
+
+}  // namespace
+
+NetworkSelector::NetworkSelector(const FaultMap& faults)
+    : analyzer_(faults), links_(faults.grid()) {}
+
+NetworkSelector::NetworkSelector(const FaultMap& faults,
+                                 const LinkFaultSet& links)
+    : analyzer_(faults), links_(links) {
+  require(links.grid().width() == faults.grid().width() &&
+              links.grid().height() == faults.grid().height(),
+          "link fault set grid mismatch");
+}
+
+void NetworkSelector::rebind(const FaultMap& faults,
+                             const LinkFaultSet& links) {
+  const TileGrid& old = analyzer_.faults().grid();
+  require(faults.grid().width() == old.width() &&
+              faults.grid().height() == old.height(),
+          "rebind: fault map grid mismatch");
+  require(links.grid().width() == old.width() &&
+              links.grid().height() == old.height(),
+          "rebind: link fault set grid mismatch");
+  analyzer_ = ConnectivityAnalyzer(faults);
+  links_ = links;
+  cache_.clear();
+  ++generation_;
+}
+
+bool NetworkSelector::segment_clear(TileCoord a, TileCoord b,
+                                    NetworkKind kind) const {
+  const bool tiles_ok = kind == NetworkKind::XY
+                            ? analyzer_.xy_connected(a, b)
+                            : analyzer_.yx_connected(a, b);
+  if (!tiles_ok) return false;
+  if (links_.empty()) return true;
+  // The request runs a -> b on `kind`; the response runs b -> a on the
+  // complement, over the same tiles in reverse.  Both travel directions of
+  // every link on the path must therefore be alive.
+  const std::vector<TileCoord> path = dor_path(a, b, kind);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Direction d = direction_between(path[i], path[i + 1]);
+    if (links_.is_failed(path[i], d) ||
+        links_.is_failed(path[i + 1], opposite(d)))
+      return false;
+  }
+  return true;
+}
+
+RoutePlan NetworkSelector::compute_plan(TileCoord src, TileCoord dst) const {
   RoutePlan plan;
   const FaultMap& faults = analyzer_.faults();
   if (!faults.grid().contains(src) || !faults.grid().contains(dst) ||
@@ -16,8 +73,8 @@ RoutePlan NetworkSelector::plan(TileCoord src, TileCoord dst) const {
     return plan;
 
   auto choose = [&](TileCoord a, TileCoord b) -> std::optional<NetworkKind> {
-    const bool xy = analyzer_.xy_connected(a, b);
-    const bool yx = analyzer_.yx_connected(a, b);
+    const bool xy = segment_clear(a, b, NetworkKind::XY);
+    const bool yx = segment_clear(a, b, NetworkKind::YX);
     if (xy && yx) {
       // Both paths healthy: balance pairs across the networks with a
       // deterministic parity hash; one pair always maps to one network so
@@ -39,32 +96,78 @@ RoutePlan NetworkSelector::plan(TileCoord src, TileCoord dst) const {
   }
 
   // No direct path on either network: relay through an intermediate tile.
+  auto relay_via = [&](TileCoord mid) -> bool {
+    if (mid == src || mid == dst) return false;
+    const auto first = choose(src, mid);
+    const auto second = choose(mid, dst);
+    if (!first || !second) return false;
+    plan.waypoints = {src, mid, dst};
+    plan.segment_networks = {*first, *second};
+    plan.reachable = true;
+    plan.relayed = true;
+    return true;
+  };
   if (const auto mid = find_intermediate(faults, src, dst)) {
-    const auto first = choose(src, *mid);
-    const auto second = choose(*mid, dst);
-    if (first && second) {
-      plan.waypoints = {src, *mid, dst};
-      plan.segment_networks = {*first, *second};
-      plan.reachable = true;
-      plan.relayed = true;
-      return plan;
+    if (relay_via(*mid)) return plan;
+  }
+  // find_intermediate only knows about tile faults; with failed links its
+  // candidate may sit on a broken row/column.  Search the remaining
+  // intermediates link-aware, in added-hop order (index as tiebreak) so
+  // the plan stays deterministic and minimal.
+  if (!links_.empty()) {
+    const int direct = hop_distance(src, dst);
+    std::vector<std::pair<int, std::size_t>> candidates;
+    faults.grid().for_each([&](TileCoord c) {
+      if (faults.is_faulty(c) || c == src || c == dst) return;
+      candidates.emplace_back(hop_distance(src, c) + hop_distance(c, dst) -
+                                  direct,
+                              faults.grid().index_of(c));
+    });
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [added, index] : candidates) {
+      (void)added;
+      if (relay_via(faults.grid().coord_of(index))) return plan;
     }
   }
   return plan;
 }
 
+RoutePlan NetworkSelector::plan(TileCoord src, TileCoord dst) const {
+  const TileGrid& grid = analyzer_.faults().grid();
+  if (!grid.contains(src) || !grid.contains(dst)) return {};
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(grid.index_of(src)) << 32) |
+      static_cast<std::uint64_t>(grid.index_of(dst));
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  RoutePlan p = compute_plan(src, dst);
+  cache_.emplace(key, p);
+  return p;
+}
+
 NocSystem::NocSystem(const FaultMap& faults, const NocOptions& options)
     : faults_(faults),
+      links_(faults.grid()),
       options_(options),
       selector_(faults),
       xy_(faults, NetworkKind::XY, options.mesh),
       yx_(faults, NetworkKind::YX, options.mesh) {
   require(options.service_latency >= 1, "service latency must be >= 1");
   require(options.relay_latency >= 1, "relay latency must be >= 1");
+  require(options.max_retries >= 0, "max_retries cannot be negative");
+  require(options.response_timeout == 0 || options.retry_backoff_base >= 1,
+          "retry backoff must be >= 1 cycle");
 }
 
 void NocSystem::schedule(std::uint64_t due, const Packet& p) {
   pending_.push(PendingInjection{due, pending_seq_++, p});
+}
+
+void NocSystem::arm_deadline(std::uint64_t id, const LiveTransaction& txn,
+                             std::uint64_t from_cycle) {
+  if (options_.response_timeout == 0) return;
+  deadlines_.push(
+      Deadline{from_cycle + options_.response_timeout, id, txn.attempts});
 }
 
 std::optional<std::uint64_t> NocSystem::issue(TileCoord src, TileCoord dst,
@@ -98,17 +201,83 @@ std::optional<std::uint64_t> NocSystem::issue(TileCoord src, TileCoord dst,
   p.injected_cycle = cycle_;
 
   if (txn.plan.relayed) ++stats_.relayed;
+  arm_deadline(id, txn, cycle_);
   live_.emplace(id, std::move(txn));
   schedule(cycle_, p);
   ++stats_.issued;
   return id;
 }
 
+void NocSystem::lose_transaction(std::uint64_t id) {
+  ++stats_.lost;
+  live_.erase(id);
+}
+
+void NocSystem::process_timeouts() {
+  if (options_.response_timeout == 0) return;
+  while (!deadlines_.empty() && deadlines_.top().due_cycle <= cycle_) {
+    const Deadline d = deadlines_.top();
+    deadlines_.pop();
+    const auto it = live_.find(d.id);
+    if (it == live_.end()) continue;           // already completed or lost
+    LiveTransaction& txn = it->second;
+    if (txn.attempts != d.attempt) continue;   // superseded by a retry
+
+    ++stats_.timeouts;
+    if (static_cast<int>(txn.attempts) >= options_.max_retries) {
+      lose_transaction(d.id);
+      continue;
+    }
+
+    // Replan against the *current* fault map: the route that stranded this
+    // transaction may be dead, but the pair may still be reachable via the
+    // other network or a relay tile.
+    RoutePlan fresh =
+        selector_.plan(txn.plan.waypoints.front(), txn.plan.waypoints.back());
+    if (!fresh.reachable) {
+      lose_transaction(d.id);
+      continue;
+    }
+
+    ++txn.attempts;
+    ++stats_.retries;
+    txn.plan = std::move(fresh);
+    txn.segment = 0;
+    txn.returning = false;
+
+    Packet p;
+    p.src = txn.plan.waypoints[0];
+    p.dst = txn.plan.waypoints[1];
+    p.type = txn.type;
+    p.network = txn.plan.segment_networks[0];
+    p.payload = txn.payload;
+    p.address = txn.address;
+    p.id = d.id;
+    p.request_id = d.id;
+    p.injected_cycle = cycle_;
+    p.attempt = txn.attempts;
+
+    const std::uint64_t backoff = options_.retry_backoff_base
+                                  << (txn.attempts - 1);
+    schedule(cycle_ + backoff, p);
+    arm_deadline(d.id, txn, cycle_ + backoff);
+  }
+}
+
 void NocSystem::handle_ejection(const Packet& p,
                                 std::vector<CompletedTransaction>& done) {
   const auto it = live_.find(p.id);
-  require(it != live_.end(), "ejected packet belongs to no live transaction");
+  if (it == live_.end()) {
+    // Transaction already declared lost (or completed via a faster
+    // attempt); this packet is a straggler from a superseded send.
+    ++stats_.stale_packets;
+    return;
+  }
   LiveTransaction& txn = it->second;
+  if (p.attempt != txn.attempts) {
+    ++stats_.stale_packets;
+    return;
+  }
   const auto& wp = txn.plan.waypoints;
   const auto& nets = txn.plan.segment_networks;
 
@@ -128,6 +297,7 @@ void NocSystem::handle_ejection(const Packet& p,
       resp.id = p.id;
       resp.request_id = p.id;
       resp.injected_cycle = cycle_;
+      resp.attempt = txn.attempts;
       schedule(cycle_ + static_cast<std::uint64_t>(options_.service_latency),
                resp);
     } else {
@@ -172,12 +342,16 @@ void NocSystem::handle_ejection(const Packet& p,
 
 void NocSystem::step(std::vector<CompletedTransaction>& done) {
   // Move everything due into the per-tile ready queues, then drain each
-  // tile's queue head-first while its local FIFO accepts packets.
+  // tile's queue head-first while its local FIFO accepts packets.  A
+  // packet whose source tile died while it waited is dropped here — its
+  // transaction recovers (or is declared lost) via the timeout machinery.
   while (!pending_.empty() && pending_.top().due_cycle <= cycle_) {
     const Packet& p = pending_.top().packet;
-    ready_[static_cast<std::size_t>(p.network)]
-        [grid_index_of(p.src)].push_back(p);
-    ++ready_count_;
+    if (!faults_.is_faulty(p.src)) {
+      ready_[static_cast<std::size_t>(p.network)]
+          [grid_index_of(p.src)].push_back(p);
+      ++ready_count_;
+    }
     pending_.pop();
   }
   for (auto& per_net : ready_) {
@@ -195,6 +369,7 @@ void NocSystem::step(std::vector<CompletedTransaction>& done) {
   xy_.step(ejected);
   yx_.step(ejected);
   for (const Packet& p : ejected) handle_ejection(p, done);
+  process_timeouts();
   ++cycle_;
 }
 
@@ -205,6 +380,40 @@ bool NocSystem::drain(std::vector<CompletedTransaction>& done,
          cycle_ < limit)
     step(done);
   return live_.empty() && pending_.empty() && ready_count_ == 0;
+}
+
+void NocSystem::apply_fault_state(const FaultMap& faults,
+                                  const LinkFaultSet& links) {
+  require(faults.grid().width() == faults_.grid().width() &&
+              faults.grid().height() == faults_.grid().height(),
+          "apply_fault_state: fault map grid mismatch");
+  faults_ = faults;
+  links_ = links;
+  selector_.rebind(faults_, links_);
+  xy_.apply_fault_state(faults_, links_);
+  yx_.apply_fault_state(faults_, links_);
+
+  // Packets waiting at the injection boundary of a dead tile can never
+  // enter the mesh; drop them now so the ready queues keep draining.
+  for (auto& per_net : ready_) {
+    for (auto it = per_net.begin(); it != per_net.end();) {
+      if (faults_.is_faulty(faults_.grid().coord_of(it->first))) {
+        ready_count_ -= it->second.size();
+        it = per_net.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  ++stats_.replans;
+}
+
+bool NocSystem::inject_corruption(TileCoord tile) {
+  auto killed = xy_.corrupt_head_packet(tile);
+  if (!killed) killed = yx_.corrupt_head_packet(tile);
+  if (!killed) return false;
+  ++stats_.corrupted;
+  return true;
 }
 
 }  // namespace wsp::noc

@@ -47,19 +47,46 @@ struct RoutePlan {
 };
 
 /// Kernel-software network selection from the fault map (Sec. VI).
+///
+/// Plans are memoised per (src, dst) pair; `rebind()` adopts a new fault
+/// state at runtime and invalidates every cached plan, so the next packet
+/// of each pair replans with the usual fallback ladder X-Y -> Y-X ->
+/// relayed.  When a LinkFaultSet is bound, a path is only used if it also
+/// avoids every failed directed link.
 class NetworkSelector {
  public:
   explicit NetworkSelector(const FaultMap& faults);
+  NetworkSelector(const FaultMap& faults, const LinkFaultSet& links);
 
   /// Route plan for src -> dst.  Balanced pairs alternate networks via a
   /// deterministic parity hash so both networks are equally utilised while
   /// any one pair always uses a single network (in-order delivery).
   RoutePlan plan(TileCoord src, TileCoord dst) const;
 
+  /// Adopts a new fault state (runtime fault injection) and drops all
+  /// cached plans.  The grids must match the original fault map's.
+  void rebind(const FaultMap& faults, const LinkFaultSet& links);
+  void rebind(const FaultMap& faults) {
+    rebind(faults, LinkFaultSet(faults.grid()));
+  }
+
+  /// Number of rebinds so far; bumping it is what invalidates the cache.
+  std::uint64_t generation() const { return generation_; }
+
   const ConnectivityAnalyzer& connectivity() const { return analyzer_; }
+  const LinkFaultSet& links() const { return links_; }
 
  private:
   ConnectivityAnalyzer analyzer_;
+  LinkFaultSet links_;
+  std::uint64_t generation_ = 0;
+  mutable std::unordered_map<std::uint64_t, RoutePlan> cache_;
+
+  /// True when the request path a->b on `kind` is healthy tile-wise *and*
+  /// crosses no failed link in either travel direction (the response rides
+  /// the complementary network back over the same tiles).
+  bool segment_clear(TileCoord a, TileCoord b, NetworkKind kind) const;
+  RoutePlan compute_plan(TileCoord src, TileCoord dst) const;
 };
 
 /// Completed round-trip record.
@@ -81,6 +108,17 @@ struct NocOptions {
   int service_latency = 4;
   /// Core cycles an intermediate tile spends relaying one packet.
   int relay_latency = 8;
+  /// End-to-end round-trip timeout in cycles; 0 disables the timeout/
+  /// retry machinery (assembly-time behaviour: a static fault map never
+  /// strands a planned transaction).  Enable for runtime fault injection.
+  std::uint64_t response_timeout = 0;
+  /// Bounded retries after a timeout; each retry replans against the
+  /// *current* fault map, so transactions stranded by a runtime fault
+  /// recover over the surviving network.
+  int max_retries = 3;
+  /// First retry waits this many cycles; each further retry doubles it
+  /// (exponential backoff, so a congested wafer is not hammered).
+  std::uint64_t retry_backoff_base = 32;
 };
 
 struct NocStats {
@@ -90,6 +128,14 @@ struct NocStats {
   std::uint64_t relayed = 0;
   std::uint64_t latency_sum = 0;
   std::uint64_t latency_max = 0;
+  // Runtime-resilience accounting (all zero when response_timeout == 0):
+  std::uint64_t timeouts = 0;      ///< round trips that missed the deadline
+  std::uint64_t retries = 0;       ///< re-issues after a timeout
+  std::uint64_t lost = 0;          ///< permanently lost (retries exhausted
+                                   ///< or no surviving route on replan)
+  std::uint64_t stale_packets = 0; ///< late arrivals of superseded attempts
+  std::uint64_t replans = 0;       ///< fault-map changes applied mid-run
+  std::uint64_t corrupted = 0;     ///< packets killed by injected corruption
   double mean_latency() const {
     return completed ? static_cast<double>(latency_sum) / completed : 0.0;
   }
@@ -131,6 +177,23 @@ class NocSystem {
     return k == NetworkKind::XY ? xy_ : yx_;
   }
   std::size_t inflight_transactions() const { return live_.size(); }
+  bool is_inflight(std::uint64_t id) const { return live_.count(id) != 0; }
+  const FaultMap& faults() const { return faults_; }
+
+  /// Adopts a new fault state mid-run (runtime fault injection): replaces
+  /// the kernel's fault map, invalidates the selector's cached plans, and
+  /// propagates the state to both mesh networks (purging packets stranded
+  /// in dead routers).  Transactions stranded by the change recover via
+  /// the timeout/retry machinery — enable options.response_timeout.
+  void apply_fault_state(const FaultMap& faults, const LinkFaultSet& links);
+  void apply_fault_state(const FaultMap& faults) {
+    apply_fault_state(faults, links_);
+  }
+
+  /// Transient-fault model: corrupts (drops) one buffered packet at
+  /// `tile`, preferring the XY network.  Returns true when a packet was
+  /// killed; the owning transaction recovers via timeout + retry.
+  bool inject_corruption(TileCoord tile);
 
  private:
   struct LiveTransaction {
@@ -143,6 +206,15 @@ class NocSystem {
     /// back.  `returning` flips at the final destination.
     std::size_t segment = 0;
     bool returning = false;
+    std::uint32_t attempts = 0;  ///< retry generation currently in flight
+  };
+  struct Deadline {
+    std::uint64_t due_cycle;
+    std::uint64_t id;
+    std::uint32_t attempt;  ///< stale when != live attempt (lazy deletion)
+    friend bool operator>(const Deadline& a, const Deadline& b) {
+      return std::tie(a.due_cycle, a.id) > std::tie(b.due_cycle, b.id);
+    }
   };
   struct PendingInjection {
     std::uint64_t due_cycle;
@@ -155,6 +227,7 @@ class NocSystem {
   };
 
   FaultMap faults_;
+  LinkFaultSet links_;
   NocOptions options_;
   NetworkSelector selector_;
   MeshNetwork xy_;
@@ -162,6 +235,8 @@ class NocSystem {
   std::uint64_t cycle_ = 0;
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, LiveTransaction> live_;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>>
+      deadlines_;  ///< min-heap; entries are lazily invalidated by retries
   std::priority_queue<PendingInjection, std::vector<PendingInjection>,
                       std::greater<>> pending_;  ///< min-heap by due cycle
   std::uint64_t pending_seq_ = 0;
@@ -181,6 +256,10 @@ class NocSystem {
   void schedule(std::uint64_t due, const Packet& p);
   void handle_ejection(const Packet& p,
                        std::vector<CompletedTransaction>& done);
+  void arm_deadline(std::uint64_t id, const LiveTransaction& txn,
+                    std::uint64_t from_cycle);
+  void process_timeouts();
+  void lose_transaction(std::uint64_t id);
   static PacketType response_type(PacketType request) {
     return request == PacketType::ReadRequest ? PacketType::ReadResponse
                                               : PacketType::WriteAck;

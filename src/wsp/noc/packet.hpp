@@ -56,6 +56,7 @@ struct Packet {
   std::uint64_t request_id = 0;    ///< for responses: id of the request
   std::uint64_t injected_cycle = 0;
   std::uint64_t delivered_cycle = 0;
+  std::uint32_t attempt = 0;       ///< retry generation (0 = first send)
 };
 
 }  // namespace wsp::noc

@@ -1,0 +1,318 @@
+#include "wsp/resilience/campaign.hpp"
+
+#include <algorithm>
+
+#include "wsp/clock/forwarding.hpp"
+#include "wsp/clock/recovery.hpp"
+#include "wsp/common/error.hpp"
+#include "wsp/resilience/fault_injector.hpp"
+
+namespace wsp::resilience {
+
+namespace {
+
+/// A transaction set watched until it fully resolves (completes or is
+/// declared lost) — measures per-event recovery latency.
+struct RecoveryTracker {
+  std::size_t event_index;
+  std::vector<std::uint64_t> ids;
+};
+
+void prune_resolved(std::vector<std::uint64_t>& ids,
+                    const noc::NocSystem& noc) {
+  ids.erase(std::remove_if(
+                ids.begin(), ids.end(),
+                [&](std::uint64_t id) { return !noc.is_inflight(id); }),
+            ids.end());
+}
+
+TileCoord first_healthy_edge_tile(const FaultMap& faults) {
+  const TileGrid& grid = faults.grid();
+  TileCoord found{-1, -1};
+  grid.for_each([&](TileCoord c) {
+    if (found.x < 0 && grid.is_edge(c) && faults.is_healthy(c)) found = c;
+  });
+  require(found.x >= 0, "no healthy edge tile to generate the clock");
+  return found;
+}
+
+}  // namespace
+
+DegradationCampaign::DegradationCampaign(const CampaignOptions& options)
+    : options_(options) {
+  options_.config.validate();
+  require(options_.run_cycles >= 1, "campaign needs at least one cycle");
+  require(options_.injection_rate >= 0.0 && options_.injection_rate <= 1.0,
+          "injection rate must be a probability");
+  require(options_.trajectory_sample_period >= 1,
+          "trajectory sample period must be >= 1");
+}
+
+DegradationReport DegradationCampaign::run() const {
+  const SystemConfig& config = options_.config;
+  const TileGrid grid = config.grid();
+  Rng rng(options_.seed);
+
+  // --- assembly-time state: faults, clock plan, initial usable map -------
+  FaultMap assembly =
+      options_.initial_fault_probability > 0.0
+          ? FaultMap::random_with_probability(
+                grid, options_.initial_fault_probability, rng)
+          : FaultMap(grid);
+
+  std::vector<TileCoord> generators = options_.clock_generators;
+  if (generators.empty()) generators.push_back(first_healthy_edge_tile(assembly));
+
+  clock::ForwardingPlan clock_plan =
+      clock::simulate_forwarding(assembly, generators);
+
+  FaultMap usable = assembly;
+  grid.for_each([&](TileCoord c) {
+    if (assembly.is_healthy(c) &&
+        !clock_plan.tiles[grid.index_of(c)].reached)
+      usable.set_faulty(c, true);
+  });
+
+  FaultSchedule schedule =
+      options_.schedule
+          ? *options_.schedule
+          : FaultSchedule::random(grid, options_.mix, options_.fault_horizon,
+                                  rng);
+  FaultInjector injector(usable, schedule);
+
+  noc::NocOptions nopt = options_.noc;
+  if (nopt.response_timeout == 0) {
+    // Grid-scaled default: a worst-case relayed round trip is ~4 diameter
+    // traversals; leave generous congestion slack on top.
+    nopt.response_timeout =
+        static_cast<std::uint64_t>(8 * (grid.width() + grid.height()) *
+                                   std::max(1, nopt.mesh.link_latency)) +
+        128;
+  }
+  noc::NocSystem noc(usable, nopt);
+
+  noc::TrafficConfig traffic;
+  traffic.pattern = options_.pattern;
+  traffic.injection_rate = options_.injection_rate;
+
+  DegradationReport report;
+  report.initial_usable = usable.healthy_count();
+  report.trajectory.push_back({0, report.initial_usable});
+
+  std::vector<noc::CompletedTransaction> done;
+  std::vector<std::uint64_t> outstanding;
+  std::vector<RecoveryTracker> trackers;
+  // Usable count after the previous event (the injector mutates the map
+  // *before* returning notices, so each event's cost is measured against
+  // the running count, direct kill and collateral alike).
+  std::size_t prev_usable = report.initial_usable;
+
+  // --- traffic window with fault injection -------------------------------
+  for (std::uint64_t cycle = 0; cycle < options_.run_cycles; ++cycle) {
+    for (const FaultNotice& n : injector.advance_to(noc.now())) {
+      EventOutcome out;
+      out.notice = n;
+      out.applied_cycle = noc.now();
+
+      switch (n.kind) {
+        case RuntimeFaultKind::TileDeath:
+        case RuntimeFaultKind::ClockGenLoss: {
+          // Drop dead / silenced generators, then run the re-latch wave;
+          // orphans lose their clock and become unusable.
+          std::vector<TileCoord> survivors;
+          for (TileCoord g : generators) {
+            if (injector.faults().is_faulty(g)) continue;
+            const auto& lost = injector.lost_generators();
+            if (std::find(lost.begin(), lost.end(), g) != lost.end())
+              continue;
+            survivors.push_back(g);
+          }
+          clock::ReclockReport rr = clock::reselect_after_faults(
+              clock_plan, injector.faults(), survivors);
+          clock_plan = std::move(rr.plan);
+          for (TileCoord t : rr.newly_orphaned) injector.mark_unusable(t);
+          out.clock_relatched = static_cast<int>(rr.relatched.size());
+          out.clock_orphaned = static_cast<int>(rr.newly_orphaned.size());
+          break;
+        }
+        case RuntimeFaultKind::LdoBrownout: {
+          const PdnDegradationReport pr = resolve_after_brownouts(
+              config, injector.brownouts(), options_.pdn);
+          for (TileCoord t : pr.unusable())
+            if (injector.faults().is_healthy(t)) injector.mark_unusable(t);
+          out.pdn_undervolted = static_cast<int>(pr.undervolted.size());
+          break;
+        }
+        case RuntimeFaultKind::LinkFailure:
+          break;  // the injector already recorded it in the LinkFaultSet
+        case RuntimeFaultKind::PacketCorruption:
+          noc.inject_corruption(n.tile);
+          break;
+      }
+
+      if (n.kind != RuntimeFaultKind::PacketCorruption)
+        noc.apply_fault_state(injector.faults(), injector.link_faults());
+
+      out.usable_after = injector.faults().healthy_count();
+      out.newly_unusable = prev_usable - out.usable_after;
+      prev_usable = out.usable_after;
+      prune_resolved(outstanding, noc);
+      trackers.push_back({report.events.size(), outstanding});
+      report.events.push_back(out);
+      report.trajectory.push_back({noc.now(), out.usable_after});
+    }
+
+    // Inject traffic from currently usable tiles.
+    const FaultMap& current = injector.faults();
+    grid.for_each([&](TileCoord src) {
+      if (current.is_faulty(src)) return;
+      if (!rng.bernoulli(traffic.injection_rate)) return;
+      const TileCoord dst = noc::pick_destination(current, src, traffic, rng);
+      if (dst == src) return;
+      if (const auto id = noc.issue(src, dst, noc::PacketType::ReadRequest))
+        outstanding.push_back(*id);
+    });
+
+    noc.step(done);
+
+    prune_resolved(outstanding, noc);
+    for (auto it = trackers.begin(); it != trackers.end();) {
+      prune_resolved(it->ids, noc);
+      if (it->ids.empty()) {
+        EventOutcome& out = report.events[it->event_index];
+        out.recovery_cycles = noc.now() - out.applied_cycle;
+        out.recovered = true;
+        it = trackers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if ((cycle + 1) % options_.trajectory_sample_period == 0)
+      report.trajectory.push_back(
+          {noc.now(), injector.faults().healthy_count()});
+  }
+
+  // --- drain: everything in flight completes, retries, or is lost --------
+  const std::uint64_t drain_limit = noc.now() + options_.drain_cycles;
+  while (noc.inflight_transactions() > 0 && noc.now() < drain_limit) {
+    noc.step(done);
+    for (auto it = trackers.begin(); it != trackers.end();) {
+      prune_resolved(it->ids, noc);
+      if (it->ids.empty()) {
+        EventOutcome& out = report.events[it->event_index];
+        out.recovery_cycles = noc.now() - out.applied_cycle;
+        out.recovered = true;
+        it = trackers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  report.drained = noc.inflight_transactions() == 0;
+  for (const RecoveryTracker& t : trackers) {
+    EventOutcome& out = report.events[t.event_index];
+    out.recovery_cycles = noc.now() - out.applied_cycle;
+    out.recovered = false;
+  }
+
+  report.total_cycles = noc.now();
+  report.noc_stats = noc.stats();
+  report.mesh_dropped =
+      noc.network(noc::NetworkKind::XY).stats().dropped_at_fault +
+      noc.network(noc::NetworkKind::XY).stats().purged_in_dead_router +
+      noc.network(noc::NetworkKind::YX).stats().dropped_at_fault +
+      noc.network(noc::NetworkKind::YX).stats().purged_in_dead_router;
+  report.final_usable = injector.faults().healthy_count();
+  report.trajectory.push_back({noc.now(), report.final_usable});
+
+  // --- post-burst fabric census ------------------------------------------
+  const std::vector<TileCoord> survivors = injector.faults().healthy_tiles();
+  std::size_t reachable_pairs = 0;
+  std::size_t total_pairs = 0;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    for (std::size_t j = 0; j < survivors.size(); ++j) {
+      if (i == j) continue;
+      ++total_pairs;
+      if (noc.selector().plan(survivors[i], survivors[j]).reachable)
+        ++reachable_pairs;
+    }
+  }
+  report.pair_reachability_pct =
+      total_pairs ? 100.0 * static_cast<double>(reachable_pairs) /
+                        static_cast<double>(total_pairs)
+                  : 100.0;
+  report.single_system_image =
+      total_pairs > 0 && reachable_pairs == total_pairs;
+
+  // --- re-bring-up on the degraded wafer ---------------------------------
+  bool has_edge_gen = false;
+  arch::BringupOptions bopt;
+  for (TileCoord g : generators)
+    if (injector.faults().is_healthy(g)) {
+      bopt.clock_generators.push_back(g);
+      has_edge_gen = true;
+    }
+  if (!has_edge_gen) {
+    grid.for_each([&](TileCoord c) {
+      if (!has_edge_gen && grid.is_edge(c) &&
+          injector.faults().is_healthy(c)) {
+        bopt.clock_generators.push_back(c);
+        has_edge_gen = true;
+      }
+    });
+  }
+  if (has_edge_gen)
+    report.rebringup = arch::run_bringup(config, injector.faults(), bopt);
+  return report;
+}
+
+std::vector<DegradationReport> DegradationCampaign::run_trials(
+    int trials) const {
+  require(trials >= 1, "at least one trial");
+  std::vector<DegradationReport> reports;
+  reports.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    CampaignOptions o = options_;
+    o.seed = options_.seed + static_cast<std::uint64_t>(t);
+    reports.push_back(DegradationCampaign(o).run());
+  }
+  return reports;
+}
+
+CampaignSummary summarize(const std::vector<DegradationReport>& reports) {
+  CampaignSummary s;
+  s.trials = static_cast<int>(reports.size());
+  if (reports.empty()) return s;
+  double usable_frac = 0.0;
+  double recovery_sum = 0.0;
+  std::size_t recovered_events = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t issued = 0;
+  for (const DegradationReport& r : reports) {
+    usable_frac += r.initial_usable
+                       ? static_cast<double>(r.final_usable) /
+                             static_cast<double>(r.initial_usable)
+                       : 0.0;
+    s.mean_pair_reachability_pct += r.pair_reachability_pct;
+    for (const EventOutcome& e : r.events)
+      if (e.recovered) {
+        recovery_sum += static_cast<double>(e.recovery_cycles);
+        ++recovered_events;
+      }
+    lost += r.noc_stats.lost;
+    issued += r.noc_stats.issued;
+    if (r.single_system_image) ++s.single_system_image_survived;
+    if (r.drained) ++s.fully_drained;
+  }
+  s.mean_final_usable_fraction = usable_frac / s.trials;
+  s.mean_pair_reachability_pct /= s.trials;
+  s.mean_recovery_cycles =
+      recovered_events ? recovery_sum / static_cast<double>(recovered_events)
+                       : 0.0;
+  s.lost_per_issued =
+      issued ? static_cast<double>(lost) / static_cast<double>(issued) : 0.0;
+  return s;
+}
+
+}  // namespace wsp::resilience

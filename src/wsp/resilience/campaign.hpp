@@ -1,0 +1,133 @@
+// Monte Carlo degradation campaigns: the runtime half of the paper's
+// resiliency story, measured end to end.
+//
+// A campaign replays a seeded FaultSchedule against a live wafer while
+// synthetic traffic runs, coordinating the three degradation layers as
+// each fault lands:
+//   * NoC      — fault-map replan + end-to-end timeout/bounded-retry
+//                (NocSystem), falling back X-Y -> Y-X -> relayed;
+//   * clock    — ClockSelector re-latch wave for tiles whose forwarded
+//                source died (clock::reselect_after_faults), orphans
+//                marked unusable;
+//   * PDN      — droop re-solve with browned-out LDO loads
+//                (resolve_after_brownouts), undervolted tiles marked
+//                unusable.
+// It then drains all traffic, censuses pair reachability on the surviving
+// fabric, and re-runs arch bring-up so the wafer's post-burst single-
+// system-image status is established the same way assembly-time bring-up
+// establishes it.  Everything is deterministic in the seed: two runs with
+// identical options produce bit-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wsp/arch/bringup.hpp"
+#include "wsp/common/config.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/noc/traffic.hpp"
+#include "wsp/resilience/fault_schedule.hpp"
+#include "wsp/resilience/pdn_degradation.hpp"
+
+namespace wsp::resilience {
+
+struct CampaignOptions {
+  SystemConfig config = SystemConfig::reduced(8, 8);
+  std::uint64_t seed = 1;
+  /// Assembly-time (pre-existing) fault probability per tile.
+  double initial_fault_probability = 0.0;
+  /// Random schedule parameters; ignored when `schedule` is set.
+  ScheduleMix mix{};
+  std::uint64_t fault_horizon = 4000;  ///< last random event by this cycle
+  /// Explicit schedule (regression scenarios) overriding the random one.
+  std::optional<FaultSchedule> schedule;
+  /// Traffic window (cycles with injection), then drain.
+  std::uint64_t run_cycles = 6000;
+  std::uint64_t drain_cycles = 200000;
+  noc::TrafficPattern pattern = noc::TrafficPattern::UniformRandom;
+  double injection_rate = 0.01;  ///< per usable tile per cycle
+  /// NoC options; response_timeout == 0 selects a grid-scaled default so
+  /// the retry machinery is always armed during a campaign.
+  noc::NocOptions noc{};
+  PdnDegradationOptions pdn{};
+  /// Clock generators; empty = first healthy edge tile.
+  std::vector<TileCoord> clock_generators;
+  std::uint64_t trajectory_sample_period = 256;
+};
+
+/// Usable-tile count at a point in time.
+struct TrajectoryPoint {
+  std::uint64_t cycle = 0;
+  std::size_t usable_tiles = 0;
+  friend bool operator==(const TrajectoryPoint&,
+                         const TrajectoryPoint&) = default;
+};
+
+/// Per-event outcome: what the fault cost and how long recovery took.
+struct EventOutcome {
+  FaultNotice notice;
+  std::uint64_t applied_cycle = 0;
+  std::size_t usable_after = 0;
+  std::size_t newly_unusable = 0;  ///< tiles this event removed (with its
+                                   ///< clock/PDN collateral)
+  /// Cycles until every transaction in flight at the event either
+  /// completed or was declared lost — the end-to-end recovery latency.
+  std::uint64_t recovery_cycles = 0;
+  bool recovered = false;
+  int clock_relatched = 0;  ///< tiles that re-latched a surviving clock
+  int clock_orphaned = 0;   ///< tiles orphaned from every generator
+  int pdn_undervolted = 0;  ///< collateral out-of-regulation tiles
+};
+
+struct DegradationReport {
+  std::vector<TrajectoryPoint> trajectory;
+  std::vector<EventOutcome> events;
+  noc::NocStats noc_stats;
+  std::uint64_t mesh_dropped = 0;  ///< dropped at faults + purged, both nets
+  std::size_t initial_usable = 0;
+  std::size_t final_usable = 0;
+  /// Percentage of ordered usable pairs still routable (directly or
+  /// relayed) after the full burst.
+  double pair_reachability_pct = 0.0;
+  bool single_system_image = false;
+  /// True when traffic fully drained (no deadlock, nothing stuck).
+  bool drained = false;
+  std::uint64_t total_cycles = 0;
+  /// Post-burst re-bring-up; nullopt when no healthy edge tile survives
+  /// to generate a clock.
+  std::optional<arch::BringupReport> rebringup;
+};
+
+class DegradationCampaign {
+ public:
+  explicit DegradationCampaign(const CampaignOptions& options);
+
+  const CampaignOptions& options() const { return options_; }
+
+  /// One seeded trial.  Bit-identical across invocations with equal
+  /// options (all randomness flows from one wsp::Rng).
+  DegradationReport run() const;
+
+  /// Monte Carlo: `trials` runs seeded seed, seed+1, ...
+  std::vector<DegradationReport> run_trials(int trials) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+/// Aggregate view over a set of Monte Carlo trials.
+struct CampaignSummary {
+  int trials = 0;
+  double mean_final_usable_fraction = 0.0;  ///< of initially usable tiles
+  double mean_recovery_cycles = 0.0;        ///< over recovered events
+  double mean_pair_reachability_pct = 0.0;
+  double lost_per_issued = 0.0;             ///< lost transactions / issued
+  int single_system_image_survived = 0;     ///< trials ending with SSI
+  int fully_drained = 0;                    ///< trials with no stuck traffic
+};
+
+CampaignSummary summarize(const std::vector<DegradationReport>& reports);
+
+}  // namespace wsp::resilience

@@ -1,0 +1,61 @@
+// Applies a FaultSchedule to a live simulation.
+//
+// The injector owns the authoritative runtime fault state — the mutable
+// FaultMap and LinkFaultSet — and a FaultBus.  advance_to(cycle) applies
+// every event that has come due, mutates the state, and publishes a
+// FaultNotice per event so subscribed subsystems (NoC replan, clock
+// re-selection, PDN re-solve) can react.  Transient events (packet
+// corruption) and policy-level events (brownouts, generator losses) do not
+// mutate the fault map directly: the injector records them and the
+// degradation layer decides which tiles become unusable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/fault_observer.hpp"
+#include "wsp/resilience/fault_schedule.hpp"
+
+namespace wsp::resilience {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultMap& initial, FaultSchedule schedule);
+
+  /// Applies every event with event.cycle <= cycle, in schedule order,
+  /// publishing each on the bus after its mutation.  Returns the notices
+  /// applied by this call (empty when nothing came due).
+  std::vector<FaultNotice> advance_to(std::uint64_t cycle);
+
+  bool exhausted() const { return next_ >= schedule_.size(); }
+  std::uint64_t next_due_cycle() const;  ///< ~0ull when exhausted
+
+  const FaultMap& faults() const { return faults_; }
+  const LinkFaultSet& link_faults() const { return links_; }
+  FaultBus& bus() { return bus_; }
+
+  /// Accumulated LdoBrownout targets (the PDN layer re-solves from these).
+  const std::vector<TileCoord>& brownouts() const { return brownouts_; }
+  /// Accumulated ClockGenLoss targets (the clock layer drops these from
+  /// the generator list).
+  const std::vector<TileCoord>& lost_generators() const {
+    return lost_generators_;
+  }
+
+  /// Marks extra tiles unusable (e.g. tiles the PDN re-solve pushed out of
+  /// regulation, or tiles the clock wave orphaned) without an event of
+  /// their own — degradation consequences, not injected faults.
+  void mark_unusable(TileCoord tile) { faults_.set_faulty(tile, true); }
+
+ private:
+  FaultMap faults_;
+  LinkFaultSet links_;
+  FaultSchedule schedule_;
+  std::size_t next_ = 0;
+  FaultBus bus_;
+  std::vector<TileCoord> brownouts_;
+  std::vector<TileCoord> lost_generators_;
+};
+
+}  // namespace wsp::resilience

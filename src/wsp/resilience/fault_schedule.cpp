@@ -1,0 +1,62 @@
+#include "wsp/resilience/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::resilience {
+
+void FaultSchedule::add(const FaultEvent& event) {
+  // upper_bound keeps same-cycle events in insertion order (stable).
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.cycle < b.cycle; });
+  events_.insert(pos, event);
+}
+
+FaultSchedule FaultSchedule::random(const TileGrid& grid,
+                                    const ScheduleMix& mix,
+                                    std::uint64_t horizon, Rng& rng) {
+  require(horizon >= 1, "schedule horizon must be at least one cycle");
+  require(mix.tile_deaths < grid.tile_count(),
+          "cannot kill every tile of the grid");
+
+  FaultSchedule schedule;
+  const auto random_cycle = [&] { return 1 + rng.below(horizon); };
+  const auto random_tile = [&] {
+    return grid.coord_of(rng.below(grid.tile_count()));
+  };
+
+  std::vector<TileCoord> dead;
+  for (std::size_t i = 0; i < mix.tile_deaths; ++i) {
+    TileCoord t = random_tile();
+    while (std::find(dead.begin(), dead.end(), t) != dead.end())
+      t = random_tile();
+    dead.push_back(t);
+    schedule.add({random_cycle(), RuntimeFaultKind::TileDeath, t, {}});
+  }
+  for (std::size_t i = 0; i < mix.link_failures; ++i) {
+    // Redraw until the link actually leaves toward a neighbour.
+    TileCoord t = random_tile();
+    auto d = static_cast<Direction>(rng.below(4));
+    while (!grid.neighbor(t, d)) {
+      t = random_tile();
+      d = static_cast<Direction>(rng.below(4));
+    }
+    schedule.add({random_cycle(), RuntimeFaultKind::LinkFailure, t, d});
+  }
+  for (std::size_t i = 0; i < mix.ldo_brownouts; ++i)
+    schedule.add(
+        {random_cycle(), RuntimeFaultKind::LdoBrownout, random_tile(), {}});
+  for (std::size_t i = 0; i < mix.clock_gen_losses; ++i) {
+    TileCoord t = random_tile();
+    while (!grid.is_edge(t)) t = random_tile();
+    schedule.add({random_cycle(), RuntimeFaultKind::ClockGenLoss, t, {}});
+  }
+  for (std::size_t i = 0; i < mix.packet_corruptions; ++i)
+    schedule.add({random_cycle(), RuntimeFaultKind::PacketCorruption,
+                  random_tile(), {}});
+  return schedule;
+}
+
+}  // namespace wsp::resilience

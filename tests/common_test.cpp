@@ -281,6 +281,90 @@ TEST(FaultMap, AllNeighborsFaultyDetection) {
   EXPECT_TRUE(corner.all_neighbors_faulty({0, 0}));
 }
 
+TEST(FaultMap, AllNeighborsFaultyAtEveryCorner) {
+  const TileGrid grid(4, 4);
+  const TileCoord corners[] = {{0, 0}, {3, 0}, {0, 3}, {3, 3}};
+  for (const TileCoord corner : corners) {
+    FaultMap map(grid);
+    const auto neighbors = grid.neighbors(corner);
+    ASSERT_EQ(neighbors.size(), 2u);
+    map.set_faulty(neighbors[0]);
+    EXPECT_FALSE(map.all_neighbors_faulty(corner));
+    map.set_faulty(neighbors[1]);
+    EXPECT_TRUE(map.all_neighbors_faulty(corner));
+    // The corner itself being faulty is irrelevant to the predicate.
+    map.set_faulty(corner);
+    EXPECT_TRUE(map.all_neighbors_faulty(corner));
+  }
+}
+
+TEST(FaultMap, AllNeighborsFaultyAtEdgeTile) {
+  // A non-corner edge tile has exactly three in-bounds neighbours; the
+  // out-of-bounds side must not count as healthy.
+  FaultMap map(TileGrid(5, 5));
+  const TileCoord edge{2, 0};
+  map.set_faulty({1, 0});
+  map.set_faulty({3, 0});
+  EXPECT_FALSE(map.all_neighbors_faulty(edge));  // {2,1} still healthy
+  map.set_faulty({2, 1});
+  EXPECT_TRUE(map.all_neighbors_faulty(edge));
+}
+
+TEST(FaultMap, AllNeighborsFaultyOnSingleTileGrid) {
+  // A 1x1 wafer has no inter-tile links at all, so the "boxed in"
+  // predicate is vacuously true: nothing can ever reach the tile from a
+  // neighbour, healthy or not.
+  const FaultMap map(TileGrid(1, 1));
+  EXPECT_TRUE(map.all_neighbors_faulty({0, 0}));
+}
+
+TEST(FaultMap, RandomWithCountCanFillTheWholeGrid) {
+  const TileGrid grid(4, 4);
+  Rng rng(21);
+  const FaultMap map =
+      FaultMap::random_with_count(grid, grid.tile_count(), rng);
+  EXPECT_EQ(map.fault_count(), grid.tile_count());
+  EXPECT_EQ(map.healthy_count(), 0u);
+  grid.for_each([&](TileCoord c) { EXPECT_TRUE(map.is_faulty(c)); });
+}
+
+// ---------------------------------------------------------- link fault set
+
+TEST(LinkFaultSet, StartsEmptyAndTracksDirectedLinks) {
+  const TileGrid grid(4, 4);
+  LinkFaultSet links(grid);
+  EXPECT_TRUE(links.empty());
+  links.set_failed({1, 1}, Direction::East);
+  EXPECT_TRUE(links.is_failed({1, 1}, Direction::East));
+  // Directed: the reverse hop of the same physical channel is its own
+  // failure domain.
+  EXPECT_FALSE(links.is_failed({2, 1}, Direction::West));
+  EXPECT_EQ(links.failed_count(), 1u);
+  links.set_failed({1, 1}, Direction::East);  // idempotent
+  EXPECT_EQ(links.failed_count(), 1u);
+  links.set_failed({1, 1}, Direction::East, false);
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkFaultSet, FailedLinksEnumeratesInIndexOrder) {
+  const TileGrid grid(3, 3);
+  LinkFaultSet links(grid);
+  links.set_failed({2, 2}, Direction::South);
+  links.set_failed({0, 0}, Direction::North);
+  const auto failed = links.failed_links();
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0].first, (TileCoord{0, 0}));
+  EXPECT_EQ(failed[0].second, Direction::North);
+  EXPECT_EQ(failed[1].first, (TileCoord{2, 2}));
+  EXPECT_EQ(failed[1].second, Direction::South);
+}
+
+TEST(LinkFaultSet, DefaultConstructedReportsNothingFailed) {
+  const LinkFaultSet links;
+  EXPECT_TRUE(links.empty());
+  EXPECT_FALSE(links.is_failed({0, 0}, Direction::North));
+}
+
 TEST(FaultMap, HealthyPlusFaultyPartition) {
   const TileGrid grid(10, 10);
   Rng rng(17);

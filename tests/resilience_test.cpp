@@ -1,0 +1,630 @@
+// Tests for the runtime-resilience subsystem (wsp/resilience plus the
+// degradation hooks it drives in wsp/noc and wsp/clock): fault schedules
+// and injection, NoC timeout/retry accounting, replan invariants, clock
+// re-selection, PDN brownout re-solve, and the end-to-end degradation
+// campaign (determinism + the five-tile-kill acceptance scenario).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "wsp/clock/forwarding.hpp"
+#include "wsp/clock/recovery.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/fault_observer.hpp"
+#include "wsp/common/rng.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/resilience/campaign.hpp"
+#include "wsp/resilience/fault_injector.hpp"
+#include "wsp/resilience/fault_schedule.hpp"
+#include "wsp/resilience/pdn_degradation.hpp"
+
+namespace wsp::resilience {
+namespace {
+
+// ----------------------------------------------------------- FaultSchedule
+
+TEST(FaultSchedule, KeepsEventsSortedAndStable) {
+  FaultSchedule s;
+  s.add({50, RuntimeFaultKind::TileDeath, {1, 1}, Direction::North});
+  s.add({10, RuntimeFaultKind::TileDeath, {2, 2}, Direction::North});
+  s.add({30, RuntimeFaultKind::LdoBrownout, {3, 3}, Direction::North});
+  s.add({30, RuntimeFaultKind::ClockGenLoss, {0, 0}, Direction::North});
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.events()[0].cycle, 10u);
+  EXPECT_EQ(s.events()[1].cycle, 30u);
+  EXPECT_EQ(s.events()[2].cycle, 30u);
+  EXPECT_EQ(s.events()[3].cycle, 50u);
+  // Same-cycle events keep insertion order (brownout was added first).
+  EXPECT_EQ(s.events()[1].kind, RuntimeFaultKind::LdoBrownout);
+  EXPECT_EQ(s.events()[2].kind, RuntimeFaultKind::ClockGenLoss);
+  EXPECT_EQ(s.horizon(), 50u);
+}
+
+TEST(FaultSchedule, RandomIsDeterministicInTheSeed) {
+  const TileGrid grid(8, 8);
+  ScheduleMix mix;
+  mix.clock_gen_losses = 1;
+  Rng a(7), b(7);
+  const FaultSchedule s1 = FaultSchedule::random(grid, mix, 1000, a);
+  const FaultSchedule s2 = FaultSchedule::random(grid, mix, 1000, b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.events()[i].cycle, s2.events()[i].cycle);
+    EXPECT_EQ(s1.events()[i].kind, s2.events()[i].kind);
+    EXPECT_EQ(s1.events()[i].tile, s2.events()[i].tile);
+    EXPECT_EQ(s1.events()[i].link, s2.events()[i].link);
+  }
+}
+
+TEST(FaultSchedule, RandomRespectsMixAndBounds) {
+  const TileGrid grid(8, 8);
+  ScheduleMix mix;
+  mix.tile_deaths = 4;
+  mix.link_failures = 3;
+  mix.ldo_brownouts = 2;
+  mix.clock_gen_losses = 2;
+  mix.packet_corruptions = 1;
+  Rng rng(13);
+  const FaultSchedule s = FaultSchedule::random(grid, mix, 500, rng);
+  ASSERT_EQ(s.size(), mix.total());
+
+  std::size_t per_kind[5] = {};
+  std::vector<TileCoord> dead;
+  for (const FaultEvent& e : s.events()) {
+    EXPECT_GE(e.cycle, 1u);
+    EXPECT_LE(e.cycle, 500u);
+    EXPECT_TRUE(grid.contains(e.tile));
+    ++per_kind[static_cast<std::size_t>(e.kind)];
+    if (e.kind == RuntimeFaultKind::TileDeath) dead.push_back(e.tile);
+    if (e.kind == RuntimeFaultKind::LinkFailure) {
+      EXPECT_TRUE(grid.neighbor(e.tile, e.link).has_value());
+    }
+    if (e.kind == RuntimeFaultKind::ClockGenLoss) {
+      EXPECT_TRUE(grid.is_edge(e.tile));
+    }
+  }
+  EXPECT_EQ(per_kind[0], mix.tile_deaths);
+  EXPECT_EQ(per_kind[1], mix.link_failures);
+  EXPECT_EQ(per_kind[2], mix.ldo_brownouts);
+  EXPECT_EQ(per_kind[3], mix.clock_gen_losses);
+  EXPECT_EQ(per_kind[4], mix.packet_corruptions);
+  // Tile deaths never repeat a target.
+  std::sort(dead.begin(), dead.end());
+  EXPECT_EQ(std::adjacent_find(dead.begin(), dead.end()), dead.end());
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+/// Observer that records each notice and checks the state is post-event.
+class RecordingObserver : public FaultObserver {
+ public:
+  void on_fault(const FaultNotice& notice, const FaultMap& faults,
+                const LinkFaultSet& links) override {
+    if (notice.kind == RuntimeFaultKind::TileDeath) {
+      EXPECT_TRUE(faults.is_faulty(notice.tile));
+    }
+    if (notice.kind == RuntimeFaultKind::LinkFailure) {
+      EXPECT_TRUE(links.is_failed(notice.tile, *notice.link));
+    }
+    notices.push_back(notice);
+  }
+  std::vector<FaultNotice> notices;
+};
+
+TEST(FaultInjector, AppliesDueEventsAndNotifiesObservers) {
+  const TileGrid grid(4, 4);
+  FaultSchedule s;
+  s.add({10, RuntimeFaultKind::TileDeath, {1, 1}, Direction::North});
+  s.add({20, RuntimeFaultKind::LinkFailure, {2, 2}, Direction::East});
+  s.add({30, RuntimeFaultKind::LdoBrownout, {3, 3}, Direction::North});
+  s.add({30, RuntimeFaultKind::ClockGenLoss, {0, 0}, Direction::North});
+  s.add({40, RuntimeFaultKind::PacketCorruption, {2, 1}, Direction::North});
+
+  FaultInjector injector(FaultMap(grid), s);
+  RecordingObserver obs;
+  injector.bus().subscribe(&obs);
+
+  EXPECT_TRUE(injector.advance_to(5).empty());
+  EXPECT_EQ(injector.next_due_cycle(), 10u);
+
+  const auto first = injector.advance_to(10);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].kind, RuntimeFaultKind::TileDeath);
+  EXPECT_TRUE(injector.faults().is_faulty({1, 1}));
+  EXPECT_EQ(injector.next_due_cycle(), 20u);
+
+  const auto second = injector.advance_to(20);
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_TRUE(second[0].link.has_value());
+  EXPECT_TRUE(injector.link_faults().is_failed({2, 2}, Direction::East));
+  // Link failures do not kill the tile.
+  EXPECT_TRUE(injector.faults().is_healthy({2, 2}));
+
+  const auto third = injector.advance_to(35);
+  ASSERT_EQ(third.size(), 2u);  // both cycle-30 events, in schedule order
+  EXPECT_EQ(third[0].kind, RuntimeFaultKind::LdoBrownout);
+  EXPECT_EQ(third[1].kind, RuntimeFaultKind::ClockGenLoss);
+  ASSERT_EQ(injector.brownouts().size(), 1u);
+  EXPECT_EQ(injector.brownouts()[0], (TileCoord{3, 3}));
+  ASSERT_EQ(injector.lost_generators().size(), 1u);
+  EXPECT_EQ(injector.lost_generators()[0], (TileCoord{0, 0}));
+  // Brownouts and generator losses are policy events: the fault map is not
+  // mutated until the degradation layer decides.
+  EXPECT_TRUE(injector.faults().is_healthy({3, 3}));
+  EXPECT_FALSE(injector.exhausted());
+
+  injector.advance_to(1000);
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_EQ(obs.notices.size(), 5u);
+
+  injector.mark_unusable({2, 3});
+  EXPECT_TRUE(injector.faults().is_faulty({2, 3}));
+}
+
+// --------------------------------------------- NoC timeout/retry/recovery
+
+noc::NocOptions retry_options(std::uint64_t timeout, int retries = 3,
+                              std::uint64_t backoff = 16) {
+  noc::NocOptions o;
+  o.response_timeout = timeout;
+  o.max_retries = retries;
+  o.retry_backoff_base = backoff;
+  return o;
+}
+
+TEST(NocResilience, TransactionToDeadDestinationIsLost) {
+  const TileGrid grid(4, 4);
+  noc::NocSystem noc(FaultMap(grid), retry_options(120, 2));
+  ASSERT_TRUE(noc.issue({0, 0}, {3, 3}, noc::PacketType::ReadRequest));
+
+  std::vector<noc::CompletedTransaction> done;
+  noc.step(done);
+  FaultMap fm = noc.faults();
+  fm.set_faulty({3, 3});
+  noc.apply_fault_state(fm);
+
+  EXPECT_TRUE(noc.drain(done, 100000));
+  const noc::NocStats& st = noc.stats();
+  EXPECT_EQ(st.issued, 1u);
+  EXPECT_EQ(st.completed, 0u);
+  EXPECT_EQ(st.lost, 1u);
+  // The replan at the first timeout finds the destination dead, so the
+  // transaction is lost without burning the remaining retries.
+  EXPECT_EQ(st.timeouts, 1u);
+  EXPECT_EQ(st.retries, 0u);
+  EXPECT_EQ(st.replans, 1u);
+  EXPECT_EQ(noc.inflight_transactions(), 0u);
+}
+
+TEST(NocResilience, TrafficRecoversAroundAMidRunTileDeath) {
+  const TileGrid grid(6, 6);
+  noc::NocSystem noc(FaultMap(grid), retry_options(200));
+
+  // A mix of pairs; the same-column pair (2,0)->(2,5) is guaranteed to
+  // cross (2,2) on *both* networks, so killing that tile strands at least
+  // one first attempt and forces the retry + relay fallback.
+  const std::pair<TileCoord, TileCoord> pairs[] = {
+      {{2, 0}, {2, 5}}, {{2, 5}, {2, 0}}, {{0, 0}, {5, 5}},
+      {{5, 0}, {0, 5}}, {{0, 2}, {5, 2}}, {{1, 1}, {4, 3}},
+  };
+  for (const auto& [src, dst] : pairs)
+    ASSERT_TRUE(noc.issue(src, dst, noc::PacketType::ReadRequest));
+
+  std::vector<noc::CompletedTransaction> done;
+  for (int i = 0; i < 4; ++i) noc.step(done);
+
+  FaultMap fm = noc.faults();
+  fm.set_faulty({2, 2});
+  noc.apply_fault_state(fm);
+
+  EXPECT_TRUE(noc.drain(done, 100000));
+  const noc::NocStats& st = noc.stats();
+  EXPECT_EQ(st.issued, 6u);
+  // Every pair avoids the dead tile as an endpoint, and a 6x6 grid minus
+  // one interior tile keeps every survivor pair connected (via the other
+  // network or a relay), so nothing is permanently lost.
+  EXPECT_EQ(st.completed, 6u);
+  EXPECT_EQ(st.lost, 0u);
+  EXPECT_GE(st.retries, 1u);
+  EXPECT_EQ(st.timeouts, st.retries + st.lost);
+  EXPECT_EQ(done.size(), 6u);
+}
+
+TEST(NocResilience, CorruptedPacketIsRetriedNotLost) {
+  const TileGrid grid(5, 5);
+  noc::NocSystem noc(FaultMap(grid), retry_options(100, 2, 8));
+
+  // Converging traffic builds router queues at the hot destination, so a
+  // buffered packet exists for the corruption to strike.
+  const TileCoord dst{3, 3};
+  const TileCoord srcs[] = {{0, 0}, {4, 0}, {0, 4}, {4, 4},
+                            {0, 3}, {3, 0}, {1, 1}, {4, 2}};
+  for (const TileCoord src : srcs)
+    ASSERT_TRUE(noc.issue(src, dst, noc::PacketType::ReadRequest));
+
+  std::vector<noc::CompletedTransaction> done;
+  bool corrupted = false;
+  for (int cycle = 0; cycle < 50 && !corrupted; ++cycle) {
+    noc.step(done);
+    grid.for_each([&](TileCoord t) {
+      if (!corrupted && noc.inject_corruption(t)) corrupted = true;
+    });
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_EQ(noc.stats().corrupted, 1u);
+
+  EXPECT_TRUE(noc.drain(done, 100000));
+  const noc::NocStats& st = noc.stats();
+  EXPECT_EQ(st.issued, 8u);
+  EXPECT_EQ(st.completed, 8u);  // the struck transaction recovered
+  EXPECT_EQ(st.lost, 0u);
+  EXPECT_GE(st.timeouts, 1u);
+  EXPECT_EQ(st.timeouts, st.retries);
+}
+
+TEST(NocResilience, TimeoutDisabledKeepsLegacyBehaviour) {
+  const TileGrid grid(4, 4);
+  noc::NocSystem noc{FaultMap(grid)};  // response_timeout == 0
+  ASSERT_TRUE(noc.issue({0, 0}, {3, 3}, noc::PacketType::ReadRequest));
+  std::vector<noc::CompletedTransaction> done;
+  EXPECT_TRUE(noc.drain(done, 10000));
+  const noc::NocStats& st = noc.stats();
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.retries, 0u);
+  EXPECT_EQ(st.lost, 0u);
+}
+
+// --------------------------------------------------- NetworkSelector replan
+
+TEST(NetworkSelector, RebindInvalidatesCachedPlans) {
+  const TileGrid grid(6, 6);
+  FaultMap fm(grid);
+  noc::NetworkSelector sel(fm);
+  EXPECT_EQ(sel.generation(), 0u);
+
+  const noc::RoutePlan before = sel.plan({0, 0}, {5, 5});
+  ASSERT_TRUE(before.reachable);
+  EXPECT_FALSE(before.relayed);
+
+  // Kill a tile on the direct path of *both* networks' corners so the pair
+  // must change its route after rebinding.
+  fm.set_faulty({5, 0});
+  fm.set_faulty({0, 5});
+  fm.set_faulty({2, 2});
+  sel.rebind(fm);
+  EXPECT_EQ(sel.generation(), 1u);
+  const noc::RoutePlan after = sel.plan({0, 0}, {5, 5});
+  EXPECT_TRUE(after.reachable);
+  // Repeated queries replay the cached plan bit-for-bit.
+  const noc::RoutePlan again = sel.plan({0, 0}, {5, 5});
+  EXPECT_EQ(after.segment_networks, again.segment_networks);
+  EXPECT_EQ(after.waypoints, again.waypoints);
+}
+
+TEST(NetworkSelector, FailedLinkForcesRelayForSameRowPair) {
+  // A same-row pair rides the identical tile sequence on both networks, so
+  // one failed directed link on that row can only be bypassed via a relay
+  // tile in another row.
+  const TileGrid grid(5, 5);
+  FaultMap fm(grid);
+  LinkFaultSet links(grid);
+  links.set_failed({1, 2}, Direction::East);
+  noc::NetworkSelector sel(fm, links);
+  const noc::RoutePlan plan = sel.plan({0, 2}, {4, 2});
+  ASSERT_TRUE(plan.reachable);
+  EXPECT_TRUE(plan.relayed);
+  ASSERT_EQ(plan.waypoints.size(), 3u);
+  EXPECT_NE(plan.waypoints[1].y, 2);  // the relay leaves the broken row
+}
+
+TEST(NetworkSelector, ReverseLinkDirectionAlsoBlocksThePath) {
+  // The response rides the complementary network back over the same tiles,
+  // so a failure of only the *reverse* hop must also disqualify the path.
+  const TileGrid grid(5, 5);
+  FaultMap fm(grid);
+  LinkFaultSet links(grid);
+  links.set_failed({2, 2}, Direction::West);  // blocks responses 4,2 -> 0,2
+  noc::NetworkSelector sel(fm, links);
+  const noc::RoutePlan plan = sel.plan({0, 2}, {4, 2});
+  ASSERT_TRUE(plan.reachable);
+  EXPECT_TRUE(plan.relayed);
+}
+
+TEST(NocResilience, ReplannedPairKeepsAllPacketsOnOneNetwork) {
+  // In-order invariant across a replan: after a fault-map change, every
+  // packet of a given pair must still ride a single network, and arrive in
+  // issue order.
+  const TileGrid grid(6, 6);
+  const TileCoord src{1, 1};
+  const TileCoord dst{4, 3};
+
+  FaultMap fm((grid));
+  // The pair's parity-balanced choice is YX (north along x=1 first); kill
+  // a tile on that column so the replanned pair must move to XY.
+  fm.set_faulty({1, 2});
+
+  noc::NocSystem noc(FaultMap(grid), retry_options(200));
+  noc.apply_fault_state(fm);  // the mid-run replan
+
+  std::vector<noc::Packet> delivered;
+  noc.set_delivery_listener(
+      [&](const noc::Packet& p) { delivered.push_back(p); });
+
+  std::vector<std::uint64_t> issue_order;
+  std::vector<noc::CompletedTransaction> done;
+  for (int i = 0; i < 6; ++i) {
+    const auto id = noc.issue(src, dst, noc::PacketType::ReadRequest);
+    ASSERT_TRUE(id.has_value());
+    issue_order.push_back(*id);
+    noc.step(done);
+  }
+  EXPECT_TRUE(noc.drain(done, 100000));
+
+  ASSERT_EQ(delivered.size(), 6u);
+  std::vector<std::uint64_t> arrival_order;
+  for (const noc::Packet& p : delivered) {
+    EXPECT_EQ(p.network, delivered.front().network);  // one network only
+    arrival_order.push_back(p.id);
+  }
+  EXPECT_EQ(arrival_order, issue_order);  // in order
+  EXPECT_EQ(noc.stats().completed, 6u);
+  EXPECT_EQ(noc.stats().lost, 0u);
+}
+
+// ---------------------------------------------------------- clock recovery
+
+TEST(ClockRecovery, NoFaultsMeansNothingInvalidated) {
+  const TileGrid grid(6, 6);
+  FaultMap fm(grid);
+  const std::vector<TileCoord> gens = {{0, 0}};
+  const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+  const clock::ReclockReport r = clock::reselect_after_faults(plan, fm, gens);
+  EXPECT_TRUE(r.invalidated.empty());
+  EXPECT_TRUE(r.newly_orphaned.empty());
+  EXPECT_EQ(r.surviving_generator_count, 1u);
+  EXPECT_EQ(r.plan.reached_count, plan.reached_count);
+  EXPECT_EQ(r.relatch_steps, 0);
+}
+
+TEST(ClockRecovery, DownstreamTilesRelatchAfterATileDeath) {
+  const TileGrid grid(6, 6);
+  FaultMap fm(grid);
+  const std::vector<TileCoord> gens = {{0, 0}};
+  const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+
+  // Kill an interior tile: its downstream subtree loses the clock but the
+  // healthy region stays connected, so everyone re-latches.
+  fm.set_faulty({2, 2});
+  const clock::ReclockReport r = clock::reselect_after_faults(plan, fm, gens);
+  EXPECT_EQ(r.plan.reached_count, grid.tile_count() - 1);
+  EXPECT_EQ(r.relatched.size(), r.invalidated.size());
+  EXPECT_TRUE(r.newly_orphaned.empty());
+  EXPECT_TRUE(clock::reachability_matches_bfs(fm, gens, r.plan));
+}
+
+TEST(ClockRecovery, BoxedInTileIsNewlyOrphaned) {
+  const TileGrid grid(5, 5);
+  FaultMap fm(grid);
+  const std::vector<TileCoord> gens = {{0, 0}};
+  const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+
+  // Kill all four neighbours of (3,3): the tile is healthy but no
+  // toggling clock can ever reach it again (Fig. 4's yellow tile, at
+  // runtime).  The same kills box in the (4,4) corner, whose only two
+  // neighbours are among them — two orphans, in linear-index order.
+  for (const TileCoord n : grid.neighbors({3, 3})) fm.set_faulty(n);
+  const clock::ReclockReport r = clock::reselect_after_faults(plan, fm, gens);
+  ASSERT_EQ(r.newly_orphaned.size(), 2u);
+  EXPECT_EQ(r.newly_orphaned[0], (TileCoord{3, 3}));
+  EXPECT_EQ(r.newly_orphaned[1], (TileCoord{4, 4}));
+  EXPECT_FALSE(r.plan.tiles[grid.index_of({3, 3})].reached);
+  EXPECT_TRUE(clock::reachability_matches_bfs(fm, gens, r.plan));
+}
+
+TEST(ClockRecovery, LosingTheOnlyGeneratorOrphansEveryTile) {
+  const TileGrid grid(4, 4);
+  const FaultMap fm(grid);
+  const std::vector<TileCoord> gens = {{0, 0}};
+  const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+  // ClockGenLoss: the tile is alive but silent, so the survivor list is
+  // empty while the fault map is unchanged.
+  const clock::ReclockReport r = clock::reselect_after_faults(plan, fm, {});
+  EXPECT_EQ(r.surviving_generator_count, 0u);
+  EXPECT_EQ(r.invalidated.size(), grid.tile_count());
+  EXPECT_EQ(r.newly_orphaned.size(), grid.tile_count());
+  EXPECT_EQ(r.plan.reached_count, 0u);
+}
+
+TEST(ClockRecovery, SecondGeneratorTakesOverAfterTheFirstDies) {
+  const TileGrid grid(6, 6);
+  FaultMap fm(grid);
+  const std::vector<TileCoord> gens = {{0, 0}, {5, 5}};
+  const clock::ForwardingPlan plan = clock::simulate_forwarding(fm, gens);
+
+  fm.set_faulty({0, 0});  // the first generator tile dies outright
+  const std::vector<TileCoord> survivors = {{5, 5}};
+  const clock::ReclockReport r =
+      clock::reselect_after_faults(plan, fm, survivors);
+  EXPECT_EQ(r.surviving_generator_count, 1u);
+  EXPECT_EQ(r.plan.reached_count, grid.tile_count() - 1);
+  EXPECT_TRUE(r.newly_orphaned.empty());
+  EXPECT_GE(r.relatch_steps, 1);
+  EXPECT_TRUE(clock::reachability_matches_bfs(fm, survivors, r.plan));
+}
+
+// ----------------------------------------------------------- PDN brownout
+
+TEST(PdnDegradation, NoBrownoutsMeansNoCollateral) {
+  const SystemConfig cfg = SystemConfig::reduced(8, 8);
+  const PdnDegradationReport r = resolve_after_brownouts(cfg, {});
+  EXPECT_TRUE(r.browned_out.empty());
+  EXPECT_TRUE(r.undervolted.empty());
+  EXPECT_TRUE(r.unusable().empty());
+  EXPECT_DOUBLE_EQ(r.min_supply_v, r.baseline.min_supply_v);
+}
+
+TEST(PdnDegradation, BrownoutDeepensTheDroopAndMarksTheTile) {
+  const SystemConfig cfg = SystemConfig::reduced(8, 8);
+  const TileCoord struck{4, 4};
+  PdnDegradationOptions opt;
+  opt.brownout_load_factor = 2.0;
+  const PdnDegradationReport r =
+      resolve_after_brownouts(cfg, {struck, struck}, opt);  // deduped
+  ASSERT_EQ(r.browned_out.size(), 1u);
+  EXPECT_EQ(r.browned_out[0], struck);
+  // Extra plane current can only deepen the droop.
+  EXPECT_LE(r.min_supply_v, r.baseline.min_supply_v);
+  const auto unusable = r.unusable();
+  EXPECT_TRUE(std::find(unusable.begin(), unusable.end(), struck) !=
+              unusable.end());
+  // Collateral undervoltage never re-reports the struck tile.
+  EXPECT_TRUE(std::find(r.undervolted.begin(), r.undervolted.end(), struck) ==
+              r.undervolted.end());
+}
+
+// --------------------------------------------------------------- campaign
+
+CampaignOptions small_campaign(std::uint64_t seed) {
+  CampaignOptions o;
+  o.config = SystemConfig::reduced(6, 6);
+  o.seed = seed;
+  o.run_cycles = 1200;
+  o.fault_horizon = 800;
+  o.injection_rate = 0.02;
+  o.drain_cycles = 50000;
+  o.trajectory_sample_period = 128;
+  return o;
+}
+
+void expect_identical(const DegradationReport& a, const DegradationReport& b) {
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  EXPECT_TRUE(a.trajectory == b.trajectory);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].applied_cycle, b.events[i].applied_cycle);
+    EXPECT_EQ(a.events[i].notice.kind, b.events[i].notice.kind);
+    EXPECT_EQ(a.events[i].notice.tile, b.events[i].notice.tile);
+    EXPECT_EQ(a.events[i].usable_after, b.events[i].usable_after);
+    EXPECT_EQ(a.events[i].recovery_cycles, b.events[i].recovery_cycles);
+    EXPECT_EQ(a.events[i].recovered, b.events[i].recovered);
+    EXPECT_EQ(a.events[i].clock_relatched, b.events[i].clock_relatched);
+    EXPECT_EQ(a.events[i].clock_orphaned, b.events[i].clock_orphaned);
+    EXPECT_EQ(a.events[i].pdn_undervolted, b.events[i].pdn_undervolted);
+  }
+  EXPECT_EQ(a.noc_stats.issued, b.noc_stats.issued);
+  EXPECT_EQ(a.noc_stats.completed, b.noc_stats.completed);
+  EXPECT_EQ(a.noc_stats.timeouts, b.noc_stats.timeouts);
+  EXPECT_EQ(a.noc_stats.retries, b.noc_stats.retries);
+  EXPECT_EQ(a.noc_stats.lost, b.noc_stats.lost);
+  EXPECT_EQ(a.noc_stats.latency_sum, b.noc_stats.latency_sum);
+  EXPECT_EQ(a.mesh_dropped, b.mesh_dropped);
+  EXPECT_EQ(a.initial_usable, b.initial_usable);
+  EXPECT_EQ(a.final_usable, b.final_usable);
+  EXPECT_DOUBLE_EQ(a.pair_reachability_pct, b.pair_reachability_pct);
+  EXPECT_EQ(a.single_system_image, b.single_system_image);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+TEST(DegradationCampaign, SeededRunIsBitIdentical) {
+  const DegradationCampaign campaign(small_campaign(42));
+  const DegradationReport a = campaign.run();
+  const DegradationReport b = campaign.run();
+  expect_identical(a, b);
+  EXPECT_EQ(a.events.size(), ScheduleMix{}.total());
+}
+
+TEST(DegradationCampaign, DifferentSeedsDiverge) {
+  const DegradationReport a = DegradationCampaign(small_campaign(1)).run();
+  const DegradationReport b = DegradationCampaign(small_campaign(2)).run();
+  bool differs = a.noc_stats.issued != b.noc_stats.issued ||
+                 a.events.size() != b.events.size() ||
+                 a.final_usable != b.final_usable;
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i)
+    differs = a.events[i].applied_cycle != b.events[i].applied_cycle ||
+              a.events[i].notice.tile != b.events[i].notice.tile;
+  EXPECT_TRUE(differs);
+}
+
+TEST(DegradationCampaign, FiveTileKillBurstRecoversTheFabric) {
+  // The acceptance scenario: five tile deaths land mid-traffic on an 8x8
+  // wafer.  The NoC must recover (almost) every surviving pair via the
+  // dual-network/relay fallback, fully drain (zero deadlocks), and account
+  // for every timeout and retry.
+  CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 7;
+  o.run_cycles = 2500;
+  o.injection_rate = 0.02;
+  o.drain_cycles = 100000;
+  FaultSchedule s;
+  s.add({300, RuntimeFaultKind::TileDeath, {2, 2}, Direction::North});
+  s.add({600, RuntimeFaultKind::TileDeath, {5, 3}, Direction::North});
+  s.add({900, RuntimeFaultKind::TileDeath, {3, 5}, Direction::North});
+  s.add({1200, RuntimeFaultKind::TileDeath, {6, 6}, Direction::North});
+  s.add({1500, RuntimeFaultKind::TileDeath, {1, 4}, Direction::North});
+  o.schedule = s;
+
+  const DegradationReport r = DegradationCampaign(o).run();
+
+  ASSERT_EQ(r.events.size(), 5u);
+  EXPECT_EQ(r.initial_usable, 64u);
+  EXPECT_LE(r.final_usable, 59u);
+
+  // Zero deadlocks: every transaction in flight at any of the five bursts
+  // completed or was accounted lost, and nothing is stuck in the fabric.
+  EXPECT_TRUE(r.drained);
+  const noc::NocStats& st = r.noc_stats;
+  EXPECT_EQ(st.issued, st.completed + st.lost);
+  EXPECT_EQ(st.timeouts, st.retries + st.lost);
+  EXPECT_EQ(st.replans, 5u);
+  EXPECT_GT(st.issued, 0u);
+  // The burst struck live traffic and the fabric recovered it.
+  EXPECT_GT(st.timeouts, 0u);
+  EXPECT_GE(st.retries, 1u);
+  EXPECT_LT(static_cast<double>(st.lost),
+            0.02 * static_cast<double>(st.issued));
+
+  // >= 98 % of surviving ordered pairs stay routable (here: all of them,
+  // since an 8x8 grid minus five scattered tiles stays fully connected).
+  EXPECT_GE(r.pair_reachability_pct, 98.0);
+  EXPECT_TRUE(r.single_system_image);
+
+  // Each event resolved its in-flight cohort.
+  for (const EventOutcome& e : r.events) {
+    EXPECT_TRUE(e.recovered);
+    EXPECT_EQ(e.notice.kind, RuntimeFaultKind::TileDeath);
+  }
+
+  // The usable-tile trajectory never rises.
+  for (std::size_t i = 1; i < r.trajectory.size(); ++i)
+    EXPECT_LE(r.trajectory[i].usable_tiles, r.trajectory[i - 1].usable_tiles);
+
+  // Post-burst re-bring-up reaches every surviving tile.
+  ASSERT_TRUE(r.rebringup.has_value());
+  EXPECT_EQ(r.rebringup->usable_tiles, r.final_usable);
+  EXPECT_TRUE(r.rebringup->single_system_image);
+}
+
+TEST(DegradationCampaign, MonteCarloSummaryAggregates) {
+  CampaignOptions o = small_campaign(5);
+  o.run_cycles = 600;
+  o.fault_horizon = 400;
+  const std::vector<DegradationReport> reports =
+      DegradationCampaign(o).run_trials(3);
+  ASSERT_EQ(reports.size(), 3u);
+  const CampaignSummary s = summarize(reports);
+  EXPECT_EQ(s.trials, 3);
+  EXPECT_GT(s.mean_final_usable_fraction, 0.0);
+  EXPECT_LE(s.mean_final_usable_fraction, 1.0);
+  EXPECT_GE(s.mean_pair_reachability_pct, 0.0);
+  EXPECT_LE(s.mean_pair_reachability_pct, 100.0);
+  EXPECT_GE(s.fully_drained, 0);
+  EXPECT_LE(s.fully_drained, 3);
+}
+
+}  // namespace
+}  // namespace wsp::resilience
