@@ -4,10 +4,13 @@
 // cycle cost of arming the NoC timeout/retry machinery.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "wsp/clock/forwarding.hpp"
 #include "wsp/clock/recovery.hpp"
+#include "wsp/noc/link_integrity.hpp"
 #include "wsp/noc/traffic.hpp"
 #include "wsp/resilience/campaign.hpp"
 
@@ -58,6 +61,60 @@ void print_clock_recovery_latency() {
         clock::reselect_after_faults(plan, fm, gens);
     std::printf("%7dx%-2d %14zu %14zu %14d\n", n, n, r.invalidated.size(),
                 r.relatched.size(), r.relatch_steps);
+  }
+  std::printf("\n");
+}
+
+/// Hop-level CRC/NACK recovery vs the end-to-end timeout path: the same
+/// seeded traffic over the same noisy links, with link retransmission on
+/// and off.  Hop repair costs ~2 link latencies; the timeout path costs a
+/// full response deadline plus a replayed round trip — the mean and tail
+/// latencies (and the loss column) make the gap visible at every BER.
+void print_ber_sweep() {
+  std::printf("== link-integrity BER sweep (12x12, uniform traffic, "
+              "hop retransmit vs timeout-only recovery) ==\n");
+  std::printf("%10s %6s %12s %10s %10s %8s %10s %10s\n", "BER", "retx",
+              "crc_detect", "retrans", "timeouts", "lost", "mean lat",
+              "p99 lat");
+  for (const double ber : {0.0, 1e-5, 1e-4, 1e-3}) {
+    for (const bool retx : {true, false}) {
+      const TileGrid grid(12, 12);
+      noc::NocOptions opt;
+      opt.response_timeout = 400;
+      opt.mesh.integrity.enabled = true;
+      opt.mesh.integrity.retransmit = retx;
+      noc::NocSystem noc(FaultMap(grid), opt);
+      noc.set_link_ber(noc::LinkBerMap::uniform(grid, ber));
+
+      Rng rng(7);
+      std::vector<noc::CompletedTransaction> done;
+      for (int c = 0; c < 3000; ++c) {
+        grid.for_each([&](TileCoord src) {
+          if (!rng.bernoulli(0.02)) return;
+          const TileCoord dst = grid.coord_of(rng.below(grid.tile_count()));
+          if (!(dst == src))
+            (void)noc.issue(src, dst, noc::PacketType::ReadRequest);
+        });
+        noc.step(done);
+      }
+      noc.drain(done);
+
+      std::vector<std::uint64_t> lat;
+      lat.reserve(done.size());
+      for (const auto& t : done) lat.push_back(t.latency());
+      std::sort(lat.begin(), lat.end());
+      const std::uint64_t p99 =
+          lat.empty() ? 0 : lat[lat.size() * 99 / 100];
+      const noc::NocStats st = noc.stats();
+      std::printf("%10.0e %6s %12llu %10llu %10llu %8llu %10.1f %10llu\n",
+                  ber, retx ? "on" : "off",
+                  static_cast<unsigned long long>(st.crc_detected),
+                  static_cast<unsigned long long>(st.link_retransmits),
+                  static_cast<unsigned long long>(st.timeouts),
+                  static_cast<unsigned long long>(st.lost),
+                  st.mean_latency(), static_cast<unsigned long long>(p99));
+      done.clear();
+    }
   }
   std::printf("\n");
 }
@@ -124,6 +181,7 @@ BENCHMARK(BM_NocStepTimeoutMachinery)->Arg(0)->Arg(1);
 int main(int argc, char** argv) {
   print_campaign_sweep();
   print_clock_recovery_latency();
+  print_ber_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -30,6 +30,8 @@ enum class RuntimeFaultKind : std::uint8_t {
   LdoBrownout = 2,      ///< tile's LDO loses regulation under a load step
   ClockGenLoss = 3,     ///< an edge clock-generator tile stops toggling
   PacketCorruption = 4, ///< transient: one in-flight packet is corrupted
+  LinkRetirement = 5,   ///< health monitor retired an error-prone link
+  LinkBerDegradation = 6, ///< one link's bit-error rate jumps (marginal eye)
 };
 
 inline const char* to_string(RuntimeFaultKind k) {
@@ -39,6 +41,8 @@ inline const char* to_string(RuntimeFaultKind k) {
     case RuntimeFaultKind::LdoBrownout: return "LdoBrownout";
     case RuntimeFaultKind::ClockGenLoss: return "ClockGenLoss";
     case RuntimeFaultKind::PacketCorruption: return "PacketCorruption";
+    case RuntimeFaultKind::LinkRetirement: return "LinkRetirement";
+    case RuntimeFaultKind::LinkBerDegradation: return "LinkBerDegradation";
   }
   return "?";
 }
@@ -47,8 +51,9 @@ inline const char* to_string(RuntimeFaultKind k) {
 struct FaultNotice {
   RuntimeFaultKind kind = RuntimeFaultKind::TileDeath;
   TileCoord tile;                 ///< struck tile (or link source)
-  std::optional<Direction> link;  ///< outgoing direction, LinkFailure only
+  std::optional<Direction> link;  ///< outgoing direction, link events only
   std::uint64_t cycle = 0;        ///< simulation cycle the fault appeared
+  double magnitude = 0.0;         ///< new BER, LinkBerDegradation only
 };
 
 /// Subscriber interface.  `faults` and `links` are the *post-event* state:

@@ -1,5 +1,8 @@
 #include "wsp/noc/mesh_network.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "wsp/common/error.hpp"
 #include "wsp/noc/odd_even.hpp"
 
@@ -13,10 +16,21 @@ MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
       kind_(kind),
       options_(options),
       routers_(grid_.tile_count()),
-      pending_toward_(grid_.tile_count()) {
+      pending_toward_(grid_.tile_count()),
+      ber_(faults.grid()),
+      chan_rng_(options.integrity.seed ^ static_cast<std::uint64_t>(kind)) {
   require(options.input_queue_capacity >= 1,
           "input queues need capacity >= 1");
   require(options.link_latency >= 1, "links take at least one cycle");
+  require(options.integrity.max_retransmits >= 0,
+          "retransmit budget cannot be negative");
+  if (options_.integrity.enabled) {
+    link_errors_.assign(grid_.tile_count(), {});
+    link_traversals_.assign(grid_.tile_count(), {});
+    tx_seq_.assign(grid_.tile_count(), {});
+    rx_seq_.assign(grid_.tile_count(), {});
+    link_next_free_.assign(grid_.tile_count(), {});
+  }
 }
 
 bool MeshNetwork::queue_has_space(std::size_t tile, Port port) const {
@@ -43,24 +57,94 @@ bool MeshNetwork::inject(const Packet& packet) {
   return true;
 }
 
+MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
+                                                       std::uint64_t now) {
+  const auto port = static_cast<std::size_t>(t.dst_port);
+
+  if (options_.integrity.enabled) {
+    const double p = ber_.packet_error_prob_at(t.src_tile, t.dir);
+    if (p > 0.0 && chan_rng_.uniform() < p) {
+      // The channel flipped at least one of the 100 wire bits.
+      if (chan_rng_.uniform() < kCrcEscapeProbability) {
+        // Aliased to a valid codeword: delivered with poisoned payload.
+        ++stats_.crc_escapes;
+        t.packet.payload ^= 1;
+      } else {
+        ++stats_.crc_detected;
+        ++link_errors_[t.src_tile][t.dir];
+        if (options_.integrity.retransmit &&
+            t.retransmits <
+                static_cast<std::uint8_t>(options_.integrity.max_retransmits)) {
+          // Go-back-N: the receiving hop NACKs; the sender replays this
+          // frame (one NACK flight + one resend flight) and every frame
+          // behind it on the same link, preserving per-link order.  The
+          // downstream credit stays reserved for the whole retry.
+          ++stats_.link_retransmits;
+          ++stats_.link_traversals;
+          ++link_traversals_[t.src_tile][t.dir];
+          ++t.retransmits;
+          std::uint64_t slot =
+              now + 2 * static_cast<std::uint64_t>(options_.link_latency);
+          t.arrival_cycle = slot;
+          for (auto& f : in_transit_)
+            if (f.src_tile == t.src_tile && f.dir == t.dir)
+              f.arrival_cycle = ++slot;
+          link_next_free_[t.src_tile][t.dir] =
+              std::max(link_next_free_[t.src_tile][t.dir], slot + 1);
+          in_transit_.push_back(std::move(t));
+          std::stable_sort(in_transit_.begin(), in_transit_.end(),
+                           [](const LinkTransfer& a, const LinkTransfer& b) {
+                             return a.arrival_cycle < b.arrival_cycle;
+                           });
+          return ChannelOutcome::Retried;
+        }
+        // Budget exhausted (or retransmission disabled): drop here and let
+        // the end-to-end timeout recover.  Both ends skip the lost
+        // sequence number as part of the final NACK handshake.
+        ++stats_.link_error_drops;
+        rx_seq_[t.dst_tile][port] =
+            static_cast<std::uint8_t>((t.seq + 1) & 0xF);
+        --pending_toward_[t.dst_tile][port];
+        --in_flight_;
+        return ChannelOutcome::Dropped;
+      }
+    }
+    // Receiver-side sequence check keeps delivery idempotent: anything but
+    // the expected number is a stale replay and is rejected.
+    if (t.seq != rx_seq_[t.dst_tile][port]) {
+      ++stats_.dup_dropped;
+      --pending_toward_[t.dst_tile][port];
+      --in_flight_;
+      return ChannelOutcome::Dropped;
+    }
+    rx_seq_[t.dst_tile][port] = static_cast<std::uint8_t>((t.seq + 1) & 0xF);
+  }
+
+  --pending_toward_[t.dst_tile][port];
+  routers_[t.dst_tile].in_q[port].push_back(std::move(t.packet));
+  return ChannelOutcome::Accept;
+}
+
 void MeshNetwork::step(std::vector<Packet>& ejected) {
   const std::uint64_t now = stats_.cycles;
 
-  // Phase 1: land in-transit packets due this cycle.  All transfers share
-  // the same latency, so the deque stays sorted by arrival cycle.  A
-  // packet arriving at a tile that died while it was on the wire is lost.
+  // Phase 1: land in-transit packets due this cycle.  The deque is kept
+  // sorted by arrival cycle (retransmissions re-sort it).  A packet
+  // arriving at a tile that died while it was on the wire is lost.
   while (!in_transit_.empty() && in_transit_.front().arrival_cycle <= now) {
-    LinkTransfer& t = in_transit_.front();
-    --pending_toward_[t.dst_tile][static_cast<std::size_t>(t.dst_port)];
+    LinkTransfer t = std::move(in_transit_.front());
+    in_transit_.pop_front();
     if (faults_.is_faulty(grid_.coord_of(t.dst_tile))) {
+      const auto port = static_cast<std::size_t>(t.dst_port);
+      if (options_.integrity.enabled)
+        rx_seq_[t.dst_tile][port] =
+            static_cast<std::uint8_t>((t.seq + 1) & 0xF);
+      --pending_toward_[t.dst_tile][port];
       ++stats_.dropped_at_fault;
       --in_flight_;
-    } else {
-      routers_[t.dst_tile]
-          .in_q[static_cast<std::size_t>(t.dst_port)]
-          .push_back(t.packet);
+      continue;
     }
-    in_transit_.pop_front();
+    channel_admit(std::move(t), now);
   }
 
   // Phase 2: per-router arbitration.  Each input head wants exactly one
@@ -158,14 +242,39 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
       } else {
         ++pending_toward_[dst_tile][static_cast<std::size_t>(dst_port)];
         ++stats_.link_traversals;
-        in_transit_.push_back(LinkTransfer{
+        LinkTransfer t{
             packet, dst_tile, dst_port,
-            now + static_cast<std::uint64_t>(options_.link_latency)});
+            now + static_cast<std::uint64_t>(options_.link_latency)};
+        if (options_.integrity.enabled) {
+          t.src_tile = tile;
+          t.dir = static_cast<std::uint8_t>(out);
+          t.seq = tx_seq_[tile][out];
+          tx_seq_[tile][out] =
+              static_cast<std::uint8_t>((tx_seq_[tile][out] + 1) & 0xF);
+          ++link_traversals_[tile][out];
+          // The per-link watermark keeps frames granted after a
+          // retransmission from overtaking the replayed window.
+          t.arrival_cycle =
+              std::max(t.arrival_cycle, link_next_free_[tile][out]);
+          link_next_free_[tile][out] = t.arrival_cycle + 1;
+        }
+        if (in_transit_.empty() ||
+            in_transit_.back().arrival_cycle <= t.arrival_cycle) {
+          in_transit_.push_back(std::move(t));
+        } else {
+          const auto it = std::upper_bound(
+              in_transit_.begin(), in_transit_.end(), t.arrival_cycle,
+              [](std::uint64_t a, const LinkTransfer& x) {
+                return a < x.arrival_cycle;
+              });
+          in_transit_.insert(it, std::move(t));
+        }
       }
     }
   }
 
   ++stats_.cycles;
+  assert(conservation_holds());
 }
 
 void MeshNetwork::apply_fault_state(const FaultMap& faults,
@@ -200,6 +309,25 @@ std::optional<std::uint64_t> MeshNetwork::corrupt_head_packet(TileCoord tile) {
     return id;
   }
   return std::nullopt;
+}
+
+void MeshNetwork::set_link_ber(const LinkBerMap& ber) {
+  require(ber.grid().width() == grid_.width() &&
+              ber.grid().height() == grid_.height(),
+          "set_link_ber: BER map grid mismatch");
+  ber_ = ber;
+}
+
+std::uint64_t MeshNetwork::link_error_count(TileCoord from,
+                                            Direction d) const {
+  if (link_errors_.empty() || !grid_.contains(from)) return 0;
+  return link_errors_[grid_.index_of(from)][static_cast<std::size_t>(d)];
+}
+
+std::uint64_t MeshNetwork::link_traversal_count(TileCoord from,
+                                                Direction d) const {
+  if (link_traversals_.empty() || !grid_.contains(from)) return 0;
+  return link_traversals_[grid_.index_of(from)][static_cast<std::size_t>(d)];
 }
 
 }  // namespace wsp::noc

@@ -13,6 +13,16 @@
 // Faulty tiles have no functional router: nothing is ever granted toward
 // them, and a packet whose DoR route demands one is dropped and counted
 // (the kernel's fault-map discipline is what prevents this in practice).
+//
+// Link integrity (wsp/noc/link_integrity.hpp): when enabled, every link
+// traversal samples the per-link BER channel.  A corrupted packet is
+// caught by the hop CRC with probability 1 - 2^-8; the receiving hop
+// NACKs it and the sender retransmits go-back-N style (frames behind the
+// corrupted one on the same link are resent after it, so per-link — and
+// therefore per-pair — ordering survives).  A packet that exhausts its
+// bounded retransmit budget is dropped and recovers via the end-to-end
+// timeout.  Escapes (corruption the CRC aliases on) are delivered with a
+// poisoned payload and counted — detected-not-silent, quantified.
 #pragma once
 
 #include <array>
@@ -22,6 +32,8 @@
 #include <vector>
 
 #include "wsp/common/fault_map.hpp"
+#include "wsp/common/rng.hpp"
+#include "wsp/noc/link_integrity.hpp"
 #include "wsp/noc/packet.hpp"
 #include "wsp/noc/routing.hpp"
 
@@ -43,6 +55,8 @@ struct MeshOptions {
   /// wsp/noc/odd_even.hpp).  Deadlock-free without virtual channels; the
   /// adaptivity steers around congestion and faulty tiles.
   bool adaptive_odd_even = false;
+  /// Hop-level BER channel + CRC/NACK protocol (off by default).
+  LinkIntegrityOptions integrity{};
 };
 
 struct MeshStats {
@@ -54,6 +68,12 @@ struct MeshStats {
   // Runtime-fault accounting (wsp::resilience):
   std::uint64_t purged_in_dead_router = 0;  ///< buffered in a tile that died
   std::uint64_t corrupted = 0;              ///< killed by injected corruption
+  // Link-integrity accounting (all zero when integrity is off):
+  std::uint64_t crc_detected = 0;      ///< wire corruptions caught by CRC
+  std::uint64_t crc_escapes = 0;       ///< corruptions the CRC aliased on
+  std::uint64_t link_retransmits = 0;  ///< hop-level NACK/retransmit events
+  std::uint64_t link_error_drops = 0;  ///< retransmit budget exhausted
+  std::uint64_t dup_dropped = 0;       ///< receiver-side sequence rejects
 };
 
 /// One DoR network spanning the wafer.
@@ -95,6 +115,28 @@ class MeshNetwork {
   /// packet surfaces upstream as a transaction timeout.
   std::optional<std::uint64_t> corrupt_head_packet(TileCoord tile);
 
+  /// Binds the per-link BER map the channel model samples (no-op effect
+  /// unless options.integrity.enabled).  Grids must match.
+  void set_link_ber(const LinkBerMap& ber);
+  const LinkBerMap& link_ber() const { return ber_; }
+
+  /// Detected CRC errors charged to the directed link leaving `from`.
+  std::uint64_t link_error_count(TileCoord from, Direction d) const;
+  /// Traversal attempts (retransmissions included) on the same link.
+  std::uint64_t link_traversal_count(TileCoord from, Direction d) const;
+
+  /// Packet-conservation invariant: every injected packet is ejected,
+  /// dropped at a fault, purged in a dead router, killed by corruption,
+  /// dropped after exhausting its retransmit budget, rejected by the
+  /// receiver sequence check, or still in flight.  Checked by tests at
+  /// every drain point and asserted each cycle in debug builds.
+  bool conservation_holds() const {
+    return stats_.injected ==
+           stats_.ejected + stats_.dropped_at_fault +
+               stats_.purged_in_dead_router + stats_.corrupted +
+               stats_.link_error_drops + stats_.dup_dropped + in_flight_;
+  }
+
  private:
   struct RouterState {
     std::array<std::deque<Packet>, kPortCount> in_q;
@@ -105,6 +147,11 @@ class MeshNetwork {
     std::size_t dst_tile;
     Port dst_port;
     std::uint64_t arrival_cycle;
+    // Link-integrity protocol state:
+    std::size_t src_tile = 0;      ///< link source (counter keying)
+    std::uint8_t dir = 0;          ///< outgoing Direction at the source
+    std::uint8_t seq = 0;          ///< 4-bit per-link sequence number
+    std::uint8_t retransmits = 0;  ///< budget consumed by this traversal
   };
 
   FaultMap faults_;
@@ -119,7 +166,27 @@ class MeshNetwork {
   MeshStats stats_;
   std::size_t in_flight_ = 0;
 
+  // Link-integrity state (allocated only when integrity is enabled).
+  LinkBerMap ber_;
+  Rng chan_rng_;  ///< channel-sampling stream, separate from traffic RNGs
+  std::vector<std::array<std::uint64_t, 4>> link_errors_;
+  std::vector<std::array<std::uint64_t, 4>> link_traversals_;
+  std::vector<std::array<std::uint8_t, 4>> tx_seq_;  ///< by (src, out dir)
+  std::vector<std::array<std::uint8_t, 4>> rx_seq_;  ///< by (dst, in port)
+  /// Earliest free arrival slot per directed link: keeps frames granted
+  /// after a retransmission from overtaking it (go-back-N ordering).
+  std::vector<std::array<std::uint64_t, 4>> link_next_free_;
+
   bool queue_has_space(std::size_t tile, Port port) const;
+
+  enum class ChannelOutcome {
+    Accept,   ///< survived the channel (possibly as a counted escape)
+    Retried,  ///< CRC caught it; re-queued on the wire, credit kept
+    Dropped,  ///< budget exhausted / retransmit off / sequence reject
+  };
+  /// Runs the landing transfer through the BER channel + CRC + sequence
+  /// protocol.  May re-queue `t` into in_transit_ (Retried).
+  ChannelOutcome channel_admit(LinkTransfer t, std::uint64_t now);
 };
 
 }  // namespace wsp::noc

@@ -409,11 +409,49 @@ void NocSystem::apply_fault_state(const FaultMap& faults,
 }
 
 bool NocSystem::inject_corruption(TileCoord tile) {
+  // The mesh owns the `corrupted` counter (it observes the kill); counting
+  // here as well would double-book the event in the aggregated stats().
   auto killed = xy_.corrupt_head_packet(tile);
   if (!killed) killed = yx_.corrupt_head_packet(tile);
-  if (!killed) return false;
-  ++stats_.corrupted;
+  return killed.has_value();
+}
+
+NocStats NocSystem::stats() const {
+  NocStats s = stats_;
+  const MeshStats& a = xy_.stats();
+  const MeshStats& b = yx_.stats();
+  s.corrupted = a.corrupted + b.corrupted;
+  s.crc_detected = a.crc_detected + b.crc_detected;
+  s.link_retransmits = a.link_retransmits + b.link_retransmits;
+  s.escapes = a.crc_escapes + b.crc_escapes;
+  return s;
+}
+
+void NocSystem::set_link_ber(const LinkBerMap& ber) {
+  xy_.set_link_ber(ber);
+  yx_.set_link_ber(ber);
+}
+
+bool NocSystem::retire_link(TileCoord from, Direction d) {
+  if (!faults_.grid().contains(from) || !faults_.grid().neighbor(from, d))
+    return false;
+  if (links_.is_failed(from, d)) return false;
+  links_.set_failed(from, d);
+  selector_.rebind(faults_, links_);
+  xy_.apply_fault_state(faults_, links_);
+  yx_.apply_fault_state(faults_, links_);
+  ++stats_.links_retired;
+  ++stats_.replans;
   return true;
+}
+
+std::uint64_t NocSystem::link_error_count(TileCoord from, Direction d) const {
+  return xy_.link_error_count(from, d) + yx_.link_error_count(from, d);
+}
+
+std::uint64_t NocSystem::link_traversal_count(TileCoord from,
+                                              Direction d) const {
+  return xy_.link_traversal_count(from, d) + yx_.link_traversal_count(from, d);
 }
 
 }  // namespace wsp::noc

@@ -136,6 +136,12 @@ struct NocStats {
   std::uint64_t stale_packets = 0; ///< late arrivals of superseded attempts
   std::uint64_t replans = 0;       ///< fault-map changes applied mid-run
   std::uint64_t corrupted = 0;     ///< packets killed by injected corruption
+  // Link-integrity accounting (aggregated from both meshes; all zero when
+  // NocOptions::mesh.integrity is off):
+  std::uint64_t crc_detected = 0;      ///< wire corruptions caught by CRC
+  std::uint64_t link_retransmits = 0;  ///< hop-level NACK/retransmit events
+  std::uint64_t links_retired = 0;     ///< links predictively retired
+  std::uint64_t escapes = 0;           ///< corruptions the CRC aliased on
   double mean_latency() const {
     return completed ? static_cast<double>(latency_sum) / completed : 0.0;
   }
@@ -171,7 +177,10 @@ class NocSystem {
   }
 
   std::uint64_t now() const { return cycle_; }
-  const NocStats& stats() const { return stats_; }
+  /// System-level stats.  Corruption and link-integrity counters are owned
+  /// by the meshes (the layer that observes the wire) and aggregated here,
+  /// so each event is counted exactly once.
+  NocStats stats() const;
   const NetworkSelector& selector() const { return selector_; }
   const MeshNetwork& network(NetworkKind k) const {
     return k == NetworkKind::XY ? xy_ : yx_;
@@ -194,6 +203,29 @@ class NocSystem {
   /// `tile`, preferring the XY network.  Returns true when a packet was
   /// killed; the owning transaction recovers via timeout + retry.
   bool inject_corruption(TileCoord tile);
+
+  /// Binds the per-link BER map both meshes sample (takes effect only when
+  /// NocOptions::mesh.integrity.enabled).  Re-call after every PDN
+  /// re-solve so supply sag shows up on the wire.
+  void set_link_ber(const LinkBerMap& ber);
+
+  /// Predictively retires the directed link leaving `from` toward `d`:
+  /// marks it failed in the LinkFaultSet, rebinds the selector (dropping
+  /// every cached plan) and propagates to both meshes.  Returns false when
+  /// the link leaves the array or is already retired.  Counted in
+  /// stats().links_retired and stats().replans.
+  bool retire_link(TileCoord from, Direction d);
+
+  /// Detected CRC errors / traversal attempts charged to the directed link
+  /// leaving `from`, summed over both meshes (LinkHealthMonitor input).
+  std::uint64_t link_error_count(TileCoord from, Direction d) const;
+  std::uint64_t link_traversal_count(TileCoord from, Direction d) const;
+
+  /// Packet-conservation invariant of both meshes (see
+  /// MeshNetwork::conservation_holds).
+  bool packet_conservation_holds() const {
+    return xy_.conservation_holds() && yx_.conservation_holds();
+  }
 
  private:
   struct LiveTransaction {

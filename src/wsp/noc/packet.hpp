@@ -6,6 +6,15 @@
 // hop per cycle — there is no flit segmentation in this design, which keeps
 // the router trivial (a key "keep it simple enough for 3-4 grad students"
 // decision of the paper).
+//
+// Link-integrity budget (wsp/noc/link_integrity.hpp): 12 of the 100 bits
+// are an integrity field — a CRC-8 checked at every hop plus a 4-bit
+// per-link sequence number for the NACK/retransmit protocol — paid for by
+// narrowing the request address field (the per-tile address window shrinks
+// accordingly; responses lose spare payload bits).  The simulator keeps
+// its bookkeeping fields full width and models the integrity field's
+// *effect* (hop detection, per-link ordering, bounded retransmission)
+// rather than its bit packing.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,9 @@ constexpr NetworkKind complementary(NetworkKind k) {
 }
 
 const char* to_string(NetworkKind k);
+
+/// Wire width of one packet — one full bus, one hop per cycle.
+inline constexpr int kPacketWireBits = 100;
 
 /// Memory-style transaction types carried by the mesh.  Requests and their
 /// responses always travel on complementary networks (baked into the router

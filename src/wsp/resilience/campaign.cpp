@@ -91,6 +91,34 @@ DegradationReport DegradationCampaign::run() const {
   }
   noc::NocSystem noc(usable, nopt);
 
+  // --- voltage-aware link BER (tentpole coupling: pdn -> noc) ------------
+  // The BER map is derived from the regulated LDO output of each link's
+  // endpoints and re-derived on every PDN re-solve; scheduled
+  // LinkBerDegradation events are layered on top (latest event per link
+  // wins, since they re-apply in order).
+  const bool integrity_on = nopt.mesh.integrity.enabled;
+  noc::LinkBerMap base_ber(grid);
+  const auto ber_from_report = [&](const pdn::PdnReport& pr) {
+    std::vector<double> v(grid.tile_count(), nopt.mesh.integrity.ber.nominal_v);
+    for (std::size_t i = 0; i < v.size() && i < pr.tiles.size(); ++i)
+      v[i] = pr.tiles[i].regulated_v;
+    return noc::LinkBerMap::from_tile_voltages(grid, v,
+                                               nopt.mesh.integrity.ber);
+  };
+  const auto rebind_ber = [&](const FaultInjector& inj) {
+    if (!integrity_on) return;
+    noc::LinkBerMap ber = base_ber;
+    for (const FaultEvent& e : inj.ber_degradations())
+      ber.set_ber(e.tile, e.link, e.magnitude);
+    noc.set_link_ber(ber);
+  };
+  if (integrity_on) {
+    pdn::WaferPdn wafer_pdn(config, options_.pdn.pdn);
+    base_ber = ber_from_report(wafer_pdn.solve_uniform(options_.pdn.activity));
+    rebind_ber(injector);
+  }
+  noc::LinkHealthMonitor monitor(grid, options_.link_health);
+
   noc::TrafficConfig traffic;
   traffic.pattern = options_.pattern;
   traffic.injection_rate = options_.injection_rate;
@@ -141,16 +169,27 @@ DegradationReport DegradationCampaign::run() const {
           for (TileCoord t : pr.unusable())
             if (injector.faults().is_healthy(t)) injector.mark_unusable(t);
           out.pdn_undervolted = static_cast<int>(pr.undervolted.size());
+          if (integrity_on) {
+            // The sagged plane shrinks link eye margins everywhere the
+            // droop deepened: re-derive BER from the degraded solve.
+            base_ber = ber_from_report(pr.degraded);
+            rebind_ber(injector);
+          }
           break;
         }
         case RuntimeFaultKind::LinkFailure:
+        case RuntimeFaultKind::LinkRetirement:
           break;  // the injector already recorded it in the LinkFaultSet
         case RuntimeFaultKind::PacketCorruption:
           noc.inject_corruption(n.tile);
           break;
+        case RuntimeFaultKind::LinkBerDegradation:
+          rebind_ber(injector);  // channel quality only: no topology change
+          break;
       }
 
-      if (n.kind != RuntimeFaultKind::PacketCorruption)
+      if (n.kind != RuntimeFaultKind::PacketCorruption &&
+          n.kind != RuntimeFaultKind::LinkBerDegradation)
         noc.apply_fault_state(injector.faults(), injector.link_faults());
 
       out.usable_after = injector.faults().healthy_count();
@@ -174,6 +213,18 @@ DegradationReport DegradationCampaign::run() const {
     });
 
     noc.step(done);
+
+    // Firmware link-health scrub: harvest the per-link error counters and
+    // retire links whose observed error rate says they are dying, routing
+    // around them before they fail hard.
+    if (integrity_on &&
+        (cycle + 1) % options_.link_health.scrub_period == 0) {
+      for (const noc::RetiredLink& r : monitor.scrub(noc)) {
+        injector.retire_link(r.tile, r.dir, noc.now());
+        noc.retire_link(r.tile, r.dir);
+        report.retirements.push_back(r);
+      }
+    }
 
     prune_resolved(outstanding, noc);
     for (auto it = trackers.begin(); it != trackers.end();) {

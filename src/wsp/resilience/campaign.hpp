@@ -26,6 +26,7 @@
 #include "wsp/arch/bringup.hpp"
 #include "wsp/common/config.hpp"
 #include "wsp/common/fault_map.hpp"
+#include "wsp/noc/link_health.hpp"
 #include "wsp/noc/noc_system.hpp"
 #include "wsp/noc/traffic.hpp"
 #include "wsp/resilience/fault_schedule.hpp"
@@ -55,6 +56,13 @@ struct CampaignOptions {
   /// Clock generators; empty = first healthy edge tile.
   std::vector<TileCoord> clock_generators;
   std::uint64_t trajectory_sample_period = 256;
+  /// Link-health scrub/retirement policy.  Active only when
+  /// noc.mesh.integrity.enabled: the campaign then derives a voltage-aware
+  /// BER map from the PDN solve (re-derived after every brownout), layers
+  /// scheduled LinkBerDegradation events on top, scrubs the per-link error
+  /// counters every scrub_period cycles and retires links that cross the
+  /// threshold — all before they fail hard.
+  noc::LinkRetirementPolicy link_health{};
 };
 
 /// Usable-tile count at a point in time.
@@ -84,6 +92,8 @@ struct EventOutcome {
 struct DegradationReport {
   std::vector<TrajectoryPoint> trajectory;
   std::vector<EventOutcome> events;
+  /// Links the health monitor predictively retired during the run.
+  std::vector<noc::RetiredLink> retirements;
   noc::NocStats noc_stats;
   std::uint64_t mesh_dropped = 0;  ///< dropped at faults + purged, both nets
   std::size_t initial_usable = 0;

@@ -45,12 +45,38 @@ std::vector<FaultNotice> FaultInjector::advance_to(std::uint64_t cycle) {
         break;
       case RuntimeFaultKind::PacketCorruption:
         break;  // transient: no state mutation, observers act on the notice
+      case RuntimeFaultKind::LinkRetirement:
+        // Normally monitor-driven (retire_link), but scheduling one works:
+        // it is a link failure with a different provenance.
+        links_.set_failed(e.tile, e.link, true);
+        notice.link = e.link;
+        break;
+      case RuntimeFaultKind::LinkBerDegradation:
+        ber_degradations_.push_back(e);
+        notice.link = e.link;
+        notice.magnitude = e.magnitude;
+        break;  // channel-quality change: the campaign re-derives BER maps
     }
 
     bus_.publish(notice, faults_, links_);
     applied.push_back(notice);
   }
   return applied;
+}
+
+bool FaultInjector::retire_link(TileCoord tile, Direction d,
+                                std::uint64_t cycle) {
+  if (!faults_.grid().contains(tile) || !faults_.grid().neighbor(tile, d))
+    return false;
+  if (links_.is_failed(tile, d)) return false;
+  links_.set_failed(tile, d, true);
+  FaultNotice notice;
+  notice.kind = RuntimeFaultKind::LinkRetirement;
+  notice.tile = tile;
+  notice.link = d;
+  notice.cycle = cycle;
+  bus_.publish(notice, faults_, links_);
+  return true;
 }
 
 }  // namespace wsp::resilience

@@ -35,12 +35,24 @@ class FaultInjector {
   const LinkFaultSet& link_faults() const { return links_; }
   FaultBus& bus() { return bus_; }
 
+  /// Retires a link on the health monitor's verdict: marks it failed and
+  /// publishes a LinkRetirement notice so observers treat it like any
+  /// other runtime fault.  No-op (returns false) when already failed.
+  bool retire_link(TileCoord tile, Direction d, std::uint64_t cycle);
+
   /// Accumulated LdoBrownout targets (the PDN layer re-solves from these).
   const std::vector<TileCoord>& brownouts() const { return brownouts_; }
   /// Accumulated ClockGenLoss targets (the clock layer drops these from
   /// the generator list).
   const std::vector<TileCoord>& lost_generators() const {
     return lost_generators_;
+  }
+
+  /// Accumulated LinkBerDegradation events, in application order.  The
+  /// campaign layers these on top of each PDN-derived BER map (the most
+  /// recent event per link wins when reapplied in order).
+  const std::vector<FaultEvent>& ber_degradations() const {
+    return ber_degradations_;
   }
 
   /// Marks extra tiles unusable (e.g. tiles the PDN re-solve pushed out of
@@ -56,6 +68,7 @@ class FaultInjector {
   FaultBus bus_;
   std::vector<TileCoord> brownouts_;
   std::vector<TileCoord> lost_generators_;
+  std::vector<FaultEvent> ber_degradations_;
 };
 
 }  // namespace wsp::resilience

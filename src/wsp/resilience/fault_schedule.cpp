@@ -1,6 +1,7 @@
 #include "wsp/resilience/fault_schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "wsp/common/error.hpp"
 
@@ -56,6 +57,20 @@ FaultSchedule FaultSchedule::random(const TileGrid& grid,
   for (std::size_t i = 0; i < mix.packet_corruptions; ++i)
     schedule.add({random_cycle(), RuntimeFaultKind::PacketCorruption,
                   random_tile(), {}});
+  for (std::size_t i = 0; i < mix.link_ber_degradations; ++i) {
+    TileCoord t = random_tile();
+    auto d = static_cast<Direction>(rng.below(4));
+    while (!grid.neighbor(t, d)) {
+      t = random_tile();
+      d = static_cast<Direction>(rng.below(4));
+    }
+    // BER log-uniform in [1e-5, 1e-2]: from barely measurable to a link
+    // that corrupts most packets (100 bits/packet).
+    const double ber = std::pow(10.0, -(2.0 + 3.0 * rng.uniform()));
+    FaultEvent e{random_cycle(), RuntimeFaultKind::LinkBerDegradation, t, d};
+    e.magnitude = ber;
+    schedule.add(e);
+  }
   return schedule;
 }
 

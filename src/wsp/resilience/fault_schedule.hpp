@@ -17,12 +17,14 @@
 
 namespace wsp::resilience {
 
-/// One scheduled fault.  `link` is meaningful for LinkFailure only.
+/// One scheduled fault.  `link` is meaningful for link-targeted kinds;
+/// `magnitude` is the new bit-error rate for LinkBerDegradation.
 struct FaultEvent {
   std::uint64_t cycle = 0;
   RuntimeFaultKind kind = RuntimeFaultKind::TileDeath;
   TileCoord tile;
   Direction link = Direction::North;
+  double magnitude = 0.0;
 };
 
 /// Mix of faults a random schedule draws (counts per kind).
@@ -32,10 +34,11 @@ struct ScheduleMix {
   std::size_t ldo_brownouts = 1;
   std::size_t clock_gen_losses = 0;
   std::size_t packet_corruptions = 2;
+  std::size_t link_ber_degradations = 0;
 
   std::size_t total() const {
     return tile_deaths + link_failures + ldo_brownouts + clock_gen_losses +
-           packet_corruptions;
+           packet_corruptions + link_ber_degradations;
   }
 };
 

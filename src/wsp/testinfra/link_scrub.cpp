@@ -1,0 +1,56 @@
+#include "wsp/testinfra/link_scrub.hpp"
+
+#include "wsp/common/error.hpp"
+
+namespace wsp::testinfra {
+
+namespace {
+// One SRAM page per tile: the smallest bank the repair machinery accepts.
+constexpr std::uint32_t kScrubSramBytes = 4096;
+}  // namespace
+
+LinkScrubChain::LinkScrubChain(const TileGrid& grid, std::uint32_t base_addr)
+    : base_addr_(base_addr),
+      chain_(static_cast<int>(grid.tile_count()), /*daps_per_tile=*/1,
+             std::vector<bool>(grid.tile_count(), false)),
+      host_(chain_) {
+  require(base_addr % 4 == 0, "scrub region must be word-aligned");
+  require(base_addr + 4 * kScrubWordsPerTile <= kScrubSramBytes,
+          "scrub region exceeds the scrub SRAM");
+  srams_.reserve(grid.tile_count());
+  for (std::size_t t = 0; t < grid.tile_count(); ++t) {
+    srams_.emplace_back(kScrubSramBytes);
+    chain_.tile(static_cast<int>(t)).attach_memories({&srams_.back()});
+  }
+  // All telemetry reads use the full chain: every tile in forward mode.
+  chain_.set_unrolled(static_cast<int>(grid.tile_count()) - 1);
+}
+
+void LinkScrubChain::deposit(
+    std::size_t tile_index,
+    const std::array<std::uint32_t, kScrubWordsPerTile>& words) {
+  require(tile_index < srams_.size(), "deposit: tile index out of range");
+  for (int w = 0; w < kScrubWordsPerTile; ++w)
+    srams_[tile_index].write_word(
+        base_addr_ + 4 * static_cast<std::uint32_t>(w),
+        words[static_cast<std::size_t>(w)]);
+}
+
+std::vector<std::array<std::uint32_t, kScrubWordsPerTile>>
+LinkScrubChain::scrub() {
+  const int tiles = static_cast<int>(srams_.size());
+  host_.reset();
+  const auto raw = host_.read_words(base_addr_, kScrubWordsPerTile, tiles);
+  // The DAP nearest TDO (the last tile of the chain) shifts out first:
+  // slot d of each word row belongs to tile (tiles - 1 - d).
+  std::vector<std::array<std::uint32_t, kScrubWordsPerTile>> out(
+      srams_.size());
+  for (int w = 0; w < kScrubWordsPerTile; ++w)
+    for (int d = 0; d < tiles; ++d)
+      out[static_cast<std::size_t>(tiles - 1 - d)]
+         [static_cast<std::size_t>(w)] = raw[static_cast<std::size_t>(w)]
+                                            [static_cast<std::size_t>(d)];
+  return out;
+}
+
+}  // namespace wsp::testinfra

@@ -1,0 +1,58 @@
+// Hardware collection path for link-health telemetry (Sec. VII machinery
+// reused at runtime).
+//
+// Each tile's firmware periodically deposits its four per-direction link
+// scrub words (packed CRC-error / traversal counters, see
+// wsp/noc/link_health.hpp) into a small scrub region of its local SRAM.
+// The external maintenance host then harvests the whole wafer's telemetry
+// over the same DAP/JTAG chain used for bring-up and SRAM repair: the
+// multi-tile chain is fully unrolled (one DAP per tile in the scan path)
+// and a streaming read returns every tile's words in one pass.
+//
+// This module stays NoC-agnostic on purpose — it moves 32-bit words over
+// the chain; what the words mean (and what to retire because of them) is
+// the LinkHealthMonitor's business.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "wsp/common/geometry.hpp"
+#include "wsp/mem/sram_bank.hpp"
+#include "wsp/testinfra/dap_chain.hpp"
+
+namespace wsp::testinfra {
+
+/// Words per tile in the scrub region: one per mesh direction.
+inline constexpr int kScrubWordsPerTile = 4;
+
+/// One scrub SRAM per tile bound to a fully unrolled wafer JTAG chain.
+class LinkScrubChain {
+ public:
+  /// `base_addr` is the byte offset of the scrub region in each tile's
+  /// SRAM (word-aligned).
+  explicit LinkScrubChain(const TileGrid& grid, std::uint32_t base_addr = 0);
+
+  std::size_t tile_count() const { return srams_.size(); }
+  std::uint32_t base_addr() const { return base_addr_; }
+  std::uint64_t tck_count() const { return host_.tck_count(); }
+
+  /// Firmware side: tile `tile_index` writes its packed counters into its
+  /// scrub region (a plain local SRAM store, no JTAG involved).
+  void deposit(std::size_t tile_index,
+               const std::array<std::uint32_t, kScrubWordsPerTile>& words);
+
+  /// Host side: harvests every tile's scrub region over the JTAG chain in
+  /// one streaming read.  Result is indexed by tile (grid index order),
+  /// regardless of the chain's TDO-first shift order.
+  std::vector<std::array<std::uint32_t, kScrubWordsPerTile>> scrub();
+
+ private:
+  std::uint32_t base_addr_;
+  std::vector<mem::SramBank> srams_;
+  WaferTestChain chain_;
+  JtagHost host_;
+};
+
+}  // namespace wsp::testinfra
