@@ -1,0 +1,134 @@
+// Shared bench reporting: stable wall-clock measurement and a
+// machine-readable BENCH_<name>.json artifact per bench binary, so the perf
+// trajectory is tracked across PRs instead of scrolling away in stdout.
+//
+// Measurement discipline: every number is min-of-N wall clock with a warm-up
+// pass first — the minimum of repeated runs is the standard low-variance
+// estimator for compute-bound work (OS jitter only ever adds time), and the
+// warm-up keeps cold caches / lazy allocations out of the reported figure.
+//
+// JSON schema (one file per bench binary, written to the working directory):
+//   {"bench": "<suite>", "results": [
+//     {"name": ..., "wall_ms": ..., "iterations": ...,
+//      "threads": ..., "speedup_vs_serial": ...}, ...]}
+// speedup_vs_serial is 1.0 for the serial baseline row itself and 0.0 when
+// the measurement has no serial counterpart.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsp::bench {
+
+struct Measurement {
+  std::string name;
+  double wall_ms = 0.0;   ///< min over repetitions
+  int iterations = 1;     ///< inner iterations folded into one repetition
+  int threads = 1;        ///< exec pool size the measurement ran with
+  double speedup_vs_serial = 0.0;  ///< 0 = no serial counterpart
+};
+
+/// Runs fn() `warmup` times untimed, then `repeats` timed times, and
+/// returns the minimum wall-clock milliseconds of one call.
+template <typename F>
+double min_wall_ms(F&& fn, int repeats = 5, int warmup = 1) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Collects measurements and writes BENCH_<suite>.json on write() (or at
+/// destruction if not yet written).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string suite) : suite_(std::move(suite)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (!written_) write();
+  }
+
+  void add(Measurement m) { results_.push_back(std::move(m)); }
+
+  /// Measures fn with min-of-N and records it; returns the wall ms so
+  /// callers can derive speedups for subsequent rows.
+  template <typename F>
+  double measure(const std::string& name, int threads, F&& fn,
+                 int repeats = 5, int warmup = 1, int iterations = 1,
+                 double serial_wall_ms = 0.0) {
+    Measurement m;
+    m.name = name;
+    m.threads = threads;
+    m.iterations = iterations;
+    m.wall_ms = min_wall_ms(fn, repeats, warmup);
+    m.speedup_vs_serial =
+        serial_wall_ms > 0.0 ? serial_wall_ms / m.wall_ms : 0.0;
+    const double wall = m.wall_ms;
+    results_.push_back(std::move(m));
+    return wall;
+  }
+
+  /// Writes BENCH_<suite>.json; returns false on I/O failure.
+  bool write() {
+    written_ = true;
+    const std::string path = "BENCH_" + suite_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"results\": [", suite_.c_str());
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Measurement& m = results_[i];
+      std::fprintf(f,
+                   "%s\n  {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"iterations\": %d, \"threads\": %d, "
+                   "\"speedup_vs_serial\": %.4f}",
+                   i ? "," : "", m.name.c_str(), m.wall_ms, m.iterations,
+                   m.threads, m.speedup_vs_serial);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("[bench_json] wrote %s (%zu results)\n", path.c_str(),
+                results_.size());
+    return true;
+  }
+
+ private:
+  std::string suite_;
+  std::vector<Measurement> results_;
+  bool written_ = false;
+};
+
+/// Removes a leading `--quick` (anywhere in argv) before
+/// benchmark::Initialize sees it; returns whether it was present.  CI runs
+/// the bench suite with --quick: smaller problem sizes, fewer repetitions.
+inline bool consume_quick_flag(int* argc, char** argv) {
+  bool quick = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::string(argv[r]) == "--quick") {
+      quick = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return quick;
+}
+
+}  // namespace wsp::bench

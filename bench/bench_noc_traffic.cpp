@@ -6,6 +6,8 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
+#include "wsp/exec/thread_pool.hpp"
 #include "wsp/noc/mesh_network.hpp"
 #include "wsp/noc/odd_even.hpp"
 #include "wsp/noc/traffic.hpp"
@@ -147,6 +149,35 @@ void print_fault_relaying() {
               "pair, deadlock-free by construction)\n\n");
 }
 
+/// Cross-PR wall-clock tracking for the cycle-level NoC simulation: one
+/// fixed seeded workload per array size, min-of-N (the NoC stepper itself
+/// is serial; threads records the exec pool configuration for context).
+void run_json_measurements(bool quick) {
+  wsp::bench::JsonReporter json("noc_traffic");
+  const int repeats = quick ? 2 : 5;
+  const std::uint64_t cycles = quick ? 200 : 800;
+  for (const int n : {8, 16, 32}) {
+    if (quick && n == 32) continue;
+    wsp::bench::Measurement m;
+    m.name = "noc_uniform_traffic_" + std::to_string(n) + "x" +
+             std::to_string(n);
+    m.iterations = static_cast<int>(cycles);
+    m.threads = exec::shared_threads();
+    m.wall_ms = wsp::bench::min_wall_ms(
+        [&] {
+          NocSystem noc{FaultMap(TileGrid(n, n))};
+          Rng rng(5);
+          TrafficConfig cfg;
+          cfg.injection_rate = 0.02;
+          const TrafficReport r = run_traffic(noc, cfg, cycles, rng);
+          benchmark::DoNotOptimize(r.completed);
+        },
+        repeats, 1);
+    json.add(m);
+  }
+  json.write();
+}
+
 void BM_NocCyclesPerSecond(benchmark::State& state) {
   NocSystem noc{FaultMap(TileGrid(static_cast<int>(state.range(0)),
                                   static_cast<int>(state.range(0))))};
@@ -172,11 +203,17 @@ BENCHMARK(BM_NocCyclesPerSecond)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_load_sweep();
-  print_pattern_comparison();
-  print_fault_relaying();
-  print_adaptive_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const bool quick = wsp::bench::consume_quick_flag(&argc, argv);
+  if (!quick) {
+    print_load_sweep();
+    print_pattern_comparison();
+    print_fault_relaying();
+    print_adaptive_ablation();
+  }
+  run_json_measurements(quick);
+  if (!quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -1,10 +1,18 @@
 // Experiment F2 — Figure 2: edge power delivery and the voltage droop
 // profile from 2.5 V at the wafer edge to ~1.4 V at the center at peak
-// draw, plus an activity sweep and solver micro-benchmarks.
+// draw, plus an activity sweep, solver micro-benchmarks, and the parallel
+// red-black solver scaling study (BENCH_pdn_droop.json).
+//
+// Exit status is non-zero if the parallel solve diverges from the serial
+// baseline by even one bit — CI runs this with --quick and fails the build
+// on divergence.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
+#include "wsp/exec/thread_pool.hpp"
 #include "wsp/pdn/wafer_pdn.hpp"
 
 namespace {
@@ -52,6 +60,90 @@ void print_fig2() {
   std::printf("\n");
 }
 
+/// Flattens the per-tile voltages of a PDN report for bitwise comparison.
+std::vector<double> voltage_vector(const PdnReport& r) {
+  std::vector<double> v;
+  v.reserve(r.tiles.size() * 2);
+  for (const TilePower& t : r.tiles) {
+    v.push_back(t.supply_v);
+    v.push_back(t.regulated_v);
+  }
+  return v;
+}
+
+/// Red-black parallel solver scaling on the 64x64 wafer PDN solve: wall
+/// time and speedup per thread count, plus the determinism check — the
+/// voltage vector must be bit-identical at every thread count.
+int run_parallel_scaling(bool quick) {
+  wsp::bench::JsonReporter json("pdn_droop");
+  const int repeats = quick ? 2 : 5;
+
+  SystemConfig cfg = SystemConfig::reduced(64, 64);
+  WaferPdnOptions opt;
+  opt.nodes_per_tile = 1;  // 64x64 solver nodes
+
+  std::printf("== parallel red-black SOR scaling (64x64 wafer PDN solve) ==\n");
+  std::printf("%8s %12s %10s %12s\n", "threads", "wall ms", "speedup",
+              "identical");
+
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  std::vector<double> baseline_v;
+  double serial_ms = 0.0;
+  int rc = 0;
+  for (const int threads : thread_counts) {
+    exec::set_shared_threads(threads);
+    std::vector<double> volts;
+    const double ms = wsp::bench::min_wall_ms(
+        [&] {
+          WaferPdn pdn(cfg, opt);
+          volts = voltage_vector(pdn.solve_uniform(1.0));
+        },
+        repeats, 1);
+    if (threads == 1) {
+      serial_ms = ms;
+      baseline_v = volts;
+    }
+    const bool identical = volts == baseline_v;  // exact, bit-for-bit
+    if (!identical) rc = 1;
+    std::printf("%8d %12.2f %9.2fx %12s\n", threads, ms,
+                serial_ms > 0 ? serial_ms / ms : 0.0,
+                identical ? "yes" : "NO — DIVERGED");
+
+    wsp::bench::Measurement m;
+    m.name = "wafer_pdn_solve_64x64";
+    m.wall_ms = ms;
+    m.threads = threads;
+    m.speedup_vs_serial = serial_ms > 0 ? serial_ms / ms : 0.0;
+    json.add(m);
+  }
+  exec::set_shared_threads(0);  // back to the environment default
+
+  // Full-prototype solve at the default thread count, for cross-PR
+  // tracking of the headline Fig. 2 experiment.
+  {
+    const SystemConfig proto = SystemConfig::paper_prototype();
+    wsp::bench::Measurement m;
+    m.name = "wafer_pdn_solve_paper_prototype";
+    m.threads = exec::shared_threads();
+    m.wall_ms = wsp::bench::min_wall_ms(
+        [&] {
+          WaferPdn pdn(proto, {});
+          benchmark::DoNotOptimize(pdn.solve_uniform(1.0).min_supply_v);
+        },
+        repeats, 1);
+    json.add(m);
+  }
+
+  if (rc != 0)
+    std::fprintf(stderr,
+                 "FAIL: parallel PDN solve diverged from the serial "
+                 "baseline\n");
+  std::printf("\n");
+  json.write();
+  return rc;
+}
+
 void BM_SolveFullWafer(benchmark::State& state) {
   const SystemConfig cfg = SystemConfig::paper_prototype();
   WaferPdnOptions opt;
@@ -66,8 +158,12 @@ BENCHMARK(BM_SolveFullWafer)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  const bool quick = wsp::bench::consume_quick_flag(&argc, argv);
+  if (!quick) print_fig2();
+  const int rc = run_parallel_scaling(quick);
+  if (!quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return rc;
 }

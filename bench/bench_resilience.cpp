@@ -8,8 +8,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "wsp/clock/forwarding.hpp"
 #include "wsp/clock/recovery.hpp"
+#include "wsp/exec/thread_pool.hpp"
 #include "wsp/noc/link_integrity.hpp"
 #include "wsp/noc/traffic.hpp"
 #include "wsp/resilience/campaign.hpp"
@@ -18,6 +20,121 @@ namespace {
 
 using namespace wsp;
 using namespace wsp::resilience;
+
+/// Collapses a trial report into a comparison fingerprint covering every
+/// field that could expose a determinism break (order-dependent counters,
+/// trajectories, per-event outcomes).
+std::uint64_t fingerprint(const DegradationReport& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(r.initial_usable);
+  mix(r.final_usable);
+  mix(r.total_cycles);
+  mix(r.mesh_dropped);
+  mix(r.noc_stats.issued);
+  mix(r.noc_stats.completed);
+  mix(r.noc_stats.lost);
+  mix(r.noc_stats.timeouts);
+  mix(r.events.size());
+  for (const EventOutcome& e : r.events) {
+    mix(e.applied_cycle);
+    mix(e.usable_after);
+    mix(e.recovery_cycles);
+    mix(static_cast<std::uint64_t>(e.recovered));
+  }
+  for (const TrajectoryPoint& p : r.trajectory) {
+    mix(p.cycle);
+    mix(p.usable_tiles);
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> fingerprints(
+    const std::vector<DegradationReport>& reports) {
+  std::vector<std::uint64_t> out;
+  out.reserve(reports.size());
+  for (const DegradationReport& r : reports) out.push_back(fingerprint(r));
+  return out;
+}
+
+/// Concurrent Monte Carlo scaling: the same campaign, trials dispatched
+/// over 1/2/8 threads, wall time + the bit-identity check on the reports.
+int run_trial_scaling(bool quick) {
+  wsp::bench::JsonReporter json("resilience");
+  const int repeats = quick ? 2 : 3;
+  const int trials = quick ? 4 : 8;
+
+  CampaignOptions o;
+  o.config = SystemConfig::reduced(16, 16);
+  o.seed = 11;
+  o.run_cycles = quick ? 600 : 1200;
+  o.fault_horizon = quick ? 400 : 800;
+  o.injection_rate = 0.01;
+  o.mix.tile_deaths = 4;
+  o.mix.link_failures = 2;
+  o.mix.ldo_brownouts = 1;
+  const DegradationCampaign campaign(o);
+
+  std::printf("== concurrent Monte Carlo campaign scaling (16x16, %d "
+              "trials) ==\n",
+              trials);
+  std::printf("%8s %12s %10s %12s\n", "threads", "wall ms", "speedup",
+              "identical");
+
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
+  std::vector<std::uint64_t> baseline;
+  double serial_ms = 0.0;
+  int rc = 0;
+  for (const int threads : thread_counts) {
+    exec::set_shared_threads(threads);
+    std::vector<std::uint64_t> prints;
+    const double ms = wsp::bench::min_wall_ms(
+        [&] { prints = fingerprints(campaign.run_trials(trials)); },
+        repeats, 1);
+    if (threads == 1) {
+      serial_ms = ms;
+      baseline = prints;
+    }
+    const bool identical = prints == baseline;
+    if (!identical) rc = 1;
+    std::printf("%8d %12.2f %9.2fx %12s\n", threads, ms,
+                serial_ms > 0 ? serial_ms / ms : 0.0,
+                identical ? "yes" : "NO — DIVERGED");
+
+    wsp::bench::Measurement m;
+    m.name = "campaign_run_trials_16x16";
+    m.wall_ms = ms;
+    m.iterations = trials;
+    m.threads = threads;
+    m.speedup_vs_serial = serial_ms > 0 ? serial_ms / ms : 0.0;
+    json.add(m);
+  }
+  exec::set_shared_threads(0);
+
+  // Single-trial wall time at the default thread count for cross-PR
+  // tracking.
+  {
+    wsp::bench::Measurement m;
+    m.name = "campaign_single_trial_16x16";
+    m.threads = exec::shared_threads();
+    m.wall_ms = wsp::bench::min_wall_ms(
+        [&] { benchmark::DoNotOptimize(campaign.run().final_usable); },
+        repeats, 1);
+    json.add(m);
+  }
+
+  if (rc != 0)
+    std::fprintf(stderr,
+                 "FAIL: threaded run_trials diverged from the serial "
+                 "baseline\n");
+  std::printf("\n");
+  json.write();
+  return rc;
+}
 
 void print_campaign_sweep() {
   std::printf("== Monte Carlo degradation campaigns (16x16 wafer section, "
@@ -179,10 +296,16 @@ BENCHMARK(BM_NocStepTimeoutMachinery)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_campaign_sweep();
-  print_clock_recovery_latency();
-  print_ber_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  const bool quick = wsp::bench::consume_quick_flag(&argc, argv);
+  if (!quick) {
+    print_campaign_sweep();
+    print_clock_recovery_latency();
+    print_ber_sweep();
+  }
+  const int rc = run_trial_scaling(quick);
+  if (!quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return rc;
 }

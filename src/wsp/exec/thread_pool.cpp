@@ -1,0 +1,154 @@
+#include "wsp/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wsp::exec {
+
+namespace {
+thread_local bool tls_on_worker = false;
+
+/// RAII flag so the participating caller also counts as a worker for
+/// nested-call detection.
+struct WorkerScope {
+  bool prev;
+  WorkerScope() : prev(tls_on_worker) { tls_on_worker = true; }
+  ~WorkerScope() { tls_on_worker = prev; }
+};
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(
+          lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = current_;
+    }
+    if (job) {
+      WorkerScope scope;
+      execute(*job);
+    }
+  }
+}
+
+void ThreadPool::execute(Job& job) {
+  std::size_t completed = 0;
+  std::exception_ptr first_error;
+  for (std::size_t i = job.next.fetch_add(1); i < job.chunk_count;
+       i = job.next.fetch_add(1)) {
+    try {
+      job.fn(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+    ++completed;
+  }
+  if (completed > 0 || first_error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.done += completed;
+    if (first_error && !job.error) job.error = first_error;
+    if (job.done == job.chunk_count) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t chunk_count,
+                            const std::function<void(std::size_t)>& fn) {
+  if (chunk_count == 0) return;
+  // Serial paths: no workers, a single chunk, or a nested call from inside
+  // a chunk (running inline avoids self-deadlock and keeps the outermost
+  // parallel level in charge of the partitioning).
+  if (workers_.empty() || chunk_count == 1 || tls_on_worker) {
+    WorkerScope scope;
+    for (std::size_t i = 0; i < chunk_count; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->chunk_count = chunk_count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  {
+    WorkerScope scope;
+    execute(*job);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [&] { return job->done == job->chunk_count; });
+  if (current_ == job) current_.reset();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_shared_mutex;
+std::unique_ptr<ThreadPool> g_shared_pool;
+int g_override_threads = 0;  // 0 = use environment / hardware default
+
+int env_thread_count() {
+  if (const char* env = std::getenv("WSP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int default_thread_count() {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  return g_override_threads > 0 ? g_override_threads : env_thread_count();
+}
+
+ThreadPool& shared_pool() {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (!g_shared_pool) {
+    const int n =
+        g_override_threads > 0 ? g_override_threads : env_thread_count();
+    g_shared_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_shared_pool;
+}
+
+void set_shared_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  g_override_threads = threads > 0 ? threads : 0;
+  g_shared_pool.reset();  // rebuilt lazily at the next shared_pool() call
+}
+
+int shared_threads() {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (g_shared_pool) return g_shared_pool->thread_count();
+  return g_override_threads > 0 ? g_override_threads : env_thread_count();
+}
+
+}  // namespace wsp::exec

@@ -4,8 +4,18 @@
 #include <cmath>
 
 #include "wsp/common/error.hpp"
+#include "wsp/exec/parallel_for.hpp"
 
 namespace wsp::pdn {
+
+namespace {
+// Minimum stencil nodes per parallel chunk.  A sweep node costs ~10 flops,
+// so below this the dispatch handshake outweighs the work; grids whose
+// per-color count falls under one grain (anything smaller than ~23x23)
+// solve entirely on the calling thread.  At 256 the 64x64 wafer grid still
+// fans out to 8 chunks per color — enough for an 8-thread pool.
+constexpr std::size_t kSweepGrain = 256;
+}  // namespace
 
 ResistiveGrid::ResistiveGrid(int width, int height)
     : width_(width), height_(height) {
@@ -25,6 +35,7 @@ void ResistiveGrid::set_conductance_east(int x, int y, double siemens) {
           "east edge out of range");
   require(siemens >= 0.0, "conductance must be non-negative");
   g_east_[east_index(x, y)] = siemens;
+  stencil_valid_ = false;
 }
 
 void ResistiveGrid::set_conductance_north(int x, int y, double siemens) {
@@ -32,24 +43,31 @@ void ResistiveGrid::set_conductance_north(int x, int y, double siemens) {
           "north edge out of range");
   require(siemens >= 0.0, "conductance must be non-negative");
   g_north_[north_index(x, y)] = siemens;
+  stencil_valid_ = false;
 }
 
 void ResistiveGrid::fill_conductances(double gx, double gy) {
   std::fill(g_east_.begin(), g_east_.end(), gx);
   std::fill(g_north_.begin(), g_north_.end(), gy);
+  stencil_valid_ = false;
 }
 
 void ResistiveGrid::set_dirichlet(int x, int y, double volts) {
   const auto i = index(x, y);
   dirichlet_[i] = 1;
   v_[i] = volts;
+  stencil_valid_ = false;
 }
 
 void ResistiveGrid::clear_dirichlet(int x, int y) {
   dirichlet_[index(x, y)] = 0;
+  stencil_valid_ = false;
 }
 
 void ResistiveGrid::set_current_sink(int x, int y, double amperes) {
+  // Sinks enter only the right-hand side (read live during sweeps), so the
+  // stencil survives per-solve load updates — the WaferPdn constant-power
+  // loop re-solves with new sinks on an unchanged topology.
   sink_[index(x, y)] = amperes;
 }
 
@@ -58,57 +76,128 @@ void ResistiveGrid::set_shunt(int x, int y, double siemens, double v_ref) {
   const auto i = index(x, y);
   shunt_g_[i] = siemens;
   shunt_v_[i] = v_ref;
+  stencil_valid_ = false;
+}
+
+double ResistiveGrid::chebyshev_omega(int width, int height) {
+  const double rho =
+      0.5 * (std::cos(3.14159265358979323846 / width) +
+             std::cos(3.14159265358979323846 / height));
+  const double omega = 2.0 / (1.0 + std::sqrt(1.0 - rho * rho));
+  // Clamp into the open stability interval for degenerate estimates.
+  return std::min(std::max(omega, 1.0), 1.999);
+}
+
+void ResistiveGrid::rebuild_stencil() {
+  stencil_[0].clear();
+  stencil_[1].clear();
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const auto i = index(x, y);
+      if (dirichlet_[i]) continue;
+      StencilNode n{};
+      n.node = static_cast<std::uint32_t>(i);
+      // Absent neighbours alias the node itself with g = 0: the flow term
+      // contributes exactly 0.0 and the sweep body stays branch-free.
+      for (int k = 0; k < 4; ++k) {
+        n.nbr[k] = static_cast<std::uint32_t>(i);
+        n.g[k] = 0.0;
+      }
+      if (x > 0) {
+        n.g[0] = g_east_[east_index(x - 1, y)];
+        n.nbr[0] = static_cast<std::uint32_t>(i - 1);
+      }
+      if (x < width_ - 1) {
+        n.g[1] = g_east_[east_index(x, y)];
+        n.nbr[1] = static_cast<std::uint32_t>(i + 1);
+      }
+      if (y > 0) {
+        n.g[2] = g_north_[north_index(x, y - 1)];
+        n.nbr[2] = static_cast<std::uint32_t>(i - width_);
+      }
+      if (y < height_ - 1) {
+        n.g[3] = g_north_[north_index(x, y)];
+        n.nbr[3] = static_cast<std::uint32_t>(i + width_);
+      }
+      n.shunt_flow = shunt_g_[i] * shunt_v_[i];
+      n.gsum = n.g[0] + n.g[1] + n.g[2] + n.g[3] + shunt_g_[i];
+      if (n.gsum <= 0.0) continue;  // isolated node: leave as-is
+      n.inv_gsum = 1.0 / n.gsum;
+      stencil_[(x + y) & 1].push_back(n);
+    }
+  }
+  stencil_valid_ = true;
+}
+
+double ResistiveGrid::sweep_color(const std::vector<StencilNode>& nodes,
+                                  double omega) {
+  // Every node of one color reads only other-color neighbours (and its own
+  // previous value) and writes only itself, so chunks are data-independent
+  // and the half-sweep is bit-identical for any thread count.  The grain
+  // keeps sub-1k-node grids (campaign-sized) on the serial inline path —
+  // two pool dispatches per sweep would dwarf the arithmetic there.
+  return exec::parallel_reduce<double>(
+      nodes.size(), 0.0,
+      [&](std::size_t b, std::size_t e) {
+        double local_max = 0.0;
+        for (std::size_t k = b; k < e; ++k) {
+          const StencilNode& s = nodes[k];
+          const double flow = s.g[0] * v_[s.nbr[0]] + s.g[1] * v_[s.nbr[1]] +
+                              s.g[2] * v_[s.nbr[2]] + s.g[3] * v_[s.nbr[3]] +
+                              s.shunt_flow;
+          const double v_new = (flow - sink_[s.node]) * s.inv_gsum;
+          const double old = v_[s.node];
+          const double updated = old + omega * (v_new - old);
+          local_max = std::max(local_max, std::abs(updated - old));
+          v_[s.node] = updated;
+        }
+        return local_max;
+      },
+      [](double a, double b) { return std::max(a, b); }, kSweepGrain);
+}
+
+double ResistiveGrid::max_kcl_residual() const {
+  // True nodal current residual: |sum_j g_ij (v_j - v_i) + shunt - sink_i|,
+  // amperes — zero at the exact solution of every balanced node.
+  auto color_max = [&](const std::vector<StencilNode>& nodes) {
+    return exec::parallel_reduce<double>(
+        nodes.size(), 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double local_max = 0.0;
+          for (std::size_t k = b; k < e; ++k) {
+            const StencilNode& s = nodes[k];
+            const double flow = s.g[0] * v_[s.nbr[0]] +
+                                s.g[1] * v_[s.nbr[1]] +
+                                s.g[2] * v_[s.nbr[2]] +
+                                s.g[3] * v_[s.nbr[3]] + s.shunt_flow;
+            const double r = flow - s.gsum * v_[s.node] - sink_[s.node];
+            local_max = std::max(local_max, std::abs(r));
+          }
+          return local_max;
+        },
+        [](double a, double b) { return std::max(a, b); }, kSweepGrain);
+  };
+  return std::max(color_max(stencil_[0]), color_max(stencil_[1]));
 }
 
 SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
+  if (omega <= 0.0) omega = chebyshev_omega(width_, height_);
   require(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
+  if (!stencil_valid_) rebuild_stencil();
+
   SolveStats stats;
   for (int it = 0; it < max_iterations; ++it) {
-    double max_delta = 0.0;
-    for (int y = 0; y < height_; ++y) {
-      for (int x = 0; x < width_; ++x) {
-        const auto i = index(x, y);
-        if (dirichlet_[i]) continue;
-        double gsum = 0.0;
-        double flow = 0.0;
-        if (x > 0) {
-          const double g = g_east_[east_index(x - 1, y)];
-          gsum += g;
-          flow += g * v_[i - 1];
-        }
-        if (x < width_ - 1) {
-          const double g = g_east_[east_index(x, y)];
-          gsum += g;
-          flow += g * v_[i + 1];
-        }
-        if (y > 0) {
-          const double g = g_north_[north_index(x, y - 1)];
-          gsum += g;
-          flow += g * v_[i - static_cast<std::size_t>(width_)];
-        }
-        if (y < height_ - 1) {
-          const double g = g_north_[north_index(x, y)];
-          gsum += g;
-          flow += g * v_[i + static_cast<std::size_t>(width_)];
-        }
-        if (shunt_g_[i] > 0.0) {
-          gsum += shunt_g_[i];
-          flow += shunt_g_[i] * shunt_v_[i];
-        }
-        if (gsum <= 0.0) continue;  // isolated node: leave as-is
-        const double v_new = (flow - sink_[i]) / gsum;
-        const double updated = v_[i] + omega * (v_new - v_[i]);
-        max_delta = std::max(max_delta, std::abs(updated - v_[i]));
-        v_[i] = updated;
-      }
-    }
+    const double red_delta = sweep_color(stencil_[0], omega);
+    const double black_delta = sweep_color(stencil_[1], omega);
+    const double max_delta = std::max(red_delta, black_delta);
     stats.iterations = it + 1;
-    stats.residual = max_delta;
+    stats.max_delta_v = max_delta;
     if (max_delta < tol) {
       stats.converged = true;
       break;
     }
   }
+  stats.residual = max_kcl_residual();
   return stats;
 }
 

@@ -8,20 +8,31 @@
 // 1.4 V at the center of the wafer at peak draw.
 //
 // This class solves the nodal equations of a rectangular resistor grid with
-// Dirichlet (fixed-voltage) nodes and nodal current sinks, using successive
-// over-relaxation.  It is deliberately self-contained so it can also model
-// other planes (e.g. a clock mesh) if needed.
+// Dirichlet (fixed-voltage) nodes and nodal current sinks, using red-black
+// (checkerboard-ordered) successive over-relaxation.  Nodes of one color
+// only ever read the other color's values within a half-sweep, so the two
+// half-sweeps parallelise over the wsp::exec pool while staying bit-identical
+// for every thread count.  The loop-invariant per-node work (neighbour
+// indices, conductance sums) is hoisted into a stencil built once per
+// topology change.  It is deliberately self-contained so it can also model
+// other planes (e.g. the thermal heat-spreader model).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace wsp::pdn {
 
 /// Result of a grid solve.
 struct SolveStats {
-  int iterations = 0;        ///< SOR sweeps executed
-  double residual = 0.0;     ///< max |node update| at the final sweep, volts
+  int iterations = 0;     ///< SOR sweeps executed
+  /// Max |Kirchhoff current-law residual| over non-Dirichlet nodes at exit,
+  /// amperes: how much current each nodal balance fails to conserve.
+  double residual = 0.0;
+  /// Max relaxed voltage update at the final sweep, volts — the quantity
+  /// `tol` is compared against.
+  double max_delta_v = 0.0;
   bool converged = false;
 };
 
@@ -68,11 +79,18 @@ class ResistiveGrid {
   /// plate at ambient temperature.
   void set_shunt(int x, int y, double siemens, double v_ref);
 
-  /// Solves the nodal system by SOR.  `omega` in (1,2) accelerates
-  /// convergence; `tol` is the max per-node voltage change that counts as
-  /// converged.  The previous solution (if any) seeds the iteration.
+  /// Chebyshev-optimal over-relaxation factor for a width x height grid:
+  /// omega* = 2 / (1 + sqrt(1 - rho_J^2)) with the 5-point Jacobi spectral
+  /// radius estimate rho_J = (cos(pi/width) + cos(pi/height)) / 2.
+  static double chebyshev_omega(int width, int height);
+
+  /// Solves the nodal system by red-black SOR on the shared exec pool.
+  /// `tol` is the max per-node relaxed voltage change that counts as
+  /// converged; `omega` <= 0 selects chebyshev_omega(width, height).
+  /// The previous solution (if any) seeds the iteration.  Bit-identical
+  /// for every thread count.
   SolveStats solve(double tol = 1e-7, int max_iterations = 200000,
-                   double omega = 1.9);
+                   double omega = 0.0);
 
   double voltage(int x, int y) const { return v_[index(x, y)]; }
   const std::vector<double>& voltages() const { return v_; }
@@ -85,6 +103,19 @@ class ResistiveGrid {
   double dissipated_power() const;
 
  private:
+  // Loop-invariant per-node solve data, hoisted out of the sweep: flattened
+  // neighbour indices and conductances (absent neighbours alias the node
+  // itself with zero conductance), the shunt injection, and the inverse
+  // diagonal.  Split by checkerboard color; rebuilt on topology change.
+  struct StencilNode {
+    std::uint32_t node;
+    std::uint32_t nbr[4];  // W, E, S, N neighbour indices
+    double g[4];           // matching edge conductances (0 when absent)
+    double shunt_flow;     // shunt_g * shunt_v
+    double gsum;           // diagonal: sum of g[] + shunt_g
+    double inv_gsum;
+  };
+
   int width_;
   int height_;
   std::vector<double> g_east_;   // (width-1) x height edges
@@ -94,6 +125,12 @@ class ResistiveGrid {
   std::vector<double> shunt_v_;  // shunt reference voltage
   std::vector<char> dirichlet_;
   std::vector<double> v_;
+  std::vector<StencilNode> stencil_[2];  // [0] = red (x+y even), [1] = black
+  bool stencil_valid_ = false;
+
+  void rebuild_stencil();
+  double sweep_color(const std::vector<StencilNode>& nodes, double omega);
+  double max_kcl_residual() const;
 
   std::size_t east_index(int x, int y) const {
     return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_ - 1) +

@@ -5,12 +5,16 @@
 #include <limits>
 
 #include "wsp/common/error.hpp"
+#include "wsp/exec/parallel_for.hpp"
 
 namespace wsp::pdn {
 
 namespace {
 constexpr int kMaxConstantPowerIterations = 40;
 constexpr double kConstantPowerTolV = 1e-5;
+// Minimum tiles per parallel chunk: per-tile work is tens of flops, so
+// wafers below ~64 tiles run the loops inline on the calling thread.
+constexpr std::size_t kTileGrain = 64;
 }  // namespace
 
 WaferPdn::WaferPdn(const SystemConfig& config, const WaferPdnOptions& options)
@@ -84,14 +88,22 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
     tile_current[i] = tile_power_w[i] / config_.ff_corner_voltage_v +
                       (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
 
+  // Per-tile loops are independent (each tile writes only its own k x k
+  // block of solver nodes), so they go on the exec pool.  kTileGrain keeps
+  // campaign-sized wafers (tens of tiles) on the serial inline path.
   auto apply_sinks = [&] {
-    tiles.for_each([&](TileCoord c) {
-      const double per_node =
-          tile_current[tiles.index_of(c)] / nodes_per_tile;
-      for (int sy = 0; sy < k; ++sy)
-        for (int sx = 0; sx < k; ++sx)
-          grid.set_current_sink(c.x * k + sx, c.y * k + sy, per_node);
-    });
+    exec::parallel_for(
+        tiles.tile_count(),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const TileCoord c = tiles.coord_of(i);
+            const double per_node = tile_current[i] / nodes_per_tile;
+            for (int sy = 0; sy < k; ++sy)
+              for (int sx = 0; sx < k; ++sx)
+                grid.set_current_sink(c.x * k + sx, c.y * k + sy, per_node);
+          }
+        },
+        kTileGrain);
   };
 
   apply_sinks();
@@ -100,26 +112,35 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
 
   if (options_.load_model == LoadModel::ConstantPower) {
     for (int outer = 0; outer < kMaxConstantPowerIterations; ++outer) {
-      double max_dv = 0.0;
       std::vector<double> prev_v(tile_power_w.size());
-      tiles.for_each([&](TileCoord c) {
-        prev_v[tiles.index_of(c)] =
-            grid.voltage(c.x * k, c.y * k);
-      });
-      tiles.for_each([&](TileCoord c) {
-        const auto i = tiles.index_of(c);
-        const double v = std::max(prev_v[i], 0.5);  // guard divide-by-small
-        tile_current[i] = tile_power_w[i] / v +
-                          (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
-      });
+      exec::parallel_for(
+          tiles.tile_count(),
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              const TileCoord c = tiles.coord_of(i);
+              prev_v[i] = grid.voltage(c.x * k, c.y * k);
+              const double v = std::max(prev_v[i], 0.5);  // guard /small
+              tile_current[i] =
+                  tile_power_w[i] / v +
+                  (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
+            }
+          },
+          kTileGrain);
       apply_sinks();
       stats = grid.solve();
       converged = stats.converged;
-      tiles.for_each([&](TileCoord c) {
-        const auto i = tiles.index_of(c);
-        max_dv = std::max(max_dv,
-                          std::abs(grid.voltage(c.x * k, c.y * k) - prev_v[i]));
-      });
+      const double max_dv = exec::parallel_reduce<double>(
+          tiles.tile_count(), 0.0,
+          [&](std::size_t b, std::size_t e) {
+            double local = 0.0;
+            for (std::size_t i = b; i < e; ++i) {
+              const TileCoord c = tiles.coord_of(i);
+              local = std::max(
+                  local, std::abs(grid.voltage(c.x * k, c.y * k) - prev_v[i]));
+            }
+            return local;
+          },
+          [](double a, double b) { return std::max(a, b); }, kTileGrain);
       if (max_dv < kConstantPowerTolV) break;
     }
   }
@@ -136,33 +157,61 @@ PdnReport WaferPdn::extract_report(ResistiveGrid& grid,
   PdnReport report;
   report.solver_converged = converged;
   report.tiles.resize(tiles.tile_count());
-  report.min_supply_v = std::numeric_limits<double>::infinity();
-  report.max_supply_v = -std::numeric_limits<double>::infinity();
 
-  tiles.for_each([&](TileCoord c) {
-    const auto i = tiles.index_of(c);
-    // Tile supply voltage: mean of its solver nodes.
-    double v = 0.0;
-    for (int sy = 0; sy < k; ++sy)
-      for (int sx = 0; sx < k; ++sx)
-        v += grid.voltage(c.x * k + sx, c.y * k + sy);
-    v /= static_cast<double>(k) * k;
+  // LDO re-derivation is independent per tile: fan the evaluate() calls out
+  // over the pool, carrying the aggregates as per-chunk partials combined
+  // in fixed chunk order (bit-identical for any thread count).
+  struct Partial {
+    double min_v = std::numeric_limits<double>::infinity();
+    double max_v = -std::numeric_limits<double>::infinity();
+    double ldo_loss_w = 0.0;
+    double delivered_power_w = 0.0;
+    int out_of_regulation = 0;
+  };
+  const Partial agg = exec::parallel_reduce<Partial>(
+      tiles.tile_count(), Partial{},
+      [&](std::size_t b, std::size_t e) {
+        Partial p;
+        for (std::size_t i = b; i < e; ++i) {
+          const TileCoord c = tiles.coord_of(i);
+          // Tile supply voltage: mean of its solver nodes.
+          double v = 0.0;
+          for (int sy = 0; sy < k; ++sy)
+            for (int sx = 0; sx < k; ++sx)
+              v += grid.voltage(c.x * k + sx, c.y * k + sy);
+          v /= static_cast<double>(k) * k;
 
-    TilePower& tp = report.tiles[i];
-    tp.supply_v = v;
-    const double i_load = tile_power_w[i] / config_.ff_corner_voltage_v;
-    const LdoOperatingPoint op = ldo_.evaluate(v, i_load);
-    tp.regulated_v = op.v_out;
-    tp.plane_current_a = op.i_in;
-    tp.ldo_loss_w = op.power_loss_w;
-    tp.in_regulation = op.in_regulation;
+          TilePower& tp = report.tiles[i];
+          tp.supply_v = v;
+          const double i_load = tile_power_w[i] / config_.ff_corner_voltage_v;
+          const LdoOperatingPoint op = ldo_.evaluate(v, i_load);
+          tp.regulated_v = op.v_out;
+          tp.plane_current_a = op.i_in;
+          tp.ldo_loss_w = op.power_loss_w;
+          tp.in_regulation = op.in_regulation;
 
-    report.min_supply_v = std::min(report.min_supply_v, v);
-    report.max_supply_v = std::max(report.max_supply_v, v);
-    report.ldo_loss_w += op.power_loss_w;
-    report.delivered_power_w += op.v_out * i_load;
-    if (!op.in_regulation) ++report.tiles_out_of_regulation;
-  });
+          p.min_v = std::min(p.min_v, v);
+          p.max_v = std::max(p.max_v, v);
+          p.ldo_loss_w += op.power_loss_w;
+          p.delivered_power_w += op.v_out * i_load;
+          if (!op.in_regulation) ++p.out_of_regulation;
+        }
+        return p;
+      },
+      [](Partial a, const Partial& b) {
+        a.min_v = std::min(a.min_v, b.min_v);
+        a.max_v = std::max(a.max_v, b.max_v);
+        a.ldo_loss_w += b.ldo_loss_w;
+        a.delivered_power_w += b.delivered_power_w;
+        a.out_of_regulation += b.out_of_regulation;
+        return a;
+      },
+      kTileGrain);
+  report.min_supply_v = agg.min_v;
+  report.max_supply_v = agg.max_v;
+  report.ldo_loss_w = agg.ldo_loss_w;
+  report.delivered_power_w = agg.delivered_power_w;
+  report.tiles_out_of_regulation = agg.out_of_regulation;
 
   report.total_supply_current_a = grid.total_supply_current();
   report.plane_loss_w = grid.dissipated_power();

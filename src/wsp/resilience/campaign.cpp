@@ -5,6 +5,7 @@
 #include "wsp/clock/forwarding.hpp"
 #include "wsp/clock/recovery.hpp"
 #include "wsp/common/error.hpp"
+#include "wsp/exec/parallel_for.hpp"
 #include "wsp/resilience/fault_injector.hpp"
 
 namespace wsp::resilience {
@@ -321,13 +322,20 @@ DegradationReport DegradationCampaign::run() const {
 std::vector<DegradationReport> DegradationCampaign::run_trials(
     int trials) const {
   require(trials >= 1, "at least one trial");
-  std::vector<DegradationReport> reports;
-  reports.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    CampaignOptions o = options_;
-    o.seed = options_.seed + static_cast<std::uint64_t>(t);
-    reports.push_back(DegradationCampaign(o).run());
-  }
+  // Trials are embarrassingly parallel: each one owns its wafer state and
+  // is a pure function of (options, seed + t), so dispatching them onto the
+  // exec pool keeps the report vector bit-identical for any thread count.
+  // Nested parallel loops inside a trial (the PDN re-solves) degrade to
+  // serial on the worker, so the pool is never oversubscribed.
+  std::vector<DegradationReport> reports(static_cast<std::size_t>(trials));
+  exec::parallel_for(
+      reports.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t t = b; t < e; ++t) {
+          CampaignOptions o = options_;
+          o.seed = options_.seed + static_cast<std::uint64_t>(t);
+          reports[t] = DegradationCampaign(o).run();
+        }
+      });
   return reports;
 }
 

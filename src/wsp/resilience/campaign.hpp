@@ -120,7 +120,10 @@ class DegradationCampaign {
   /// options (all randomness flows from one wsp::Rng).
   DegradationReport run() const;
 
-  /// Monte Carlo: `trials` runs seeded seed, seed+1, ...
+  /// Monte Carlo: `trials` runs seeded seed, seed+1, ...  Independent
+  /// trials dispatch concurrently onto the wsp::exec shared pool; the
+  /// returned reports are bit-identical for every thread count (each trial
+  /// is a pure function of its seed).
   std::vector<DegradationReport> run_trials(int trials) const;
 
  private:

@@ -1,0 +1,194 @@
+// Thread-count invariance: the determinism contract of the parallel
+// execution layer, asserted end to end.  The red-black PDN solve, the
+// whole-wafer PDN/thermal reports, and the Monte Carlo campaign reports
+// must be bit-identical at threads = 1, 2, 8 — the contract that keeps
+// every seeded experiment replayable regardless of the host machine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "wsp/exec/thread_pool.hpp"
+#include "wsp/pdn/resistive_grid.hpp"
+#include "wsp/pdn/thermal.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+#include "wsp/resilience/campaign.hpp"
+
+namespace wsp {
+namespace {
+
+/// Runs fn() with the shared pool at each thread count and returns the
+/// results; restores the environment default afterwards.
+template <typename F>
+auto at_thread_counts(F&& fn) {
+  std::vector<decltype(fn())> results;
+  for (const int threads : {1, 2, 8}) {
+    exec::set_shared_threads(threads);
+    results.push_back(fn());
+  }
+  exec::set_shared_threads(0);
+  return results;
+}
+
+TEST(ParallelInvariance, RedBlackSolveVoltagesBitIdentical) {
+  const auto runs = at_thread_counts([] {
+    pdn::ResistiveGrid g(64, 64);
+    g.fill_conductances(3.0, 2.0);
+    for (int x = 0; x < 64; ++x) {
+      g.set_dirichlet(x, 0, 2.5);
+      g.set_dirichlet(x, 63, 2.5);
+    }
+    for (int y = 8; y < 56; ++y)
+      for (int x = 4; x < 60; ++x) g.set_current_sink(x, y, 0.003);
+    const pdn::SolveStats stats = g.solve(1e-9);
+    EXPECT_TRUE(stats.converged);
+    return g.voltages();  // compared bit-for-bit via operator==
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelInvariance, SolveStatsBitIdentical) {
+  const auto runs = at_thread_counts([] {
+    pdn::ResistiveGrid g(32, 48);
+    g.fill_conductances(1.0, 1.5);
+    for (int y = 0; y < 48; ++y) g.set_dirichlet(0, y, 1.0);
+    for (int x = 1; x < 32; ++x)
+      for (int y = 0; y < 48; ++y) g.set_current_sink(x, y, 1e-4);
+    const pdn::SolveStats s = g.solve(1e-10);
+    return std::tuple{s.iterations, s.residual, s.max_delta_v, s.converged};
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelInvariance, WaferPdnReportBitIdentical) {
+  const SystemConfig cfg = SystemConfig::reduced(16, 16);
+  const auto runs = at_thread_counts([&] {
+    pdn::WaferPdn pdn(cfg, {});
+    const pdn::PdnReport r = pdn.solve_uniform(0.9);
+    std::vector<double> flat{r.min_supply_v, r.max_supply_v, r.ldo_loss_w,
+                             r.delivered_power_w,
+                             static_cast<double>(r.tiles_out_of_regulation)};
+    for (const pdn::TilePower& t : r.tiles) {
+      flat.push_back(t.supply_v);
+      flat.push_back(t.regulated_v);
+      flat.push_back(t.plane_current_a);
+      flat.push_back(t.ldo_loss_w);
+    }
+    return flat;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelInvariance, ConstantPowerLoadModelBitIdentical) {
+  const SystemConfig cfg = SystemConfig::reduced(12, 12);
+  pdn::WaferPdnOptions opt;
+  opt.load_model = pdn::LoadModel::ConstantPower;
+  const auto runs = at_thread_counts([&] {
+    pdn::WaferPdn pdn(cfg, opt);
+    const pdn::PdnReport r = pdn.solve_uniform(1.0);
+    std::vector<double> flat;
+    for (const pdn::TilePower& t : r.tiles) flat.push_back(t.supply_v);
+    return flat;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelInvariance, ThermalReportBitIdentical) {
+  const SystemConfig cfg = SystemConfig::reduced(16, 16);
+  const auto runs = at_thread_counts([&] {
+    pdn::WaferThermal thermal(cfg, {});
+    const pdn::ThermalReport r = thermal.solve_uniform(1.0);
+    std::vector<double> flat{r.max_c, r.mean_c,
+                             static_cast<double>(r.tiles_over_limit)};
+    flat.insert(flat.end(), r.tile_temperature_c.begin(),
+                r.tile_temperature_c.end());
+    return flat;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+/// Everything in a trial report that could expose cross-trial interference
+/// or scheduling leakage, flattened for exact comparison.
+std::vector<std::uint64_t> flatten(
+    const std::vector<resilience::DegradationReport>& reports) {
+  std::vector<std::uint64_t> flat;
+  for (const resilience::DegradationReport& r : reports) {
+    flat.push_back(r.initial_usable);
+    flat.push_back(r.final_usable);
+    flat.push_back(r.total_cycles);
+    flat.push_back(r.mesh_dropped);
+    flat.push_back(r.noc_stats.issued);
+    flat.push_back(r.noc_stats.completed);
+    flat.push_back(r.noc_stats.lost);
+    flat.push_back(r.noc_stats.timeouts);
+    flat.push_back(r.events.size());
+    for (const resilience::EventOutcome& e : r.events) {
+      flat.push_back(e.applied_cycle);
+      flat.push_back(e.usable_after);
+      flat.push_back(e.newly_unusable);
+      flat.push_back(e.recovery_cycles);
+      flat.push_back(static_cast<std::uint64_t>(e.recovered));
+    }
+    for (const resilience::TrajectoryPoint& p : r.trajectory) {
+      flat.push_back(p.cycle);
+      flat.push_back(p.usable_tiles);
+    }
+    flat.push_back(static_cast<std::uint64_t>(r.single_system_image));
+    flat.push_back(static_cast<std::uint64_t>(r.drained));
+  }
+  return flat;
+}
+
+TEST(ParallelInvariance, CampaignTrialsBitIdentical) {
+  resilience::CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 42;
+  o.run_cycles = 400;
+  o.fault_horizon = 300;
+  o.drain_cycles = 20000;
+  o.injection_rate = 0.02;
+  o.mix.tile_deaths = 2;
+  o.mix.link_failures = 1;
+  o.mix.ldo_brownouts = 1;
+  const resilience::DegradationCampaign campaign(o);
+
+  const auto runs =
+      at_thread_counts([&] { return flatten(campaign.run_trials(5)); });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelInvariance, CampaignTrialsMatchSequentialSingleRuns) {
+  // Trial t of run_trials must equal an independent run() at seed + t —
+  // the pool dispatch cannot change what a trial computes.
+  resilience::CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 7;
+  o.run_cycles = 300;
+  o.fault_horizon = 250;
+  o.drain_cycles = 20000;
+  o.mix.tile_deaths = 2;
+  const resilience::DegradationCampaign campaign(o);
+
+  exec::set_shared_threads(8);
+  const auto batch = campaign.run_trials(3);
+  exec::set_shared_threads(0);
+
+  for (int t = 0; t < 3; ++t) {
+    resilience::CampaignOptions solo = o;
+    solo.seed = o.seed + static_cast<std::uint64_t>(t);
+    const auto single =
+        resilience::DegradationCampaign(solo).run();
+    EXPECT_EQ(flatten({batch[static_cast<std::size_t>(t)]}),
+              flatten({single}));
+  }
+}
+
+}  // namespace
+}  // namespace wsp

@@ -121,6 +121,83 @@ TEST(ResistiveGrid, SolverSeedsFromPreviousSolution) {
   EXPECT_LE(warm.iterations, 2);
 }
 
+TEST(ResistiveGrid, ResidualReportsKirchhoffCurrentLaw) {
+  // SolveStats.residual is the max nodal current-balance error in amperes
+  // (not the omega-scaled update delta).  Recompute KCL by hand at every
+  // non-Dirichlet node and compare.
+  ResistiveGrid g(8, 8);
+  g.fill_conductances(2.0, 3.0);
+  for (int x = 0; x < 8; ++x) g.set_dirichlet(x, 0, 1.5);
+  for (int y = 1; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) g.set_current_sink(x, y, 0.002);
+  const SolveStats stats = g.solve(1e-12);
+  ASSERT_TRUE(stats.converged);
+
+  double max_kcl = 0.0;
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      if (g.is_dirichlet(x, y)) continue;
+      double balance = -g.current_sink(x, y);
+      if (x > 0) balance += 2.0 * (g.voltage(x - 1, y) - g.voltage(x, y));
+      if (x < 7) balance += 2.0 * (g.voltage(x + 1, y) - g.voltage(x, y));
+      if (y > 0) balance += 3.0 * (g.voltage(x, y - 1) - g.voltage(x, y));
+      if (y < 7) balance += 3.0 * (g.voltage(x, y + 1) - g.voltage(x, y));
+      max_kcl = std::max(max_kcl, std::abs(balance));
+    }
+  // Same quantity, modulo FP association in the by-hand recomputation.
+  EXPECT_NEAR(stats.residual, max_kcl, 1e-12);
+  // Converged to 1e-12 V updates => nodal balances are tight in amperes.
+  EXPECT_LT(stats.residual, 1e-9);
+  // And it is NOT the voltage update (which is reported separately).
+  EXPECT_GE(stats.max_delta_v, 0.0);
+  EXPECT_LT(stats.max_delta_v, 1e-12);
+}
+
+TEST(ResistiveGrid, ChebyshevOmegaBeatsHandTunedConstant) {
+  // The auto omega derived from the grid dimensions must converge in
+  // (meaningfully) fewer sweeps than the legacy hand-tuned 1.9, which
+  // over-relaxes smaller grids badly.
+  const double omega_auto = ResistiveGrid::chebyshev_omega(16, 16);
+  EXPECT_GT(omega_auto, 1.0);
+  EXPECT_LT(omega_auto, 2.0);
+
+  // The configuration the estimate models (and the wafer's primary
+  // workload): supply on all four edges, loads in the interior.
+  auto iterations_with = [](double omega) {
+    ResistiveGrid g(16, 16);
+    g.fill_conductances(1.0, 1.0);
+    for (int x = 0; x < 16; ++x) {
+      g.set_dirichlet(x, 0, 1.0);
+      g.set_dirichlet(x, 15, 1.0);
+    }
+    for (int y = 0; y < 16; ++y) {
+      g.set_dirichlet(0, y, 1.0);
+      g.set_dirichlet(15, y, 1.0);
+    }
+    for (int y = 1; y < 15; ++y)
+      for (int x = 1; x < 15; ++x) g.set_current_sink(x, y, 1e-3);
+    const SolveStats s = g.solve(1e-10, 200000, omega);
+    EXPECT_TRUE(s.converged);
+    return s.iterations;
+  };
+
+  const int auto_iters = iterations_with(0.0);   // 0 = Chebyshev default
+  const int tuned_iters = iterations_with(1.9);  // the old constant
+  EXPECT_LT(auto_iters, tuned_iters / 2);
+}
+
+TEST(ResistiveGrid, ChebyshevOmegaGrowsWithGridSize) {
+  // Larger grids have slower Jacobi modes and need stronger
+  // over-relaxation: omega* is monotone in the grid dimension.
+  double prev = 1.0;
+  for (const int n : {4, 8, 16, 32, 64, 128}) {
+    const double omega = ResistiveGrid::chebyshev_omega(n, n);
+    EXPECT_GT(omega, prev);
+    EXPECT_LT(omega, 2.0);
+    prev = omega;
+  }
+}
+
 TEST(ResistiveGrid, InvalidArgumentsThrow) {
   ResistiveGrid g(4, 4);
   EXPECT_THROW(g.set_conductance_east(3, 0, 1.0), Error);  // off the edge
