@@ -64,6 +64,11 @@ class JsonReporter {
 
   void add(Measurement m) { results_.push_back(std::move(m)); }
 
+  /// Measurements recorded so far — lets bench mains fold the same rows
+  /// into an obs::RunReport without re-measuring.
+  const std::vector<Measurement>& results() const { return results_; }
+  const std::string& suite() const { return suite_; }
+
   /// Measures fn with min-of-N and records it; returns the wall ms so
   /// callers can derive speedups for subsequent rows.
   template <typename F>

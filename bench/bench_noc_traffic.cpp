@@ -11,6 +11,8 @@
 #include "wsp/noc/mesh_network.hpp"
 #include "wsp/noc/odd_even.hpp"
 #include "wsp/noc/traffic.hpp"
+#include "wsp/obs/report.hpp"
+#include "wsp/obs/trace.hpp"
 
 namespace {
 
@@ -176,6 +178,32 @@ void run_json_measurements(bool quick) {
     json.add(m);
   }
   json.write();
+
+  // Unified run report: the bench rows above plus one registry-instrumented
+  // 16x16 reference run (fixed seed, so every field is deterministic).
+  obs::MetricsRegistry registry;
+  NocSystem noc{FaultMap(TileGrid(16, 16)), NocOptions{}, &registry};
+  Rng rng(5);
+  TrafficConfig cfg;
+  cfg.injection_rate = 0.02;
+  const TrafficReport r = run_traffic(noc, cfg, cycles, rng);
+
+  obs::RunReport report("noc_traffic");
+  for (const wsp::bench::Measurement& m : json.results())
+    report.add_bench({m.name, m.wall_ms,
+                      static_cast<std::uint64_t>(m.iterations), m.threads,
+                      m.speedup_vs_serial});
+  report.add_scalar("traffic", "offered_load", r.offered_load);
+  report.add_scalar("traffic", "throughput", r.throughput);
+  report.add_scalar("traffic", "mean_latency", r.mean_latency);
+  report.add_scalar("traffic", "p50_latency",
+                    static_cast<double>(r.p50_latency));
+  report.add_scalar("traffic", "p95_latency",
+                    static_cast<double>(r.p95_latency));
+  report.add_scalar("traffic", "p99_latency",
+                    static_cast<double>(r.p99_latency));
+  report.add_metrics("noc", registry);
+  report.write_default();
 }
 
 void BM_NocCyclesPerSecond(benchmark::State& state) {
@@ -204,6 +232,9 @@ BENCHMARK(BM_NocCyclesPerSecond)->Arg(8)->Arg(16)->Arg(32);
 
 int main(int argc, char** argv) {
   const bool quick = wsp::bench::consume_quick_flag(&argc, argv);
+  // WSP_TRACE=1 records every simulator span (noc.step, noc.traffic.run,
+  // exec.chunk, ...) and writes TRACE_noc_traffic.json on exit.
+  wsp::obs::ScopedTrace trace("noc_traffic");
   if (!quick) {
     print_load_sweep();
     print_pattern_comparison();

@@ -6,14 +6,23 @@
 // degradation layer did about it: NoC replan + timeout/retry, clock
 // re-selection, PDN re-solve, and the post-burst re-bring-up.
 //
+// Observability: run with WSP_TRACE=1 to record campaign/NoC spans into
+// TRACE_fault_campaign.json and write RUNREPORT_fault_campaign.json with
+// the folded Monte Carlo metrics ("campaign." namespace).
+//
 //   ./fault_campaign
 #include <cstdio>
+#include <cstdlib>
 
+#include "wsp/obs/report.hpp"
+#include "wsp/obs/trace.hpp"
 #include "wsp/resilience/campaign.hpp"
 
 int main() {
   using namespace wsp;
   using namespace wsp::resilience;
+
+  const obs::ScopedTrace trace("fault_campaign");
 
   CampaignOptions o;
   o.config = SystemConfig::reduced(8, 8);
@@ -91,8 +100,9 @@ int main() {
   CampaignOptions mc = o;
   mc.schedule.reset();
   mc.fault_horizon = 2000;
-  const CampaignSummary summary =
-      summarize(DegradationCampaign(mc).run_trials(8));
+  const std::vector<DegradationReport> trials =
+      DegradationCampaign(mc).run_trials(8);
+  const CampaignSummary summary = summarize(trials);
   std::printf("  mean usable fraction %.3f | mean reachability %.2f%% | "
               "mean recovery %.0f cycles\n",
               summary.mean_final_usable_fraction,
@@ -101,5 +111,19 @@ int main() {
   std::printf("  lost/issued %.5f | SSI survived %d/%d | drained %d/%d\n",
               summary.lost_per_issued, summary.single_system_image_survived,
               summary.trials, summary.fully_drained, summary.trials);
+
+  if (trace.active() || std::getenv("WSP_RUNREPORT_FILE") != nullptr) {
+    obs::MetricsRegistry registry;
+    publish_metrics(trials, registry);
+    obs::RunReport report("fault_campaign");
+    report.add_scalar("summary", "mean_final_usable_fraction",
+                      summary.mean_final_usable_fraction);
+    report.add_scalar("summary", "mean_pair_reachability_pct",
+                      summary.mean_pair_reachability_pct);
+    report.add_scalar("summary", "lost_per_issued", summary.lost_per_issued);
+    report.add_metrics("campaign", registry);
+    const std::string path = report.write_default();
+    if (!path.empty()) std::printf("run report: %s\n", path.c_str());
+  }
   return 0;
 }

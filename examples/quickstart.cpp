@@ -5,16 +5,26 @@
 // clock, checks network resiliency against a random fault map, and runs a
 // small BFS on a simulated multi-tile system.
 //
+// Observability: run with WSP_TRACE=1 to record simulator spans into
+// TRACE_quickstart.json (open in https://ui.perfetto.dev) and write a
+// RUNREPORT_quickstart.json with the PDN solver metrics.
+//
 //   ./quickstart
 #include <cstdio>
+#include <cstdlib>
 
 #include "wsp/clock/forwarding.hpp"
 #include "wsp/noc/connectivity.hpp"
+#include "wsp/obs/report.hpp"
+#include "wsp/obs/trace.hpp"
 #include "wsp/pdn/wafer_pdn.hpp"
 #include "wsp/workloads/graph_apps.hpp"
 
 int main() {
   using namespace wsp;
+
+  const obs::ScopedTrace trace("quickstart");
+  obs::MetricsRegistry registry;
 
   // 1. The system configuration.  Every Table-I quantity is derived.
   const SystemConfig cfg = SystemConfig::paper_prototype();
@@ -29,6 +39,7 @@ int main() {
 
   // 2. Power delivery: edge supply at 2.5 V, LDO per tile (Sec. III).
   pdn::WaferPdn pdn(cfg, {});
+  pdn.bind_metrics(&registry);
   const pdn::PdnReport power = pdn.solve_uniform(1.0);
   std::printf("PDN at peak draw: edge %.2f V -> center %.2f V, %.0f A, "
               "all tiles regulated: %s\n",
@@ -63,5 +74,19 @@ int main() {
               static_cast<unsigned long long>(bfs.stats.makespan),
               static_cast<unsigned long long>(bfs.stats.messages_sent),
               ok ? "yes" : "NO");
+
+  // Machine-readable run report (emitted when tracing is on or an explicit
+  // output path is requested, so plain runs stay artifact-free).
+  if (trace.active() || std::getenv("WSP_RUNREPORT_FILE") != nullptr) {
+    obs::RunReport report("quickstart");
+    report.add_scalar("pdn", "min_supply_v", power.min_supply_v);
+    report.add_scalar("pdn", "total_supply_current_a",
+                      power.total_supply_current_a);
+    report.add_scalar("workloads", "bfs_makespan_cycles",
+                      static_cast<double>(bfs.stats.makespan));
+    report.add_metrics("pdn", registry);
+    const std::string path = report.write_default();
+    if (!path.empty()) std::printf("run report: %s\n", path.c_str());
+  }
   return ok ? 0 : 1;
 }

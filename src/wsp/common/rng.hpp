@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "wsp/common/error.hpp"
+
 namespace wsp {
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
@@ -57,8 +59,12 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// Precondition: bound >= 1 — the range [0, 0) is empty, so no value can
+  /// be drawn from it.  The old `return 0` masked caller bugs by silently
+  /// producing a value outside the (empty) requested range; it now throws
+  /// wsp::Error, and `(0 - bound) % bound` can no longer divide by zero.
   std::uint64_t below(std::uint64_t bound) {
-    if (bound == 0) return 0;
+    require(bound != 0, "Rng::below(0): empty range [0, 0)");
     // 128-bit multiply-shift; rejection keeps the distribution exact.
     std::uint64_t x = (*this)();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;

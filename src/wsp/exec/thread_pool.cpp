@@ -1,7 +1,13 @@
 #include "wsp/exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "wsp/obs/trace.hpp"
 
 namespace wsp::exec {
 
@@ -21,7 +27,13 @@ ThreadPool::ThreadPool(int threads) {
   const int workers = std::max(0, threads - 1);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Each worker owns one trace lane so exported spans show per-worker
+      // occupancy (one Chrome-trace row per pool thread).
+      obs::Tracer::instance().set_thread_lane_name(
+          "wsp-pool-worker-" + std::to_string(i + 1));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -60,6 +72,10 @@ void ThreadPool::execute(Job& job) {
   for (std::size_t i = job.next.fetch_add(1); i < job.chunk_count;
        i = job.next.fetch_add(1)) {
     try {
+      // Span scope closes before the done-count handshake below, so every
+      // recorded write on this lane happens-before the dispatcher's mutex
+      // acquire — the trace export after quiesce is race-free.
+      WSP_TRACE_SPAN("exec.chunk");
       job.fn(i);
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
@@ -113,16 +129,44 @@ std::mutex g_shared_mutex;
 std::unique_ptr<ThreadPool> g_shared_pool;
 int g_override_threads = 0;  // 0 = use environment / hardware default
 
-int env_thread_count() {
-  if (const char* env = std::getenv("WSP_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
+int hardware_default() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int env_thread_count() {
+  const char* env = std::getenv("WSP_THREADS");
+  if (env == nullptr || env[0] == '\0') return hardware_default();
+  if (const auto n = parse_thread_count(env)) return *n;
+  // Malformed value: fall back loudly, once — a silently ignored
+  // WSP_THREADS=4x (old atoi read it as 4) corrupts every thread sweep.
+  static bool warned = false;
+  const int fallback = hardware_default();
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "wsp: ignoring invalid WSP_THREADS='%s' "
+                 "(expected an integer in [1, 65536]); using %d threads\n",
+                 env, fallback);
+  }
+  return fallback;
+}
+
 }  // namespace
+
+std::optional<int> parse_thread_count(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (end == text || errno == ERANGE) return std::nullopt;
+  // Only trailing whitespace may follow the number ("4x" is garbage, not 4).
+  for (; *end != '\0'; ++end) {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return std::nullopt;
+  }
+  if (n < 1 || n > 65536) return std::nullopt;
+  return static_cast<int>(n);
+}
 
 int default_thread_count() {
   std::lock_guard<std::mutex> lock(g_shared_mutex);

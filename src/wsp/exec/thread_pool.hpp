@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -81,8 +82,18 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Strict parser for WSP_THREADS-style thread counts.  Accepts a single
+/// base-10 positive integer with optional surrounding whitespace, in
+/// [1, 65536]; returns nullopt for anything else — empty text, garbage,
+/// trailing junk ("4x"), zero, negative, or out-of-range values.  The old
+/// atoi semantics silently read "4x" as 4 and turned garbage into the
+/// hardware default with no indication anything was wrong.
+std::optional<int> parse_thread_count(const char* text);
+
 /// Threads the *next* construction of the shared pool uses: the explicit
-/// override if set, else WSP_THREADS, else hardware_concurrency (min 1).
+/// override if set, else a well-formed WSP_THREADS, else
+/// hardware_concurrency (min 1).  A malformed WSP_THREADS value is
+/// rejected with a one-time stderr warning naming the fallback.
 int default_thread_count();
 
 /// Process-wide pool used by the simulation hot paths (PDN solver, Monte

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "wsp/common/error.hpp"
 #include "wsp/noc/odd_even.hpp"
@@ -9,7 +10,8 @@
 namespace wsp::noc {
 
 MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
-                         const MeshOptions& options)
+                         const MeshOptions& options,
+                         obs::MetricsRegistry* metrics)
     : faults_(faults),
       link_faults_(faults.grid()),
       grid_(faults.grid()),
@@ -17,8 +19,25 @@ MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
       options_(options),
       routers_(grid_.tile_count()),
       pending_toward_(grid_.tile_count()),
+      owned_metrics_(metrics ? nullptr : new obs::MetricsRegistry),
+      metrics_(metrics ? metrics : owned_metrics_.get()),
       ber_(faults.grid()),
       chan_rng_(options.integrity.seed ^ static_cast<std::uint64_t>(kind)) {
+  const std::string prefix =
+      kind == NetworkKind::XY ? "noc.xy." : "noc.yx.";
+  ctr_.injected = &metrics_->counter(prefix + "injected");
+  ctr_.ejected = &metrics_->counter(prefix + "ejected");
+  ctr_.dropped_at_fault = &metrics_->counter(prefix + "dropped_at_fault");
+  ctr_.link_traversals = &metrics_->counter(prefix + "link_traversals");
+  ctr_.cycles = &metrics_->counter(prefix + "cycles");
+  ctr_.purged_in_dead_router =
+      &metrics_->counter(prefix + "purged_in_dead_router");
+  ctr_.corrupted = &metrics_->counter(prefix + "corrupted");
+  ctr_.crc_detected = &metrics_->counter(prefix + "crc_detected");
+  ctr_.crc_escapes = &metrics_->counter(prefix + "crc_escapes");
+  ctr_.link_retransmits = &metrics_->counter(prefix + "link_retransmits");
+  ctr_.link_error_drops = &metrics_->counter(prefix + "link_error_drops");
+  ctr_.dup_dropped = &metrics_->counter(prefix + "dup_dropped");
   require(options.input_queue_capacity >= 1,
           "input queues need capacity >= 1");
   require(options.link_latency >= 1, "links take at least one cycle");
@@ -31,6 +50,23 @@ MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
     rx_seq_.assign(grid_.tile_count(), {});
     link_next_free_.assign(grid_.tile_count(), {});
   }
+}
+
+MeshStats MeshNetwork::stats() const {
+  MeshStats s;
+  s.injected = ctr_.injected->value;
+  s.ejected = ctr_.ejected->value;
+  s.dropped_at_fault = ctr_.dropped_at_fault->value;
+  s.link_traversals = ctr_.link_traversals->value;
+  s.cycles = ctr_.cycles->value;
+  s.purged_in_dead_router = ctr_.purged_in_dead_router->value;
+  s.corrupted = ctr_.corrupted->value;
+  s.crc_detected = ctr_.crc_detected->value;
+  s.crc_escapes = ctr_.crc_escapes->value;
+  s.link_retransmits = ctr_.link_retransmits->value;
+  s.link_error_drops = ctr_.link_error_drops->value;
+  s.dup_dropped = ctr_.dup_dropped->value;
+  return s;
 }
 
 bool MeshNetwork::queue_has_space(std::size_t tile, Port port) const {
@@ -52,7 +88,7 @@ bool MeshNetwork::inject(const Packet& packet) {
   Packet p = packet;
   p.network = kind_;
   routers_[tile].in_q[static_cast<std::size_t>(Port::Local)].push_back(p);
-  ++stats_.injected;
+  ctr_.injected->add();
   ++in_flight_;
   return true;
 }
@@ -67,10 +103,10 @@ MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
       // The channel flipped at least one of the 100 wire bits.
       if (chan_rng_.uniform() < kCrcEscapeProbability) {
         // Aliased to a valid codeword: delivered with poisoned payload.
-        ++stats_.crc_escapes;
+        ctr_.crc_escapes->add();
         t.packet.payload ^= 1;
       } else {
-        ++stats_.crc_detected;
+        ctr_.crc_detected->add();
         ++link_errors_[t.src_tile][t.dir];
         if (options_.integrity.retransmit &&
             t.retransmits <
@@ -79,8 +115,8 @@ MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
           // frame (one NACK flight + one resend flight) and every frame
           // behind it on the same link, preserving per-link order.  The
           // downstream credit stays reserved for the whole retry.
-          ++stats_.link_retransmits;
-          ++stats_.link_traversals;
+          ctr_.link_retransmits->add();
+          ctr_.link_traversals->add();
           ++link_traversals_[t.src_tile][t.dir];
           ++t.retransmits;
           std::uint64_t slot =
@@ -101,7 +137,7 @@ MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
         // Budget exhausted (or retransmission disabled): drop here and let
         // the end-to-end timeout recover.  Both ends skip the lost
         // sequence number as part of the final NACK handshake.
-        ++stats_.link_error_drops;
+        ctr_.link_error_drops->add();
         rx_seq_[t.dst_tile][port] =
             static_cast<std::uint8_t>((t.seq + 1) & 0xF);
         --pending_toward_[t.dst_tile][port];
@@ -112,7 +148,7 @@ MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
     // Receiver-side sequence check keeps delivery idempotent: anything but
     // the expected number is a stale replay and is rejected.
     if (t.seq != rx_seq_[t.dst_tile][port]) {
-      ++stats_.dup_dropped;
+      ctr_.dup_dropped->add();
       --pending_toward_[t.dst_tile][port];
       --in_flight_;
       return ChannelOutcome::Dropped;
@@ -126,7 +162,7 @@ MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
 }
 
 void MeshNetwork::step(std::vector<Packet>& ejected) {
-  const std::uint64_t now = stats_.cycles;
+  const std::uint64_t now = ctr_.cycles->value;
 
   // Phase 1: land in-transit packets due this cycle.  The deque is kept
   // sorted by arrival cycle (retransmissions re-sort it).  A packet
@@ -140,7 +176,7 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
         rx_seq_[t.dst_tile][port] =
             static_cast<std::uint8_t>((t.seq + 1) & 0xF);
       --pending_toward_[t.dst_tile][port];
-      ++stats_.dropped_at_fault;
+      ctr_.dropped_at_fault->add();
       --in_flight_;
       continue;
     }
@@ -200,7 +236,7 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
       }
       if (!any_healthy) {
         q.pop_front();
-        ++stats_.dropped_at_fault;
+        ctr_.dropped_at_fault->add();
         --in_flight_;
       }
     }
@@ -237,11 +273,11 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
       if (out == static_cast<std::size_t>(Port::Local)) {
         packet.delivered_cycle = now;
         ejected.push_back(packet);
-        ++stats_.ejected;
+        ctr_.ejected->add();
         --in_flight_;
       } else {
         ++pending_toward_[dst_tile][static_cast<std::size_t>(dst_port)];
-        ++stats_.link_traversals;
+        ctr_.link_traversals->add();
         LinkTransfer t{
             packet, dst_tile, dst_port,
             now + static_cast<std::uint64_t>(options_.link_latency)};
@@ -273,7 +309,7 @@ void MeshNetwork::step(std::vector<Packet>& ejected) {
     }
   }
 
-  ++stats_.cycles;
+  ctr_.cycles->add();
   assert(conservation_holds());
 }
 
@@ -290,7 +326,7 @@ void MeshNetwork::apply_fault_state(const FaultMap& faults,
   for (std::size_t tile = 0; tile < routers_.size(); ++tile) {
     if (!faults_.is_faulty(grid_.coord_of(tile))) continue;
     for (auto& q : routers_[tile].in_q) {
-      stats_.purged_in_dead_router += q.size();
+      ctr_.purged_in_dead_router->add(q.size());
       in_flight_ -= q.size();
       q.clear();
     }
@@ -305,7 +341,7 @@ std::optional<std::uint64_t> MeshNetwork::corrupt_head_packet(TileCoord tile) {
     const std::uint64_t id = q.front().id;
     q.pop_front();
     --in_flight_;
-    ++stats_.corrupted;
+    ctr_.corrupted->add();
     return id;
   }
   return std::nullopt;

@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "wsp/noc/link_integrity.hpp"
 #include "wsp/noc/packet.hpp"
 #include "wsp/noc/routing.hpp"
+#include "wsp/obs/metrics.hpp"
 
 namespace wsp::noc {
 
@@ -59,6 +61,9 @@ struct MeshOptions {
   LinkIntegrityOptions integrity{};
 };
 
+/// Value snapshot of one mesh's counters.  The counters themselves live in
+/// an obs::MetricsRegistry (under "noc.xy." / "noc.yx."); this struct is
+/// the stable public shape assembled on demand by MeshNetwork::stats().
 struct MeshStats {
   std::uint64_t injected = 0;
   std::uint64_t ejected = 0;
@@ -79,13 +84,22 @@ struct MeshStats {
 /// One DoR network spanning the wafer.
 class MeshNetwork {
  public:
+  /// `metrics`: registry the mesh binds its counters into (names prefixed
+  /// "noc.xy." / "noc.yx." by kind).  When null the mesh owns a private
+  /// registry, so standalone meshes keep working unchanged.  The registry
+  /// must outlive the mesh; binding a registry makes MeshNetwork move-only.
   MeshNetwork(const FaultMap& faults, NetworkKind kind,
-              const MeshOptions& options = {});
+              const MeshOptions& options = {},
+              obs::MetricsRegistry* metrics = nullptr);
 
   NetworkKind kind() const { return kind_; }
   const TileGrid& grid() const { return grid_; }
-  const MeshStats& stats() const { return stats_; }
-  std::uint64_t now() const { return stats_.cycles; }
+  MeshStats stats() const;
+  std::uint64_t now() const { return ctr_.cycles->value; }
+
+  /// Registry holding this mesh's counters (the bound one, or the
+  /// internally owned fallback).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
 
   /// True when the local injection FIFO at `src` can take a packet.
   bool can_inject(TileCoord src) const;
@@ -131,10 +145,11 @@ class MeshNetwork {
   /// receiver sequence check, or still in flight.  Checked by tests at
   /// every drain point and asserted each cycle in debug builds.
   bool conservation_holds() const {
-    return stats_.injected ==
-           stats_.ejected + stats_.dropped_at_fault +
-               stats_.purged_in_dead_router + stats_.corrupted +
-               stats_.link_error_drops + stats_.dup_dropped + in_flight_;
+    return ctr_.injected->value ==
+           ctr_.ejected->value + ctr_.dropped_at_fault->value +
+               ctr_.purged_in_dead_router->value + ctr_.corrupted->value +
+               ctr_.link_error_drops->value + ctr_.dup_dropped->value +
+               in_flight_;
   }
 
  private:
@@ -154,6 +169,24 @@ class MeshNetwork {
     std::uint8_t retransmits = 0;  ///< budget consumed by this traversal
   };
 
+  /// Registry-backed counters resolved once at construction; incrementing
+  /// through the pointers keeps the hot path equivalent to the old plain
+  /// struct fields while the registry is the single source of truth.
+  struct Counters {
+    obs::Counter* injected = nullptr;
+    obs::Counter* ejected = nullptr;
+    obs::Counter* dropped_at_fault = nullptr;
+    obs::Counter* link_traversals = nullptr;
+    obs::Counter* cycles = nullptr;
+    obs::Counter* purged_in_dead_router = nullptr;
+    obs::Counter* corrupted = nullptr;
+    obs::Counter* crc_detected = nullptr;
+    obs::Counter* crc_escapes = nullptr;
+    obs::Counter* link_retransmits = nullptr;
+    obs::Counter* link_error_drops = nullptr;
+    obs::Counter* dup_dropped = nullptr;
+  };
+
   FaultMap faults_;
   LinkFaultSet link_faults_;
   TileGrid grid_;
@@ -163,7 +196,9 @@ class MeshNetwork {
   /// Credits reserved by granted-but-not-landed transfers, per input FIFO.
   std::vector<std::array<std::uint16_t, kPortCount>> pending_toward_;
   std::deque<LinkTransfer> in_transit_;  ///< sorted by arrival cycle
-  MeshStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Counters ctr_;
   std::size_t in_flight_ = 0;
 
   // Link-integrity state (allocated only when integrity is enabled).

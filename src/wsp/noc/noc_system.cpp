@@ -4,6 +4,7 @@
 
 #include "wsp/common/error.hpp"
 #include "wsp/noc/routing.hpp"
+#include "wsp/obs/trace.hpp"
 
 namespace wsp::noc {
 
@@ -145,13 +146,27 @@ RoutePlan NetworkSelector::plan(TileCoord src, TileCoord dst) const {
   return p;
 }
 
-NocSystem::NocSystem(const FaultMap& faults, const NocOptions& options)
+NocSystem::NocSystem(const FaultMap& faults, const NocOptions& options,
+                     obs::MetricsRegistry* metrics)
     : faults_(faults),
       links_(faults.grid()),
       options_(options),
+      owned_metrics_(metrics ? nullptr : new obs::MetricsRegistry),
+      metrics_(metrics ? metrics : owned_metrics_.get()),
       selector_(faults),
-      xy_(faults, NetworkKind::XY, options.mesh),
-      yx_(faults, NetworkKind::YX, options.mesh) {
+      xy_(faults, NetworkKind::XY, options.mesh, metrics_),
+      yx_(faults, NetworkKind::YX, options.mesh, metrics_) {
+  ctr_.issued = &metrics_->counter("noc.issued");
+  ctr_.completed = &metrics_->counter("noc.completed");
+  ctr_.unreachable = &metrics_->counter("noc.unreachable");
+  ctr_.relayed = &metrics_->counter("noc.relayed");
+  ctr_.timeouts = &metrics_->counter("noc.timeouts");
+  ctr_.retries = &metrics_->counter("noc.retries");
+  ctr_.lost = &metrics_->counter("noc.lost");
+  ctr_.stale_packets = &metrics_->counter("noc.stale_packets");
+  ctr_.replans = &metrics_->counter("noc.replans");
+  ctr_.links_retired = &metrics_->counter("noc.links_retired");
+  ctr_.latency = &metrics_->histogram("noc.latency");
   require(options.service_latency >= 1, "service latency must be >= 1");
   require(options.relay_latency >= 1, "relay latency must be >= 1");
   require(options.max_retries >= 0, "max_retries cannot be negative");
@@ -177,7 +192,7 @@ std::optional<std::uint64_t> NocSystem::issue(TileCoord src, TileCoord dst,
   require(is_request(type), "issue() takes a request packet type");
   RoutePlan plan = selector_.plan(src, dst);
   if (!plan.reachable) {
-    ++stats_.unreachable;
+    ctr_.unreachable->add();
     return std::nullopt;
   }
 
@@ -200,16 +215,16 @@ std::optional<std::uint64_t> NocSystem::issue(TileCoord src, TileCoord dst,
   p.request_id = id;
   p.injected_cycle = cycle_;
 
-  if (txn.plan.relayed) ++stats_.relayed;
+  if (txn.plan.relayed) ctr_.relayed->add();
   arm_deadline(id, txn, cycle_);
   live_.emplace(id, std::move(txn));
   schedule(cycle_, p);
-  ++stats_.issued;
+  ctr_.issued->add();
   return id;
 }
 
 void NocSystem::lose_transaction(std::uint64_t id) {
-  ++stats_.lost;
+  ctr_.lost->add();
   live_.erase(id);
 }
 
@@ -223,7 +238,7 @@ void NocSystem::process_timeouts() {
     LiveTransaction& txn = it->second;
     if (txn.attempts != d.attempt) continue;   // superseded by a retry
 
-    ++stats_.timeouts;
+    ctr_.timeouts->add();
     if (static_cast<int>(txn.attempts) >= options_.max_retries) {
       lose_transaction(d.id);
       continue;
@@ -240,7 +255,7 @@ void NocSystem::process_timeouts() {
     }
 
     ++txn.attempts;
-    ++stats_.retries;
+    ctr_.retries->add();
     txn.plan = std::move(fresh);
     txn.segment = 0;
     txn.returning = false;
@@ -270,12 +285,12 @@ void NocSystem::handle_ejection(const Packet& p,
   if (it == live_.end()) {
     // Transaction already declared lost (or completed via a faster
     // attempt); this packet is a straggler from a superseded send.
-    ++stats_.stale_packets;
+    ctr_.stale_packets->add();
     return;
   }
   LiveTransaction& txn = it->second;
   if (p.attempt != txn.attempts) {
-    ++stats_.stale_packets;
+    ctr_.stale_packets->add();
     return;
   }
   const auto& wp = txn.plan.waypoints;
@@ -325,9 +340,8 @@ void NocSystem::handle_ejection(const Packet& p,
     ct.complete_cycle = cycle_;
     ct.relayed = txn.plan.relayed;
     done.push_back(ct);
-    ++stats_.completed;
-    stats_.latency_sum += ct.latency();
-    stats_.latency_max = std::max(stats_.latency_max, ct.latency());
+    ctr_.completed->add();
+    ctr_.latency->record(ct.latency());
     live_.erase(it);
     return;
   }
@@ -341,6 +355,7 @@ void NocSystem::handle_ejection(const Packet& p,
 }
 
 void NocSystem::step(std::vector<CompletedTransaction>& done) {
+  WSP_TRACE_SPAN("noc.step");
   // Move everything due into the per-tile ready queues, then drain each
   // tile's queue head-first while its local FIFO accepts packets.  A
   // packet whose source tile died while it waited is dropped here — its
@@ -405,7 +420,7 @@ void NocSystem::apply_fault_state(const FaultMap& faults,
       }
     }
   }
-  ++stats_.replans;
+  ctr_.replans->add();
 }
 
 bool NocSystem::inject_corruption(TileCoord tile) {
@@ -417,9 +432,21 @@ bool NocSystem::inject_corruption(TileCoord tile) {
 }
 
 NocStats NocSystem::stats() const {
-  NocStats s = stats_;
-  const MeshStats& a = xy_.stats();
-  const MeshStats& b = yx_.stats();
+  NocStats s;
+  s.issued = ctr_.issued->value;
+  s.completed = ctr_.completed->value;
+  s.unreachable = ctr_.unreachable->value;
+  s.relayed = ctr_.relayed->value;
+  s.latency_sum = ctr_.latency->sum();
+  s.latency_max = ctr_.latency->max();
+  s.timeouts = ctr_.timeouts->value;
+  s.retries = ctr_.retries->value;
+  s.lost = ctr_.lost->value;
+  s.stale_packets = ctr_.stale_packets->value;
+  s.replans = ctr_.replans->value;
+  s.links_retired = ctr_.links_retired->value;
+  const MeshStats a = xy_.stats();
+  const MeshStats b = yx_.stats();
   s.corrupted = a.corrupted + b.corrupted;
   s.crc_detected = a.crc_detected + b.crc_detected;
   s.link_retransmits = a.link_retransmits + b.link_retransmits;
@@ -440,8 +467,8 @@ bool NocSystem::retire_link(TileCoord from, Direction d) {
   selector_.rebind(faults_, links_);
   xy_.apply_fault_state(faults_, links_);
   yx_.apply_fault_state(faults_, links_);
-  ++stats_.links_retired;
-  ++stats_.replans;
+  ctr_.links_retired->add();
+  ctr_.replans->add();
   return true;
 }
 

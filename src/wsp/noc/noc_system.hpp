@@ -21,11 +21,14 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <tuple>
 #include <unordered_map>
 #include <vector>
+
+#include "wsp/obs/metrics.hpp"
 
 #include "wsp/common/fault_map.hpp"
 #include "wsp/noc/connectivity.hpp"
@@ -121,6 +124,11 @@ struct NocOptions {
   std::uint64_t retry_backoff_base = 32;
 };
 
+/// Value snapshot of the system-level counters.  The counters themselves
+/// live in an obs::MetricsRegistry (system counters under "noc.", per-mesh
+/// counters under "noc.xy." / "noc.yx.", round-trip latencies in the
+/// "noc.latency" histogram); this struct is the stable public shape
+/// assembled on demand by NocSystem::stats().
 struct NocStats {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
@@ -150,7 +158,11 @@ struct NocStats {
 /// Dual-network waferscale NoC with request/response semantics.
 class NocSystem {
  public:
-  NocSystem(const FaultMap& faults, const NocOptions& options = {});
+  /// `metrics`: registry all NoC counters bind into (shared with both
+  /// meshes).  When null the system owns a private registry — existing
+  /// callers are unaffected.  Must outlive the NocSystem.
+  NocSystem(const FaultMap& faults, const NocOptions& options = {},
+            obs::MetricsRegistry* metrics = nullptr);
 
   /// Issues a read/write transaction.  Returns the transaction id, or
   /// nullopt when the kernel has no route (caller sees an unreachable
@@ -181,6 +193,9 @@ class NocSystem {
   /// by the meshes (the layer that observes the wire) and aggregated here,
   /// so each event is counted exactly once.
   NocStats stats() const;
+  /// Registry holding every NoC counter (system + both meshes): the bound
+  /// one, or the internally owned fallback.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
   const NetworkSelector& selector() const { return selector_; }
   const MeshNetwork& network(NetworkKind k) const {
     return k == NetworkKind::XY ? xy_ : yx_;
@@ -258,9 +273,28 @@ class NocSystem {
     }
   };
 
+  /// Registry-backed system counters resolved once at construction (the
+  /// meshes bind their own under "noc.xy." / "noc.yx.").
+  struct Counters {
+    obs::Counter* issued = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* unreachable = nullptr;
+    obs::Counter* relayed = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* lost = nullptr;
+    obs::Counter* stale_packets = nullptr;
+    obs::Counter* replans = nullptr;
+    obs::Counter* links_retired = nullptr;
+    obs::Histogram* latency = nullptr;  ///< round-trip cycles per completion
+  };
+
   FaultMap faults_;
   LinkFaultSet links_;
   NocOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Counters ctr_;
   NetworkSelector selector_;
   MeshNetwork xy_;
   MeshNetwork yx_;
@@ -278,7 +312,6 @@ class NocSystem {
   /// service order deterministic.
   std::array<std::map<std::size_t, std::deque<Packet>>, 2> ready_;
   std::size_t ready_count_ = 0;
-  NocStats stats_;
   DeliveryListener delivery_listener_;
 
   MeshNetwork& net(NetworkKind k) { return k == NetworkKind::XY ? xy_ : yx_; }

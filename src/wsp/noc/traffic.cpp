@@ -2,7 +2,46 @@
 
 #include <algorithm>
 
+#include "wsp/obs/metrics.hpp"
+#include "wsp/obs/trace.hpp"
+
 namespace wsp::noc {
+
+void finalize_latencies(TrafficReport& report,
+                        std::vector<std::uint64_t> latencies) {
+  report.latency_samples = latencies.size();
+  if (latencies.empty()) {
+    // No measured samples: every latency statistic is exactly zero.  The
+    // old code skipped the percentile block but still divided the sum by
+    // `completed`, which could be non-zero when only pre-window
+    // transactions completed — reporting a mean over samples it never saw.
+    report.mean_latency = 0.0;
+    report.p50_latency = 0;
+    report.p95_latency = 0;
+    report.p99_latency = 0;
+    report.max_latency = 0;
+    return;
+  }
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t v : latencies) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  // Mean over the measured samples, NOT over `completed`: completions of
+  // transactions issued before the window are counted by `completed` but
+  // contribute no latency sample, so dividing by `completed` deflated the
+  // mean on every warm-started run.
+  report.mean_latency =
+      static_cast<double>(sum) / static_cast<double>(latencies.size());
+  report.max_latency = max;
+  // Nearest-rank percentiles.  The old index `floor(p * (n-1))` collapsed
+  // small samples (n = 2 reported the MINIMUM as p95/p99) and biased every
+  // percentile low by one rank at common sizes.
+  report.p50_latency = obs::nearest_rank_percentile(latencies, 0.50);
+  report.p95_latency = obs::nearest_rank_percentile(latencies, 0.95);
+  report.p99_latency = obs::nearest_rank_percentile(latencies, 0.99);
+}
 
 const char* to_string(TrafficPattern p) {
   switch (p) {
@@ -60,6 +99,7 @@ TrafficReport run_traffic(NocSystem& noc, const TrafficConfig& config,
   const std::uint64_t start = noc.now();
   std::vector<CompletedTransaction> done;
 
+  WSP_TRACE_SPAN("noc.traffic.run");
   for (std::uint64_t c = 0; c < cycles; ++c) {
     for (const TileCoord src : healthy) {
       if (!rng.bernoulli(config.injection_rate)) continue;
@@ -85,29 +125,13 @@ TrafficReport run_traffic(NocSystem& noc, const TrafficConfig& config,
   report.throughput =
       cycles ? static_cast<double>(report.completed) / cycles : 0.0;
 
-  std::uint64_t lat_sum = 0;
   std::vector<std::uint64_t> latencies;
   latencies.reserve(done.size());
   for (const auto& t : done) {
     if (t.issue_cycle < start) continue;
-    lat_sum += t.latency();
     latencies.push_back(t.latency());
-    report.max_latency = std::max(report.max_latency, t.latency());
   }
-  report.mean_latency =
-      report.completed ? static_cast<double>(lat_sum) / report.completed : 0.0;
-  if (!latencies.empty()) {
-    auto percentile = [&](double p) {
-      const auto k = static_cast<std::size_t>(
-          p * static_cast<double>(latencies.size() - 1));
-      std::nth_element(latencies.begin(), latencies.begin() + k,
-                       latencies.end());
-      return latencies[k];
-    };
-    report.p50_latency = percentile(0.50);
-    report.p95_latency = percentile(0.95);
-    report.p99_latency = percentile(0.99);
-  }
+  finalize_latencies(report, std::move(latencies));
   return report;
 }
 

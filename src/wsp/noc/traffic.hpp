@@ -38,6 +38,9 @@ struct TrafficReport {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
   std::uint64_t unreachable = 0;
+  /// Round-trip latency samples measured (transactions issued inside the
+  /// window); the latency fields below summarise exactly these.
+  std::uint64_t latency_samples = 0;
   double mean_latency = 0.0;
   std::uint64_t p50_latency = 0;  ///< round-trip latency percentiles
   std::uint64_t p95_latency = 0;
@@ -46,6 +49,13 @@ struct TrafficReport {
   double throughput = 0.0;  ///< completed transactions per cycle
   double offered_load = 0.0;  ///< issued transactions per cycle
 };
+
+/// Fills the latency fields of `report` from `latencies` (consumed):
+/// mean over the sample count, nearest-rank p50/p95/p99
+/// (rank = max(1, ceil(p*n)) — exact at every n, including n = 1 and 2),
+/// and max.  Zeroes all latency fields when the sample set is empty.
+void finalize_latencies(TrafficReport& report,
+                        std::vector<std::uint64_t> latencies);
 
 /// Runs `warm + measured` cycles of randomised traffic against `noc` and
 /// reports steady-state statistics over the measured window (plus a drain

@@ -5,6 +5,7 @@
 
 #include "wsp/common/error.hpp"
 #include "wsp/exec/parallel_for.hpp"
+#include "wsp/obs/trace.hpp"
 
 namespace wsp::pdn {
 
@@ -131,6 +132,7 @@ void ResistiveGrid::rebuild_stencil() {
 
 double ResistiveGrid::sweep_color(const std::vector<StencilNode>& nodes,
                                   double omega) {
+  WSP_TRACE_SPAN("pdn.sor.sweep");
   // Every node of one color reads only other-color neighbours (and its own
   // previous value) and writes only itself, so chunks are data-independent
   // and the half-sweep is bit-identical for any thread count.  The grain
@@ -180,7 +182,21 @@ double ResistiveGrid::max_kcl_residual() const {
   return std::max(color_max(stencil_[0]), color_max(stencil_[1]));
 }
 
+void ResistiveGrid::bind_metrics(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.solves = &registry->counter(prefix + "solves");
+  metrics_.sweeps = &registry->counter(prefix + "sweeps");
+  metrics_.converged = &registry->counter(prefix + "converged");
+  metrics_.residual_a = &registry->gauge(prefix + "residual_a");
+  metrics_.max_delta_v = &registry->gauge(prefix + "max_delta_v");
+}
+
 SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
+  WSP_TRACE_SPAN("pdn.sor.solve");
   if (omega <= 0.0) omega = chebyshev_omega(width_, height_);
   require(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
   if (!stencil_valid_) rebuild_stencil();
@@ -198,6 +214,13 @@ SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
     }
   }
   stats.residual = max_kcl_residual();
+  if (metrics_.solves != nullptr) {
+    metrics_.solves->add();
+    metrics_.sweeps->add(static_cast<std::uint64_t>(stats.iterations));
+    if (stats.converged) metrics_.converged->add();
+    metrics_.residual_a->set(stats.residual);
+    metrics_.max_delta_v->set(stats.max_delta_v);
+  }
   return stats;
 }
 

@@ -20,7 +20,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "wsp/obs/metrics.hpp"
 
 namespace wsp::pdn {
 
@@ -92,6 +95,14 @@ class ResistiveGrid {
   SolveStats solve(double tol = 1e-7, int max_iterations = 200000,
                    double omega = 0.0);
 
+  /// Binds solver metrics into `registry` under `prefix`: counters
+  /// <prefix>solves / <prefix>sweeps / <prefix>converged and gauges
+  /// <prefix>residual_a / <prefix>max_delta_v, updated at the end of every
+  /// solve().  Pass nullptr to unbind (the default state: no recording).
+  /// The registry must outlive the grid.
+  void bind_metrics(obs::MetricsRegistry* registry,
+                    const std::string& prefix = "pdn.sor.");
+
   double voltage(int x, int y) const { return v_[index(x, y)]; }
   const std::vector<double>& voltages() const { return v_; }
 
@@ -127,6 +138,15 @@ class ResistiveGrid {
   std::vector<double> v_;
   std::vector<StencilNode> stencil_[2];  // [0] = red (x+y even), [1] = black
   bool stencil_valid_ = false;
+
+  // Registry-backed solver metrics (all null while unbound).
+  struct Metrics {
+    obs::Counter* solves = nullptr;
+    obs::Counter* sweeps = nullptr;     ///< SOR iterations, both colors
+    obs::Counter* converged = nullptr;  ///< solves that met tol
+    obs::Gauge* residual_a = nullptr;   ///< last solve's max KCL residual
+    obs::Gauge* max_delta_v = nullptr;  ///< last solve's final update
+  } metrics_;
 
   void rebuild_stencil();
   double sweep_color(const std::vector<StencilNode>& nodes, double omega);

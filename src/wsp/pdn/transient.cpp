@@ -57,7 +57,15 @@ TransientResult simulate_load_transient(
 
   result.stayed_in_band =
       result.min_v >= ldo.min_output_v && result.max_v <= ldo.max_output_v;
-  if (settled_since >= 0.0)
+  // `settled_since` marks the start of the FINAL in-band stretch (any
+  // band exit resets it, so first-entry timestamps of incomplete rings
+  // never survive).  Still, a simulation horizon that happens to end on an
+  // in-band sample mid-ring would report the crossing as settled — require
+  // the stretch to have lasted the dwell time before believing it.
+  const double dwell = params.settle_dwell_s > 0.0 ? params.settle_dwell_s
+                                                   : 5.0 * params.loop_tau_s;
+  const double t_end = static_cast<double>(steps) * params.dt_s;
+  if (settled_since >= 0.0 && t_end - settled_since >= dwell)
     result.settle_time_s = std::max(0.0, settled_since - last_change_t);
   return result;
 }

@@ -35,6 +35,10 @@ struct TransientResult {
   double max_v = 0.0;
   /// Time for the output to re-enter and stay within `settle_band_v` of the
   /// target after the last load change (seconds); -1 if it never settles.
+  /// "Stay" means the final in-band stretch lasted at least the dwell
+  /// requirement (TransientParams::settle_dwell_s): an underdamped output
+  /// that is merely *crossing* the band mid-ring when the simulation
+  /// horizon ends does not count as settled.
   double settle_time_s = -1.0;
   bool stayed_in_band = false;  ///< never left [min_output_v, max_output_v]
 };
@@ -45,6 +49,11 @@ struct TransientParams {
   double loop_gain = 5.0;        ///< A per volt of output error
   double dt_s = 0.05e-9;         ///< integration step
   double settle_band_v = 0.02;   ///< settling window around target
+  /// Minimum time the output must remain continuously inside the settle
+  /// band before the entry point counts as settled; 0 selects the default
+  /// of 5 * loop_tau_s (a ring that re-exits does so well within a few
+  /// time constants).
+  double settle_dwell_s = 0.0;
 };
 
 /// Simulates `duration_s` of operation with load current given by

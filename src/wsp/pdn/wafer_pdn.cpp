@@ -6,6 +6,7 @@
 
 #include "wsp/common/error.hpp"
 #include "wsp/exec/parallel_for.hpp"
+#include "wsp/obs/trace.hpp"
 
 namespace wsp::pdn {
 
@@ -72,11 +73,13 @@ PdnReport WaferPdn::solve_uniform(double activity) {
 }
 
 PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
+  WSP_TRACE_SPAN("pdn.wafer.solve");
   const TileGrid tiles = config_.grid();
   require(tile_power_w.size() == tiles.tile_count(),
           "tile power vector size mismatch");
 
   ResistiveGrid grid = build_grid();
+  if (metrics_ != nullptr) grid.bind_metrics(metrics_);
   const int k = options_.nodes_per_tile;
   const double nodes_per_tile = static_cast<double>(k) * k;
 
@@ -220,6 +223,18 @@ PdnReport WaferPdn::extract_report(ResistiveGrid& grid,
   report.efficiency = report.total_input_power_w > 0.0
                           ? report.delivered_power_w / report.total_input_power_w
                           : 0.0;
+  if (metrics_ != nullptr) {
+    metrics_->counter("pdn.solves").add();
+    metrics_->gauge("pdn.min_supply_v").set(report.min_supply_v);
+    metrics_->gauge("pdn.max_supply_v").set(report.max_supply_v);
+    metrics_->gauge("pdn.total_supply_current_a")
+        .set(report.total_supply_current_a);
+    metrics_->gauge("pdn.plane_loss_w").set(report.plane_loss_w);
+    metrics_->gauge("pdn.ldo_loss_w").set(report.ldo_loss_w);
+    metrics_->gauge("pdn.efficiency").set(report.efficiency);
+    metrics_->gauge("pdn.tiles_out_of_regulation")
+        .set(static_cast<double>(report.tiles_out_of_regulation));
+  }
   return report;
 }
 

@@ -97,10 +97,18 @@ class WaferPdn {
   const SystemConfig& config() const { return config_; }
   const WaferPdnOptions& options() const { return options_; }
 
+  /// Binds wafer-level PDN metrics into `registry` ("pdn." namespace):
+  /// solver counters/gauges from the underlying ResistiveGrid plus report
+  /// gauges (pdn.min_supply_v, pdn.efficiency, pdn.plane_loss_w,
+  /// pdn.ldo_loss_w, pdn.tiles_out_of_regulation), refreshed per solve.
+  /// Pass nullptr to unbind.  The registry must outlive the WaferPdn.
+  void bind_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
  private:
   SystemConfig config_;
   WaferPdnOptions options_;
   Ldo ldo_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   ResistiveGrid build_grid() const;
   PdnReport extract_report(ResistiveGrid& grid,

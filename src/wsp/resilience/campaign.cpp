@@ -6,6 +6,7 @@
 #include "wsp/clock/recovery.hpp"
 #include "wsp/common/error.hpp"
 #include "wsp/exec/parallel_for.hpp"
+#include "wsp/obs/trace.hpp"
 #include "wsp/resilience/fault_injector.hpp"
 
 namespace wsp::resilience {
@@ -50,6 +51,7 @@ DegradationCampaign::DegradationCampaign(const CampaignOptions& options)
 }
 
 DegradationReport DegradationCampaign::run() const {
+  WSP_TRACE_SPAN("campaign.trial");
   const SystemConfig& config = options_.config;
   const TileGrid grid = config.grid();
   Rng rng(options_.seed);
@@ -246,18 +248,21 @@ DegradationReport DegradationCampaign::run() const {
   }
 
   // --- drain: everything in flight completes, retries, or is lost --------
-  const std::uint64_t drain_limit = noc.now() + options_.drain_cycles;
-  while (noc.inflight_transactions() > 0 && noc.now() < drain_limit) {
-    noc.step(done);
-    for (auto it = trackers.begin(); it != trackers.end();) {
-      prune_resolved(it->ids, noc);
-      if (it->ids.empty()) {
-        EventOutcome& out = report.events[it->event_index];
-        out.recovery_cycles = noc.now() - out.applied_cycle;
-        out.recovered = true;
-        it = trackers.erase(it);
-      } else {
-        ++it;
+  {
+    WSP_TRACE_SPAN("campaign.drain");
+    const std::uint64_t drain_limit = noc.now() + options_.drain_cycles;
+    while (noc.inflight_transactions() > 0 && noc.now() < drain_limit) {
+      noc.step(done);
+      for (auto it = trackers.begin(); it != trackers.end();) {
+        prune_resolved(it->ids, noc);
+        if (it->ids.empty()) {
+          EventOutcome& out = report.events[it->event_index];
+          out.recovery_cycles = noc.now() - out.applied_cycle;
+          out.recovered = true;
+          it = trackers.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }
@@ -372,6 +377,48 @@ CampaignSummary summarize(const std::vector<DegradationReport>& reports) {
   s.lost_per_issued =
       issued ? static_cast<double>(lost) / static_cast<double>(issued) : 0.0;
   return s;
+}
+
+void publish_metrics(const std::vector<DegradationReport>& reports,
+                     obs::MetricsRegistry& registry) {
+  obs::Counter& trials = registry.counter("campaign.trials");
+  obs::Counter& events = registry.counter("campaign.events");
+  obs::Counter& recovered = registry.counter("campaign.events_recovered");
+  obs::Counter& retirements = registry.counter("campaign.retirements");
+  obs::Counter& drained = registry.counter("campaign.drained");
+  obs::Counter& ssi = registry.counter("campaign.single_system_image");
+  obs::Counter& issued = registry.counter("campaign.noc.issued");
+  obs::Counter& completed = registry.counter("campaign.noc.completed");
+  obs::Counter& lost = registry.counter("campaign.noc.lost");
+  obs::Counter& timeouts = registry.counter("campaign.noc.timeouts");
+  obs::Counter& retries = registry.counter("campaign.noc.retries");
+  obs::Histogram& recovery = registry.histogram("campaign.recovery_cycles");
+  obs::Histogram& final_usable = registry.histogram("campaign.final_usable");
+
+  double reachability_sum = 0.0;
+  for (const DegradationReport& r : reports) {
+    trials.add();
+    events.add(r.events.size());
+    retirements.add(r.retirements.size());
+    if (r.drained) drained.add();
+    if (r.single_system_image) ssi.add();
+    issued.add(r.noc_stats.issued);
+    completed.add(r.noc_stats.completed);
+    lost.add(r.noc_stats.lost);
+    timeouts.add(r.noc_stats.timeouts);
+    retries.add(r.noc_stats.retries);
+    for (const EventOutcome& e : r.events) {
+      if (!e.recovered) continue;
+      recovered.add();
+      recovery.record(e.recovery_cycles);
+    }
+    final_usable.record(r.final_usable);
+    reachability_sum += r.pair_reachability_pct;
+  }
+  registry.gauge("campaign.mean_pair_reachability_pct")
+      .set(reports.empty() ? 0.0
+                           : reachability_sum /
+                                 static_cast<double>(reports.size()));
 }
 
 }  // namespace wsp::resilience

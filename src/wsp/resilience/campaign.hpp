@@ -29,6 +29,7 @@
 #include "wsp/noc/link_health.hpp"
 #include "wsp/noc/noc_system.hpp"
 #include "wsp/noc/traffic.hpp"
+#include "wsp/obs/metrics.hpp"
 #include "wsp/resilience/fault_schedule.hpp"
 #include "wsp/resilience/pdn_degradation.hpp"
 
@@ -142,5 +143,15 @@ struct CampaignSummary {
 };
 
 CampaignSummary summarize(const std::vector<DegradationReport>& reports);
+
+/// Folds trial reports into `registry` under the "campaign." namespace:
+/// counters (trials, events, recovered events, retirements, drained /
+/// single-system-image trials, aggregated NoC issued/completed/lost/
+/// timeouts/retries), histograms (campaign.recovery_cycles over recovered
+/// events, campaign.final_usable per trial) and summary gauges.  Reports
+/// are folded in vector order, so run_trials output — itself bit-identical
+/// for every thread count — produces a bit-identical registry.
+void publish_metrics(const std::vector<DegradationReport>& reports,
+                     obs::MetricsRegistry& registry);
 
 }  // namespace wsp::resilience

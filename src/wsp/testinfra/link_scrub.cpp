@@ -1,6 +1,7 @@
 #include "wsp/testinfra/link_scrub.hpp"
 
 #include "wsp/common/error.hpp"
+#include "wsp/obs/trace.hpp"
 
 namespace wsp::testinfra {
 
@@ -36,9 +37,21 @@ void LinkScrubChain::deposit(
         words[static_cast<std::size_t>(w)]);
 }
 
+void LinkScrubChain::bind_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.harvests = &registry->counter("scrub.harvests");
+  metrics_.words = &registry->counter("scrub.words");
+  metrics_.tck_cycles = &registry->counter("scrub.tck_cycles");
+}
+
 std::vector<std::array<std::uint32_t, kScrubWordsPerTile>>
 LinkScrubChain::scrub() {
+  WSP_TRACE_SPAN("scrub.harvest");
   const int tiles = static_cast<int>(srams_.size());
+  const std::uint64_t tck_before = host_.tck_count();
   host_.reset();
   const auto raw = host_.read_words(base_addr_, kScrubWordsPerTile, tiles);
   // The DAP nearest TDO (the last tile of the chain) shifts out first:
@@ -50,6 +63,12 @@ LinkScrubChain::scrub() {
       out[static_cast<std::size_t>(tiles - 1 - d)]
          [static_cast<std::size_t>(w)] = raw[static_cast<std::size_t>(w)]
                                             [static_cast<std::size_t>(d)];
+  if (metrics_.harvests != nullptr) {
+    metrics_.harvests->add();
+    metrics_.words->add(static_cast<std::uint64_t>(tiles) *
+                        kScrubWordsPerTile);
+    metrics_.tck_cycles->add(host_.tck_count() - tck_before);
+  }
   return out;
 }
 

@@ -20,6 +20,7 @@
 
 #include "wsp/common/geometry.hpp"
 #include "wsp/mem/sram_bank.hpp"
+#include "wsp/obs/metrics.hpp"
 #include "wsp/testinfra/dap_chain.hpp"
 
 namespace wsp::testinfra {
@@ -48,11 +49,25 @@ class LinkScrubChain {
   /// regardless of the chain's TDO-first shift order.
   std::vector<std::array<std::uint32_t, kScrubWordsPerTile>> scrub();
 
+  /// Binds harvest telemetry into `registry` under the "scrub." namespace:
+  /// counters scrub.harvests (scrub() calls), scrub.words (32-bit words
+  /// harvested) and scrub.tck_cycles (JTAG clock cycles spent, summed over
+  /// harvests).  Pass nullptr to unbind (the default: no recording).  The
+  /// registry must outlive the chain.
+  void bind_metrics(obs::MetricsRegistry* registry);
+
  private:
   std::uint32_t base_addr_;
   std::vector<mem::SramBank> srams_;
   WaferTestChain chain_;
   JtagHost host_;
+
+  // Registry-backed harvest telemetry (all null while unbound).
+  struct Metrics {
+    obs::Counter* harvests = nullptr;
+    obs::Counter* words = nullptr;
+    obs::Counter* tck_cycles = nullptr;
+  } metrics_;
 };
 
 }  // namespace wsp::testinfra

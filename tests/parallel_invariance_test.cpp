@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "wsp/exec/thread_pool.hpp"
+#include "wsp/obs/report.hpp"
 #include "wsp/pdn/resistive_grid.hpp"
 #include "wsp/pdn/thermal.hpp"
 #include "wsp/pdn/wafer_pdn.hpp"
@@ -160,6 +161,33 @@ TEST(ParallelInvariance, CampaignTrialsBitIdentical) {
 
   const auto runs =
       at_thread_counts([&] { return flatten(campaign.run_trials(5)); });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelInvariance, MetricsRegistryAndRunReportBitIdentical) {
+  // The folded campaign registry — and its full RunReport serialisation —
+  // must be byte-identical at 1, 2, 8 threads: metrics never read the
+  // clock, and publish_metrics folds the (thread-invariant) reports in
+  // trial order.
+  resilience::CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 42;
+  o.run_cycles = 400;
+  o.fault_horizon = 300;
+  o.drain_cycles = 20000;
+  o.injection_rate = 0.02;
+  o.mix.tile_deaths = 2;
+  o.mix.link_failures = 1;
+  const resilience::DegradationCampaign campaign(o);
+
+  const auto runs = at_thread_counts([&] {
+    obs::MetricsRegistry registry;
+    resilience::publish_metrics(campaign.run_trials(5), registry);
+    obs::RunReport report("invariance");
+    report.add_metrics("campaign", registry);
+    return report.to_json();
+  });
   EXPECT_EQ(runs[0], runs[1]);
   EXPECT_EQ(runs[0], runs[2]);
 }

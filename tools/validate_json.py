@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Minimal JSON-Schema validator (draft-07 subset), stdlib only.
+
+CI uses this to check the observability artifacts (RUNREPORT_*.json,
+TRACE_*.json) against schemas/*.schema.json without adding a jsonschema
+dependency.  Supported keywords: type (string or list of strings),
+required, properties, additionalProperties (schema or false), items,
+enum, minimum, maximum, minItems.  Any other validation keyword in a
+schema is a hard error so new schema features can't silently go
+unchecked.
+
+Usage: validate_json.py <schema.json> <instance.json> [more instances...]
+Exit status 0 when every instance validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+# Annotation-only keywords are ignored; everything else must be supported.
+ANNOTATIONS = {"$schema", "title", "description", "$comment", "examples"}
+SUPPORTED = {
+    "type", "required", "properties", "additionalProperties", "items",
+    "enum", "minimum", "maximum", "minItems",
+}
+
+
+def type_matches(value, name):
+    if name == "object":
+        return isinstance(value, dict)
+    if name == "array":
+        return isinstance(value, list)
+    if name == "string":
+        return isinstance(value, str)
+    if name == "boolean":
+        return isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "null":
+        return value is None
+    raise SystemExit(f"schema error: unknown type {name!r}")
+
+
+def validate(value, schema, path, errors):
+    unknown = set(schema) - SUPPORTED - ANNOTATIONS
+    if unknown:
+        raise SystemExit(
+            f"schema error at {path}: unsupported keywords {sorted(unknown)}")
+
+    if "type" in schema:
+        names = schema["type"]
+        if isinstance(names, str):
+            names = [names]
+        if not any(type_matches(value, n) for n in names):
+            errors.append(
+                f"{path}: expected {'|'.join(names)}, "
+                f"got {type(value).__name__}")
+            return  # structural keywords below assume the right type
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        props = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for key, sub in value.items():
+            sub_path = f"{path}.{key}"
+            if key in props:
+                validate(sub, props[key], sub_path, errors)
+            elif isinstance(additional, dict):
+                validate(sub, additional, sub_path, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    status = 0
+    for instance_path in argv[2:]:
+        with open(instance_path, encoding="utf-8") as f:
+            instance = json.load(f)
+        errors = []
+        validate(instance, schema, "$", errors)
+        if errors:
+            status = 1
+            print(f"FAIL {instance_path} vs {argv[1]}:")
+            for err in errors[:25]:
+                print(f"  {err}")
+            if len(errors) > 25:
+                print(f"  ... and {len(errors) - 25} more")
+        else:
+            print(f"OK   {instance_path} matches {argv[1]}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
