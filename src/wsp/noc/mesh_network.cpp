@@ -1,13 +1,28 @@
 #include "wsp/noc/mesh_network.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <bit>
 #include <string>
 
 #include "wsp/common/error.hpp"
+#include "wsp/exec/thread_pool.hpp"
 #include "wsp/noc/odd_even.hpp"
+#include "wsp/obs/trace.hpp"
 
 namespace wsp::noc {
+
+namespace {
+
+/// Default column-band count: one band per ~4 columns so a full-wafer
+/// 32x32 mesh splits eight ways, while small test grids stay single-band
+/// (one band means the phased stepper runs inline with no pool dispatch).
+/// Pure function of the grid width — never of the thread count.
+int default_shards(int width) {
+  if (width < 16) return 1;
+  return std::clamp(width / 4, 1, 16);
+}
+
+}  // namespace
 
 MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
                          const MeshOptions& options,
@@ -17,12 +32,10 @@ MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
       grid_(faults.grid()),
       kind_(kind),
       options_(options),
-      routers_(grid_.tile_count()),
-      pending_toward_(grid_.tile_count()),
+      cap_(static_cast<std::size_t>(options.input_queue_capacity)),
       owned_metrics_(metrics ? nullptr : new obs::MetricsRegistry),
       metrics_(metrics ? metrics : owned_metrics_.get()),
-      ber_(faults.grid()),
-      chan_rng_(options.integrity.seed ^ static_cast<std::uint64_t>(kind)) {
+      ber_(faults.grid()) {
   const std::string prefix =
       kind == NetworkKind::XY ? "noc.xy." : "noc.yx.";
   ctr_.injected = &metrics_->counter(prefix + "injected");
@@ -40,15 +53,107 @@ MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
   ctr_.dup_dropped = &metrics_->counter(prefix + "dup_dropped");
   require(options.input_queue_capacity >= 1,
           "input queues need capacity >= 1");
+  require(options.input_queue_capacity <= 4096,
+          "input queue capacity too large");
   require(options.link_latency >= 1, "links take at least one cycle");
   require(options.integrity.max_retransmits >= 0,
           "retransmit budget cannot be negative");
+  require(options.shards >= 0, "shard count cannot be negative");
+
+  const std::size_t n = grid_.tile_count();
+  q_slots_.assign(n * kPortCount * cap_, 0);
+  tiles_.assign(n, TileState{});
+  link_.assign(n * 4, LinkState{0, 0, 0, static_cast<std::uint16_t>(cap_)});
+  ring_slab_.assign(n * 4 * cap_, LinkTransfer{});
+  neighbor_.assign(n * 4, -1);
+  in_ring_.assign(n * 4, -1);
+  tile_faulty_.assign(n, 0);
+  link_ok_.assign(n * 4, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const TileCoord c = grid_.coord_of(t);
+    for (std::size_t d = 0; d < 4; ++d)
+      if (const auto nb = grid_.neighbor(c, static_cast<Direction>(d)))
+        neighbor_[t * 4 + d] =
+            static_cast<std::int32_t>(grid_.index_of(*nb));
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      const std::int32_t src = neighbor_[t * 4 + p];
+      if (src < 0) continue;
+      const auto out =
+          static_cast<std::size_t>(opposite(static_cast<Direction>(p)));
+      in_ring_[t * 4 + p] = src * 4 + static_cast<std::int32_t>(out);
+    }
+  }
+
+  const int w = static_cast<int>(grid_.width());
+  int s = options.shards > 0 ? options.shards : default_shards(w);
+  s = std::clamp(s, 1, std::max(1, w));
+  shards_ = static_cast<std::size_t>(s);
+  shard_x0_.resize(shards_ + 1);
+  for (std::size_t i = 0; i <= shards_; ++i)
+    shard_x0_[i] = static_cast<int>(static_cast<std::size_t>(w) * i / shards_);
+  scratch_.resize(shards_);
+  metrics_->gauge(prefix + "shards").set(static_cast<double>(shards_));
+
   if (options_.integrity.enabled) {
-    link_errors_.assign(grid_.tile_count(), {});
-    link_traversals_.assign(grid_.tile_count(), {});
-    tx_seq_.assign(grid_.tile_count(), {});
-    rx_seq_.assign(grid_.tile_count(), {});
-    link_next_free_.assign(grid_.tile_count(), {});
+    link_errors_.assign(n, {});
+    link_traversals_.assign(n, {});
+    tx_seq_.assign(n, {});
+    rx_seq_.assign(n, {});
+    link_next_free_.assign(n, {});
+    // One independent stream per directed link, so the order shards happen
+    // to sample channels in can never change what any one link draws.
+    link_rng_.reserve(n * 4);
+    const std::uint64_t base = options.integrity.seed ^
+                               (static_cast<std::uint64_t>(kind) << 32);
+    for (std::size_t lid = 0; lid < n * 4; ++lid)
+      link_rng_.emplace_back(base + 0x9E3779B97F4A7C15ull * (lid + 1));
+  }
+  rebuild_topology();
+}
+
+void MeshNetwork::rebuild_topology() {
+  const std::size_t n = grid_.tile_count();
+  for (std::size_t t = 0; t < n; ++t)
+    tile_faulty_[t] = faults_.is_faulty(grid_.coord_of(t)) ? 1 : 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const TileCoord c = grid_.coord_of(t);
+    for (std::size_t d = 0; d < 4; ++d) {
+      const std::int32_t nb = neighbor_[t * 4 + d];
+      link_ok_[t * 4 + d] =
+          (nb >= 0 && !tile_faulty_[static_cast<std::size_t>(nb)] &&
+           !link_faults_.is_failed(c, static_cast<Direction>(d)))
+              ? 1
+              : 0;
+    }
+  }
+
+  if (options_.adaptive_odd_even) {
+    have_route9_ = false;
+    return;
+  }
+  // DoR only reads the sign pair (sign(dst.x - x), sign(dst.y - y)), so
+  // the per-(src, dst) decision table factors into 9 cases per tile; fold
+  // link health in so the hot path is a single byte load.
+  have_route9_ = true;
+  for (std::size_t here = 0; here < n; ++here) {
+    if (tile_faulty_[here]) continue;  // never arbitrates; row unread
+    std::uint8_t* row = tiles_[here].route9;
+    for (int sx = -1; sx <= 1; ++sx) {
+      for (int sy = -1; sy <= 1; ++sy) {
+        std::uint8_t code = kRouteEject;
+        if (kind_ == NetworkKind::XY ? sx != 0 : (sx != 0 && sy == 0)) {
+          code = static_cast<std::uint8_t>(sx > 0 ? Direction::East
+                                                  : Direction::West);
+        } else if (sy != 0) {
+          code = static_cast<std::uint8_t>(sy > 0 ? Direction::North
+                                                  : Direction::South);
+        }
+        if (code < 4 && !link_ok_[here * 4 + code]) code = kRouteDrop;
+        row[(sx + 1) * 3 + (sy + 1)] = code;
+      }
+    }
   }
 }
 
@@ -69,248 +174,388 @@ MeshStats MeshNetwork::stats() const {
   return s;
 }
 
-bool MeshNetwork::queue_has_space(std::size_t tile, Port port) const {
-  const auto p = static_cast<std::size_t>(port);
-  return routers_[tile].in_q[p].size() +
-             pending_toward_[tile][p] <
-         static_cast<std::size_t>(options_.input_queue_capacity);
-}
-
 bool MeshNetwork::can_inject(TileCoord src) const {
-  if (!grid_.contains(src) || faults_.is_faulty(src)) return false;
-  return queue_has_space(grid_.index_of(src),
-                         Port::Local);
+  if (!grid_.contains(src)) return false;
+  const std::size_t t = grid_.index_of(src);
+  return !tile_faulty_[t] &&
+         tiles_[t].q_size[static_cast<std::size_t>(Port::Local)] < cap_;
 }
 
 bool MeshNetwork::inject(const Packet& packet) {
   if (!can_inject(packet.src)) return false;
-  const auto tile = grid_.index_of(packet.src);
-  Packet p = packet;
-  p.network = kind_;
-  routers_[tile].in_q[static_cast<std::size_t>(Port::Local)].push_back(p);
+  const std::size_t t = grid_.index_of(packet.src);
+  const std::uint32_t idx = pool_alloc(packet);
+  pool_[idx].network = kind_;
+  q_push(t, static_cast<std::size_t>(Port::Local), idx);
   ctr_.injected->add();
   ++in_flight_;
   return true;
 }
 
 MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
-                                                       std::uint64_t now) {
+                                                       std::uint64_t now,
+                                                       ShardScratch& sc) {
   const auto port = static_cast<std::size_t>(t.dst_port);
 
   if (options_.integrity.enabled) {
     const double p = ber_.packet_error_prob_at(t.src_tile, t.dir);
-    if (p > 0.0 && chan_rng_.uniform() < p) {
-      // The channel flipped at least one of the 100 wire bits.
-      if (chan_rng_.uniform() < kCrcEscapeProbability) {
-        // Aliased to a valid codeword: delivered with poisoned payload.
-        ctr_.crc_escapes->add();
-        t.packet.payload ^= 1;
-      } else {
-        ctr_.crc_detected->add();
-        ++link_errors_[t.src_tile][t.dir];
-        if (options_.integrity.retransmit &&
-            t.retransmits <
-                static_cast<std::uint8_t>(options_.integrity.max_retransmits)) {
-          // Go-back-N: the receiving hop NACKs; the sender replays this
-          // frame (one NACK flight + one resend flight) and every frame
-          // behind it on the same link, preserving per-link order.  The
-          // downstream credit stays reserved for the whole retry.
-          ctr_.link_retransmits->add();
-          ctr_.link_traversals->add();
-          ++link_traversals_[t.src_tile][t.dir];
-          ++t.retransmits;
-          std::uint64_t slot =
-              now + 2 * static_cast<std::uint64_t>(options_.link_latency);
-          t.arrival_cycle = slot;
-          for (auto& f : in_transit_)
-            if (f.src_tile == t.src_tile && f.dir == t.dir)
-              f.arrival_cycle = ++slot;
-          link_next_free_[t.src_tile][t.dir] =
-              std::max(link_next_free_[t.src_tile][t.dir], slot + 1);
-          in_transit_.push_back(std::move(t));
-          std::stable_sort(in_transit_.begin(), in_transit_.end(),
-                           [](const LinkTransfer& a, const LinkTransfer& b) {
-                             return a.arrival_cycle < b.arrival_cycle;
-                           });
-          return ChannelOutcome::Retried;
+    if (p > 0.0) {
+      Rng& rng = link_rng_[static_cast<std::size_t>(t.src_tile) * 4 + t.dir];
+      if (rng.uniform() < p) {
+        // The channel flipped at least one of the 100 wire bits.
+        if (rng.uniform() < kCrcEscapeProbability) {
+          // Aliased to a valid codeword: delivered with poisoned payload.
+          ++sc.d_crc_escapes;
+          pool_[t.pkt].payload ^= 1;
+        } else {
+          ++sc.d_crc_detected;
+          ++link_errors_[t.src_tile][t.dir];
+          if (options_.integrity.retransmit &&
+              t.retransmits < static_cast<std::uint8_t>(
+                                  options_.integrity.max_retransmits)) {
+            // Go-back-N: the receiving hop NACKs; the sender replays this
+            // frame (one NACK flight + one resend flight) and every frame
+            // behind it on the same link, preserving per-link order.  The
+            // downstream credit stays reserved for the whole retry.
+            ++sc.d_link_retransmits;
+            ++sc.d_link_traversals;
+            ++link_traversals_[t.src_tile][t.dir];
+            ++t.retransmits;
+            std::uint64_t slot =
+                now + 2 * static_cast<std::uint64_t>(options_.link_latency);
+            t.arrival_cycle = slot;
+            const std::size_t link =
+                static_cast<std::size_t>(t.src_tile) * 4 + t.dir;
+            for (std::size_t i = 0; i < link_[link].count; ++i)
+              ring_at(link, i).arrival_cycle = ++slot;
+            link_next_free_[t.src_tile][t.dir] =
+                std::max(link_next_free_[t.src_tile][t.dir], slot + 1);
+            ring_push_front(link, t);
+            return ChannelOutcome::Retried;
+          }
+          // Budget exhausted (or retransmission disabled): drop here and
+          // let the end-to-end timeout recover.  Both ends skip the lost
+          // sequence number as part of the final NACK handshake.
+          ++sc.d_link_error_drops;
+          rx_seq_[t.dst_tile][port] =
+              static_cast<std::uint8_t>((t.seq + 1) & 0xF);
+          --link_[static_cast<std::size_t>(t.src_tile) * 4 + t.dir].pending;
+          --sc.d_in_flight;
+          sc.freed.push_back(t.pkt);
+          return ChannelOutcome::Dropped;
         }
-        // Budget exhausted (or retransmission disabled): drop here and let
-        // the end-to-end timeout recover.  Both ends skip the lost
-        // sequence number as part of the final NACK handshake.
-        ctr_.link_error_drops->add();
-        rx_seq_[t.dst_tile][port] =
-            static_cast<std::uint8_t>((t.seq + 1) & 0xF);
-        --pending_toward_[t.dst_tile][port];
-        --in_flight_;
-        return ChannelOutcome::Dropped;
       }
     }
     // Receiver-side sequence check keeps delivery idempotent: anything but
     // the expected number is a stale replay and is rejected.
     if (t.seq != rx_seq_[t.dst_tile][port]) {
-      ctr_.dup_dropped->add();
-      --pending_toward_[t.dst_tile][port];
-      --in_flight_;
+      ++sc.d_dup_dropped;
+      --link_[static_cast<std::size_t>(t.src_tile) * 4 + t.dir].pending;
+      --sc.d_in_flight;
+      sc.freed.push_back(t.pkt);
       return ChannelOutcome::Dropped;
     }
     rx_seq_[t.dst_tile][port] = static_cast<std::uint8_t>((t.seq + 1) & 0xF);
   }
 
-  --pending_toward_[t.dst_tile][port];
-  routers_[t.dst_tile].in_q[port].push_back(std::move(t.packet));
+  --link_[static_cast<std::size_t>(t.src_tile) * 4 + t.dir].pending;
+  q_push(t.dst_tile, port, t.pkt);
   return ChannelOutcome::Accept;
 }
 
-void MeshNetwork::step(std::vector<Packet>& ejected) {
+void MeshNetwork::phase_land(int s) {
   const std::uint64_t now = ctr_.cycles->value;
+  ShardScratch& sc = scratch_[static_cast<std::size_t>(s)];
+  const int w = static_cast<int>(grid_.width());
+  const int h = static_cast<int>(grid_.height());
+  const int x0 = shard_x0_[static_cast<std::size_t>(s)];
+  const int x1 = shard_x0_[static_cast<std::size_t>(s) + 1];
 
-  // Phase 1: land in-transit packets due this cycle.  The deque is kept
-  // sorted by arrival cycle (retransmissions re-sort it).  A packet
-  // arriving at a tile that died while it was on the wire is lost.
-  while (!in_transit_.empty() && in_transit_.front().arrival_cycle <= now) {
-    LinkTransfer t = std::move(in_transit_.front());
-    in_transit_.pop_front();
-    if (faults_.is_faulty(grid_.coord_of(t.dst_tile))) {
-      const auto port = static_cast<std::size_t>(t.dst_port);
-      if (options_.integrity.enabled)
-        rx_seq_[t.dst_tile][port] =
-            static_cast<std::uint8_t>((t.seq + 1) & 0xF);
-      --pending_toward_[t.dst_tile][port];
-      ctr_.dropped_at_fault->add();
-      --in_flight_;
-      continue;
+  for (int y = 0; y < h; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const std::size_t t =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x);
+      // Drain every due transfer on each incoming link.  Arrivals on one
+      // link are monotone, so the per-ring scan stops at the first future
+      // frame; a Retried outcome re-queues at now + 2*latency, which also
+      // fails the `<= now` test and ends the scan.  A frame arriving at a
+      // tile that died while it was on the wire is lost here.
+      for (std::size_t p = 0; p < 4; ++p) {
+        const std::int32_t r = in_ring_[t * 4 + p];
+        if (r < 0) continue;
+        const auto link = static_cast<std::size_t>(r);
+        while (link_[link].count != 0 &&
+               ring_front(link).arrival_cycle <= now) {
+          LinkTransfer tr = ring_front(link);
+          ring_pop(link);
+          if (tile_faulty_[t]) {
+            if (options_.integrity.enabled)
+              rx_seq_[t][p] = static_cast<std::uint8_t>((tr.seq + 1) & 0xF);
+            --link_[link].pending;
+            ++sc.d_dropped_at_fault;
+            --sc.d_in_flight;
+            sc.freed.push_back(tr.pkt);
+            continue;
+          }
+          channel_admit(tr, now, sc);
+        }
+        // Freeze this cycle's credit snapshot on the upstream link record.
+        // Its unique source router reads (and on grant, decrements) it
+        // during phase_route; a slot freed by this cycle's pops becomes
+        // visible to the sender one cycle later.
+        link_[link].space = static_cast<std::uint16_t>(
+            cap_ - tiles_[t].q_size[p] - link_[link].pending);
+      }
     }
-    channel_admit(std::move(t), now);
+  }
+}
+
+void MeshNetwork::phase_route(int s) {
+  const std::uint64_t now = ctr_.cycles->value;
+  ShardScratch& sc = scratch_[static_cast<std::size_t>(s)];
+  const int w = static_cast<int>(grid_.width());
+  const int h = static_cast<int>(grid_.height());
+  const int x0 = shard_x0_[static_cast<std::size_t>(s)];
+  const int x1 = shard_x0_[static_cast<std::size_t>(s) + 1];
+  const bool have_table = have_route9_;
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const std::size_t t =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x);
+      if (tile_faulty_[t]) continue;
+      TileState& ts = tiles_[t];
+      if (ts.occ == 0) continue;
+
+      // Desired output per input port (-1: empty input or stalled), and a
+      // bitmask of outputs some input actually wants so the grant loop
+      // below skips idle outputs.
+      std::array<int, kPortCount> want{};
+      unsigned out_mask = 0;
+      for (std::size_t in = 0; in < kPortCount; ++in) {
+        if (ts.q_size[in] == 0) {
+          want[in] = -1;
+          continue;
+        }
+        const Packet& head = pool_[q_front_idx(t, in)];
+
+        if (have_table) {
+          // DoR only looks at the sign of the remaining offset, so the
+          // whole (src,dst) route function factors through nine cases per
+          // tile (see rebuild_topology).  Off-grid destinations fall into
+          // a non-zero sign case and drop at the wafer edge via link
+          // health, same as the direct next_hop computation.
+          const int sx = (head.dst.x > x) - (head.dst.x < x);
+          const int sy = (head.dst.y > y) - (head.dst.y < y);
+          const std::uint8_t r =
+              ts.route9[(sx + 1) * 3 + (sy + 1)];
+          if (r == kRouteEject) {
+            want[in] = static_cast<int>(Port::Local);
+            out_mask |= 1u << static_cast<unsigned>(Port::Local);
+            continue;
+          }
+          if (r == kRouteDrop) {
+            // The single DoR direction is dead (the kernel's fault-map
+            // discipline exists to prevent this).
+            want[in] = -1;
+            sc.freed.push_back(q_front_idx(t, in));
+            q_pop(t, in);
+            ++sc.d_dropped_at_fault;
+            --sc.d_in_flight;
+            continue;
+          }
+          if (link_[t * 4 + r].space > 0) {
+            want[in] = static_cast<int>(r);
+            out_mask |= 1u << r;
+          } else {
+            want[in] = -1;
+          }
+          continue;
+        }
+
+        // No table (adaptive routing, or a grid too large for one):
+        // candidate outputs in preference order — a single DoR direction,
+        // or the odd-even minimal-adaptive choice set.
+        const TileCoord here = grid_.coord_of(t);
+        RouteChoices cand;
+        if (options_.adaptive_odd_even) {
+          cand = odd_even_route(head.src, here, head.dst);
+        } else {
+          const RouteDecision d = next_hop(here, head.dst, kind_);
+          cand.eject = d.eject;
+          if (!d.eject) cand.dirs[cand.count++] = d.dir;
+        }
+        if (cand.eject) {
+          want[in] = static_cast<int>(Port::Local);
+          out_mask |= 1u << static_cast<unsigned>(Port::Local);
+          continue;
+        }
+        // Pick the first candidate that is healthy and has downstream
+        // credit; a healthy-but-full candidate stalls the input for this
+        // cycle, a route with no healthy candidate at all drops the packet.
+        want[in] = -1;
+        bool any_healthy = false;
+        for (int i = 0; i < cand.count; ++i) {
+          const auto dir = static_cast<std::size_t>(cand.dirs[i]);
+          if (!link_ok_[t * 4 + dir]) continue;
+          any_healthy = true;
+          if (link_[t * 4 + dir].space > 0) {
+            want[in] = static_cast<int>(dir);
+            out_mask |= 1u << static_cast<unsigned>(dir);
+            break;
+          }
+        }
+        if (!any_healthy) {
+          sc.freed.push_back(q_front_idx(t, in));
+          q_pop(t, in);
+          ++sc.d_dropped_at_fault;
+          --sc.d_in_flight;
+        }
+      }
+
+      // Each output grants at most one input per cycle, rotating priority,
+      // against the frozen credit snapshot.  countr_zero walks the wanted
+      // outputs in ascending index order, identical to the full 0..4 scan.
+      while (out_mask != 0) {
+        const auto out =
+            static_cast<std::size_t>(std::countr_zero(out_mask));
+        out_mask &= out_mask - 1;
+        if (out != static_cast<std::size_t>(Port::Local)) {
+          if (!link_ok_[t * 4 + out]) continue;
+          if (link_[t * 4 + out].space == 0) continue;
+        }
+
+        int winner = -1;
+        for (std::size_t k = 0; k < kPortCount; ++k) {
+          const std::size_t in = (ts.rr[out] + k) % kPortCount;
+          if (want[in] == static_cast<int>(out)) {
+            winner = static_cast<int>(in);
+            break;
+          }
+        }
+        if (winner < 0) continue;
+        ts.rr[out] = static_cast<std::uint8_t>((winner + 1) % kPortCount);
+
+        const std::uint32_t idx = q_front_idx(t, static_cast<std::size_t>(winner));
+        q_pop(t, static_cast<std::size_t>(winner));
+
+        if (out == static_cast<std::size_t>(Port::Local)) {
+          pool_[idx].delivered_cycle = now;
+          sc.ejected.emplace_back(static_cast<std::uint32_t>(t), idx);
+          ++sc.d_ejected;
+          --sc.d_in_flight;
+        } else {
+          ++link_[t * 4 + out].pending;
+          --link_[t * 4 + out].space;
+          ++sc.d_link_traversals;
+          LinkTransfer tr;
+          tr.arrival_cycle =
+              now + static_cast<std::uint64_t>(options_.link_latency);
+          tr.pkt = idx;
+          tr.dst_tile =
+              static_cast<std::uint32_t>(neighbor_[t * 4 + out]);
+          tr.dst_port =
+              static_cast<Port>(opposite(static_cast<Direction>(out)));
+          tr.src_tile = static_cast<std::uint32_t>(t);
+          tr.dir = static_cast<std::uint8_t>(out);
+          if (options_.integrity.enabled) {
+            tr.seq = tx_seq_[t][out];
+            tx_seq_[t][out] =
+                static_cast<std::uint8_t>((tx_seq_[t][out] + 1) & 0xF);
+            ++link_traversals_[t][out];
+            // The per-link watermark keeps frames granted after a
+            // retransmission from overtaking the replayed window.
+            tr.arrival_cycle =
+                std::max(tr.arrival_cycle, link_next_free_[t][out]);
+            link_next_free_[t][out] = tr.arrival_cycle + 1;
+          }
+          ring_push_back(t * 4 + out, tr);
+        }
+      }
+    }
+  }
+}
+
+void MeshNetwork::phase_commit(std::vector<Packet>& ejected) {
+  std::size_t total = 0;
+  for (ShardScratch& sc : scratch_) {
+    ctr_.ejected->add(sc.d_ejected);
+    ctr_.dropped_at_fault->add(sc.d_dropped_at_fault);
+    ctr_.link_traversals->add(sc.d_link_traversals);
+    ctr_.crc_detected->add(sc.d_crc_detected);
+    ctr_.crc_escapes->add(sc.d_crc_escapes);
+    ctr_.link_retransmits->add(sc.d_link_retransmits);
+    ctr_.link_error_drops->add(sc.d_link_error_drops);
+    ctr_.dup_dropped->add(sc.d_dup_dropped);
+    in_flight_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(in_flight_) + sc.d_in_flight);
+    sc.d_ejected = sc.d_dropped_at_fault = sc.d_link_traversals = 0;
+    sc.d_crc_detected = sc.d_crc_escapes = sc.d_link_retransmits = 0;
+    sc.d_link_error_drops = sc.d_dup_dropped = 0;
+    sc.d_in_flight = 0;
+    for (const std::uint32_t f : sc.freed) pool_free_.push_back(f);
+    sc.freed.clear();
+    total += sc.ejected.size();
   }
 
-  // Phase 2: per-router arbitration.  Each input head wants exactly one
-  // output; each output grants at most one input per cycle, rotating
-  // priority, subject to downstream credit.
-  for (std::size_t tile = 0; tile < routers_.size(); ++tile) {
-    const TileCoord here = grid_.coord_of(tile);
-    if (faults_.is_faulty(here)) continue;
-    RouterState& router = routers_[tile];
-
-    // Desired output per input port (-1: empty input or stalled).
-    std::array<int, kPortCount> want{};
-    for (std::size_t in = 0; in < kPortCount; ++in) {
-      auto& q = router.in_q[in];
-      if (q.empty()) {
-        want[in] = -1;
-        continue;
+  if (total > 0) {
+    // Only the Local port ejects and each output grants once per cycle, so
+    // tile indices are unique: sorting restores the global tile order the
+    // serial sweep produced (shards interleave per row).
+    if (shards_ == 1) {
+      for (const auto& [tile, pkt] : scratch_[0].ejected) {
+        ejected.push_back(pool_[pkt]);
+        pool_free_.push_back(pkt);
       }
-      const Packet& head = q.front();
-
-      // Candidate outputs in preference order: a single DoR direction, or
-      // the odd-even minimal-adaptive choice set.
-      RouteChoices cand;
-      if (options_.adaptive_odd_even) {
-        cand = odd_even_route(head.src, here, head.dst);
-      } else {
-        const RouteDecision d = next_hop(here, head.dst, kind_);
-        cand.eject = d.eject;
-        if (!d.eject) cand.dirs[cand.count++] = d.dir;
+      scratch_[0].ejected.clear();
+    } else {
+      eject_merge_.clear();
+      for (ShardScratch& sc : scratch_) {
+        for (const auto& e : sc.ejected) eject_merge_.push_back(e);
+        sc.ejected.clear();
       }
-      if (cand.eject) {
-        want[in] = static_cast<int>(Port::Local);
-        continue;
-      }
-
-      // Pick the first candidate that is healthy and has downstream
-      // credit; a healthy-but-full candidate stalls the input for this
-      // cycle, a route with no healthy candidate at all drops the packet
-      // (the kernel's fault-map discipline exists to prevent this).
-      want[in] = -1;
-      bool any_healthy = false;
-      for (int i = 0; i < cand.count; ++i) {
-        const auto n = grid_.neighbor(here, cand.dirs[i]);
-        if (!n || faults_.is_faulty(*n) ||
-            link_faults_.is_failed(here, cand.dirs[i]))
-          continue;
-        any_healthy = true;
-        if (queue_has_space(grid_.index_of(*n),
-                            port_from(opposite(cand.dirs[i])))) {
-          want[in] = static_cast<int>(port_from(cand.dirs[i]));
-          break;
-        }
-      }
-      if (!any_healthy) {
-        q.pop_front();
-        ctr_.dropped_at_fault->add();
-        --in_flight_;
-      }
-    }
-
-    for (std::size_t out = 0; out < kPortCount; ++out) {
-      // Downstream capacity for direction outputs.
-      std::size_t dst_tile = 0;
-      Port dst_port = Port::Local;
-      if (out != static_cast<std::size_t>(Port::Local)) {
-        const auto dir = static_cast<Direction>(out);
-        const auto n = grid_.neighbor(here, dir);
-        if (!n || faults_.is_faulty(*n) || link_faults_.is_failed(here, dir))
-          continue;
-        dst_tile = grid_.index_of(*n);
-        dst_port = port_from(opposite(dir));
-        if (!queue_has_space(dst_tile, dst_port)) continue;
-      }
-
-      // Rotating-priority arbitration among inputs wanting this output.
-      int winner = -1;
-      for (std::size_t k = 0; k < kPortCount; ++k) {
-        const std::size_t in = (router.rr_ptr[out] + k) % kPortCount;
-        if (want[in] == static_cast<int>(out)) {
-          winner = static_cast<int>(in);
-          break;
-        }
-      }
-      if (winner < 0) continue;
-      router.rr_ptr[out] = static_cast<std::uint8_t>((winner + 1) % kPortCount);
-
-      Packet packet = router.in_q[static_cast<std::size_t>(winner)].front();
-      router.in_q[static_cast<std::size_t>(winner)].pop_front();
-
-      if (out == static_cast<std::size_t>(Port::Local)) {
-        packet.delivered_cycle = now;
-        ejected.push_back(packet);
-        ctr_.ejected->add();
-        --in_flight_;
-      } else {
-        ++pending_toward_[dst_tile][static_cast<std::size_t>(dst_port)];
-        ctr_.link_traversals->add();
-        LinkTransfer t{
-            packet, dst_tile, dst_port,
-            now + static_cast<std::uint64_t>(options_.link_latency)};
-        if (options_.integrity.enabled) {
-          t.src_tile = tile;
-          t.dir = static_cast<std::uint8_t>(out);
-          t.seq = tx_seq_[tile][out];
-          tx_seq_[tile][out] =
-              static_cast<std::uint8_t>((tx_seq_[tile][out] + 1) & 0xF);
-          ++link_traversals_[tile][out];
-          // The per-link watermark keeps frames granted after a
-          // retransmission from overtaking the replayed window.
-          t.arrival_cycle =
-              std::max(t.arrival_cycle, link_next_free_[tile][out]);
-          link_next_free_[tile][out] = t.arrival_cycle + 1;
-        }
-        if (in_transit_.empty() ||
-            in_transit_.back().arrival_cycle <= t.arrival_cycle) {
-          in_transit_.push_back(std::move(t));
-        } else {
-          const auto it = std::upper_bound(
-              in_transit_.begin(), in_transit_.end(), t.arrival_cycle,
-              [](std::uint64_t a, const LinkTransfer& x) {
-                return a < x.arrival_cycle;
-              });
-          in_transit_.insert(it, std::move(t));
-        }
+      std::sort(eject_merge_.begin(), eject_merge_.end(),
+                [](const std::pair<std::uint32_t, std::uint32_t>& a,
+                   const std::pair<std::uint32_t, std::uint32_t>& b) {
+                  return a.first < b.first;
+                });
+      for (const auto& [tile, pkt] : eject_merge_) {
+        ejected.push_back(pool_[pkt]);
+        pool_free_.push_back(pkt);
       }
     }
   }
 
   ctr_.cycles->add();
   assert(conservation_holds());
+}
+
+void MeshNetwork::step(std::vector<Packet>& ejected) {
+  WSP_TRACE_SPAN("noc.mesh.step");
+  const int s = shard_count();
+  if (s > 1 && !exec::ThreadPool::on_worker_thread()) {
+    exec::ThreadPool& pool = exec::shared_pool();
+    pool.run_chunks(static_cast<std::size_t>(s), [this](std::size_t c) {
+      phase_land(static_cast<int>(c));
+    });
+    pool.run_chunks(static_cast<std::size_t>(s), [this](std::size_t c) {
+      phase_route(static_cast<int>(c));
+    });
+  } else {
+    for (int c = 0; c < s; ++c) phase_land(c);
+    for (int c = 0; c < s; ++c) phase_route(c);
+  }
+  phase_commit(ejected);
+}
+
+std::size_t MeshNetwork::recount_in_flight() const {
+  std::size_t total = 0;
+  for (const TileState& ts : tiles_)
+    for (std::size_t p = 0; p < kPortCount; ++p) total += ts.q_size[p];
+  for (const LinkState& l : link_) total += l.count;
+  return total;
 }
 
 void MeshNetwork::apply_fault_state(const FaultMap& faults,
@@ -320,26 +565,40 @@ void MeshNetwork::apply_fault_state(const FaultMap& faults,
           "apply_fault_state: fault map grid mismatch");
   faults_ = faults;
   link_faults_ = links;
+  rebuild_topology();
 
   // Packets buffered inside a router that just died are gone: the tile no
   // longer arbitrates, so they would otherwise sit in its queues forever.
-  for (std::size_t tile = 0; tile < routers_.size(); ++tile) {
-    if (!faults_.is_faulty(grid_.coord_of(tile))) continue;
-    for (auto& q : routers_[tile].in_q) {
-      ctr_.purged_in_dead_router->add(q.size());
-      in_flight_ -= q.size();
-      q.clear();
+  const std::size_t n = grid_.tile_count();
+  for (std::size_t t = 0; t < n; ++t) {
+    TileState& ts = tiles_[t];
+    if (!tile_faulty_[t] || ts.occ == 0) continue;
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      const std::uint16_t sz = ts.q_size[p];
+      if (sz == 0) continue;
+      for (std::size_t i = 0; i < sz; ++i) {
+        std::size_t slot = static_cast<std::size_t>(ts.q_head[p]) + i;
+        if (slot >= cap_) slot -= cap_;
+        pool_free_.push_back(q_slots_[qbase(t, p) + slot]);
+      }
+      ctr_.purged_in_dead_router->add(sz);
+      in_flight_ -= sz;
+      ts.q_size[p] = 0;
+      ts.q_head[p] = 0;
     }
+    ts.occ = 0;
   }
 }
 
 std::optional<std::uint64_t> MeshNetwork::corrupt_head_packet(TileCoord tile) {
   if (!grid_.contains(tile)) return std::nullopt;
-  RouterState& router = routers_[grid_.index_of(tile)];
-  for (auto& q : router.in_q) {
-    if (q.empty()) continue;
-    const std::uint64_t id = q.front().id;
-    q.pop_front();
+  const std::size_t t = grid_.index_of(tile);
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    if (tiles_[t].q_size[p] == 0) continue;
+    const std::uint32_t idx = q_front_idx(t, p);
+    const std::uint64_t id = pool_[idx].id;
+    pool_free_.push_back(idx);
+    q_pop(t, p);
     --in_flight_;
     ctr_.corrupted->add();
     return id;

@@ -23,11 +23,41 @@
 // bounded retransmit budget is dropped and recovers via the end-to-end
 // timeout.  Escapes (corruption the CRC aliases on) are delivered with a
 // poisoned payload and counted — detected-not-silent, quantified.
+//
+// ---------------------------------------------------------------------------
+// Sharded stepping (see DESIGN.md "Sharded NoC simulation")
+//
+// The mesh is partitioned into fixed column bands — a pure function of the
+// grid width and the configured shard count, never of the thread count —
+// and each cycle runs as two data-parallel phases separated by barriers:
+//
+//   phase_land   per shard: pop every due LinkTransfer off the per-link
+//                rings whose destination tile lies in the shard, run it
+//                through the BER channel (per-link RNG streams), push it
+//                into the destination input queue, then refresh the
+//                shard's credit snapshot (free slots per input port).
+//   phase_route  per shard: arbitrate every router in the shard against
+//                the frozen credit snapshot; grants pop the local input
+//                queue and push onto the *outgoing* per-link ring.
+//   phase_commit serial: fold the per-shard counter deltas in shard
+//                order, merge per-shard ejections into global tile-index
+//                order, advance the cycle counter.
+//
+// Every mutable word has exactly one writer per phase (a directed link's
+// ring is popped only by its destination shard in phase_land and pushed
+// only by its source shard in phase_route; a credit word is decremented
+// only by the unique upstream router), so the result is bit-identical for
+// every thread count *and* every shard count.  Router arbitration reads
+// only the frozen start-of-cycle credit snapshot: a slot freed by a pop
+// becomes visible to the upstream sender one cycle later, which is also
+// how real credit-return wires behave.  The pre-sharding stepper instead
+// let routers late in the serial sweep observe pops made earlier in the
+// same sweep — a sweep-order artifact this refactor removes.
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -57,6 +87,11 @@ struct MeshOptions {
   /// wsp/noc/odd_even.hpp).  Deadlock-free without virtual channels; the
   /// adaptivity steers around congestion and faulty tiles.
   bool adaptive_odd_even = false;
+  /// Column-band shard count for the parallel stepper; 0 picks one band
+  /// per ~4 columns (capped at 16).  The partition is a pure function of
+  /// (grid width, this value) and the simulation result is bit-identical
+  /// for every shard count — the knob only tunes parallel grain.
+  int shards = 0;
   /// Hop-level BER channel + CRC/NACK protocol (off by default).
   LinkIntegrityOptions integrity{};
 };
@@ -109,11 +144,38 @@ class MeshNetwork {
   bool inject(const Packet& packet);
 
   /// Advances one cycle; appends packets ejected at their destination this
-  /// cycle to `ejected`.
+  /// cycle to `ejected`.  The buffer is append-only and identity-agnostic:
+  /// callers may (and should) reuse one cleared-not-shrunk vector across
+  /// cycles — results are identical either way.
   void step(std::vector<Packet>& ejected);
+
+  // --- sharded stepping interface -----------------------------------------
+  // step() is sugar for: phase_land for every shard, barrier, phase_route
+  // for every shard, barrier, phase_commit.  NocSystem drives the phases
+  // directly so both meshes' shards share one thread-pool dispatch.  The
+  // two land/route phase calls of one cycle may run concurrently across
+  // shards; commit is serial.
+
+  /// Number of column-band shards (>= 1; pure function of grid + options).
+  int shard_count() const { return static_cast<int>(shards_); }
+  /// Lands due transfers into shard `s`'s tiles and refreshes its credit
+  /// snapshot.  Safe to run concurrently with other shards' phase_land.
+  void phase_land(int s);
+  /// Arbitrates shard `s`'s routers against the frozen credit snapshot.
+  /// Safe to run concurrently with other shards' phase_route; requires
+  /// every shard's phase_land of this cycle to have completed.
+  void phase_route(int s);
+  /// Folds per-shard deltas (shard order), merges ejections into global
+  /// tile-index order onto `ejected`, advances the cycle.  Serial.
+  void phase_commit(std::vector<Packet>& ejected);
 
   /// Total packets buffered in routers or in flight on links.
   std::size_t in_flight() const { return in_flight_; }
+
+  /// Test support: recounts in-flight packets the slow way (input queues +
+  /// per-link rings).  Equal to in_flight() whenever the mesh is between
+  /// cycles — the cross-shard packet-conservation invariant.
+  std::size_t recount_in_flight() const;
 
   /// Adopts a new fault state mid-run (runtime fault injection).  Packets
   /// buffered inside routers of newly dead tiles are purged and counted in
@@ -153,17 +215,16 @@ class MeshNetwork {
   }
 
  private:
-  struct RouterState {
-    std::array<std::deque<Packet>, kPortCount> in_q;
-    std::array<std::uint8_t, kPortCount> rr_ptr{};  ///< per-output rotation
-  };
+  /// One frame on a directed link.  Carries a pool_ index instead of the
+  /// 80-byte Packet so a hop moves 24 bytes of ring slab, not 80+ — the
+  /// payload stays put in the (L2-resident) pool until ejection.
   struct LinkTransfer {
-    Packet packet;
-    std::size_t dst_tile;
-    Port dst_port;
-    std::uint64_t arrival_cycle;
+    std::uint64_t arrival_cycle = 0;
+    std::uint32_t pkt = 0;         ///< pool_ index of the payload packet
+    std::uint32_t dst_tile = 0;
+    std::uint32_t src_tile = 0;    ///< link source (counter keying)
+    Port dst_port = Port::North;
     // Link-integrity protocol state:
-    std::size_t src_tile = 0;      ///< link source (counter keying)
     std::uint8_t dir = 0;          ///< outgoing Direction at the source
     std::uint8_t seq = 0;          ///< 4-bit per-link sequence number
     std::uint8_t retransmits = 0;  ///< budget consumed by this traversal
@@ -187,15 +248,119 @@ class MeshNetwork {
     obs::Counter* dup_dropped = nullptr;
   };
 
+  /// Per-shard accumulators: counter deltas, this cycle's ejections, and
+  /// pool slots freed by drops, all folded serially (in shard order) by
+  /// phase_commit so the registry, in_flight_ and the pool free list are
+  /// only ever written single-threaded.  Ejections carry their tile index
+  /// so the merge restores global tile order.
+  struct ShardScratch {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ejected;  // (tile, pool idx)
+    std::vector<std::uint32_t> freed;  ///< pool slots released by drops
+    std::uint64_t d_ejected = 0;
+    std::uint64_t d_dropped_at_fault = 0;
+    std::uint64_t d_link_traversals = 0;
+    std::uint64_t d_crc_detected = 0;
+    std::uint64_t d_crc_escapes = 0;
+    std::uint64_t d_link_retransmits = 0;
+    std::uint64_t d_link_error_drops = 0;
+    std::uint64_t d_dup_dropped = 0;
+    std::int64_t d_in_flight = 0;
+  };
+
+  // Route-table codes for route9_[tile * 9 + case]:
+  //   0..3  forward out that Direction (the link is currently usable)
+  //   4     eject (here == dst)
+  //   5     the DoR direction is dead — drop at this router
+  static constexpr std::uint8_t kRouteEject = 4;
+  static constexpr std::uint8_t kRouteDrop = 5;
+
   FaultMap faults_;
   LinkFaultSet link_faults_;
   TileGrid grid_;
   NetworkKind kind_;
   MeshOptions options_;
-  std::vector<RouterState> routers_;
-  /// Credits reserved by granted-but-not-landed transfers, per input FIFO.
-  std::vector<std::array<std::uint16_t, kPortCount>> pending_toward_;
-  std::deque<LinkTransfer> in_transit_;  ///< sorted by arrival cycle
+  std::size_t cap_ = 0;  ///< input_queue_capacity as size_t
+
+  /// In-flight packet payloads.  Queues and link rings hold 4-byte indices
+  /// into this pool, so the per-cycle working set is proportional to the
+  /// packets actually in flight (tens of KB at realistic loads) instead of
+  /// the multi-MB queue/ring slabs that dominated cache misses when the
+  /// slabs stored whole Packets.  Slots are allocated only by inject()
+  /// (serial, between cycles — the vector never reallocates inside a
+  /// phase) and freed serially by phase_commit in shard order; a pool
+  /// entry is written during a phase only by the shard that owns the
+  /// packet's current position, preserving the unique-writer property.
+  std::vector<Packet> pool_;
+  std::vector<std::uint32_t> pool_free_;
+
+  /// All per-tile router state one arbitration pass reads, packed into a
+  /// single cache line so the phase_route want/grant loops touch one line
+  /// per router instead of five parallel arrays.  Written only by the
+  /// shard that owns the tile (land pushes into its queues, route pops).
+  /// route9: precomputed DoR decision per sign-pair case — dimension-order
+  /// routing only reads (sign(dst.x - x), sign(dst.y - y)), so the full
+  /// (src, dst) table factors into 9 cases with link health folded in,
+  /// rebuilt only on fault events (meaningless when routing adaptively:
+  /// odd-even stays dynamic because its choice set depends on the packet
+  /// source).  Case index: (sign(dx) + 1) * 3 + (sign(dy) + 1).
+  struct alignas(64) TileState {
+    std::uint16_t q_head[kPortCount];  ///< FIFO head slot
+    std::uint16_t q_size[kPortCount];  ///< FIFO occupancy
+    std::uint8_t rr[kPortCount];       ///< per-output rotating priority
+    std::uint8_t route9[9];
+    /// Packets buffered anywhere in the tile's five FIFOs: routers with
+    /// zero occupancy skip arbitration entirely, which is most of the
+    /// wafer at realistic loads.
+    std::uint16_t occ;
+  };
+  std::vector<TileState> tiles_;  ///< indexed by tile
+
+  /// Fixed-capacity FIFO storage of pool indices, indexed by
+  /// (tile * kPortCount + port) * cap_ + slot.
+  std::vector<std::uint32_t> q_slots_;
+  /// Hot state of the directed link leaving (tile, direction), one 8-byte
+  /// record per link so a router's credit check, grant bookkeeping and
+  /// ring push all hit the same cache line — a tile's four outgoing links
+  /// are 32 contiguous bytes.  `pending` counts credits reserved by
+  /// granted-but-not-landed transfers; `space` is the frozen free-slot
+  /// snapshot of the *downstream* input FIFO the sender arbitrates
+  /// against.  Per field the unique-writer-per-phase property holds:
+  /// phase_land (destination shard) pops the ring and refreshes
+  /// pending/space, phase_route (source shard) pushes the ring and
+  /// consumes space.
+  struct LinkState {
+    std::uint16_t head = 0;     ///< ring head slot
+    std::uint16_t count = 0;    ///< frames in flight on the link
+    std::uint16_t pending = 0;  ///< credits reserved downstream
+    std::uint16_t space = 0;    ///< frozen downstream credit snapshot
+  };
+  std::vector<LinkState> link_;  ///< indexed by (tile * 4 + direction)
+
+  // In-flight transfers of the directed link leaving (tile, direction),
+  // as fixed-capacity rings in one slab (link id * cap_ + slot).  Every
+  // frame on the wire holds a reserved downstream credit, so a ring never
+  // exceeds the input queue capacity; push_front re-queues a NACKed frame
+  // at the head of its go-back-N window.  The dense LinkState records keep
+  // the per-cycle emptiness scan off the (much larger) slab.
+  std::vector<LinkTransfer> ring_slab_;
+
+  // Topology/health tables rebuilt only on fault / link-retirement events:
+  std::vector<std::int32_t> neighbor_;   ///< tile*4+dir -> tile index or -1
+  /// Incoming ring id per (tile, input port): the directed link whose
+  /// transfers land at that port, or -1 at the array edge.
+  std::vector<std::int32_t> in_ring_;
+  std::vector<std::uint8_t> tile_faulty_;
+  std::vector<std::uint8_t> link_ok_;    ///< neighbor alive && link alive
+  /// True when tiles_[t].route9 is valid (DoR); false under adaptive
+  /// odd-even, which routes dynamically.
+  bool have_route9_ = false;
+
+  // Shard layout (fixed at construction):
+  std::size_t shards_ = 1;
+  std::vector<int> shard_x0_;  ///< shards_+1 column boundaries
+  std::vector<ShardScratch> scratch_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> eject_merge_;
+
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Counters ctr_;
@@ -203,7 +368,9 @@ class MeshNetwork {
 
   // Link-integrity state (allocated only when integrity is enabled).
   LinkBerMap ber_;
-  Rng chan_rng_;  ///< channel-sampling stream, separate from traffic RNGs
+  /// One channel-sampling stream per directed link: sampling order across
+  /// links then cannot matter, which is what lets shards land concurrently.
+  std::vector<Rng> link_rng_;
   std::vector<std::array<std::uint64_t, 4>> link_errors_;
   std::vector<std::array<std::uint64_t, 4>> link_traversals_;
   std::vector<std::array<std::uint8_t, 4>> tx_seq_;  ///< by (src, out dir)
@@ -212,7 +379,71 @@ class MeshNetwork {
   /// after a retransmission from overtaking it (go-back-N ordering).
   std::vector<std::array<std::uint64_t, 4>> link_next_free_;
 
-  bool queue_has_space(std::size_t tile, Port port) const;
+  std::uint32_t pool_alloc(const Packet& p) {
+    if (!pool_free_.empty()) {
+      const std::uint32_t idx = pool_free_.back();
+      pool_free_.pop_back();
+      pool_[idx] = p;
+      return idx;
+    }
+    pool_.push_back(p);
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
+  std::size_t qbase(std::size_t tile, std::size_t port) const {
+    return (tile * kPortCount + port) * cap_;
+  }
+  /// Pool index of the FIFO head packet.
+  std::uint32_t q_front_idx(std::size_t tile, std::size_t port) const {
+    return q_slots_[qbase(tile, port) + tiles_[tile].q_head[port]];
+  }
+  void q_push(std::size_t tile, std::size_t port, std::uint32_t pkt) {
+    TileState& ts = tiles_[tile];
+    std::size_t slot =
+        static_cast<std::size_t>(ts.q_head[port]) + ts.q_size[port];
+    if (slot >= cap_) slot -= cap_;
+    q_slots_[qbase(tile, port) + slot] = pkt;
+    ++ts.q_size[port];
+    ++ts.occ;
+  }
+  void q_pop(std::size_t tile, std::size_t port) {
+    TileState& ts = tiles_[tile];
+    const std::size_t next = static_cast<std::size_t>(ts.q_head[port]) + 1;
+    ts.q_head[port] = static_cast<std::uint16_t>(next == cap_ ? 0 : next);
+    --ts.q_size[port];
+    --ts.occ;
+  }
+
+  LinkTransfer& ring_front(std::size_t link) {
+    return ring_slab_[link * cap_ + link_[link].head];
+  }
+  /// i-th in-flight frame of `link` from the front (0 = front).
+  LinkTransfer& ring_at(std::size_t link, std::size_t i) {
+    std::size_t slot = link_[link].head + i;
+    if (slot >= cap_) slot -= cap_;
+    return ring_slab_[link * cap_ + slot];
+  }
+  void ring_pop(std::size_t link) {
+    const std::size_t next = static_cast<std::size_t>(link_[link].head) + 1;
+    link_[link].head = static_cast<std::uint16_t>(next == cap_ ? 0 : next);
+    --link_[link].count;
+  }
+  void ring_push_back(std::size_t link, const LinkTransfer& t) {
+    assert(link_[link].count < cap_);
+    std::size_t slot = link_[link].head + link_[link].count;
+    if (slot >= cap_) slot -= cap_;
+    ring_slab_[link * cap_ + slot] = t;
+    ++link_[link].count;
+  }
+  void ring_push_front(std::size_t link, const LinkTransfer& t) {
+    assert(link_[link].count < cap_);
+    link_[link].head = static_cast<std::uint16_t>(
+        link_[link].head == 0 ? cap_ - 1 : link_[link].head - 1);
+    ring_slab_[link * cap_ + link_[link].head] = t;
+    ++link_[link].count;
+  }
+
+  void rebuild_topology();
 
   enum class ChannelOutcome {
     Accept,   ///< survived the channel (possibly as a counted escape)
@@ -220,8 +451,9 @@ class MeshNetwork {
     Dropped,  ///< budget exhausted / retransmit off / sequence reject
   };
   /// Runs the landing transfer through the BER channel + CRC + sequence
-  /// protocol.  May re-queue `t` into in_transit_ (Retried).
-  ChannelOutcome channel_admit(LinkTransfer t, std::uint64_t now);
+  /// protocol.  May re-queue `t` at the head of its link ring (Retried).
+  ChannelOutcome channel_admit(LinkTransfer t, std::uint64_t now,
+                               ShardScratch& sc);
 };
 
 }  // namespace wsp::noc

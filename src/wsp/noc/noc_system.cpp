@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "wsp/common/error.hpp"
+#include "wsp/exec/thread_pool.hpp"
 #include "wsp/noc/routing.hpp"
 #include "wsp/obs/trace.hpp"
 
@@ -380,10 +381,41 @@ void NocSystem::step(std::vector<CompletedTransaction>& done) {
     }
   }
 
-  std::vector<Packet> ejected;
-  xy_.step(ejected);
-  yx_.step(ejected);
-  for (const Packet& p : ejected) handle_ejection(p, done);
+  // Step both meshes through the sharded phase protocol with one fused
+  // pool dispatch per phase: chunk c covers an XY shard for c < sx and a
+  // YX shard otherwise, so every shard of both networks lands (then
+  // routes) inside a single barrier.  Commits run serially, XY before YX —
+  // the same ejection order the sequential xy_.step(); yx_.step() had.
+  const std::size_t sx = static_cast<std::size_t>(xy_.shard_count());
+  const std::size_t sy = static_cast<std::size_t>(yx_.shard_count());
+  if (sx + sy > 2 && !exec::ThreadPool::on_worker_thread()) {
+    exec::ThreadPool& pool = exec::shared_pool();
+    pool.run_chunks(sx + sy, [&](std::size_t c) {
+      if (c < sx)
+        xy_.phase_land(static_cast<int>(c));
+      else
+        yx_.phase_land(static_cast<int>(c - sx));
+    });
+    pool.run_chunks(sx + sy, [&](std::size_t c) {
+      if (c < sx)
+        xy_.phase_route(static_cast<int>(c));
+      else
+        yx_.phase_route(static_cast<int>(c - sx));
+    });
+  } else {
+    for (std::size_t c = 0; c < sx; ++c)
+      xy_.phase_land(static_cast<int>(c));
+    for (std::size_t c = 0; c < sy; ++c)
+      yx_.phase_land(static_cast<int>(c));
+    for (std::size_t c = 0; c < sx; ++c)
+      xy_.phase_route(static_cast<int>(c));
+    for (std::size_t c = 0; c < sy; ++c)
+      yx_.phase_route(static_cast<int>(c));
+  }
+  eject_scratch_.clear();
+  xy_.phase_commit(eject_scratch_);
+  yx_.phase_commit(eject_scratch_);
+  for (const Packet& p : eject_scratch_) handle_ejection(p, done);
   process_timeouts();
   ++cycle_;
 }

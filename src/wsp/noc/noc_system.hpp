@@ -313,6 +313,9 @@ class NocSystem {
   std::array<std::map<std::size_t, std::deque<Packet>>, 2> ready_;
   std::size_t ready_count_ = 0;
   DeliveryListener delivery_listener_;
+  /// Per-cycle ejection buffer, cleared (never shrunk) each step so the
+  /// steady-state hot loop allocates nothing.
+  std::vector<Packet> eject_scratch_;
 
   MeshNetwork& net(NetworkKind k) { return k == NetworkKind::XY ? xy_ : yx_; }
   std::size_t grid_index_of(TileCoord c) const {

@@ -1,15 +1,24 @@
 // Thread-count invariance: the determinism contract of the parallel
 // execution layer, asserted end to end.  The red-black PDN solve, the
-// whole-wafer PDN/thermal reports, and the Monte Carlo campaign reports
-// must be bit-identical at threads = 1, 2, 8 — the contract that keeps
-// every seeded experiment replayable regardless of the host machine.
+// whole-wafer PDN/thermal reports, the Monte Carlo campaign reports, and
+// the sharded NoC stepper must be bit-identical at threads = 1, 2, 8 —
+// the contract that keeps every seeded experiment replayable regardless
+// of the host machine.  The NoC adds a second axis: the column-band
+// shard count is a tuning knob, so results must also be bit-identical
+// across shard counts (see DESIGN.md "Sharded NoC simulation").
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/rng.hpp"
 #include "wsp/exec/thread_pool.hpp"
+#include "wsp/noc/mesh_network.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/noc/traffic.hpp"
 #include "wsp/obs/report.hpp"
 #include "wsp/pdn/resistive_grid.hpp"
 #include "wsp/pdn/thermal.hpp"
@@ -215,6 +224,261 @@ TEST(ParallelInvariance, CampaignTrialsMatchSequentialSingleRuns) {
         resilience::DegradationCampaign(solo).run();
     EXPECT_EQ(flatten({batch[static_cast<std::size_t>(t)]}),
               flatten({single}));
+  }
+}
+
+// ------------------------------------------------- sharded NoC invariance
+
+/// Flattened observable output of one seeded mesh workload: the full
+/// delivery trace (order included) plus every counter.  Two runs are "the
+/// same simulation" iff these vectors are equal element for element.
+struct MeshRunResult {
+  std::vector<std::uint64_t> trace;
+  std::vector<std::uint64_t> stats;
+  bool operator==(const MeshRunResult&) const = default;
+};
+
+void append_packet(std::vector<std::uint64_t>& trace, const noc::Packet& p) {
+  trace.push_back(p.id);
+  trace.push_back(static_cast<std::uint64_t>(p.src.x) << 32 |
+                  static_cast<std::uint32_t>(p.src.y));
+  trace.push_back(static_cast<std::uint64_t>(p.dst.x) << 32 |
+                  static_cast<std::uint32_t>(p.dst.y));
+  trace.push_back(p.payload);
+  trace.push_back(p.injected_cycle);
+  trace.push_back(p.delivered_cycle);
+}
+
+std::vector<std::uint64_t> flatten(const noc::MeshStats& s) {
+  return {s.injected,        s.ejected,        s.dropped_at_fault,
+          s.link_traversals, s.cycles,         s.purged_in_dead_router,
+          s.corrupted,       s.crc_detected,   s.crc_escapes,
+          s.link_retransmits, s.link_error_drops, s.dup_dropped};
+}
+
+/// Drives one MeshNetwork with a seeded random workload for 400 cycles:
+/// random fault map, optional uniform BER, configurable shard count.
+/// Checks the per-cycle packet-conservation invariant as it goes and
+/// returns the flattened observable output.
+MeshRunResult run_mesh_workload(int shards, std::size_t fault_count,
+                                double ber, std::uint64_t seed) {
+  const TileGrid grid(12, 12);
+  Rng fault_rng(seed);
+  const FaultMap faults =
+      FaultMap::random_with_count(grid, fault_count, fault_rng);
+  noc::MeshOptions opt;
+  opt.shards = shards;
+  opt.integrity.enabled = ber > 0.0;
+  noc::MeshNetwork mesh(faults, noc::NetworkKind::XY, opt);
+  if (ber > 0.0) mesh.set_link_ber(noc::LinkBerMap::uniform(grid, ber));
+
+  Rng rng(seed ^ 0xABCDull);
+  std::vector<noc::Packet> ejected;
+  std::uint64_t next_id = 1;
+  MeshRunResult out;
+  for (std::uint64_t cycle = 0; cycle < 400; ++cycle) {
+    if (cycle < 300) {
+      for (int k = 0; k < 4; ++k) {
+        noc::Packet p;
+        p.src = {static_cast<int>(rng.below(12)),
+                 static_cast<int>(rng.below(12))};
+        p.dst = {static_cast<int>(rng.below(12)),
+                 static_cast<int>(rng.below(12))};
+        p.payload = rng();
+        p.injected_cycle = cycle;
+        p.id = next_id;
+        if (mesh.inject(p)) ++next_id;
+      }
+    }
+    ejected.clear();  // reused, cleared-not-shrunk — the supported pattern
+    mesh.step(ejected);
+    for (const noc::Packet& p : ejected) append_packet(out.trace, p);
+    // Per-cycle packet conservation: the incremental in-flight counter
+    // must agree with a from-scratch recount of every queue and link
+    // ring, and the global conservation identity must hold.
+    EXPECT_EQ(mesh.in_flight(), mesh.recount_in_flight())
+        << "cycle " << cycle << " shards " << shards;
+    EXPECT_TRUE(mesh.conservation_holds())
+        << "cycle " << cycle << " shards " << shards;
+  }
+  out.stats = flatten(mesh.stats());
+  return out;
+}
+
+TEST(ShardedNocInvariance, BitIdenticalAcrossShardAndThreadCounts) {
+  // Property sweep: random fault maps x BER settings, each simulated at
+  // every (shard count x thread count) combination.  The delivery trace
+  // (order included), every counter, and the per-cycle conservation
+  // invariant must match the serial single-shard reference exactly.
+  struct Case {
+    std::size_t faults;
+    double ber;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {0, 0.0, 11},      // clean wafer, integrity off
+      {5, 0.0, 22},      // faulty tiles, integrity off
+      {0, 1e-4, 33},     // noisy links, retransmit protocol active
+      {7, 1e-3, 44},     // faults + heavy noise together
+  };
+  for (const Case& c : cases) {
+    exec::set_shared_threads(1);
+    const MeshRunResult reference =
+        run_mesh_workload(/*shards=*/1, c.faults, c.ber, c.seed);
+    ASSERT_FALSE(reference.trace.empty());
+    for (const int shards : {2, 3, 8}) {
+      for (const int threads : {1, 2, 8}) {
+        exec::set_shared_threads(threads);
+        const MeshRunResult run =
+            run_mesh_workload(shards, c.faults, c.ber, c.seed);
+        EXPECT_EQ(run.trace, reference.trace)
+            << "seed " << c.seed << " shards " << shards << " threads "
+            << threads;
+        EXPECT_EQ(run.stats, reference.stats)
+            << "seed " << c.seed << " shards " << shards << " threads "
+            << threads;
+      }
+    }
+  }
+  exec::set_shared_threads(0);
+}
+
+std::vector<std::uint64_t> flatten(const noc::NocStats& s) {
+  return {s.issued,   s.completed,   s.unreachable, s.relayed,
+          s.latency_sum, s.latency_max, s.timeouts};
+}
+
+/// The "noc.*.shards" gauges record the *configured* shard count — they
+/// are the one registry entry allowed to differ across shard counts.
+/// Zero them so the rest of the report can be compared byte for byte.
+std::string normalize_shards_gauge(std::string json) {
+  for (const std::string key :
+       {std::string("\"noc.xy.shards\":"), std::string("\"noc.yx.shards\":")}) {
+    const std::size_t pos = json.find(key);
+    if (pos == std::string::npos) continue;
+    std::size_t end = pos + key.size();
+    while (end < json.size() && json[end] >= '0' && json[end] <= '9') ++end;
+    json.replace(pos + key.size(), end - (pos + key.size()), "0");
+  }
+  return json;
+}
+
+TEST(ShardedNocInvariance, NocSystemTrafficAndRegistryBitIdentical) {
+  // Full-system check: seeded traffic through NocSystem (both meshes,
+  // fused shard dispatch) with a bound MetricsRegistry.  The traffic
+  // report, NocStats, and the registry's serialised RunReport must be
+  // byte-identical across shard and thread counts.
+  Rng fault_rng(99);
+  const FaultMap faults =
+      FaultMap::random_with_count(TileGrid(16, 16), 4, fault_rng);
+
+  const auto run_at = [&](int shards) {
+    noc::NocOptions opt;
+    opt.mesh.shards = shards;
+    obs::MetricsRegistry registry;
+    noc::NocSystem noc{faults, opt, &registry};
+    Rng rng(5);
+    noc::TrafficConfig cfg;
+    cfg.injection_rate = 0.02;
+    const noc::TrafficReport r = noc::run_traffic(noc, cfg, 300, rng);
+    obs::RunReport report("sharded-invariance");
+    report.add_metrics("noc", registry);
+    return std::tuple{r.issued, r.completed, r.unreachable, r.mean_latency,
+                      flatten(noc.stats()),
+                      normalize_shards_gauge(report.to_json())};
+  };
+
+  exec::set_shared_threads(1);
+  const auto reference = run_at(1);
+  for (const int shards : {2, 4, 8}) {
+    const auto runs = at_thread_counts([&] { return run_at(shards); });
+    EXPECT_EQ(runs[0], reference) << "shards " << shards;
+    EXPECT_EQ(runs[1], reference) << "shards " << shards;
+    EXPECT_EQ(runs[2], reference) << "shards " << shards;
+  }
+}
+
+TEST(ShardedNocInvariance, EjectionBufferReuseMatchesFreshBuffers) {
+  // Regression for the ejection-vector reuse contract: step() documents
+  // that callers may reuse one cleared-not-shrunk buffer across cycles.
+  // Run the same seeded workload twice — once handing step() a fresh
+  // vector every cycle, once reusing a single buffer that has grown
+  // stale capacity — and require identical traces and stats.
+  const TileGrid grid(10, 10);
+  Rng fault_rng(7);
+  const FaultMap faults = FaultMap::random_with_count(grid, 3, fault_rng);
+
+  const auto drive = [&](bool reuse) {
+    noc::MeshNetwork mesh(faults, noc::NetworkKind::YX, {});
+    Rng rng(123);
+    MeshRunResult out;
+    std::vector<noc::Packet> reused;
+    for (std::uint64_t cycle = 0; cycle < 250; ++cycle) {
+      for (int k = 0; k < 3; ++k) {
+        noc::Packet p;
+        p.src = {static_cast<int>(rng.below(10)),
+                 static_cast<int>(rng.below(10))};
+        p.dst = {static_cast<int>(rng.below(10)),
+                 static_cast<int>(rng.below(10))};
+        p.id = cycle * 8 + static_cast<std::uint64_t>(k) + 1;
+        p.payload = rng();
+        p.injected_cycle = cycle;
+        mesh.inject(p);
+      }
+      if (reuse) {
+        reused.clear();
+        mesh.step(reused);
+        for (const noc::Packet& p : reused) append_packet(out.trace, p);
+      } else {
+        std::vector<noc::Packet> fresh;
+        mesh.step(fresh);
+        for (const noc::Packet& p : fresh) append_packet(out.trace, p);
+      }
+    }
+    out.stats = flatten(mesh.stats());
+    return out;
+  };
+
+  const MeshRunResult with_reuse = drive(true);
+  const MeshRunResult with_fresh = drive(false);
+  ASSERT_FALSE(with_reuse.trace.empty());
+  EXPECT_EQ(with_reuse.trace, with_fresh.trace);
+  EXPECT_EQ(with_reuse.stats, with_fresh.stats);
+}
+
+TEST(ShardedNocInvariance, ConservationHoldsAcrossRuntimeFaults) {
+  // Conservation must survive mid-run fault injection (queue purges free
+  // their packets exactly once): kill a tile every 50 cycles and recheck
+  // the recount identity each time.
+  const TileGrid grid(12, 12);
+  FaultMap faults(grid);
+  noc::MeshOptions opt;
+  opt.shards = 4;
+  noc::MeshNetwork mesh(faults, noc::NetworkKind::XY, opt);
+
+  Rng rng(31);
+  std::vector<noc::Packet> ejected;
+  for (std::uint64_t cycle = 1; cycle <= 200; ++cycle) {
+    for (int k = 0; k < 4; ++k) {
+      noc::Packet p;
+      p.src = {static_cast<int>(rng.below(12)),
+               static_cast<int>(rng.below(12))};
+      p.dst = {static_cast<int>(rng.below(12)),
+               static_cast<int>(rng.below(12))};
+      p.id = cycle * 8 + static_cast<std::uint64_t>(k);
+      mesh.inject(p);
+    }
+    ejected.clear();
+    mesh.step(ejected);
+    if (cycle % 50 == 0) {
+      const TileCoord victim{static_cast<int>(rng.below(12)),
+                             static_cast<int>(rng.below(12))};
+      faults.set_faulty(victim);
+      mesh.apply_fault_state(faults, mesh.link_faults());
+      EXPECT_EQ(mesh.in_flight(), mesh.recount_in_flight())
+          << "after killing tile at cycle " << cycle;
+      EXPECT_TRUE(mesh.conservation_holds()) << "cycle " << cycle;
+    }
   }
 }
 

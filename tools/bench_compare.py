@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json files against checked-in baselines.
+
+Guards the cycle-level simulators against wall-time regressions: every
+bench binary writes a ``BENCH_<name>.json`` (see bench/bench_json.hpp)
+and this script diffs it against ``bench/baselines/BENCH_<name>.json``.
+A measurement whose per-iteration wall time regresses by more than the
+threshold (default 15%) fails the run.
+
+Measurements are keyed by (name, threads) — the same workload appears
+once per pool configuration.  Comparison is per *iteration* (wall_ms /
+iterations), so a --quick CI run (fewer cycles) still compares against a
+full-length baseline.  Entries present on only one side are reported but
+never fail: new benches land before their baseline, and baselines for
+retired benches linger until cleaned up.
+
+Wall-clock baselines are machine-dependent.  The checked-in set was
+measured on the reference container (single Xeon core @ 2.1 GHz); after
+an intentional perf change, or on first run on new hardware, refresh
+with ``--update``.
+
+Usage:
+  tools/bench_compare.py [--baseline-dir bench/baselines]
+                         [--threshold 0.15] [--update] BENCH_*.json
+
+stdlib-only by design (CI runners have no third-party packages).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def load_results(path):
+    """Returns {(name, threads): per-iteration wall ms} for one bench file."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("results", []):
+        iters = entry.get("iterations") or 1
+        key = (entry["name"], entry.get("threads", 1))
+        out[key] = entry["wall_ms"] / max(1, iters)
+    return out
+
+
+def compare(current_path, baseline_path, threshold):
+    """Diffs one bench file against its baseline.  Returns failure count."""
+    current = load_results(current_path)
+    baseline = load_results(baseline_path)
+    failures = 0
+    for key in sorted(current.keys() | baseline.keys()):
+        name = "%s (threads=%d)" % key
+        if key not in baseline:
+            print("  NEW      %-50s %.4f ms/iter (no baseline)"
+                  % (name, current[key]))
+            continue
+        if key not in current:
+            print("  MISSING  %-50s baseline only" % name)
+            continue
+        base, cur = baseline[key], current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSED"
+            failures += 1
+        print("  %-8s %-50s %.4f -> %.4f ms/iter (%+.1f%%)"
+              % (status, name, base, cur, (ratio - 1.0) * 100.0))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json to check")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression that fails (default .15)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy the given files over the baselines")
+    args = parser.parse_args()
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in args.files:
+            dest = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print("baseline updated: %s" % dest)
+        return 0
+
+    total_failures = 0
+    for path in args.files:
+        baseline = os.path.join(args.baseline_dir, os.path.basename(path))
+        print("%s vs %s" % (path, baseline))
+        if not os.path.exists(baseline):
+            print("  (no baseline checked in — skipping; add one with"
+                  " --update)")
+            continue
+        total_failures += compare(path, baseline, args.threshold)
+
+    if total_failures:
+        print("FAIL: %d measurement(s) regressed more than %.0f%%"
+              % (total_failures, args.threshold * 100.0))
+        return 1
+    print("OK: no wall-time regression beyond %.0f%%"
+          % (args.threshold * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
