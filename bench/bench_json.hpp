@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "wsp/ckpt/checkpoint.hpp"
+
 namespace wsp::bench {
 
 struct Measurement {
@@ -87,27 +89,29 @@ class JsonReporter {
     return wall;
   }
 
-  /// Writes BENCH_<suite>.json; returns false on I/O failure.
+  /// Writes BENCH_<suite>.json via write-temp-then-rename (a run killed
+  /// mid-write leaves the previous artifact, never a truncated one);
+  /// returns false on I/O failure.
   bool write() {
     written_ = true;
     const std::string path = "BENCH_" + suite_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
+    std::string json = "{\"bench\": \"" + suite_ + "\", \"results\": [";
+    char row[256];
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Measurement& m = results_[i];
+      std::snprintf(row, sizeof row,
+                    "%s\n  {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                    "\"iterations\": %d, \"threads\": %d, "
+                    "\"speedup_vs_serial\": %.4f}",
+                    i ? "," : "", m.name.c_str(), m.wall_ms, m.iterations,
+                    m.threads, m.speedup_vs_serial);
+      json += row;
+    }
+    json += "\n]}\n";
+    if (!ckpt::atomic_write_text(path, json)) {
       std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\"bench\": \"%s\", \"results\": [", suite_.c_str());
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-      const Measurement& m = results_[i];
-      std::fprintf(f,
-                   "%s\n  {\"name\": \"%s\", \"wall_ms\": %.6f, "
-                   "\"iterations\": %d, \"threads\": %d, "
-                   "\"speedup_vs_serial\": %.4f}",
-                   i ? "," : "", m.name.c_str(), m.wall_ms, m.iterations,
-                   m.threads, m.speedup_vs_serial);
-    }
-    std::fprintf(f, "\n]}\n");
-    std::fclose(f);
     std::printf("[bench_json] wrote %s (%zu results)\n", path.c_str(),
                 results_.size());
     return true;

@@ -1,0 +1,150 @@
+// Multi-process Monte Carlo campaign sharding over wsp::ckpt files.
+//
+// A big degradation campaign does not have to live in one process: trial t
+// is a pure function of (options, seed + t), so any partition of the trial
+// range across worker processes reproduces the single-process reports bit
+// for bit.  Each worker runs its slice, optionally checkpointing it
+// crash-safely, and writes a "CAMP" partial file; a final merge invocation
+// stitches the partials back into trial order (fingerprint and range
+// coverage validated), folds the metrics, and emits the same RunReport an
+// uninterrupted single-process run would.
+//
+//   # run 12 trials split across 3 workers (any order, any machines
+//   # sharing a filesystem), then merge:
+//   ./campaign_shard --trials 12 --shard 0 --num-shards 3 --out s0.wsp
+//   ./campaign_shard --trials 12 --shard 1 --num-shards 3 --out s1.wsp
+//   ./campaign_shard --trials 12 --shard 2 --num-shards 3 --out s2.wsp
+//   ./campaign_shard --trials 12 --merge s0.wsp s1.wsp s2.wsp
+//
+//   # the single-process reference for diffing:
+//   ./campaign_shard --trials 12 --single
+//
+// Add --ckpt FILE to a worker and its slice snapshots after every trial —
+// a SIGKILLed worker rerun with the same command line resumes instead of
+// restarting.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "wsp/ckpt/checkpoint.hpp"
+#include "wsp/obs/report.hpp"
+#include "wsp/resilience/campaign.hpp"
+
+namespace {
+
+wsp::resilience::CampaignOptions campaign_options() {
+  using namespace wsp;
+  resilience::CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 7;
+  o.run_cycles = 2000;
+  o.fault_horizon = 1500;
+  o.injection_rate = 0.02;
+  return o;
+}
+
+void emit(const std::vector<wsp::resilience::DegradationReport>& reports,
+          const char* how) {
+  using namespace wsp;
+  const resilience::CampaignSummary summary = resilience::summarize(reports);
+  std::printf("%s: %d trials | mean usable fraction %.3f | mean "
+              "reachability %.2f%% | SSI %d/%d | drained %d/%d\n",
+              how, summary.trials, summary.mean_final_usable_fraction,
+              summary.mean_pair_reachability_pct,
+              summary.single_system_image_survived, summary.trials,
+              summary.fully_drained, summary.trials);
+  obs::MetricsRegistry registry;
+  resilience::publish_metrics(reports, registry);
+  obs::RunReport report("campaign_shard");
+  report.add_scalar("summary", "mean_final_usable_fraction",
+                    summary.mean_final_usable_fraction);
+  report.add_scalar("summary", "mean_pair_reachability_pct",
+                    summary.mean_pair_reachability_pct);
+  report.add_scalar("summary", "lost_per_issued", summary.lost_per_issued);
+  report.add_metrics("campaign", registry);
+  const std::string path = report.write_default();
+  if (!path.empty()) std::printf("run report: %s\n", path.c_str());
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: campaign_shard --trials N --shard I --num-shards S --out FILE"
+      " [--ckpt FILE]\n"
+      "       campaign_shard --trials N --merge FILE...\n"
+      "       campaign_shard --trials N --single\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsp;
+  using namespace wsp::resilience;
+
+  int trials = 0, shard = -1, num_shards = 0;
+  bool merge = false, single = false;
+  std::string out, ckpt_path;
+  std::vector<std::string> merge_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trials" && i + 1 < argc) trials = std::atoi(argv[++i]);
+    else if (arg == "--shard" && i + 1 < argc) shard = std::atoi(argv[++i]);
+    else if (arg == "--num-shards" && i + 1 < argc)
+      num_shards = std::atoi(argv[++i]);
+    else if (arg == "--out" && i + 1 < argc) out = argv[++i];
+    else if (arg == "--ckpt" && i + 1 < argc) ckpt_path = argv[++i];
+    else if (arg == "--merge") merge = true;
+    else if (arg == "--single") single = true;
+    else if (merge) merge_files.push_back(arg);
+    else return usage();
+  }
+  if (trials < 1) return usage();
+
+  const DegradationCampaign campaign(campaign_options());
+  const std::uint32_t fp = campaign.options_fingerprint();
+
+  try {
+    if (single) {
+      emit(campaign.run_trials(trials), "single-process");
+      return 0;
+    }
+
+    if (merge) {
+      if (merge_files.empty()) return usage();
+      std::vector<CampaignReportsFile> shards;
+      for (const std::string& path : merge_files)
+        shards.push_back(load_campaign_reports(path));
+      emit(merge_campaign_reports(std::move(shards), fp), "merged shards");
+      return 0;
+    }
+
+    if (shard < 0 || num_shards < 1 || shard >= num_shards || out.empty())
+      return usage();
+    // Contiguous block partition: shard i owns [i*T/S, (i+1)*T/S).
+    const int first = shard * trials / num_shards;
+    const int count = (shard + 1) * trials / num_shards - first;
+    if (count == 0) {
+      std::printf("shard %d/%d owns no trials\n", shard, num_shards);
+      return 0;
+    }
+    std::vector<DegradationReport> reports;
+    if (!ckpt_path.empty()) {
+      CampaignCheckpointOptions ck;
+      ck.path = ckpt_path;
+      ck.every_trials = 1;
+      reports =
+          campaign.run_trial_range_checkpointed(first, count, trials, ck);
+    } else {
+      reports = campaign.run_trial_range(first, count);
+    }
+    save_campaign_reports(out, {fp, trials, first, std::move(reports)});
+    std::printf("shard %d/%d: trials [%d, %d) -> %s\n", shard, num_shards,
+                first, first + count, out.c_str());
+    return 0;
+  } catch (const ckpt::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,335 @@
+#include "wsp/ckpt/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace wsp::ckpt {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'W', 'S', 'P', 'C',
+                                                'K', 'P', 'T', '\0'};
+
+// Reflected IEEE 802.3 table, generated once on first use.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::Io: return "io error";
+    case ErrorKind::Truncated: return "truncated";
+    case ErrorKind::BadMagic: return "bad magic";
+    case ErrorKind::BadCrc: return "bad crc";
+    case ErrorKind::VersionMismatch: return "version mismatch";
+    case ErrorKind::SchemaMismatch: return "schema mismatch";
+    case ErrorKind::TopologyMismatch: return "topology mismatch";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Writer::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) { put_u32(bytes_, v); }
+
+void Writer::u64(std::uint64_t v) {
+  put_u32(bytes_, static_cast<std::uint32_t>(v));
+  put_u32(bytes_, static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void Writer::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = get_u32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = get_u64(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Reader::b() {
+  std::uint8_t v = u8();
+  if (v > 1)
+    throw Error(ErrorKind::SchemaMismatch, "bool field is neither 0 nor 1");
+  return v != 0;
+}
+
+std::string Reader::str() {
+  std::size_t n = length(1);
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void Reader::raw(void* out, std::size_t size) {
+  need(size);
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+}
+
+void Reader::expect_tag(std::uint32_t t, const char* what) {
+  std::uint32_t got = u32();
+  if (got != t)
+    throw Error(ErrorKind::SchemaMismatch,
+                std::string("section tag mismatch at ") + what);
+}
+
+std::size_t Reader::length(std::size_t min_element_size) {
+  std::uint64_t n = u64();
+  if (min_element_size == 0) min_element_size = 1;
+  if (n > remaining() / min_element_size)
+    throw Error(ErrorKind::Truncated,
+                "declared element count exceeds remaining payload");
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<std::uint8_t> seal(std::uint32_t payload_kind,
+                               std::uint32_t state_version,
+                               const Writer& payload) {
+  const auto& body = payload.bytes();
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameOverhead + body.size());
+  for (std::uint8_t byte : kMagic) out.push_back(byte);
+  put_u32(out, kContainerVersion);
+  put_u32(out, payload_kind);
+  put_u32(out, state_version);
+  std::uint64_t size = body.size();
+  put_u32(out, static_cast<std::uint32_t>(size));
+  put_u32(out, static_cast<std::uint32_t>(size >> 32));
+  out.insert(out.end(), body.begin(), body.end());
+  put_u32(out, crc32(body.data(), body.size()));
+  return out;
+}
+
+Frame open(const std::uint8_t* data, std::size_t size) {
+  if (size < kFrameOverhead)
+    throw Error(ErrorKind::Truncated, "file smaller than frame header");
+  if (std::memcmp(data, kMagic.data(), kMagic.size()) != 0)
+    throw Error(ErrorKind::BadMagic, "not a wsp::ckpt container");
+  std::uint32_t container = get_u32(data + 8);
+  if (container != kContainerVersion)
+    throw Error(ErrorKind::VersionMismatch,
+                "container version " + std::to_string(container) +
+                    " (expected " + std::to_string(kContainerVersion) + ")");
+  Frame frame;
+  frame.payload_kind = get_u32(data + 12);
+  frame.state_version = get_u32(data + 16);
+  std::uint64_t payload_size = get_u64(data + 20);
+  if (payload_size > size - kFrameOverhead)
+    throw Error(ErrorKind::Truncated, "payload shorter than declared size");
+  if (payload_size < size - kFrameOverhead)
+    throw Error(ErrorKind::SchemaMismatch, "trailing bytes after frame");
+  const std::uint8_t* payload = data + kHeaderSize;
+  std::uint32_t declared_crc =
+      get_u32(payload + static_cast<std::size_t>(payload_size));
+  if (crc32(payload, static_cast<std::size_t>(payload_size)) != declared_crc)
+    throw Error(ErrorKind::BadCrc, "payload checksum failure");
+  frame.payload.assign(payload,
+                       payload + static_cast<std::size_t>(payload_size));
+  return frame;
+}
+
+Frame open_expect(const std::vector<std::uint8_t>& bytes,
+                  std::uint32_t expected_kind) {
+  Frame frame = open(bytes);
+  if (frame.payload_kind != expected_kind)
+    throw Error(ErrorKind::SchemaMismatch,
+                "payload kind mismatch (snapshot is from a different "
+                "subsystem)");
+  return frame;
+}
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw Error(ErrorKind::Io, "cannot open " + tmp + " for writing");
+  bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw Error(ErrorKind::Io, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error(ErrorKind::Io, "cannot rename " + tmp + " to " + path);
+  }
+}
+
+bool atomic_write_text(const std::string& path,
+                       const std::string& text) noexcept {
+  try {
+    atomic_write_file(path, text.data(), text.size());
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw Error(ErrorKind::Io, "cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> buf;
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0)
+    bytes.insert(bytes.end(), buf.data(), buf.data() + n);
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw Error(ErrorKind::Io, "read failure on " + path);
+  return bytes;
+}
+
+void save_frame_file(const std::string& path, std::uint32_t payload_kind,
+                     std::uint32_t state_version, const Writer& payload) {
+  auto bytes = seal(payload_kind, state_version, payload);
+  atomic_write_file(path, bytes.data(), bytes.size());
+}
+
+Frame load_frame_file(const std::string& path, std::uint32_t expected_kind) {
+  return open_expect(read_file(path), expected_kind);
+}
+
+void save_fault_map(Writer& w, const FaultMap& map) {
+  w.tag(fourcc("FMAP"));
+  w.i32(map.grid().width());
+  w.i32(map.grid().height());
+  map.grid().for_each(
+      [&](TileCoord c) { w.b(map.is_faulty(c)); });
+}
+
+FaultMap load_fault_map(Reader& r, const TileGrid* expected) {
+  r.expect_tag(fourcc("FMAP"), "FaultMap");
+  int w = r.i32();
+  int h = r.i32();
+  if (w < 1 || h < 1 ||
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h) >
+          r.remaining())
+    throw Error(ErrorKind::SchemaMismatch, "implausible FaultMap grid");
+  TileGrid grid(w, h);
+  if (expected && (w != expected->width() || h != expected->height()))
+    throw Error(ErrorKind::TopologyMismatch,
+                "FaultMap grid " + std::to_string(w) + "x" +
+                    std::to_string(h) + " does not match live topology");
+  FaultMap map(grid);
+  grid.for_each([&](TileCoord c) { map.set_faulty(c, r.b()); });
+  return map;
+}
+
+void save_link_faults(Writer& w, const LinkFaultSet& links) {
+  w.tag(fourcc("LFLT"));
+  w.i32(links.grid().width());
+  w.i32(links.grid().height());
+  links.grid().for_each([&](TileCoord c) {
+    for (int d = 0; d < 4; ++d)
+      w.b(links.is_failed(c, static_cast<Direction>(d)));
+  });
+}
+
+LinkFaultSet load_link_faults(Reader& r, const TileGrid* expected) {
+  r.expect_tag(fourcc("LFLT"), "LinkFaultSet");
+  int w = r.i32();
+  int h = r.i32();
+  if (w < 1 || h < 1 ||
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h) >
+          r.remaining() / 4)
+    throw Error(ErrorKind::SchemaMismatch, "implausible LinkFaultSet grid");
+  TileGrid grid(w, h);
+  if (expected && (w != expected->width() || h != expected->height()))
+    throw Error(ErrorKind::TopologyMismatch,
+                "LinkFaultSet grid " + std::to_string(w) + "x" +
+                    std::to_string(h) + " does not match live topology");
+  LinkFaultSet links(grid);
+  grid.for_each([&](TileCoord c) {
+    for (int d = 0; d < 4; ++d)
+      links.set_failed(c, static_cast<Direction>(d), r.b());
+  });
+  return links;
+}
+
+}  // namespace wsp::ckpt

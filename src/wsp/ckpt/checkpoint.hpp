@@ -1,0 +1,219 @@
+// Deterministic checkpoint/replay: the versioned binary snapshot format.
+//
+// Long-horizon experiments (Monte Carlo degradation campaigns, rare-event
+// BER sweeps) die with the process unless their state can leave it.  This
+// module is the seam: every stateful subsystem exposes
+// `save_state(ckpt::Writer&)` / `load_state(ckpt::Reader&)` hooks that
+// serialise its complete simulation state — packet pools, per-link rings,
+// RNG streams, solver voltages, metric counters — into a framed container:
+//
+//   offset  size  field
+//   0       8     magic "WSPCKPT\0"
+//   8       4     container version (u32 LE, currently 1)
+//   12      4     payload kind (fourcc: which subsystem wrote it)
+//   16      4     payload state version (per-subsystem schema revision)
+//   20      8     payload size in bytes (u64 LE)
+//   28      n     payload
+//   28+n    4     CRC-32 (IEEE 802.3) of the payload
+//
+// Every multi-byte field is little-endian by construction (byte shifts,
+// never memcpy-of-struct), so snapshots are portable across hosts.
+//
+// Strictness contract: loading never exhibits UB.  Truncation, corruption,
+// a wrong magic, a wrong container/payload version, or a snapshot taken on
+// a different topology all throw `ckpt::Error` with a typed `ErrorKind` —
+// the Reader bounds-checks every read and the frame CRC is verified before
+// any payload byte is interpreted.
+//
+// Emission contract: `atomic_write_file` writes to `<path>.tmp` and
+// renames, so a crash mid-write never leaves a truncated snapshot under
+// the real name.  `atomic_write_text` is the same discipline for the JSON
+// artifact emitters (RunReport, BENCH_*.json).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsp/common/error.hpp"
+#include "wsp/common/fault_map.hpp"
+
+namespace wsp::ckpt {
+
+/// What went wrong while loading (or emitting) a snapshot.
+enum class ErrorKind : std::uint8_t {
+  Io,                ///< file missing / unreadable / unwritable
+  Truncated,         ///< fewer bytes than the format promises
+  BadMagic,          ///< not a wsp::ckpt container at all
+  BadCrc,            ///< payload bytes fail the CRC-32 check
+  VersionMismatch,   ///< container or payload schema revision unknown
+  SchemaMismatch,    ///< wrong payload kind, options, or internal shape
+  TopologyMismatch,  ///< snapshot taken on a different grid/topology
+};
+
+const char* to_string(ErrorKind kind);
+
+/// Typed load/emit failure.  Everything the loader can reject throws this
+/// (never a raw wsp::Error, never UB), so callers can branch on kind().
+class Error : public wsp::Error {
+ public:
+  Error(ErrorKind kind, const std::string& what)
+      : wsp::Error(std::string("ckpt: ") + to_string(kind) + ": " + what),
+        kind_(kind) {}
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the frame
+/// integrity check.  crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Four-character payload-kind tag, e.g. fourcc("NOCS").
+constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+/// Append-only little-endian byte sink.  All save_state hooks write
+/// through this, so the payload encoding is uniform across subsystems.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void b(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+  void raw(const void* data, std::size_t size);
+
+  /// Section marker: a fourcc the matching Reader::expect_tag verifies, so
+  /// a schema drift fails loudly at the section boundary instead of
+  /// silently misinterpreting downstream bytes.
+  void tag(std::uint32_t t) { u32(t); }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian byte source.  Every read validates the
+/// remaining length first and throws Error{Truncated} on shortfall, so a
+/// malformed payload can never read out of bounds.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool b();
+  std::string str();
+  void raw(void* out, std::size_t size);
+
+  /// Verifies the next u32 equals `t`; throws Error{SchemaMismatch} naming
+  /// `what` otherwise.
+  void expect_tag(std::uint32_t t, const char* what);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  /// Reads a u64 element count and validates it against the remaining
+  /// bytes (each element occupying at least `min_element_size` bytes), so
+  /// a corrupt length can never drive a multi-gigabyte allocation.
+  std::size_t length(std::size_t min_element_size = 1);
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n)
+      throw Error(ErrorKind::Truncated, "payload ends mid-field");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+inline constexpr std::uint32_t kContainerVersion = 1;
+inline constexpr std::size_t kHeaderSize = 28;  ///< magic..payload_size
+inline constexpr std::size_t kFrameOverhead = kHeaderSize + 4;  ///< + CRC
+
+/// An opened container: kind + schema revision + verified payload bytes.
+struct Frame {
+  std::uint32_t payload_kind = 0;
+  std::uint32_t state_version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Wraps a payload in the magic/version/CRC-32 frame.
+std::vector<std::uint8_t> seal(std::uint32_t payload_kind,
+                               std::uint32_t state_version,
+                               const Writer& payload);
+
+/// Validates and unwraps a frame.  Throws Error with kind Truncated /
+/// BadMagic / VersionMismatch / SchemaMismatch (trailing bytes) / BadCrc.
+Frame open(const std::uint8_t* data, std::size_t size);
+inline Frame open(const std::vector<std::uint8_t>& bytes) {
+  return open(bytes.data(), bytes.size());
+}
+
+/// Like open(), but additionally requires the payload kind to match —
+/// loading a NoC snapshot into a campaign resume is a SchemaMismatch, not
+/// a crash three fields later.
+Frame open_expect(const std::vector<std::uint8_t>& bytes,
+                  std::uint32_t expected_kind);
+
+// --- file emission / ingestion ---------------------------------------------
+
+/// Writes `size` bytes to `<path>.tmp`, flushes, and renames over `path`.
+/// An interrupted run leaves either the old file or the new one — never a
+/// truncated hybrid.  Throws Error{Io} on failure (the temp is removed).
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size);
+
+/// atomic_write_file for text artifacts (RunReport / BENCH_*.json share
+/// this helper).  Returns false instead of throwing — the JSON emitters
+/// report I/O failure by return value.
+bool atomic_write_text(const std::string& path,
+                       const std::string& text) noexcept;
+
+/// Whole file as bytes; throws Error{Io} when missing or unreadable.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// seal() + atomic_write_file in one call.
+void save_frame_file(const std::string& path, std::uint32_t payload_kind,
+                     std::uint32_t state_version, const Writer& payload);
+
+/// read_file() + open_expect() in one call.
+Frame load_frame_file(const std::string& path, std::uint32_t expected_kind);
+
+// --- serialisation of wsp_common plain-data types ---------------------------
+// These live here (not in wsp_common) because wsp_ckpt depends on
+// wsp_common, never the reverse.  Reconstructed through the public API, so
+// the types themselves stay serialisation-agnostic.
+
+void save_fault_map(Writer& w, const FaultMap& map);
+/// Throws Error{TopologyMismatch} when the serialised grid differs from
+/// `expected` (pass nullptr to accept any grid).
+FaultMap load_fault_map(Reader& r, const TileGrid* expected = nullptr);
+
+void save_link_faults(Writer& w, const LinkFaultSet& links);
+LinkFaultSet load_link_faults(Reader& r, const TileGrid* expected = nullptr);
+
+}  // namespace wsp::ckpt

@@ -20,6 +20,11 @@
 
 #include "wsp/common/geometry.hpp"
 
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
+
 namespace wsp::clock {
 
 /// Clock sources selectable by the tile mux.
@@ -80,6 +85,12 @@ class ClockSelector {
   int count(Direction d) const {
     return counts_[static_cast<std::size_t>(d)];
   }
+
+  /// Checkpoint hooks (wsp::ckpt): the full FSM state — phase, latched
+  /// source, per-input toggle counts — round-trips, so a resumed selector
+  /// latches exactly when the uninterrupted one would.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   int threshold_;

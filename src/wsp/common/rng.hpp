@@ -7,6 +7,7 @@
 // paper-reproduction experiments replayable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -82,6 +83,17 @@ class Rng {
 
   /// Bernoulli trial with success probability `p`.
   bool bernoulli(double p) { return uniform() < p; }
+
+  /// The raw 256-bit generator state, for checkpointing.  Restoring the
+  /// four words via set_state() resumes the stream mid-sequence, which is
+  /// what makes snapshot-at-cycle-k bit-identical to straight-through.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

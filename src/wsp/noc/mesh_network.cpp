@@ -4,6 +4,7 @@
 #include <bit>
 #include <string>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/common/error.hpp"
 #include "wsp/exec/thread_pool.hpp"
 #include "wsp/noc/odd_even.hpp"
@@ -623,6 +624,347 @@ std::uint64_t MeshNetwork::link_traversal_count(TileCoord from,
                                                 Direction d) const {
   if (link_traversals_.empty() || !grid_.contains(from)) return 0;
   return link_traversals_[grid_.index_of(from)][static_cast<std::size_t>(d)];
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+namespace {
+
+void save_packet(ckpt::Writer& w, const Packet& p) {
+  w.i32(p.src.x);
+  w.i32(p.src.y);
+  w.i32(p.dst.x);
+  w.i32(p.dst.y);
+  w.u8(static_cast<std::uint8_t>(p.type));
+  w.u8(static_cast<std::uint8_t>(p.network));
+  w.u64(p.payload);
+  w.u32(p.address);
+  w.u64(p.id);
+  w.u64(p.request_id);
+  w.u64(p.injected_cycle);
+  w.u64(p.delivered_cycle);
+  w.u32(p.attempt);
+}
+
+Packet load_packet(ckpt::Reader& r) {
+  Packet p;
+  p.src.x = r.i32();
+  p.src.y = r.i32();
+  p.dst.x = r.i32();
+  p.dst.y = r.i32();
+  const std::uint8_t type = r.u8();
+  const std::uint8_t network = r.u8();
+  if (type > static_cast<std::uint8_t>(PacketType::WriteAck) || network > 1)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "packet type/network enum out of range");
+  p.type = static_cast<PacketType>(type);
+  p.network = static_cast<NetworkKind>(network);
+  p.payload = r.u64();
+  p.address = r.u32();
+  p.id = r.u64();
+  p.request_id = r.u64();
+  p.injected_cycle = r.u64();
+  p.delivered_cycle = r.u64();
+  p.attempt = r.u32();
+  return p;
+}
+
+void save_ber_map(ckpt::Writer& w, const LinkBerMap& ber) {
+  w.tag(ckpt::fourcc("BERM"));
+  w.i32(ber.grid().width());
+  w.i32(ber.grid().height());
+  ber.grid().for_each([&](TileCoord c) {
+    for (int d = 0; d < 4; ++d)
+      w.f64(ber.ber(c, static_cast<Direction>(d)));
+  });
+}
+
+LinkBerMap load_ber_map(ckpt::Reader& r, const TileGrid& expected) {
+  r.expect_tag(ckpt::fourcc("BERM"), "LinkBerMap");
+  const int w = r.i32();
+  const int h = r.i32();
+  if (w != expected.width() || h != expected.height())
+    throw ckpt::Error(ckpt::ErrorKind::TopologyMismatch,
+                      "BER map grid does not match live topology");
+  LinkBerMap ber(expected);
+  expected.for_each([&](TileCoord c) {
+    for (int d = 0; d < 4; ++d) {
+      const double v = r.f64();
+      if (v != 0.0) ber.set_ber(c, static_cast<Direction>(d), v);
+    }
+  });
+  return ber;
+}
+
+constexpr std::uint32_t kMeshTag = ckpt::fourcc("MESH");
+constexpr std::uint32_t kMeshStateVersion = 1;
+
+}  // namespace
+
+void MeshNetwork::save_state(ckpt::Writer& w) const {
+  w.tag(kMeshTag);
+  w.u32(kMeshStateVersion);
+  w.i32(grid_.width());
+  w.i32(grid_.height());
+  w.u8(static_cast<std::uint8_t>(kind_));
+  // Behavioural options are part of the schema: resuming under different
+  // queue capacities or a different channel model would not reproduce the
+  // saver's future.  (`shards` is excluded on purpose — see header.)
+  w.i32(options_.input_queue_capacity);
+  w.i32(options_.link_latency);
+  w.b(options_.adaptive_odd_even);
+  w.b(options_.integrity.enabled);
+  w.b(options_.integrity.retransmit);
+  w.i32(options_.integrity.max_retransmits);
+  w.u64(options_.integrity.seed);
+  w.f64(options_.integrity.ber.nominal_v);
+  w.f64(options_.integrity.ber.floor_ber);
+  w.f64(options_.integrity.ber.volts_per_decade);
+  w.f64(options_.integrity.ber.max_ber);
+
+  ckpt::save_fault_map(w, faults_);
+  ckpt::save_link_faults(w, link_faults_);
+  save_ber_map(w, ber_);
+
+  w.u64(pool_.size());
+  for (const Packet& p : pool_) save_packet(w, p);
+  w.u64(pool_free_.size());
+  for (std::uint32_t f : pool_free_) w.u32(f);
+
+  w.tag(ckpt::fourcc("TILE"));
+  for (const TileState& ts : tiles_) {
+    for (std::size_t p = 0; p < kPortCount; ++p) w.u16(ts.q_head[p]);
+    for (std::size_t p = 0; p < kPortCount; ++p) w.u16(ts.q_size[p]);
+    for (std::size_t p = 0; p < kPortCount; ++p) w.u8(ts.rr[p]);
+    w.u16(ts.occ);
+  }
+  for (std::uint32_t slot : q_slots_) w.u32(slot);
+
+  w.tag(ckpt::fourcc("LINK"));
+  for (const LinkState& l : link_) {
+    w.u16(l.head);
+    w.u16(l.count);
+    w.u16(l.pending);
+    w.u16(l.space);
+  }
+  for (const LinkTransfer& t : ring_slab_) {
+    w.u64(t.arrival_cycle);
+    w.u32(t.pkt);
+    w.u32(t.dst_tile);
+    w.u32(t.src_tile);
+    w.u8(static_cast<std::uint8_t>(t.dst_port));
+    w.u8(t.dir);
+    w.u8(t.seq);
+    w.u8(t.retransmits);
+  }
+
+  w.tag(ckpt::fourcc("CNTR"));
+  w.u64(ctr_.injected->value);
+  w.u64(ctr_.ejected->value);
+  w.u64(ctr_.dropped_at_fault->value);
+  w.u64(ctr_.link_traversals->value);
+  w.u64(ctr_.cycles->value);
+  w.u64(ctr_.purged_in_dead_router->value);
+  w.u64(ctr_.corrupted->value);
+  w.u64(ctr_.crc_detected->value);
+  w.u64(ctr_.crc_escapes->value);
+  w.u64(ctr_.link_retransmits->value);
+  w.u64(ctr_.link_error_drops->value);
+  w.u64(ctr_.dup_dropped->value);
+  w.u64(in_flight_);
+
+  w.b(options_.integrity.enabled);
+  if (options_.integrity.enabled) {
+    w.tag(ckpt::fourcc("INTG"));
+    for (const Rng& rng : link_rng_)
+      for (std::uint64_t word : rng.state()) w.u64(word);
+    for (const auto& a : link_errors_)
+      for (std::uint64_t v : a) w.u64(v);
+    for (const auto& a : link_traversals_)
+      for (std::uint64_t v : a) w.u64(v);
+    for (const auto& a : tx_seq_)
+      for (std::uint8_t v : a) w.u8(v);
+    for (const auto& a : rx_seq_)
+      for (std::uint8_t v : a) w.u8(v);
+    for (const auto& a : link_next_free_)
+      for (std::uint64_t v : a) w.u64(v);
+  }
+}
+
+void MeshNetwork::load_state(ckpt::Reader& r) {
+  r.expect_tag(kMeshTag, "MeshNetwork");
+  const std::uint32_t version = r.u32();
+  if (version != kMeshStateVersion)
+    throw ckpt::Error(ckpt::ErrorKind::VersionMismatch,
+                      "MeshNetwork state version " + std::to_string(version));
+  const int gw = r.i32();
+  const int gh = r.i32();
+  if (gw != grid_.width() || gh != grid_.height())
+    throw ckpt::Error(ckpt::ErrorKind::TopologyMismatch,
+                      "mesh snapshot grid " + std::to_string(gw) + "x" +
+                          std::to_string(gh) + " vs live " +
+                          std::to_string(grid_.width()) + "x" +
+                          std::to_string(grid_.height()));
+  if (r.u8() != static_cast<std::uint8_t>(kind_))
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "mesh snapshot is for the other DoR network");
+  const bool options_match =
+      r.i32() == options_.input_queue_capacity &&
+      r.i32() == options_.link_latency &&
+      r.b() == options_.adaptive_odd_even &&
+      r.b() == options_.integrity.enabled &&
+      r.b() == options_.integrity.retransmit &&
+      r.i32() == options_.integrity.max_retransmits &&
+      r.u64() == options_.integrity.seed &&
+      r.f64() == options_.integrity.ber.nominal_v &&
+      r.f64() == options_.integrity.ber.floor_ber &&
+      r.f64() == options_.integrity.ber.volts_per_decade &&
+      r.f64() == options_.integrity.ber.max_ber;
+  if (!options_match)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "mesh behavioural options differ from the snapshot");
+
+  faults_ = ckpt::load_fault_map(r, &grid_);
+  link_faults_ = ckpt::load_link_faults(r, &grid_);
+  ber_ = load_ber_map(r, grid_);
+
+  const std::size_t n = grid_.tile_count();
+  const std::size_t pool_size = r.length(66);  // bytes per packed Packet
+  pool_.assign(pool_size, Packet{});
+  for (Packet& p : pool_) p = load_packet(r);
+  const std::size_t free_size = r.length(4);
+  if (free_size > pool_size)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "pool free list larger than the pool");
+  pool_free_.assign(free_size, 0);
+  for (std::uint32_t& f : pool_free_) {
+    f = r.u32();
+    if (f >= pool_size)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "pool free-list index out of range");
+  }
+
+  r.expect_tag(ckpt::fourcc("TILE"), "TileState");
+  for (TileState& ts : tiles_) {
+    std::uint32_t occ = 0;
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      ts.q_head[p] = r.u16();
+      if (ts.q_head[p] >= cap_)
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                          "input queue head beyond capacity");
+    }
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      ts.q_size[p] = r.u16();
+      if (ts.q_size[p] > cap_)
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                          "input queue occupancy beyond capacity");
+      occ += ts.q_size[p];
+    }
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      ts.rr[p] = r.u8();
+      if (ts.rr[p] >= kPortCount)
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                          "rotating priority out of range");
+    }
+    ts.occ = r.u16();
+    if (ts.occ != occ)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "tile occupancy disagrees with its queues");
+  }
+  for (std::uint32_t& slot : q_slots_) slot = r.u32();
+
+  r.expect_tag(ckpt::fourcc("LINK"), "LinkState");
+  for (LinkState& l : link_) {
+    l.head = r.u16();
+    l.count = r.u16();
+    l.pending = r.u16();
+    l.space = r.u16();
+    if (l.head >= cap_ || l.count > cap_)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "link ring head/count beyond capacity");
+  }
+  for (LinkTransfer& t : ring_slab_) {
+    t.arrival_cycle = r.u64();
+    t.pkt = r.u32();
+    t.dst_tile = r.u32();
+    t.src_tile = r.u32();
+    t.dst_port = static_cast<Port>(r.u8());
+    t.dir = r.u8();
+    t.seq = r.u8();
+    t.retransmits = r.u8();
+  }
+
+  r.expect_tag(ckpt::fourcc("CNTR"), "mesh counters");
+  ctr_.injected->value = r.u64();
+  ctr_.ejected->value = r.u64();
+  ctr_.dropped_at_fault->value = r.u64();
+  ctr_.link_traversals->value = r.u64();
+  ctr_.cycles->value = r.u64();
+  ctr_.purged_in_dead_router->value = r.u64();
+  ctr_.corrupted->value = r.u64();
+  ctr_.crc_detected->value = r.u64();
+  ctr_.crc_escapes->value = r.u64();
+  ctr_.link_retransmits->value = r.u64();
+  ctr_.link_error_drops->value = r.u64();
+  ctr_.dup_dropped->value = r.u64();
+  in_flight_ = static_cast<std::size_t>(r.u64());
+
+  if (r.b() != options_.integrity.enabled)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "integrity-state presence flag disagrees");
+  if (options_.integrity.enabled) {
+    r.expect_tag(ckpt::fourcc("INTG"), "link-integrity state");
+    for (Rng& rng : link_rng_) {
+      std::array<std::uint64_t, 4> s;
+      for (auto& word : s) word = r.u64();
+      rng.set_state(s);
+    }
+    for (auto& a : link_errors_)
+      for (auto& v : a) v = r.u64();
+    for (auto& a : link_traversals_)
+      for (auto& v : a) v = r.u64();
+    for (auto& a : tx_seq_)
+      for (auto& v : a) v = r.u8();
+    for (auto& a : rx_seq_)
+      for (auto& v : a) v = r.u8();
+    for (auto& a : link_next_free_)
+      for (auto& v : a) v = r.u64();
+  }
+
+  // Derived tables (tile_faulty_, link_ok_, route9) come from the fault
+  // state just restored; apply_fault_state is wrong here — its purge side
+  // effects belong to fault *transitions*, not to state restoration.
+  rebuild_topology();
+
+  // Cross-field sanity on the fully restored mesh: every occupied queue
+  // slot and in-flight ring frame must reference a live pool slot, the
+  // rings' occupancy must match in_flight_, and conservation must hold.
+  std::size_t live = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      for (std::size_t i = 0; i < tiles_[t].q_size[p]; ++i) {
+        std::size_t slot = static_cast<std::size_t>(tiles_[t].q_head[p]) + i;
+        if (slot >= cap_) slot -= cap_;
+        if (q_slots_[qbase(t, p) + slot] >= pool_size)
+          throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                            "queued packet index out of pool range");
+        ++live;
+      }
+    }
+  }
+  for (std::size_t link = 0; link < link_.size(); ++link) {
+    for (std::size_t i = 0; i < link_[link].count; ++i) {
+      const LinkTransfer& t = ring_at(link, i);
+      if (t.pkt >= pool_size || t.dst_tile >= n || t.src_tile >= n ||
+          static_cast<std::size_t>(t.dst_port) >= kPortCount || t.dir >= 4)
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                          "in-flight link frame references out of range");
+      ++live;
+    }
+  }
+  if (live != in_flight_ || !conservation_holds())
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "restored mesh fails packet conservation");
 }
 
 }  // namespace wsp::noc

@@ -69,6 +69,11 @@
 #include "wsp/noc/routing.hpp"
 #include "wsp/obs/metrics.hpp"
 
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
+
 namespace wsp::noc {
 
 /// Router ports.  The first four alias the mesh directions.
@@ -213,6 +218,21 @@ class MeshNetwork {
                ctr_.link_error_drops->value + ctr_.dup_dropped->value +
                in_flight_;
   }
+
+  /// Checkpoint hooks (wsp::ckpt).  The snapshot captures the complete
+  /// mutable state — packet pool, input queues, per-link rings, packed
+  /// credit words, per-link RNG streams, retransmit protocol state, BER
+  /// map, fault state and counters — so a load followed by step() is
+  /// bit-identical to never having stopped, at every thread and shard
+  /// count.  Derived tables (route9, link_ok_, neighbour maps) are
+  /// rebuilt, not stored.  load_state targets a mesh constructed over the
+  /// same grid, kind and behavioural options as the saver; anything else
+  /// throws ckpt::Error (TopologyMismatch / SchemaMismatch).  The shard
+  /// count is deliberately *not* part of the schema: results are
+  /// shard-count-invariant, so a snapshot may be resumed under a
+  /// different parallel grain.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   /// One frame on a directed link.  Carries a pool_ index instead of the

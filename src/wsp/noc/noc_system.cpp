@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/common/error.hpp"
 #include "wsp/exec/thread_pool.hpp"
 #include "wsp/noc/routing.hpp"
@@ -511,6 +512,322 @@ std::uint64_t NocSystem::link_error_count(TileCoord from, Direction d) const {
 std::uint64_t NocSystem::link_traversal_count(TileCoord from,
                                               Direction d) const {
   return xy_.link_traversal_count(from, d) + yx_.link_traversal_count(from, d);
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kNocTag = ckpt::fourcc("NOCS");
+constexpr std::uint32_t kNocStateVersion = 1;
+
+void save_coord(ckpt::Writer& w, TileCoord c) {
+  w.i32(c.x);
+  w.i32(c.y);
+}
+
+TileCoord load_coord(ckpt::Reader& r, const TileGrid& grid) {
+  TileCoord c;
+  c.x = r.i32();
+  c.y = r.i32();
+  if (!grid.contains(c))
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "tile coordinate outside the grid");
+  return c;
+}
+
+void save_full_packet(ckpt::Writer& w, const Packet& p) {
+  w.i32(p.src.x);
+  w.i32(p.src.y);
+  w.i32(p.dst.x);
+  w.i32(p.dst.y);
+  w.u8(static_cast<std::uint8_t>(p.type));
+  w.u8(static_cast<std::uint8_t>(p.network));
+  w.u64(p.payload);
+  w.u32(p.address);
+  w.u64(p.id);
+  w.u64(p.request_id);
+  w.u64(p.injected_cycle);
+  w.u64(p.delivered_cycle);
+  w.u32(p.attempt);
+}
+
+Packet load_full_packet(ckpt::Reader& r) {
+  Packet p;
+  p.src.x = r.i32();
+  p.src.y = r.i32();
+  p.dst.x = r.i32();
+  p.dst.y = r.i32();
+  const std::uint8_t type = r.u8();
+  const std::uint8_t network = r.u8();
+  if (type > static_cast<std::uint8_t>(PacketType::WriteAck) || network > 1)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "packet type/network enum out of range");
+  p.type = static_cast<PacketType>(type);
+  p.network = static_cast<NetworkKind>(network);
+  p.payload = r.u64();
+  p.address = r.u32();
+  p.id = r.u64();
+  p.request_id = r.u64();
+  p.injected_cycle = r.u64();
+  p.delivered_cycle = r.u64();
+  p.attempt = r.u32();
+  return p;
+}
+
+}  // namespace
+
+void NocSystem::save_state(ckpt::Writer& w) const {
+  w.tag(kNocTag);
+  w.u32(kNocStateVersion);
+  w.i32(faults_.grid().width());
+  w.i32(faults_.grid().height());
+  w.i32(options_.service_latency);
+  w.i32(options_.relay_latency);
+  w.u64(options_.response_timeout);
+  w.i32(options_.max_retries);
+  w.u64(options_.retry_backoff_base);
+
+  ckpt::save_fault_map(w, faults_);
+  ckpt::save_link_faults(w, links_);
+
+  w.u64(cycle_);
+  w.u64(next_id_);
+  w.u64(pending_seq_);
+
+  // Live transactions, sorted by id so the byte stream is independent of
+  // unordered_map iteration order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, txn] : live_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.tag(ckpt::fourcc("LIVE"));
+  w.u64(ids.size());
+  for (std::uint64_t id : ids) {
+    const LiveTransaction& txn = live_.at(id);
+    w.u64(id);
+    w.u64(txn.plan.waypoints.size());
+    for (TileCoord c : txn.plan.waypoints) save_coord(w, c);
+    w.u64(txn.plan.segment_networks.size());
+    for (NetworkKind k : txn.plan.segment_networks)
+      w.u8(static_cast<std::uint8_t>(k));
+    w.b(txn.plan.reachable);
+    w.b(txn.plan.relayed);
+    w.u8(static_cast<std::uint8_t>(txn.type));
+    w.u64(txn.payload);
+    w.u32(txn.address);
+    w.u64(txn.issue_cycle);
+    w.u64(txn.segment);
+    w.b(txn.returning);
+    w.u32(txn.attempts);
+  }
+
+  // Both priority queues drain (off a copy) in comparator order, which is
+  // a total order here — Deadline keys (due_cycle, id) and
+  // PendingInjection keys (due_cycle, seq) are unique — so the serialised
+  // order, and the observable pop order after a re-push on load, are
+  // independent of the heap's internal layout.
+  w.tag(ckpt::fourcc("DDLN"));
+  {
+    auto copy = deadlines_;
+    w.u64(copy.size());
+    while (!copy.empty()) {
+      const Deadline& d = copy.top();
+      w.u64(d.due_cycle);
+      w.u64(d.id);
+      w.u32(d.attempt);
+      copy.pop();
+    }
+  }
+  w.tag(ckpt::fourcc("PEND"));
+  {
+    auto copy = pending_;
+    w.u64(copy.size());
+    while (!copy.empty()) {
+      const PendingInjection& p = copy.top();
+      w.u64(p.due_cycle);
+      w.u64(p.seq);
+      save_full_packet(w, p.packet);
+      copy.pop();
+    }
+  }
+
+  w.tag(ckpt::fourcc("REDY"));
+  for (const auto& per_net : ready_) {
+    w.u64(per_net.size());
+    for (const auto& [tile, q] : per_net) {
+      w.u64(tile);
+      w.u64(q.size());
+      for (const Packet& p : q) save_full_packet(w, p);
+    }
+  }
+
+  w.tag(ckpt::fourcc("CNTR"));
+  w.u64(ctr_.issued->value);
+  w.u64(ctr_.completed->value);
+  w.u64(ctr_.unreachable->value);
+  w.u64(ctr_.relayed->value);
+  w.u64(ctr_.timeouts->value);
+  w.u64(ctr_.retries->value);
+  w.u64(ctr_.lost->value);
+  w.u64(ctr_.stale_packets->value);
+  w.u64(ctr_.replans->value);
+  w.u64(ctr_.links_retired->value);
+  ctr_.latency->save_state(w);
+
+  xy_.save_state(w);
+  yx_.save_state(w);
+}
+
+void NocSystem::load_state(ckpt::Reader& r) {
+  r.expect_tag(kNocTag, "NocSystem");
+  const std::uint32_t version = r.u32();
+  if (version != kNocStateVersion)
+    throw ckpt::Error(ckpt::ErrorKind::VersionMismatch,
+                      "NocSystem state version " + std::to_string(version));
+  const TileGrid& grid = faults_.grid();
+  const int gw = r.i32();
+  const int gh = r.i32();
+  if (gw != grid.width() || gh != grid.height())
+    throw ckpt::Error(ckpt::ErrorKind::TopologyMismatch,
+                      "NoC snapshot grid " + std::to_string(gw) + "x" +
+                          std::to_string(gh) + " vs live " +
+                          std::to_string(grid.width()) + "x" +
+                          std::to_string(grid.height()));
+  const bool options_match = r.i32() == options_.service_latency &&
+                             r.i32() == options_.relay_latency &&
+                             r.u64() == options_.response_timeout &&
+                             r.i32() == options_.max_retries &&
+                             r.u64() == options_.retry_backoff_base;
+  if (!options_match)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "NoC options differ from the snapshot");
+
+  faults_ = ckpt::load_fault_map(r, &grid);
+  links_ = ckpt::load_link_faults(r, &grid);
+
+  cycle_ = r.u64();
+  next_id_ = r.u64();
+  pending_seq_ = r.u64();
+
+  r.expect_tag(ckpt::fourcc("LIVE"), "live transactions");
+  live_.clear();
+  const std::size_t live_count = r.length(8);
+  for (std::size_t i = 0; i < live_count; ++i) {
+    const std::uint64_t id = r.u64();
+    LiveTransaction txn;
+    const std::size_t nwp = r.length(8);
+    txn.plan.waypoints.reserve(nwp);
+    for (std::size_t k = 0; k < nwp; ++k)
+      txn.plan.waypoints.push_back(load_coord(r, grid));
+    const std::size_t nseg = r.length(1);
+    if (nwp < 2 || nseg + 1 != nwp)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "route plan waypoint/segment shape is invalid");
+    txn.plan.segment_networks.reserve(nseg);
+    for (std::size_t k = 0; k < nseg; ++k) {
+      const std::uint8_t net = r.u8();
+      if (net > 1)
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                          "segment network enum out of range");
+      txn.plan.segment_networks.push_back(static_cast<NetworkKind>(net));
+    }
+    txn.plan.reachable = r.b();
+    txn.plan.relayed = r.b();
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(PacketType::WriteAck))
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "transaction type enum out of range");
+    txn.type = static_cast<PacketType>(type);
+    txn.payload = r.u64();
+    txn.address = r.u32();
+    txn.issue_cycle = r.u64();
+    txn.segment = static_cast<std::size_t>(r.u64());
+    txn.returning = r.b();
+    txn.attempts = r.u32();
+    if (txn.segment + 1 >= nwp)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "transaction segment index out of range");
+    if (!live_.emplace(id, std::move(txn)).second)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "duplicate live transaction id");
+  }
+
+  r.expect_tag(ckpt::fourcc("DDLN"), "deadlines");
+  deadlines_ = {};
+  const std::size_t ndl = r.length(20);
+  for (std::size_t i = 0; i < ndl; ++i) {
+    Deadline d;
+    d.due_cycle = r.u64();
+    d.id = r.u64();
+    d.attempt = r.u32();
+    deadlines_.push(d);
+  }
+
+  r.expect_tag(ckpt::fourcc("PEND"), "pending injections");
+  pending_ = {};
+  const std::size_t npend = r.length(16);
+  for (std::size_t i = 0; i < npend; ++i) {
+    PendingInjection p;
+    p.due_cycle = r.u64();
+    p.seq = r.u64();
+    p.packet = load_full_packet(r);
+    pending_.push(p);
+  }
+
+  r.expect_tag(ckpt::fourcc("REDY"), "ready queues");
+  ready_count_ = 0;
+  for (auto& per_net : ready_) {
+    per_net.clear();
+    const std::size_t ntiles = r.length(16);
+    for (std::size_t i = 0; i < ntiles; ++i) {
+      const std::size_t tile = static_cast<std::size_t>(r.u64());
+      if (tile >= grid.tile_count())
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                          "ready-queue tile index out of range");
+      const std::size_t nq = r.length(66);
+      std::deque<Packet>& q = per_net[tile];
+      for (std::size_t k = 0; k < nq; ++k) q.push_back(load_full_packet(r));
+      ready_count_ += nq;
+    }
+  }
+
+  r.expect_tag(ckpt::fourcc("CNTR"), "NoC counters");
+  ctr_.issued->value = r.u64();
+  ctr_.completed->value = r.u64();
+  ctr_.unreachable->value = r.u64();
+  ctr_.relayed->value = r.u64();
+  ctr_.timeouts->value = r.u64();
+  ctr_.retries->value = r.u64();
+  ctr_.lost->value = r.u64();
+  ctr_.stale_packets->value = r.u64();
+  ctr_.replans->value = r.u64();
+  ctr_.links_retired->value = r.u64();
+  ctr_.latency->load_state(r);
+
+  xy_.load_state(r);
+  yx_.load_state(r);
+
+  // The selector's plan cache memoises a pure function of the fault state;
+  // rebinding rebuilds connectivity from the restored maps and drops the
+  // cache, which replans identically on demand.
+  selector_.rebind(faults_, links_);
+  eject_scratch_.clear();
+}
+
+void NocSystem::save_checkpoint(const std::string& path) const {
+  ckpt::Writer w;
+  save_state(w);
+  ckpt::save_frame_file(path, kNocTag, kNocStateVersion, w);
+}
+
+void NocSystem::load_checkpoint(const std::string& path) {
+  const ckpt::Frame frame = ckpt::load_frame_file(path, kNocTag);
+  ckpt::Reader r(frame.payload);
+  load_state(r);
+  if (!r.done())
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "trailing bytes after NoC state");
 }
 
 }  // namespace wsp::noc

@@ -242,6 +242,23 @@ class NocSystem {
     return xy_.conservation_holds() && yx_.conservation_holds();
   }
 
+  /// Checkpoint hooks (wsp::ckpt).  Captures the full transaction layer —
+  /// live transactions, timeout deadlines, deferred and ready injections,
+  /// id/sequence allocators, counters and the latency histogram — plus
+  /// both meshes via their own hooks, so load + step is bit-identical to
+  /// never having stopped.  The delivery listener is NOT captured (it is
+  /// an arbitrary std::function); the owner re-attaches it after loading.
+  /// load_state targets a system constructed over the same grid and
+  /// options; mismatches throw ckpt::Error.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
+  /// Frames save_state into a "NOCS" container and writes it atomically.
+  void save_checkpoint(const std::string& path) const;
+  /// Loads a "NOCS" container produced by save_checkpoint into this
+  /// system.  Throws ckpt::Error on any corruption or mismatch.
+  void load_checkpoint(const std::string& path);
+
  private:
   struct LiveTransaction {
     RoutePlan plan;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wsp/ckpt/checkpoint.hpp"
+
 namespace wsp::obs {
 
 std::uint64_t nearest_rank_percentile(std::vector<std::uint64_t>& samples,
@@ -84,6 +86,32 @@ bool operator==(const Histogram& a, const Histogram& b) {
                     b.buckets_);
 }
 
+void Histogram::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("HIST"));
+  for (int b = 0; b < kBucketCount; ++b) w.u64(buckets_[b]);
+  w.u64(count_);
+  w.u64(sum_);
+  w.u64(min_);
+  w.u64(max_);
+  w.u64(samples_.size());
+  for (std::uint64_t s : samples_) w.u64(s);
+}
+
+void Histogram::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("HIST"), "Histogram");
+  for (int b = 0; b < kBucketCount; ++b) buckets_[b] = r.u64();
+  count_ = r.u64();
+  sum_ = r.u64();
+  min_ = r.u64();
+  max_ = r.u64();
+  std::size_t n = r.length(8);
+  if (n > kExactSampleCap || n > count_)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "Histogram retained-sample count is implausible");
+  samples_.assign(n, 0);
+  for (auto& s : samples_) s = r.u64();
+}
+
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value;
@@ -93,6 +121,50 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) counters_[name].value += c.value;
   for (const auto& [name, g] : other.gauges_) gauges_[name].value = g.value;
   for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+void MetricsRegistry::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("MREG"));
+  w.u64(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    w.str(name);
+    w.u64(c.value);
+  }
+  w.u64(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    w.str(name);
+    w.f64(g.value);
+  }
+  w.u64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    w.str(name);
+    h.save_state(w);
+  }
+}
+
+void MetricsRegistry::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("MREG"), "MetricsRegistry");
+  // In-place restore: zero what the snapshot lacks, overwrite what it has,
+  // create what this registry lacks.  Never erase — cached handle
+  // addresses must stay valid.
+  for (auto& [name, c] : counters_) c.value = 0;
+  for (auto& [name, g] : gauges_) g.value = 0.0;
+  for (auto& [name, h] : histograms_) h = Histogram{};
+  std::size_t nc = r.length(1);
+  for (std::size_t i = 0; i < nc; ++i) {
+    std::string name = r.str();
+    counters_[name].value = r.u64();
+  }
+  std::size_t ng = r.length(1);
+  for (std::size_t i = 0; i < ng; ++i) {
+    std::string name = r.str();
+    gauges_[name].value = r.f64();
+  }
+  std::size_t nh = r.length(1);
+  for (std::size_t i = 0; i < nh; ++i) {
+    std::string name = r.str();
+    histograms_[name].load_state(r);
+  }
 }
 
 }  // namespace wsp::obs

@@ -31,6 +31,11 @@
 #include <string>
 #include <vector>
 
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
+
 namespace wsp::obs {
 
 /// Monotonic event counter.
@@ -94,6 +99,12 @@ class Histogram {
 
   friend bool operator==(const Histogram& a, const Histogram& b);
 
+  /// Checkpoint hooks: the full distribution state (buckets, aggregates,
+  /// retained samples) round-trips, so percentiles after a resume are the
+  /// ones an uninterrupted run would report.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   std::uint64_t buckets_[kBucketCount] = {};
   std::uint64_t count_ = 0;
@@ -142,6 +153,14 @@ class MetricsRegistry {
     return a.counters_ == b.counters_ && a.gauges_ == b.gauges_ &&
            a.histograms_ == b.histograms_;
   }
+
+  /// Checkpoint hooks.  load_state updates metrics *in place* and never
+  /// erases a map node: subsystems cache Counter*/Gauge* handles resolved
+  /// at construction, and those addresses must survive a load.  Metrics
+  /// present in the snapshot are overwritten, metrics absent from it are
+  /// zeroed, missing ones are created.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   std::map<std::string, Counter> counters_;

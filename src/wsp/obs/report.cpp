@@ -2,8 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
+
+#include "wsp/ckpt/checkpoint.hpp"
 
 namespace wsp::obs {
 
@@ -157,10 +158,9 @@ std::string RunReport::to_json() const {
 }
 
 bool RunReport::write(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << to_json() << "\n";
-  return static_cast<bool>(f);
+  // Temp-then-rename so a run killed mid-write never leaves a truncated
+  // JSON artifact for downstream tooling to choke on.
+  return ckpt::atomic_write_text(path, to_json() + "\n");
 }
 
 std::string RunReport::write_default() const {

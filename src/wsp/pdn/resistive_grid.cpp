@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/common/error.hpp"
 #include "wsp/exec/parallel_for.hpp"
 #include "wsp/obs/trace.hpp"
@@ -264,6 +265,39 @@ double ResistiveGrid::dissipated_power() const {
     }
   }
   return p;
+}
+
+void ResistiveGrid::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("PGRD"));
+  w.i32(width_);
+  w.i32(height_);
+  for (double g : g_east_) w.f64(g);
+  for (double g : g_north_) w.f64(g);
+  for (double s : sink_) w.f64(s);
+  for (double g : shunt_g_) w.f64(g);
+  for (double v : shunt_v_) w.f64(v);
+  for (char d : dirichlet_) w.b(d != 0);
+  for (double v : v_) w.f64(v);
+}
+
+void ResistiveGrid::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("PGRD"), "ResistiveGrid");
+  const int gw = r.i32();
+  const int gh = r.i32();
+  if (gw != width_ || gh != height_)
+    throw ckpt::Error(ckpt::ErrorKind::TopologyMismatch,
+                      "PDN grid " + std::to_string(gw) + "x" +
+                          std::to_string(gh) + " vs live " +
+                          std::to_string(width_) + "x" +
+                          std::to_string(height_));
+  for (double& g : g_east_) g = r.f64();
+  for (double& g : g_north_) g = r.f64();
+  for (double& s : sink_) s = r.f64();
+  for (double& g : shunt_g_) g = r.f64();
+  for (double& v : shunt_v_) v = r.f64();
+  for (char& d : dirichlet_) d = r.b() ? 1 : 0;
+  for (double& v : v_) v = r.f64();
+  stencil_valid_ = false;  // conductances may have changed; rebuild lazily
 }
 
 }  // namespace wsp::pdn

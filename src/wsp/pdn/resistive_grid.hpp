@@ -25,6 +25,11 @@
 
 #include "wsp/obs/metrics.hpp"
 
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
+
 namespace wsp::pdn {
 
 /// Result of a grid solve.
@@ -112,6 +117,14 @@ class ResistiveGrid {
 
   /// Resistive power dissipated in the grid edges, watts.
   double dissipated_power() const;
+
+  /// Checkpoint hooks (wsp::ckpt): conductances, sinks, shunts, Dirichlet
+  /// constraints and the solution vector round-trip (the last solution
+  /// seeds the next solve, so restoring it keeps resumed iteration counts
+  /// identical).  The hoisted stencil is rebuilt on demand, not stored.
+  /// Metric bindings are untouched by a load.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   // Loop-invariant per-node solve data, hoisted out of the sweep: flattened

@@ -1,7 +1,9 @@
 #include "wsp/resilience/campaign.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/clock/forwarding.hpp"
 #include "wsp/clock/recovery.hpp"
 #include "wsp/common/error.hpp"
@@ -327,20 +329,84 @@ DegradationReport DegradationCampaign::run() const {
 std::vector<DegradationReport> DegradationCampaign::run_trials(
     int trials) const {
   require(trials >= 1, "at least one trial");
+  return run_trial_range(0, trials);
+}
+
+std::vector<DegradationReport> DegradationCampaign::run_trial_range(
+    int first, int count) const {
+  require(first >= 0, "first trial must be non-negative");
+  require(count >= 1, "at least one trial");
   // Trials are embarrassingly parallel: each one owns its wafer state and
-  // is a pure function of (options, seed + t), so dispatching them onto the
-  // exec pool keeps the report vector bit-identical for any thread count.
-  // Nested parallel loops inside a trial (the PDN re-solves) degrade to
-  // serial on the worker, so the pool is never oversubscribed.
-  std::vector<DegradationReport> reports(static_cast<std::size_t>(trials));
+  // is a pure function of (options, seed + trial index), so dispatching
+  // them onto the exec pool keeps the report vector bit-identical for any
+  // thread count — and, because trial t always means seed + t no matter
+  // which range (or process) computes it, for any sharding too.  Nested
+  // parallel loops inside a trial (the PDN re-solves) degrade to serial on
+  // the worker, so the pool is never oversubscribed.
+  std::vector<DegradationReport> reports(static_cast<std::size_t>(count));
   exec::parallel_for(
       reports.size(), [&](std::size_t b, std::size_t e) {
         for (std::size_t t = b; t < e; ++t) {
           CampaignOptions o = options_;
-          o.seed = options_.seed + static_cast<std::uint64_t>(t);
+          o.seed = options_.seed + static_cast<std::uint64_t>(first) +
+                   static_cast<std::uint64_t>(t);
           reports[t] = DegradationCampaign(o).run();
         }
       });
+  return reports;
+}
+
+std::vector<DegradationReport> DegradationCampaign::run_trials_checkpointed(
+    int trials, const CampaignCheckpointOptions& ckpt) const {
+  return run_trial_range_checkpointed(0, trials, trials, ckpt);
+}
+
+std::vector<DegradationReport>
+DegradationCampaign::run_trial_range_checkpointed(
+    int first, int count, int total_trials,
+    const CampaignCheckpointOptions& ckpt) const {
+  require(first >= 0, "first trial must be non-negative");
+  require(count >= 1, "at least one trial");
+  require(first + count <= total_trials,
+          "trial range exceeds the campaign trial count");
+  require(!ckpt.path.empty(), "checkpoint path must be set");
+  require(ckpt.every_trials >= 1, "checkpoint period must be >= 1");
+  const std::uint32_t fp = options_fingerprint();
+
+  std::vector<DegradationReport> reports;
+  bool resuming = false;
+  CampaignReportsFile existing;
+  try {
+    existing = load_campaign_reports(ckpt.path);
+    resuming = true;
+  } catch (const ckpt::Error& e) {
+    // No snapshot yet (first run, or the previous run died before its
+    // first checkpoint) is the normal cold-start path.  Anything else —
+    // corruption, truncation, a foreign frame — stays loud.
+    if (e.kind() != ckpt::ErrorKind::Io) throw;
+  }
+  if (resuming) {
+    if (existing.fingerprint != fp)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "checkpoint belongs to a different campaign");
+    if (existing.first_trial != first ||
+        existing.total_trials != total_trials ||
+        existing.reports.size() > static_cast<std::size_t>(count))
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "checkpoint trial range does not match this run");
+    reports = std::move(existing.reports);
+  }
+
+  while (reports.size() < static_cast<std::size_t>(count)) {
+    const int done = static_cast<int>(reports.size());
+    const int batch = std::min(ckpt.every_trials, count - done);
+    std::vector<DegradationReport> chunk =
+        run_trial_range(first + done, batch);
+    for (DegradationReport& r : chunk) reports.push_back(std::move(r));
+    save_campaign_reports(ckpt.path, {fp, total_trials, first, reports});
+    if (ckpt.after_checkpoint)
+      ckpt.after_checkpoint(static_cast<int>(reports.size()));
+  }
   return reports;
 }
 
@@ -419,6 +485,387 @@ void publish_metrics(const std::vector<DegradationReport>& reports,
       .set(reports.empty() ? 0.0
                            : reachability_sum /
                                  static_cast<double>(reports.size()));
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kCampaignKind = ckpt::fourcc("CAMP");
+constexpr std::uint32_t kCampaignStateVersion = 1;
+
+void save_notice(ckpt::Writer& w, const FaultNotice& n) {
+  w.u8(static_cast<std::uint8_t>(n.kind));
+  w.i32(n.tile.x);
+  w.i32(n.tile.y);
+  w.b(n.link.has_value());
+  if (n.link) w.u8(static_cast<std::uint8_t>(*n.link));
+  w.u64(n.cycle);
+  w.f64(n.magnitude);
+}
+
+FaultNotice load_notice(ckpt::Reader& r) {
+  FaultNotice n;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(RuntimeFaultKind::LinkBerDegradation))
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "fault notice kind out of range");
+  n.kind = static_cast<RuntimeFaultKind>(kind);
+  n.tile.x = r.i32();
+  n.tile.y = r.i32();
+  if (r.b()) {
+    const std::uint8_t d = r.u8();
+    if (d > 3)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "fault notice link direction out of range");
+    n.link = static_cast<Direction>(d);
+  }
+  n.cycle = r.u64();
+  n.magnitude = r.f64();
+  return n;
+}
+
+}  // namespace
+
+void save_report(ckpt::Writer& w, const DegradationReport& report) {
+  w.tag(ckpt::fourcc("DRPT"));
+  w.tag(ckpt::fourcc("TRAJ"));
+  w.u64(report.trajectory.size());
+  for (const TrajectoryPoint& p : report.trajectory) {
+    w.u64(p.cycle);
+    w.u64(p.usable_tiles);
+  }
+  w.tag(ckpt::fourcc("EVNT"));
+  w.u64(report.events.size());
+  for (const EventOutcome& e : report.events) {
+    save_notice(w, e.notice);
+    w.u64(e.applied_cycle);
+    w.u64(e.usable_after);
+    w.u64(e.newly_unusable);
+    w.u64(e.recovery_cycles);
+    w.b(e.recovered);
+    w.i32(e.clock_relatched);
+    w.i32(e.clock_orphaned);
+    w.i32(e.pdn_undervolted);
+  }
+  w.tag(ckpt::fourcc("RETD"));
+  w.u64(report.retirements.size());
+  for (const noc::RetiredLink& l : report.retirements) {
+    w.i32(l.tile.x);
+    w.i32(l.tile.y);
+    w.u8(static_cast<std::uint8_t>(l.dir));
+    w.u64(l.cycle);
+    w.u64(l.errors);
+    w.u64(l.traversals);
+  }
+  w.tag(ckpt::fourcc("NSTA"));
+  const noc::NocStats& s = report.noc_stats;
+  w.u64(s.issued);
+  w.u64(s.completed);
+  w.u64(s.unreachable);
+  w.u64(s.relayed);
+  w.u64(s.latency_sum);
+  w.u64(s.latency_max);
+  w.u64(s.timeouts);
+  w.u64(s.retries);
+  w.u64(s.lost);
+  w.u64(s.stale_packets);
+  w.u64(s.replans);
+  w.u64(s.corrupted);
+  w.u64(s.crc_detected);
+  w.u64(s.link_retransmits);
+  w.u64(s.links_retired);
+  w.u64(s.escapes);
+  w.u64(report.mesh_dropped);
+  w.u64(report.initial_usable);
+  w.u64(report.final_usable);
+  w.f64(report.pair_reachability_pct);
+  w.b(report.single_system_image);
+  w.b(report.drained);
+  w.u64(report.total_cycles);
+  w.b(report.rebringup.has_value());
+  if (report.rebringup) {
+    // Summary numbers only: the nested clock plan / duty / skew /
+    // connectivity reports are re-derivable by re-running bring-up.
+    w.u64(report.rebringup->faulty_tiles);
+    w.u64(report.rebringup->screening_tcks);
+    w.u64(report.rebringup->usable_tiles);
+    w.b(report.rebringup->single_system_image);
+  }
+}
+
+DegradationReport load_report(ckpt::Reader& r) {
+  DegradationReport report;
+  r.expect_tag(ckpt::fourcc("DRPT"), "DegradationReport");
+  r.expect_tag(ckpt::fourcc("TRAJ"), "report trajectory");
+  const std::size_t n_traj = r.length(16);
+  report.trajectory.resize(n_traj);
+  for (TrajectoryPoint& p : report.trajectory) {
+    p.cycle = r.u64();
+    p.usable_tiles = static_cast<std::size_t>(r.u64());
+  }
+  r.expect_tag(ckpt::fourcc("EVNT"), "report events");
+  const std::size_t n_events = r.length(71);
+  report.events.resize(n_events);
+  for (EventOutcome& e : report.events) {
+    e.notice = load_notice(r);
+    e.applied_cycle = r.u64();
+    e.usable_after = static_cast<std::size_t>(r.u64());
+    e.newly_unusable = static_cast<std::size_t>(r.u64());
+    e.recovery_cycles = r.u64();
+    e.recovered = r.b();
+    e.clock_relatched = r.i32();
+    e.clock_orphaned = r.i32();
+    e.pdn_undervolted = r.i32();
+  }
+  r.expect_tag(ckpt::fourcc("RETD"), "report retirements");
+  const std::size_t n_ret = r.length(33);
+  report.retirements.resize(n_ret);
+  for (noc::RetiredLink& l : report.retirements) {
+    l.tile.x = r.i32();
+    l.tile.y = r.i32();
+    const std::uint8_t d = r.u8();
+    if (d > 3)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "retired-link direction out of range");
+    l.dir = static_cast<Direction>(d);
+    l.cycle = r.u64();
+    l.errors = r.u64();
+    l.traversals = r.u64();
+  }
+  r.expect_tag(ckpt::fourcc("NSTA"), "report NoC stats");
+  noc::NocStats& s = report.noc_stats;
+  s.issued = r.u64();
+  s.completed = r.u64();
+  s.unreachable = r.u64();
+  s.relayed = r.u64();
+  s.latency_sum = r.u64();
+  s.latency_max = r.u64();
+  s.timeouts = r.u64();
+  s.retries = r.u64();
+  s.lost = r.u64();
+  s.stale_packets = r.u64();
+  s.replans = r.u64();
+  s.corrupted = r.u64();
+  s.crc_detected = r.u64();
+  s.link_retransmits = r.u64();
+  s.links_retired = r.u64();
+  s.escapes = r.u64();
+  report.mesh_dropped = r.u64();
+  report.initial_usable = static_cast<std::size_t>(r.u64());
+  report.final_usable = static_cast<std::size_t>(r.u64());
+  report.pair_reachability_pct = r.f64();
+  report.single_system_image = r.b();
+  report.drained = r.b();
+  report.total_cycles = r.u64();
+  if (r.b()) {
+    arch::BringupReport b;
+    b.faulty_tiles = static_cast<std::size_t>(r.u64());
+    b.screening_tcks = r.u64();
+    b.usable_tiles = static_cast<std::size_t>(r.u64());
+    b.single_system_image = r.b();
+    report.rebringup = std::move(b);
+  }
+  return report;
+}
+
+std::uint32_t DegradationCampaign::options_fingerprint() const {
+  ckpt::Writer w;
+  // Every primitive SystemConfig parameter in declaration order (Table-I
+  // derived quantities are functions of these), then the campaign knobs.
+  const SystemConfig& c = options_.config;
+  w.i32(c.array_width);
+  w.i32(c.array_height);
+  w.i32(c.cores_per_tile);
+  w.i32(c.chiplets_per_tile);
+  w.u64(c.private_mem_per_core_bytes);
+  w.i32(c.banks_per_memory_chiplet);
+  w.i32(c.shared_banks_per_tile);
+  w.u64(c.bank_bytes);
+  w.i32(c.bank_port_bytes);
+  w.f64(c.nominal_freq_hz);
+  w.f64(c.max_forwarded_clock_hz);
+  w.f64(c.pll_input_min_hz);
+  w.f64(c.pll_input_max_hz);
+  w.f64(c.pll_output_max_hz);
+  w.i32(c.clock_select_toggle_count);
+  w.f64(c.nominal_voltage_v);
+  w.f64(c.regulated_min_v);
+  w.f64(c.regulated_max_v);
+  w.f64(c.ff_corner_voltage_v);
+  w.f64(c.edge_supply_voltage_v);
+  w.f64(c.min_center_supply_v);
+  w.f64(c.tile_peak_power_w);
+  w.f64(c.decap_per_tile_f);
+  w.f64(c.max_load_step_a);
+  w.f64(c.decap_area_fraction);
+  w.i32(c.substrate_metal_layers);
+  w.f64(c.substrate_metal_thickness_m);
+  w.f64(c.copper_sheet_resistance_ohm_per_sq);
+  w.i32(c.ios_per_compute_chiplet);
+  w.i32(c.ios_per_memory_chiplet);
+  w.f64(c.io_pitch_m);
+  w.f64(c.wiring_pitch_m);
+  w.f64(c.io_cell_area_m2);
+  w.f64(c.io_energy_per_bit_j);
+  w.f64(c.io_signaling_rate_hz);
+  w.f64(c.max_link_length_m);
+  w.i32(c.signal_routing_layers);
+  w.f64(c.pillar_bond_yield);
+  w.i32(c.pillars_per_pad);
+  w.i32(c.link_width_bits_per_side);
+  w.i32(c.packet_bits);
+  w.i32(c.payload_bits);
+  w.i32(c.num_networks);
+  w.i32(c.buses_per_network_per_side);
+  w.f64(c.geometry.compute_chiplet_width_m);
+  w.f64(c.geometry.compute_chiplet_height_m);
+  w.f64(c.geometry.memory_chiplet_width_m);
+  w.f64(c.geometry.memory_chiplet_height_m);
+  w.f64(c.geometry.inter_chiplet_gap_m);
+  w.f64(c.edge_io_margin_m);
+  w.f64(c.jtag_tck_hz);
+  w.i32(c.jtag_chains);
+  w.i32(c.reticle_tiles_x);
+  w.i32(c.reticle_tiles_y);
+  w.f64(c.intra_reticle_wire_width_m);
+  w.f64(c.intra_reticle_wire_space_m);
+  w.f64(c.stitch_wire_width_m);
+  w.f64(c.stitch_wire_space_m);
+
+  w.u64(options_.seed);
+  w.f64(options_.initial_fault_probability);
+  w.u64(options_.mix.tile_deaths);
+  w.u64(options_.mix.link_failures);
+  w.u64(options_.mix.ldo_brownouts);
+  w.u64(options_.mix.clock_gen_losses);
+  w.u64(options_.mix.packet_corruptions);
+  w.u64(options_.mix.link_ber_degradations);
+  w.u64(options_.fault_horizon);
+  w.b(options_.schedule.has_value());
+  if (options_.schedule) options_.schedule->save_state(w);
+  w.u64(options_.run_cycles);
+  w.u64(options_.drain_cycles);
+  w.u8(static_cast<std::uint8_t>(options_.pattern));
+  w.f64(options_.injection_rate);
+
+  const noc::NocOptions& n = options_.noc;
+  w.i32(n.mesh.input_queue_capacity);
+  w.i32(n.mesh.link_latency);
+  w.b(n.mesh.adaptive_odd_even);
+  // n.mesh.shards deliberately excluded: pure parallel grain.
+  w.b(n.mesh.integrity.enabled);
+  w.b(n.mesh.integrity.retransmit);
+  w.i32(n.mesh.integrity.max_retransmits);
+  w.u64(n.mesh.integrity.seed);
+  w.f64(n.mesh.integrity.ber.nominal_v);
+  w.f64(n.mesh.integrity.ber.floor_ber);
+  w.f64(n.mesh.integrity.ber.volts_per_decade);
+  w.f64(n.mesh.integrity.ber.max_ber);
+  w.i32(n.service_latency);
+  w.i32(n.relay_latency);
+  w.u64(n.response_timeout);
+  w.i32(n.max_retries);
+  w.u64(n.retry_backoff_base);
+
+  const PdnDegradationOptions& p = options_.pdn;
+  w.i32(p.pdn.nodes_per_tile);
+  w.f64(p.pdn.plane_slotting_factor);
+  for (bool edge : p.pdn.powered_edges) w.b(edge);
+  w.u8(static_cast<std::uint8_t>(p.pdn.load_model));
+  w.f64(p.pdn.ldo.target_v);
+  w.f64(p.pdn.ldo.min_output_v);
+  w.f64(p.pdn.ldo.max_output_v);
+  w.f64(p.pdn.ldo.dropout_v);
+  w.f64(p.pdn.ldo.max_input_v);
+  w.f64(p.pdn.ldo.min_input_v);
+  w.f64(p.pdn.ldo.quiescent_a);
+  w.f64(p.pdn.ldo.max_load_a);
+  w.f64(p.pdn.ldo.line_regulation);
+  w.f64(p.activity);
+  w.f64(p.brownout_load_factor);
+
+  w.u64(options_.clock_generators.size());
+  for (const TileCoord& g : options_.clock_generators) {
+    w.i32(g.x);
+    w.i32(g.y);
+  }
+  w.u64(options_.trajectory_sample_period);
+  w.u64(options_.link_health.scrub_period);
+  w.u64(options_.link_health.min_traversals);
+  w.u64(options_.link_health.min_errors);
+  w.f64(options_.link_health.retire_error_rate);
+
+  return ckpt::crc32(w.bytes().data(), w.size());
+}
+
+void save_campaign_reports(const std::string& path,
+                           const CampaignReportsFile& file) {
+  ckpt::Writer w;
+  w.u32(file.fingerprint);
+  w.i32(file.total_trials);
+  w.i32(file.first_trial);
+  w.u64(file.reports.size());
+  for (const DegradationReport& r : file.reports) save_report(w, r);
+  ckpt::save_frame_file(path, kCampaignKind, kCampaignStateVersion, w);
+}
+
+CampaignReportsFile load_campaign_reports(const std::string& path) {
+  const ckpt::Frame frame = ckpt::load_frame_file(path, kCampaignKind);
+  if (frame.state_version != kCampaignStateVersion)
+    throw ckpt::Error(ckpt::ErrorKind::VersionMismatch,
+                      "campaign snapshot schema revision unknown");
+  ckpt::Reader r(frame.payload);
+  CampaignReportsFile file;
+  file.fingerprint = r.u32();
+  file.total_trials = r.i32();
+  file.first_trial = r.i32();
+  if (file.total_trials < 1 || file.first_trial < 0 ||
+      file.first_trial > file.total_trials)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "campaign snapshot trial range is malformed");
+  // A report is at least ~215 bytes; 64 is a safe allocation guard.
+  const std::size_t n = r.length(64);
+  if (file.first_trial + static_cast<int>(n) > file.total_trials)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "campaign snapshot holds more reports than trials");
+  file.reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) file.reports.push_back(load_report(r));
+  if (!r.done())
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "trailing bytes after campaign reports");
+  return file;
+}
+
+std::vector<DegradationReport> merge_campaign_reports(
+    std::vector<CampaignReportsFile> shards, std::uint32_t fingerprint) {
+  if (shards.empty())
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "no shard files to merge");
+  std::sort(shards.begin(), shards.end(),
+            [](const CampaignReportsFile& a, const CampaignReportsFile& b) {
+              return a.first_trial < b.first_trial;
+            });
+  const int total = shards.front().total_trials;
+  std::vector<DegradationReport> merged;
+  int next = 0;
+  for (CampaignReportsFile& s : shards) {
+    if (s.fingerprint != fingerprint)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "shard belongs to a different campaign");
+    if (s.total_trials != total)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "shards disagree on the campaign trial count");
+    if (s.first_trial != next)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "shard trial ranges do not tile the campaign");
+    next += static_cast<int>(s.reports.size());
+    for (DegradationReport& r : s.reports) merged.push_back(std::move(r));
+  }
+  if (next != total)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "merged shards do not cover every trial");
+  return merged;
 }
 
 }  // namespace wsp::resilience

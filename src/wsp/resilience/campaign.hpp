@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "wsp/arch/bringup.hpp"
@@ -32,6 +34,11 @@
 #include "wsp/obs/metrics.hpp"
 #include "wsp/resilience/fault_schedule.hpp"
 #include "wsp/resilience/pdn_degradation.hpp"
+
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
 
 namespace wsp::resilience {
 
@@ -111,6 +118,17 @@ struct DegradationReport {
   std::optional<arch::BringupReport> rebringup;
 };
 
+/// Periodic crash-safe checkpointing for Monte Carlo campaigns
+/// (DegradationCampaign::run_trials_checkpointed).
+struct CampaignCheckpointOptions {
+  std::string path;      ///< snapshot file (a "CAMP" wsp::ckpt frame)
+  int every_trials = 1;  ///< snapshot after every N completed trials
+  /// Observability/test hook, called after each snapshot has been renamed
+  /// into place with the completed-trial count (the kill-and-resume test
+  /// SIGKILLs itself from here).
+  std::function<void(int completed)> after_checkpoint;
+};
+
 class DegradationCampaign {
  public:
   explicit DegradationCampaign(const CampaignOptions& options);
@@ -127,9 +145,71 @@ class DegradationCampaign {
   /// is a pure function of its seed).
   std::vector<DegradationReport> run_trials(int trials) const;
 
+  /// Trials [first, first+count), numbered exactly as run_trials numbers
+  /// them (trial t is seeded seed + t), so checkpoint resumes and
+  /// multi-process shards reproduce the single-process reports bit for
+  /// bit.
+  std::vector<DegradationReport> run_trial_range(int first, int count) const;
+
+  /// run_trials with crash-safe resume: completed trials are snapshotted
+  /// to ckpt.path every ckpt.every_trials trials (write-temp-then-rename,
+  /// so a kill at any instant leaves either the previous snapshot or the
+  /// new one).  When ckpt.path already holds a snapshot of *this* campaign
+  /// — fingerprint, trial count and cursor all validated — the finished
+  /// trials are loaded instead of re-run; a snapshot of a different
+  /// campaign throws ckpt::Error.  A killed-and-resumed run therefore
+  /// loses at most every_trials-1 trials of work and returns a report
+  /// vector bit-identical to an uninterrupted run_trials(trials).
+  std::vector<DegradationReport> run_trials_checkpointed(
+      int trials, const CampaignCheckpointOptions& ckpt) const;
+
+  /// run_trial_range with the same crash-safe resume: the snapshot records
+  /// [first, first+count) out of a total_trials-trial campaign, which is
+  /// exactly the shape a multi-process shard writes — each worker
+  /// checkpoints (and resumes) its own range independently, and the
+  /// partials merge with merge_campaign_reports.
+  std::vector<DegradationReport> run_trial_range_checkpointed(
+      int first, int count, int total_trials,
+      const CampaignCheckpointOptions& ckpt) const;
+
+  /// CRC-32 over the serialised behavioural options (config, schedule/mix,
+  /// traffic, NoC, PDN and link-health parameters; the mesh shard count is
+  /// excluded — it only tunes parallel grain).  The campaign identity a
+  /// checkpoint or shard file must match to be resumed or merged.
+  std::uint32_t options_fingerprint() const;
+
  private:
   CampaignOptions options_;
 };
+
+/// DegradationReport (de)serialisation.  Everything the summarize /
+/// publish_metrics layers read round-trips exactly.  The optional
+/// rebringup is captured as its summary numbers (faulty_tiles,
+/// screening_tcks, usable_tiles, single_system_image); the nested plans
+/// and maps are derivable by re-running bring-up and are not snapshotted.
+void save_report(ckpt::Writer& w, const DegradationReport& report);
+DegradationReport load_report(ckpt::Reader& r);
+
+/// One campaign's (partial) trial results on disk: the "CAMP" frame shared
+/// by periodic checkpoints (first_trial == 0) and per-shard partials.
+struct CampaignReportsFile {
+  std::uint32_t fingerprint = 0;  ///< DegradationCampaign::options_fingerprint
+  int total_trials = 0;           ///< trials in the whole campaign
+  int first_trial = 0;            ///< index of reports.front()
+  std::vector<DegradationReport> reports;  ///< consecutive completed trials
+};
+
+void save_campaign_reports(const std::string& path,
+                           const CampaignReportsFile& file);
+CampaignReportsFile load_campaign_reports(const std::string& path);
+
+/// Stitches shard partials back into trial order.  Validates that every
+/// shard carries `fingerprint`, that all agree on total_trials, and that
+/// the ranges tile [0, total_trials) exactly — a gap, an overlap, or a
+/// foreign shard throws ckpt::Error{SchemaMismatch}.  The merged vector is
+/// bit-identical to run_trials(total_trials) on one process.
+std::vector<DegradationReport> merge_campaign_reports(
+    std::vector<CampaignReportsFile> shards, std::uint32_t fingerprint);
 
 /// Aggregate view over a set of Monte Carlo trials.
 struct CampaignSummary {

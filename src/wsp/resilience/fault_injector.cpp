@@ -1,7 +1,9 @@
 #include "wsp/resilience/fault_injector.hpp"
 
 #include <limits>
+#include <utility>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/common/error.hpp"
 
 namespace wsp::resilience {
@@ -77,6 +79,68 @@ bool FaultInjector::retire_link(TileCoord tile, Direction d,
   notice.cycle = cycle;
   bus_.publish(notice, faults_, links_);
   return true;
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+void FaultInjector::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("FINJ"));
+  ckpt::save_fault_map(w, faults_);
+  ckpt::save_link_faults(w, links_);
+  schedule_.save_state(w);
+  w.u64(next_);
+  w.u64(brownouts_.size());
+  for (const TileCoord& t : brownouts_) {
+    w.i32(t.x);
+    w.i32(t.y);
+  }
+  w.u64(lost_generators_.size());
+  for (const TileCoord& t : lost_generators_) {
+    w.i32(t.x);
+    w.i32(t.y);
+  }
+  w.u64(ber_degradations_.size());
+  for (const FaultEvent& e : ber_degradations_) save_fault_event(w, e);
+}
+
+void FaultInjector::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("FINJ"), "FaultInjector");
+  // Stage everything, commit only once the whole section validated: a
+  // rejected snapshot leaves the injector in its pre-load state.
+  FaultMap faults = ckpt::load_fault_map(r, &faults_.grid());
+  LinkFaultSet links = ckpt::load_link_faults(r, &faults_.grid());
+  FaultSchedule schedule;
+  schedule.load_state(r);
+  const std::uint64_t next = r.u64();
+  if (next > schedule.size())
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "schedule cursor past the end of the schedule");
+  const auto load_tiles = [&](const char* what) {
+    const std::size_t n = r.length(8);  // 2*i32 per tile
+    std::vector<TileCoord> tiles(n);
+    for (TileCoord& t : tiles) {
+      t.x = r.i32();
+      t.y = r.i32();
+      if (!faults.grid().contains(t))
+        throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch, what);
+    }
+    return tiles;
+  };
+  std::vector<TileCoord> brownouts =
+      load_tiles("brownout target outside the grid");
+  std::vector<TileCoord> lost =
+      load_tiles("lost clock generator outside the grid");
+  const std::size_t n_ber = r.length(26);
+  std::vector<FaultEvent> ber(n_ber);
+  for (FaultEvent& e : ber) e = load_fault_event(r);
+
+  faults_ = std::move(faults);
+  links_ = std::move(links);
+  schedule_ = std::move(schedule);
+  next_ = static_cast<std::size_t>(next);
+  brownouts_ = std::move(brownouts);
+  lost_generators_ = std::move(lost);
+  ber_degradations_ = std::move(ber);
 }
 
 }  // namespace wsp::resilience

@@ -60,6 +60,16 @@ class FaultInjector {
   /// their own — degradation consequences, not injected faults.
   void mark_unusable(TileCoord tile) { faults_.set_faulty(tile, true); }
 
+  /// Checkpoint hooks (wsp::ckpt): fault map, link faults, schedule,
+  /// cursor, and the accumulated brownout / generator-loss / BER lists
+  /// round-trip.  FaultBus subscriptions are raw observer pointers and are
+  /// deliberately NOT captured — owners re-subscribe after a load, exactly
+  /// as after construction.  Load throws ckpt::Error{TopologyMismatch} for
+  /// a snapshot taken on a different grid and leaves the injector
+  /// unchanged on any failure.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   FaultMap faults_;
   LinkFaultSet links_;

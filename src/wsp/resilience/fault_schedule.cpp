@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/common/error.hpp"
 
 namespace wsp::resilience {
@@ -72,6 +73,60 @@ FaultSchedule FaultSchedule::random(const TileGrid& grid,
     schedule.add(e);
   }
   return schedule;
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+void save_fault_event(ckpt::Writer& w, const FaultEvent& e) {
+  w.u64(e.cycle);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.i32(e.tile.x);
+  w.i32(e.tile.y);
+  w.u8(static_cast<std::uint8_t>(e.link));
+  w.f64(e.magnitude);
+}
+
+FaultEvent load_fault_event(ckpt::Reader& r) {
+  FaultEvent e;
+  e.cycle = r.u64();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(RuntimeFaultKind::LinkBerDegradation))
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "fault event kind out of range");
+  e.kind = static_cast<RuntimeFaultKind>(kind);
+  e.tile.x = r.i32();
+  e.tile.y = r.i32();
+  const std::uint8_t link = r.u8();
+  if (link > 3)
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "fault event link direction out of range");
+  e.link = static_cast<Direction>(link);
+  e.magnitude = r.f64();
+  return e;
+}
+
+// Per-event payload: u64 + u8 + 2*i32 + u8 + f64.
+constexpr std::size_t kEventBytes = 26;
+
+void FaultSchedule::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("FSCH"));
+  w.u64(events_.size());
+  for (const FaultEvent& e : events_) save_fault_event(w, e);
+}
+
+void FaultSchedule::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("FSCH"), "FaultSchedule");
+  const std::size_t n = r.length(kEventBytes);
+  std::vector<FaultEvent> events(n);
+  std::uint64_t prev = 0;
+  for (FaultEvent& e : events) {
+    e = load_fault_event(r);
+    if (e.cycle < prev)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "schedule events not sorted by cycle");
+    prev = e.cycle;
+  }
+  events_ = std::move(events);
 }
 
 }  // namespace wsp::resilience

@@ -15,6 +15,11 @@
 #include "wsp/common/geometry.hpp"
 #include "wsp/common/rng.hpp"
 
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
+
 namespace wsp::resilience {
 
 /// One scheduled fault.  `link` is meaningful for link-targeted kinds;
@@ -67,8 +72,20 @@ class FaultSchedule {
   static FaultSchedule random(const TileGrid& grid, const ScheduleMix& mix,
                               std::uint64_t horizon, Rng& rng);
 
+  /// Checkpoint hooks (wsp::ckpt): the event list round-trips verbatim
+  /// (schedules are plain data).  Load rejects out-of-range enums and an
+  /// unsorted event list with ckpt::Error{SchemaMismatch}.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   std::vector<FaultEvent> events_;
 };
+
+/// Single-event encoding shared by FaultSchedule and the injector's
+/// accumulated BER-degradation list (26 bytes: cycle, kind, tile, link,
+/// magnitude).  load_fault_event validates both enums.
+void save_fault_event(ckpt::Writer& w, const FaultEvent& e);
+FaultEvent load_fault_event(ckpt::Reader& r);
 
 }  // namespace wsp::resilience

@@ -1,0 +1,279 @@
+// Property/fuzz coverage for wsp::ckpt: hostile bytes never crash.
+//
+// Two properties, hammered with seeded randomness (deterministic, so any
+// failure replays):
+//   1. Round-trip: snapshot a NoC at a *random* cycle under a *random*
+//      fault/BER schedule, resume, and the continued run is bit-identical
+//      to the straight-through run — the save/load pair has no
+//      state-dependent blind spots.
+//   2. Robustness: randomly bit-flipped, truncated, or garbage bytes fed
+//      to the frame opener and to every load path either load cleanly or
+//      throw a typed ckpt::Error — never crash, never read out of
+//      bounds, never allocate from a hostile length.  CI runs this suite
+//      under ASan/UBSan (the `checkpoint` label rides the sanitizer job),
+//      which turns "no UB" from a claim into a check.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wsp/ckpt/checkpoint.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/rng.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/obs/metrics.hpp"
+#include "wsp/resilience/campaign.hpp"
+#include "wsp/resilience/fault_injector.hpp"
+#include "wsp/resilience/fault_schedule.hpp"
+
+namespace wsp {
+namespace {
+
+// Feeds `bytes` to `load`; acceptable outcomes are a clean load or a
+// typed ckpt::Error.  Anything else (std::bad_alloc from a hostile
+// length, a raw wsp::Error, a sanitizer abort) fails the property.
+template <typename Load>
+void expect_loads_or_typed_error(const std::vector<std::uint8_t>& bytes,
+                                 Load&& load) {
+  try {
+    load(bytes);
+  } catch (const ckpt::Error&) {
+    // typed rejection: the contract
+  }
+}
+
+TEST(CkptFuzz, RandomCycleSnapshotsResumeBitIdentical) {
+  Rng meta(0xF00D);
+  for (int round = 0; round < 6; ++round) {
+    const int width = 6 + static_cast<int>(meta.below(6));
+    const int height = 6 + static_cast<int>(meta.below(6));
+    const TileGrid grid(width, height);
+    const std::uint64_t total = 400 + meta.below(400);
+    const std::uint64_t snap = 50 + meta.below(total - 100);
+    const std::uint64_t traffic_seed = meta();
+
+    noc::NocOptions opt;
+    opt.response_timeout = 150 + meta.below(200);
+    opt.max_retries = 1 + static_cast<int>(meta.below(3));
+    if (meta.bernoulli(0.5)) {
+      opt.mesh.integrity.enabled = true;
+      opt.mesh.integrity.ber.floor_ber = 1e-5;
+    }
+
+    // Random runtime fault schedule, applied through a FaultInjector so
+    // the injector state itself rides the snapshot too.
+    resilience::ScheduleMix mix;
+    mix.tile_deaths = meta.below(3);
+    mix.link_failures = meta.below(3);
+    mix.packet_corruptions = 0;  // applied by the campaign layer, not here
+    Rng sched_rng(meta());
+    const resilience::FaultSchedule schedule =
+        resilience::FaultSchedule::random(grid, mix, total, sched_rng);
+
+    const auto drive = [&](noc::NocSystem& noc,
+                           resilience::FaultInjector& injector, Rng& rng,
+                           std::uint64_t until) {
+      std::vector<noc::CompletedTransaction> done;
+      while (noc.now() < until) {
+        if (!injector.advance_to(noc.now()).empty())
+          noc.apply_fault_state(injector.faults(), injector.link_faults());
+        const FaultMap& faults = injector.faults();
+        grid.for_each([&](TileCoord src) {
+          if (faults.is_faulty(src) || !rng.bernoulli(0.03)) return;
+          const TileCoord dst = grid.coord_of(rng.below(grid.tile_count()));
+          if (dst == src || faults.is_faulty(dst)) return;
+          noc.issue(src, dst, noc::PacketType::ReadRequest);
+        });
+        noc.step(done);
+      }
+    };
+
+    // Straight-through run, snapshotting at the random cycle.
+    noc::NocSystem noc(FaultMap(grid), opt);
+    resilience::FaultInjector injector(FaultMap(grid), schedule);
+    Rng rng(traffic_seed);
+    drive(noc, injector, rng, snap);
+    ckpt::Writer w;
+    noc.save_state(w);
+    injector.save_state(w);
+    for (std::uint64_t word : rng.state()) w.u64(word);
+    const std::vector<std::uint8_t> frame = ckpt::seal(ckpt::fourcc("FUZZ"),
+                                                       1, w);
+    drive(noc, injector, rng, total);
+
+    // Resume into fresh objects; the continuation must match bit for bit.
+    const ckpt::Frame opened = ckpt::open_expect(frame, ckpt::fourcc("FUZZ"));
+    ckpt::Reader r(opened.payload);
+    noc::NocSystem resumed(FaultMap(grid), opt);
+    resumed.load_state(r);
+    resilience::FaultInjector resumed_injector(FaultMap(grid),
+                                               resilience::FaultSchedule{});
+    resumed_injector.load_state(r);
+    std::array<std::uint64_t, 4> rng_state{};
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    ASSERT_TRUE(r.done());
+    Rng resumed_rng(1);
+    resumed_rng.set_state(rng_state);
+    drive(resumed, resumed_injector, resumed_rng, total);
+
+    ckpt::Writer expect, got;
+    noc.save_state(expect);
+    injector.save_state(expect);
+    resumed.save_state(got);
+    resumed_injector.save_state(got);
+    ASSERT_EQ(got.bytes(), expect.bytes())
+        << "round " << round << ": " << width << "x" << height << " snap@"
+        << snap << "/" << total;
+  }
+}
+
+TEST(CkptFuzz, BitFlippedFramesNeverEscapeTheOpener) {
+  // A mid-run NoC snapshot is a rich byte soup (rings, pools, RNGs);
+  // single-bit damage anywhere in the frame must be caught by the header
+  // checks or the CRC — open() either throws ckpt::Error or, for flips in
+  // the state_version field only, returns a frame with the flipped
+  // version (the payload is still CRC-clean there).
+  const TileGrid grid(8, 8);
+  noc::NocOptions opt;
+  noc::NocSystem noc(FaultMap(grid), opt);
+  Rng rng(21);
+  std::vector<noc::CompletedTransaction> done;
+  for (int c = 0; c < 300; ++c) {
+    grid.for_each([&](TileCoord src) {
+      if (!rng.bernoulli(0.05)) return;
+      const TileCoord dst = grid.coord_of(rng.below(grid.tile_count()));
+      if (dst != src) noc.issue(src, dst, noc::PacketType::ReadRequest);
+    });
+    noc.step(done);
+  }
+  ckpt::Writer w;
+  noc.save_state(w);
+  const std::vector<std::uint8_t> frame = ckpt::seal(ckpt::fourcc("NOCS"),
+                                                     1, w);
+
+  Rng fuzz(0xB17);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<std::uint8_t> hit = frame;
+    hit[fuzz.below(hit.size())] ^= static_cast<std::uint8_t>(
+        1u << fuzz.below(8));
+    expect_loads_or_typed_error(hit, [&](const std::vector<std::uint8_t>& b) {
+      const ckpt::Frame f = ckpt::open_expect(b, ckpt::fourcc("NOCS"));
+      // Payload survived CRC: loading it must still be crash-free (the
+      // flip can only have hit the state_version header field).
+      noc::NocSystem target(FaultMap(grid), opt);
+      ckpt::Reader r(f.payload);
+      target.load_state(r);
+    });
+  }
+}
+
+TEST(CkptFuzz, TruncatedFramesAlwaysTyped) {
+  ckpt::Writer w;
+  for (int i = 0; i < 64; ++i) w.u64(i * 0x9E3779B97F4A7C15ull);
+  const std::vector<std::uint8_t> frame = ckpt::seal(ckpt::fourcc("TRNC"),
+                                                     1, w);
+  for (std::size_t n = 0; n < frame.size(); ++n)
+    EXPECT_THROW(ckpt::open(frame.data(), n), ckpt::Error) << "prefix " << n;
+  // And pure garbage of every small size.
+  Rng fuzz(0xDEAD);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> garbage(fuzz.below(96));
+    for (std::uint8_t& byte : garbage)
+      byte = static_cast<std::uint8_t>(fuzz.below(256));
+    expect_loads_or_typed_error(garbage,
+                                [](const std::vector<std::uint8_t>& b) {
+                                  ckpt::open(b.data(), b.size());
+                                });
+  }
+}
+
+TEST(CkptFuzz, CorruptPayloadsNeverCrashSubsystemLoaders) {
+  // Damage *inside* an already-opened payload (the CRC layer bypassed on
+  // purpose): every subsystem loader must bounds-check its own reads.
+  // Outcomes are a clean load (the flip hit a don't-care or plausible
+  // value) or ckpt::Error — never UB, per the sanitizer run.
+  const TileGrid grid(8, 8);
+
+  Rng sched_rng(3);
+  resilience::ScheduleMix mix;
+  mix.link_ber_degradations = 2;
+  resilience::FaultInjector injector(
+      FaultMap(grid),
+      resilience::FaultSchedule::random(grid, mix, 500, sched_rng));
+  injector.advance_to(250);
+  ckpt::Writer inj_w;
+  injector.save_state(inj_w);
+
+  obs::MetricsRegistry registry;
+  registry.counter("fuzz.count").value = 7;
+  Rng hist_rng(9);
+  for (int i = 0; i < 200; ++i)
+    registry.histogram("fuzz.hist").record(hist_rng.below(1000));
+  ckpt::Writer reg_w;
+  registry.save_state(reg_w);
+
+  Rng fuzz(0xFACE);
+  const auto hammer = [&](const std::vector<std::uint8_t>& payload,
+                          auto&& load) {
+    for (int i = 0; i < 800; ++i) {
+      std::vector<std::uint8_t> hit = payload;
+      hit[fuzz.below(hit.size())] ^= static_cast<std::uint8_t>(
+          1u << fuzz.below(8));
+      expect_loads_or_typed_error(hit, load);
+    }
+    for (int i = 0; i < 200; ++i) {
+      const auto cut = static_cast<std::ptrdiff_t>(fuzz.below(payload.size()));
+      expect_loads_or_typed_error(
+          std::vector<std::uint8_t>(payload.begin(), payload.begin() + cut),
+          load);
+    }
+  };
+
+  hammer(inj_w.bytes(), [&](const std::vector<std::uint8_t>& b) {
+    resilience::FaultInjector target(FaultMap(grid),
+                                     resilience::FaultSchedule{});
+    ckpt::Reader r(b);
+    target.load_state(r);
+  });
+  hammer(reg_w.bytes(), [&](const std::vector<std::uint8_t>& b) {
+    obs::MetricsRegistry target;
+    ckpt::Reader r(b);
+    target.load_state(r);
+  });
+}
+
+TEST(CkptFuzz, CorruptCampaignFilesAlwaysTyped) {
+  resilience::CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 23;
+  o.run_cycles = 800;
+  o.fault_horizon = 600;
+  const resilience::DegradationCampaign campaign(o);
+  const resilience::CampaignReportsFile file{
+      campaign.options_fingerprint(), 2, 0, campaign.run_trials(2)};
+  const std::string path = "CKPT_fuzz_campaign.wsp";
+  resilience::save_campaign_reports(path, file);
+  const std::vector<std::uint8_t> bytes = ckpt::read_file(path);
+
+  Rng fuzz(0xCA11);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> hit = bytes;
+    if (fuzz.bernoulli(0.5)) {
+      hit[fuzz.below(hit.size())] ^= static_cast<std::uint8_t>(
+          1u << fuzz.below(8));
+    } else {
+      hit.resize(fuzz.below(hit.size()));
+    }
+    ckpt::atomic_write_file(path, hit.data(), hit.size());
+    expect_loads_or_typed_error(hit, [&](const std::vector<std::uint8_t>&) {
+      resilience::load_campaign_reports(path);
+    });
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wsp

@@ -1,0 +1,422 @@
+// Snapshot/resume bit-identity for the stateful subsystems.
+//
+// The determinism contract of wsp::ckpt: save_state at cycle k, load into
+// a freshly constructed object, continue stepping — the resumed run must
+// be *bit-identical* to the one that never stopped, proven by comparing
+// the re-serialised state (every counter, ring, RNG stream and credit
+// word goes through the comparison).  The NoC is exercised at 16x16 and
+// 32x32 with runtime faults and link-integrity BER in the window between
+// snapshot and comparison, and — because the stepper shards onto the
+// shared pool — the equality is asserted at thread counts 1, 2 and 8.
+// MeshNetwork, ClockSelector, ResistiveGrid, FaultInjector and the obs
+// metric types get the same round-trip treatment, plus the typed-error
+// paths for topology/schema mismatches.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wsp/ckpt/checkpoint.hpp"
+#include "wsp/clock/selector.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/rng.hpp"
+#include "wsp/exec/thread_pool.hpp"
+#include "wsp/noc/mesh_network.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/obs/metrics.hpp"
+#include "wsp/pdn/resistive_grid.hpp"
+#include "wsp/resilience/fault_injector.hpp"
+#include "wsp/resilience/fault_schedule.hpp"
+
+namespace wsp {
+namespace {
+
+std::vector<std::uint8_t> noc_bytes(const noc::NocSystem& noc) {
+  ckpt::Writer w;
+  noc.save_state(w);
+  return w.bytes();
+}
+
+// One cycle of seeded traffic from the usable tiles (same generator on
+// the reference and the resumed run; its Rng rides in the snapshot).
+void inject_traffic(noc::NocSystem& noc, const FaultMap& faults, Rng& rng,
+                    double rate) {
+  const TileGrid& grid = faults.grid();
+  grid.for_each([&](TileCoord src) {
+    if (faults.is_faulty(src) || !rng.bernoulli(rate)) return;
+    const TileCoord dst = grid.coord_of(rng.below(grid.tile_count()));
+    if (dst == src || faults.is_faulty(dst)) return;
+    noc.issue(src, dst, noc::PacketType::ReadRequest);
+  });
+}
+
+struct ResumeResult {
+  std::vector<std::uint8_t> straight;  ///< state bytes, never stopped
+  std::vector<std::uint8_t> resumed;   ///< state bytes via snapshot/load
+};
+
+// Runs `total` cycles with a runtime fault landing mid-window, snapshots
+// at `snap_cycle`, resumes into a fresh NocSystem and steps it to the same
+// end cycle.  Fault cycle is chosen *after* the snapshot so the resumed
+// run must reproduce the fault application too.
+ResumeResult run_snapshot_resume(int width, int height, std::uint64_t total,
+                                 std::uint64_t snap_cycle,
+                                 const noc::NocOptions& opt) {
+  const TileGrid grid(width, height);
+  FaultMap faults(grid);
+  const std::uint64_t fault_cycle = snap_cycle + (total - snap_cycle) / 2;
+
+  noc::NocSystem noc(faults, opt);
+  Rng rng(99);
+  std::vector<noc::CompletedTransaction> done;
+  std::vector<std::uint8_t> snapshot_frame;
+
+  for (std::uint64_t c = 0; c < total; ++c) {
+    if (noc.now() == snap_cycle) {
+      ckpt::Writer w;
+      noc.save_state(w);
+      for (std::uint64_t word : rng.state()) w.u64(word);
+      ckpt::save_fault_map(w, faults);
+      snapshot_frame = ckpt::seal(ckpt::fourcc("TSNP"), 1, w);
+    }
+    if (noc.now() == fault_cycle) {
+      for (int y = 1; y < height - 1; ++y)
+        faults.set_faulty({width / 2, y}, true);
+      noc.apply_fault_state(faults);
+    }
+    inject_traffic(noc, faults, rng, 0.02);
+    noc.step(done);
+  }
+
+  ResumeResult out;
+  out.straight = noc_bytes(noc);
+
+  // Resume from the frame into brand-new objects and replay the window.
+  const ckpt::Frame frame = ckpt::open_expect(snapshot_frame,
+                                              ckpt::fourcc("TSNP"));
+  ckpt::Reader r(frame.payload);
+  noc::NocSystem resumed(FaultMap(grid), opt);
+  resumed.load_state(r);
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  Rng resumed_rng(1);
+  resumed_rng.set_state(rng_state);
+  FaultMap resumed_faults = ckpt::load_fault_map(r, &grid);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(resumed.now(), snap_cycle);
+
+  while (resumed.now() < total) {
+    if (resumed.now() == fault_cycle) {
+      for (int y = 1; y < height - 1; ++y)
+        resumed_faults.set_faulty({width / 2, y}, true);
+      resumed.apply_fault_state(resumed_faults);
+    }
+    inject_traffic(resumed, resumed_faults, resumed_rng, 0.02);
+    resumed.step(done);
+  }
+  out.resumed = noc_bytes(resumed);
+  return out;
+}
+
+TEST(NocCkpt, ResumeBitIdentical16x16WithTimeouts) {
+  noc::NocOptions opt;
+  opt.response_timeout = 300;  // arm timeout/retry so deadlines snapshot
+  opt.max_retries = 2;
+  const ResumeResult r = run_snapshot_resume(16, 16, 2500, 1000, opt);
+  ASSERT_FALSE(r.straight.empty());
+  EXPECT_EQ(r.resumed, r.straight);
+}
+
+TEST(NocCkpt, ResumeBitIdentical32x32DualNetworkAcrossThreadCounts) {
+  noc::NocOptions opt;
+  opt.response_timeout = 400;
+  // The acceptance case: a 32x32 dual-network NoC snapshot mid-run must
+  // resume bit-identically to the straight-through run, and the bytes
+  // must not depend on the pool width either.
+  std::vector<std::vector<std::uint8_t>> states;
+  for (const int threads : {1, 2, 8}) {
+    exec::set_shared_threads(threads);
+    const ResumeResult r = run_snapshot_resume(32, 32, 1200, 512, opt);
+    EXPECT_EQ(r.resumed, r.straight) << "threads=" << threads;
+    states.push_back(r.straight);
+  }
+  exec::set_shared_threads(0);
+  EXPECT_EQ(states[0], states[1]);
+  EXPECT_EQ(states[0], states[2]);
+}
+
+TEST(NocCkpt, ResumeBitIdenticalWithLinkIntegrityBer) {
+  // BER channel on: per-link RNG streams and retransmit state must ride
+  // the snapshot for the resumed channel noise to replay exactly.
+  noc::NocOptions opt;
+  opt.response_timeout = 300;
+  opt.mesh.integrity.enabled = true;
+  opt.mesh.integrity.ber.floor_ber = 1e-4;  // noisy enough to matter
+  const ResumeResult r = run_snapshot_resume(12, 12, 1600, 700, opt);
+  EXPECT_EQ(r.resumed, r.straight);
+}
+
+TEST(NocCkpt, CheckpointFileRoundTrip) {
+  const TileGrid grid(8, 8);
+  FaultMap faults(grid);
+  noc::NocOptions opt;
+  noc::NocSystem noc(faults, opt);
+  Rng rng(5);
+  std::vector<noc::CompletedTransaction> done;
+  for (int c = 0; c < 400; ++c) {
+    inject_traffic(noc, faults, rng, 0.05);
+    noc.step(done);
+  }
+
+  const std::string path = "CKPT_noc_file_test.wsp";
+  noc.save_checkpoint(path);
+  noc::NocSystem loaded(FaultMap(grid), opt);
+  loaded.load_checkpoint(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(noc_bytes(loaded), noc_bytes(noc));
+  EXPECT_EQ(loaded.now(), noc.now());
+  EXPECT_EQ(loaded.inflight_transactions(), noc.inflight_transactions());
+  EXPECT_TRUE(loaded.packet_conservation_holds());
+}
+
+TEST(NocCkpt, ForeignGridIsTypedError) {
+  const TileGrid small(8, 8);
+  noc::NocOptions opt;
+  noc::NocSystem source(FaultMap(small), opt);
+  ckpt::Writer w;
+  source.save_state(w);
+
+  const TileGrid big(16, 16);
+  noc::NocSystem target(FaultMap(big), opt);
+  ckpt::Reader r(w.bytes());
+  try {
+    target.load_state(r);
+    FAIL() << "expected ckpt::Error";
+  } catch (const ckpt::Error& e) {
+    EXPECT_EQ(e.kind(), ckpt::ErrorKind::TopologyMismatch);
+  }
+}
+
+TEST(MeshCkpt, ResumeBitIdenticalMidFlight) {
+  const TileGrid grid(10, 10);
+  FaultMap faults(grid);
+  faults.set_faulty({4, 4}, true);
+  const noc::MeshOptions opt;
+
+  noc::MeshNetwork mesh(faults, noc::NetworkKind::XY, opt);
+  Rng rng(17);
+  std::vector<noc::Packet> ejected;
+  std::uint64_t next_id = 1;
+  auto drive = [&](noc::MeshNetwork& m, Rng& r, int cycles) {
+    for (int c = 0; c < cycles; ++c) {
+      grid.for_each([&](TileCoord src) {
+        if (faults.is_faulty(src) || !r.bernoulli(0.1)) return;
+        const TileCoord dst = grid.coord_of(r.below(grid.tile_count()));
+        if (dst == src || faults.is_faulty(dst)) return;
+        noc::Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.id = next_id++;
+        m.inject(p);
+      });
+      ejected.clear();
+      m.step(ejected);
+    }
+  };
+  drive(mesh, rng, 300);  // leave packets in flight
+
+  ckpt::Writer w;
+  mesh.save_state(w);
+  const std::array<std::uint64_t, 4> rng_state = rng.state();
+  const std::uint64_t id_mark = next_id;
+
+  noc::MeshNetwork resumed(faults, noc::NetworkKind::XY, opt);
+  ckpt::Reader r(w.bytes());
+  resumed.load_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(resumed.in_flight(), mesh.in_flight());
+  EXPECT_EQ(resumed.recount_in_flight(), resumed.in_flight());
+
+  // Step both 200 more cycles under identical traffic.
+  drive(mesh, rng, 200);
+  Rng resumed_rng(1);
+  resumed_rng.set_state(rng_state);
+  next_id = id_mark;
+  drive(resumed, resumed_rng, 200);
+
+  ckpt::Writer wa, wb;
+  mesh.save_state(wa);
+  resumed.save_state(wb);
+  EXPECT_EQ(wb.bytes(), wa.bytes());
+  EXPECT_TRUE(resumed.conservation_holds());
+}
+
+TEST(MeshCkpt, WrongKindIsTypedError) {
+  const TileGrid grid(6, 6);
+  const FaultMap faults(grid);
+  noc::MeshNetwork xy(faults, noc::NetworkKind::XY);
+  ckpt::Writer w;
+  xy.save_state(w);
+  noc::MeshNetwork yx(faults, noc::NetworkKind::YX);
+  ckpt::Reader r(w.bytes());
+  EXPECT_THROW(yx.load_state(r), ckpt::Error);
+}
+
+TEST(ClockCkpt, SelectorResumesMidCount) {
+  clock::ClockSelector sel(16);
+  sel.begin_auto_select();
+  // Feed an asymmetric toggle pattern for 9 steps: E twice as often as N.
+  for (int i = 0; i < 9; ++i)
+    sel.step({i % 2 == 0, true, false, false});
+  ASSERT_EQ(sel.phase(), clock::SelectorPhase::AutoSelect);
+
+  ckpt::Writer w;
+  sel.save_state(w);
+  clock::ClockSelector resumed(16);
+  ckpt::Reader r(w.bytes());
+  resumed.load_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(resumed.phase(), sel.phase());
+  EXPECT_EQ(resumed.count(Direction::East), sel.count(Direction::East));
+
+  // Both must latch the same source on the same future step.
+  std::optional<clock::ClockSource> a, b;
+  int steps_a = 0, steps_b = 0;
+  while (!a) { a = sel.step({true, true, false, false}); ++steps_a; }
+  while (!b) { b = resumed.step({true, true, false, false}); ++steps_b; }
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(steps_a, steps_b);
+  EXPECT_EQ(*a, clock::ClockSource::ForwardedE);
+}
+
+TEST(PdnCkpt, GridResumesWithSolutionSeed) {
+  auto build = [] {
+    pdn::ResistiveGrid g(24, 24);
+    g.fill_conductances(2.0, 1.5);
+    for (int x = 0; x < 24; ++x) g.set_dirichlet(x, 0, 2.5);
+    for (int y = 4; y < 20; ++y)
+      for (int x = 4; x < 20; ++x) g.set_current_sink(x, y, 0.002);
+    g.set_shunt(12, 12, 0.05, 0.0);
+    return g;
+  };
+
+  pdn::ResistiveGrid grid = build();
+  grid.solve(1e-6);
+  ckpt::Writer w;
+  grid.save_state(w);
+
+  pdn::ResistiveGrid resumed(24, 24);
+  ckpt::Reader r(w.bytes());
+  resumed.load_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(resumed.voltages(), grid.voltages());
+
+  // The restored solution seeds the next solve: tightening the tolerance
+  // from the snapshot must cost both grids the same iteration count and
+  // land on bit-identical voltages.
+  const pdn::SolveStats sa = grid.solve(1e-10);
+  const pdn::SolveStats sb = resumed.solve(1e-10);
+  EXPECT_EQ(sb.iterations, sa.iterations);
+  EXPECT_EQ(sb.residual, sa.residual);
+  EXPECT_EQ(resumed.voltages(), grid.voltages());
+
+  pdn::ResistiveGrid wrong(24, 25);
+  ckpt::Reader r2(w.bytes());
+  EXPECT_THROW(wrong.load_state(r2), ckpt::Error);
+}
+
+TEST(InjectorCkpt, ResumeReplaysRemainingSchedule) {
+  const TileGrid grid(8, 8);
+  Rng rng(31);
+  resilience::ScheduleMix mix;
+  mix.tile_deaths = 4;
+  mix.link_failures = 3;
+  mix.ldo_brownouts = 2;
+  mix.link_ber_degradations = 2;
+  const resilience::FaultSchedule schedule =
+      resilience::FaultSchedule::random(grid, mix, 1000, rng);
+
+  resilience::FaultInjector injector(FaultMap(grid), schedule);
+  injector.advance_to(500);  // apply roughly half the script
+
+  ckpt::Writer w;
+  injector.save_state(w);
+  resilience::FaultInjector resumed(FaultMap(grid),
+                                    resilience::FaultSchedule{});
+  ckpt::Reader r(w.bytes());
+  resumed.load_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(resumed.faults(), injector.faults());
+  EXPECT_EQ(resumed.link_faults(), injector.link_faults());
+  EXPECT_EQ(resumed.brownouts(), injector.brownouts());
+
+  // Both runs finish the schedule and must agree on every mutation.
+  const auto na = injector.advance_to(2000);
+  const auto nb = resumed.advance_to(2000);
+  EXPECT_EQ(nb.size(), na.size());
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_TRUE(resumed.exhausted());
+  ckpt::Writer wa, wb;
+  injector.save_state(wa);
+  resumed.save_state(wb);
+  EXPECT_EQ(wb.bytes(), wa.bytes());
+}
+
+TEST(InjectorCkpt, RejectedLoadLeavesInjectorUnchanged) {
+  const TileGrid grid(8, 8);
+  resilience::FaultSchedule schedule;
+  schedule.add({100, RuntimeFaultKind::TileDeath, {3, 3}});
+  resilience::FaultInjector source(FaultMap(grid), schedule);
+  ckpt::Writer w;
+  source.save_state(w);
+
+  const TileGrid other(9, 9);
+  resilience::FaultInjector target(FaultMap(other),
+                                   resilience::FaultSchedule{});
+  ckpt::Writer before;
+  target.save_state(before);
+  ckpt::Reader r(w.bytes());
+  try {
+    target.load_state(r);
+    FAIL() << "expected ckpt::Error";
+  } catch (const ckpt::Error& e) {
+    EXPECT_EQ(e.kind(), ckpt::ErrorKind::TopologyMismatch);
+  }
+  ckpt::Writer after;
+  target.save_state(after);
+  EXPECT_EQ(after.bytes(), before.bytes()) << "failed load must not mutate";
+}
+
+TEST(ObsCkpt, HistogramAndRegistryRoundTrip) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.count").value = 42;
+  reg.gauge("test.gauge").value = -2.75;
+  obs::Histogram& h = reg.histogram("test.latency");
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) h.record(rng.below(100000));
+
+  ckpt::Writer w;
+  reg.save_state(w);
+  obs::MetricsRegistry loaded;
+  // Pre-existing metrics absent from the snapshot must be zeroed, and
+  // their node addresses must survive the load (handles stay valid).
+  obs::Counter& stale = loaded.counter("stale.count");
+  stale.value = 9;
+  ckpt::Reader r(w.bytes());
+  loaded.load_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(loaded.counter_value("test.count"), 42u);
+  EXPECT_EQ(stale.value, 0u);
+  EXPECT_EQ(&stale, &loaded.counter("stale.count"));
+
+  const obs::Histogram& lh = loaded.histogram("test.latency");
+  EXPECT_EQ(lh, h);
+  EXPECT_EQ(lh.percentile(0.99), h.percentile(0.99));
+}
+
+}  // namespace
+}  // namespace wsp

@@ -14,6 +14,10 @@ full-length baseline.  Entries present on only one side are reported but
 never fail: new benches land before their baseline, and baselines for
 retired benches linger until cleaned up.
 
+A missing or malformed file (current or baseline) is reported as a
+per-suite error naming the file and the defect, counts as a failure, and
+never aborts the remaining suites with a traceback.
+
 Wall-clock baselines are machine-dependent.  The checked-in set was
 measured on the reference container (single Xeon core @ 2.1 GHz); after
 an intentional perf change, or on first run on new hardware, refresh
@@ -22,6 +26,7 @@ with ``--update``.
 Usage:
   tools/bench_compare.py [--baseline-dir bench/baselines]
                          [--threshold 0.15] [--update] BENCH_*.json
+  tools/bench_compare.py --self-test
 
 stdlib-only by design (CI runners have no third-party packages).
 """
@@ -33,22 +38,49 @@ import shutil
 import sys
 
 
+class BenchFormatError(Exception):
+    """A bench JSON file that cannot be compared, and why."""
+
+
 def load_results(path):
-    """Returns {(name, threads): per-iteration wall ms} for one bench file."""
-    with open(path) as f:
-        doc = json.load(f)
+    """Returns {(name, threads): per-iteration wall ms} for one bench file.
+
+    Raises BenchFormatError naming `path` and the defect when the file is
+    missing, unreadable, not JSON, or structurally wrong.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise BenchFormatError("%s: cannot read (%s)"
+                               % (path, e.strerror or e))
+    except json.JSONDecodeError as e:
+        raise BenchFormatError("%s: not valid JSON (%s)" % (path, e))
+    if not isinstance(doc, dict) or not isinstance(doc.get("results"), list):
+        raise BenchFormatError(
+            '%s: expected {"bench": ..., "results": [...]}' % path)
     out = {}
-    for entry in doc.get("results", []):
-        iters = entry.get("iterations") or 1
-        key = (entry["name"], entry.get("threads", 1))
-        out[key] = entry["wall_ms"] / max(1, iters)
+    for i, entry in enumerate(doc["results"]):
+        if not isinstance(entry, dict):
+            raise BenchFormatError("%s: results[%d] is not an object"
+                                   % (path, i))
+        if "name" not in entry or "wall_ms" not in entry:
+            raise BenchFormatError("%s: results[%d] lacks name/wall_ms"
+                                   % (path, i))
+        try:
+            wall = float(entry["wall_ms"])
+            iters = int(entry.get("iterations") or 1)
+            threads = int(entry.get("threads", 1))
+        except (TypeError, ValueError):
+            raise BenchFormatError(
+                "%s: results[%d] has non-numeric wall_ms/iterations/threads"
+                % (path, i))
+        out[(str(entry["name"]), threads)] = wall / max(1, iters)
     return out
 
 
-def compare(current_path, baseline_path, threshold):
-    """Diffs one bench file against its baseline.  Returns failure count."""
-    current = load_results(current_path)
-    baseline = load_results(baseline_path)
+def compare_results(current, baseline, threshold):
+    """Diffs two {(name, threads): ms/iter} maps.  Returns failure count."""
     failures = 0
     for key in sorted(current.keys() | baseline.keys()):
         name = "%s (threads=%d)" % key
@@ -70,15 +102,89 @@ def compare(current_path, baseline_path, threshold):
     return failures
 
 
+def self_test():
+    """stdlib-only sanity checks of the loader and comparator; returns 0
+    when every check passes.  Run by CI so a bench-format change that
+    breaks this script is caught next to the change."""
+    import tempfile
+    failed = []
+
+    def check(label, cond):
+        print("  %-58s %s" % (label, "ok" if cond else "FAIL"))
+        if not cond:
+            failed.append(label)
+
+    def format_error_from(path):
+        try:
+            load_results(path)
+        except BenchFormatError:
+            return True
+        return False
+
+    with tempfile.TemporaryDirectory() as d:
+        def write(name, text):
+            path = os.path.join(d, name)
+            with open(path, "w") as f:
+                f.write(text)
+            return path
+
+        good = write("BENCH_good.json", json.dumps(
+            {"bench": "good", "results": [
+                {"name": "a", "wall_ms": 2.0, "iterations": 2,
+                 "threads": 1}]}))
+        check("well-formed file loads per-iteration",
+              load_results(good) == {("a", 1): 1.0})
+        check("missing file is a BenchFormatError",
+              format_error_from(os.path.join(d, "BENCH_absent.json")))
+        check("invalid JSON is a BenchFormatError",
+              format_error_from(write("BENCH_syntax.json", "{not json")))
+        check("non-list results is a BenchFormatError",
+              format_error_from(write("BENCH_shape.json",
+                                      '{"results": {"a": 1}}')))
+        check("entry without wall_ms is a BenchFormatError",
+              format_error_from(write("BENCH_nokey.json",
+                                      '{"results": [{"name": "a"}]}')))
+        check("non-numeric wall_ms is a BenchFormatError",
+              format_error_from(write(
+                  "BENCH_nonnum.json",
+                  '{"results": [{"name": "a", "wall_ms": "fast"}]}')))
+
+    check("regression beyond threshold fails",
+          compare_results({("a", 1): 2.0}, {("a", 1): 1.0}, 0.15) == 1)
+    check("regression within threshold passes",
+          compare_results({("a", 1): 1.1}, {("a", 1): 1.0}, 0.15) == 0)
+    check("new and retired entries never fail",
+          compare_results({("b", 1): 1.0}, {("a", 1): 1.0}, 0.15) == 0)
+    check("zero baseline counts as regression",
+          compare_results({("a", 1): 1.0}, {("a", 1): 0.0}, 0.15) == 1)
+
+    if failed:
+        print("SELF-TEST FAIL: %d check(s)" % len(failed))
+        return 1
+    print("SELF-TEST OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("files", nargs="+", help="BENCH_*.json to check")
-    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("files", nargs="*", help="BENCH_*.json to check")
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "bench", "baselines"),
+        help="baseline directory (default: <repo>/bench/baselines)")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="fractional regression that fails (default .15)")
     parser.add_argument("--update", action="store_true",
                         help="copy the given files over the baselines")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in loader/comparator checks")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no BENCH_*.json files given")
 
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
@@ -92,14 +198,28 @@ def main():
     for path in args.files:
         baseline = os.path.join(args.baseline_dir, os.path.basename(path))
         print("%s vs %s" % (path, baseline))
+        try:
+            current = load_results(path)
+        except BenchFormatError as e:
+            print("  ERROR    current file unusable: %s" % e)
+            total_failures += 1
+            continue
         if not os.path.exists(baseline):
             print("  (no baseline checked in — skipping; add one with"
                   " --update)")
             continue
-        total_failures += compare(path, baseline, args.threshold)
+        try:
+            base = load_results(baseline)
+        except BenchFormatError as e:
+            print("  ERROR    baseline unusable: %s (refresh with --update)"
+                  % e)
+            total_failures += 1
+            continue
+        total_failures += compare_results(current, base, args.threshold)
 
     if total_failures:
-        print("FAIL: %d measurement(s) regressed more than %.0f%%"
+        print("FAIL: %d measurement(s) regressed or file(s) unusable"
+              " (threshold %.0f%%)"
               % (total_failures, args.threshold * 100.0))
         return 1
     print("OK: no wall-time regression beyond %.0f%%"

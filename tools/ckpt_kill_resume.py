@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Process-level kill-and-resume gate for the checkpoint layer.
+
+Drives the campaign_shard example the way an operator would after a node
+failure: one shard worker is SIGKILLed mid-run (a real kill -9, no atexit,
+no flushing), rerun with the *same command line* to resume from its
+crash-safe snapshot, and the merged shard results must produce a RunReport
+byte-identical to an uninterrupted single-process campaign.
+
+    ckpt_kill_resume.py path/to/campaign_shard
+
+Exit status 0 on byte-identical reports; 1 with a diagnostic otherwise.
+Stdlib only, so it runs anywhere CTest/CI can find a python3.
+"""
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+TRIALS = 9
+NUM_SHARDS = 3
+KILLED_SHARD = 1  # owns trials [3, 6): three chances to die mid-slice
+
+
+def run(binary, args, cwd):
+    proc = subprocess.run([binary] + args, cwd=cwd,
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if proc.returncode != 0:
+        sys.exit("FAIL: %s %s exited %d:\n%s"
+                 % (binary, " ".join(args), proc.returncode,
+                    proc.stdout.decode(errors="replace")))
+    return proc.stdout.decode(errors="replace")
+
+
+def shard_args(shard, out, ckpt=None):
+    args = ["--trials", str(TRIALS), "--shard", str(shard),
+            "--num-shards", str(NUM_SHARDS), "--out", out]
+    if ckpt:
+        args += ["--ckpt", ckpt]
+    return args
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = os.path.abspath(sys.argv[1])
+
+    with tempfile.TemporaryDirectory(prefix="ckpt_kill_resume.") as tmp:
+        ref_dir = os.path.join(tmp, "single")
+        shard_dir = os.path.join(tmp, "sharded")
+        os.mkdir(ref_dir)
+        os.mkdir(shard_dir)
+
+        # Uninterrupted single-process reference.
+        run(binary, ["--trials", str(TRIALS), "--single"], ref_dir)
+
+        # Healthy shards 0 and 2.
+        for shard in (0, 2):
+            run(binary, shard_args(shard, "s%d.wsp" % shard), shard_dir)
+
+        # Shard 1 checkpoints after every trial; SIGKILL it the moment its
+        # first snapshot lands on disk.
+        ckpt_path = os.path.join(shard_dir, "s1.ckpt")
+        victim = subprocess.Popen(
+            [binary] + shard_args(KILLED_SHARD, "s1.wsp", "s1.ckpt"),
+            cwd=shard_dir, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 120
+        while (not os.path.exists(ckpt_path)
+               and victim.poll() is None and time.monotonic() < deadline):
+            time.sleep(0.01)
+        killed = False
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            killed = True
+        if killed and not os.path.exists(ckpt_path):
+            sys.exit("FAIL: worker died before its first snapshot landed")
+        if not killed:
+            # The slice outran the poll loop (tiny machine timing); the
+            # rerun below still validates the resume-from-complete path,
+            # but say so.
+            print("WARN: shard finished before it could be killed; "
+                  "resume will load a complete snapshot")
+
+        # Resume: the same command line, no special flags.  Completed
+        # trials load from the snapshot; only the missing ones re-run.
+        resume_log = run(binary, shard_args(KILLED_SHARD, "s1.wsp", "s1.ckpt"),
+                         shard_dir)
+        print(resume_log.strip())
+
+        # Merge all three partials and compare the emitted RunReport.
+        run(binary, ["--trials", str(TRIALS), "--merge",
+                     "s0.wsp", "s1.wsp", "s2.wsp"], shard_dir)
+        report = "RUNREPORT_campaign_shard.json"
+        with open(os.path.join(ref_dir, report), "rb") as f:
+            reference = f.read()
+        with open(os.path.join(shard_dir, report), "rb") as f:
+            merged = f.read()
+        if merged != reference:
+            sys.exit("FAIL: merged RunReport differs from the "
+                     "single-process run (%d vs %d bytes)"
+                     % (len(merged), len(reference)))
+        print("OK: killed worker resumed; merged RunReport byte-identical "
+              "to single-process (%d bytes)" % len(reference))
+
+
+if __name__ == "__main__":
+    main()
