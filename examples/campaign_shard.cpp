@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "wsp/ckpt/checkpoint.hpp"
+#include "wsp/fleet/worker.hpp"
 #include "wsp/obs/report.hpp"
 #include "wsp/resilience/campaign.hpp"
 
@@ -73,7 +74,8 @@ int usage() {
       "usage: campaign_shard --trials N --shard I --num-shards S --out FILE"
       " [--ckpt FILE]\n"
       "       campaign_shard --trials N --merge FILE...\n"
-      "       campaign_shard --trials N --single\n");
+      "       campaign_shard --trials N --single\n"
+      "       campaign_shard --worker <generated argv tail>\n");
   return 2;
 }
 
@@ -82,6 +84,22 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace wsp;
   using namespace wsp::resilience;
+
+  // Fleet worker mode: a wsp::fleet dispatcher can drive this binary as its
+  // shard worker (same campaign options as fleet_campaign — the options
+  // fingerprint in every CAMP file keeps the two honest).
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
+    fleet::WorkerShardArgs args;
+    try {
+      args = fleet::parse_worker_argv(
+          std::vector<std::string>(argv + 2, argv + argc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "campaign_shard worker: %s\n", e.what());
+      return fleet::kWorkerExitBadArgs;
+    }
+    const DegradationCampaign campaign(campaign_options());
+    return fleet::run_worker(campaign, args);
+  }
 
   int trials = 0, shard = -1, num_shards = 0;
   bool merge = false, single = false;

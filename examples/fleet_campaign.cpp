@@ -1,0 +1,242 @@
+// Fault-tolerant fleet campaign: wsp::fleet driving a degradation
+// campaign across supervised worker processes.
+//
+// The dispatcher process re-execs this same binary with a "--worker" argv
+// tail, one process per shard; each worker checkpoints after every trial,
+// bumps a heartbeat beacon, and writes a CAMP partial.  Dead workers are
+// re-dispatched from their snapshots, hung workers are escalated
+// SIGCONT+SIGTERM then SIGKILL, and shards that keep dying are quarantined
+// so the run terminates with honest partial coverage instead of hanging.
+//
+//   # 12 trials over 4 shards, 3 at a time, surviving seeded SIGKILLs:
+//   ./fleet_campaign --trials 12 --shards 4 --chaos-kill-after 1
+//
+//   # the single-process reference (byte-identical campaign report):
+//   ./fleet_campaign --trials 12 --single
+//
+// Two run reports land in --work-dir: RUNREPORT_fleet_campaign.json holds
+// only campaign results (byte-comparable against --single for every
+// non-quarantined shard) and RUNREPORT_fleet_dispatch.json holds the
+// fleet's own supervision metrics, which legitimately vary with chaos.
+//
+// Exit status: 0 full coverage, 3 partial coverage (quarantined shards),
+// 1 error, 2 bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "wsp/fleet/dispatcher.hpp"
+#include "wsp/obs/report.hpp"
+#include "wsp/resilience/campaign.hpp"
+
+namespace {
+
+constexpr int kExitPartialCoverage = 3;
+
+// Same campaign as campaign_shard: either binary can serve as the worker
+// (the options fingerprint embedded in every CAMP file proves it).
+wsp::resilience::CampaignOptions campaign_options() {
+  using namespace wsp;
+  resilience::CampaignOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 7;
+  o.run_cycles = 2000;
+  o.fault_horizon = 1500;
+  o.injection_rate = 0.02;
+  return o;
+}
+
+void emit_campaign_report(
+    const std::vector<wsp::resilience::DegradationReport>& reports,
+    const std::string& work_dir, const char* how) {
+  using namespace wsp;
+  const resilience::CampaignSummary summary = resilience::summarize(reports);
+  std::printf("%s: %d trials | mean usable fraction %.3f | mean "
+              "reachability %.2f%% | SSI %d/%d | drained %d/%d\n",
+              how, summary.trials, summary.mean_final_usable_fraction,
+              summary.mean_pair_reachability_pct,
+              summary.single_system_image_survived, summary.trials,
+              summary.fully_drained, summary.trials);
+  obs::MetricsRegistry registry;
+  resilience::publish_metrics(reports, registry);
+  obs::RunReport report("fleet_campaign");
+  report.add_scalar("summary", "mean_final_usable_fraction",
+                    summary.mean_final_usable_fraction);
+  report.add_scalar("summary", "mean_pair_reachability_pct",
+                    summary.mean_pair_reachability_pct);
+  report.add_scalar("summary", "lost_per_issued", summary.lost_per_issued);
+  report.add_metrics("campaign", registry);
+  const std::string path = work_dir + "/RUNREPORT_fleet_campaign.json";
+  if (report.write(path)) std::printf("campaign report: %s\n", path.c_str());
+}
+
+void emit_fleet_report(const wsp::fleet::FleetReport& fleet,
+                       const std::string& work_dir) {
+  using namespace wsp;
+  obs::MetricsRegistry registry;
+  fleet::publish_fleet_metrics(fleet, registry);
+  obs::RunReport report("fleet_dispatch");
+  report.add_metrics("fleet", registry);
+  const std::string path = work_dir + "/RUNREPORT_fleet_dispatch.json";
+  if (report.write(path)) std::printf("dispatch report: %s\n", path.c_str());
+}
+
+std::string self_program(const char* argv0) {
+  // argv[0] is what the dispatcher will execv; prefer /proc/self/exe when
+  // argv[0] is not a usable path (e.g. launched via PATH).
+  if (argv0 && argv0[0] && ::access(argv0, X_OK) == 0) return argv0;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 ? argv0 : "fleet_campaign";
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fleet_campaign --trials N [--shards S] [--max-workers W]\n"
+      "         [--work-dir DIR] [--max-attempts N] [--heartbeat-timeout S]\n"
+      "         [--term-grace S] [--straggler-factor F] [--poison-shard K]\n"
+      "         [--chaos-seed N] [--chaos-kill-after N]"
+      " [--chaos-stall-after N]\n"
+      "         [--chaos-kill-prob P] [--chaos-stall-prob P]"
+      " [--stall-resume S]\n"
+      "         [--chaos-max-events N]\n"
+      "       fleet_campaign --trials N --single [--work-dir DIR]\n"
+      "       fleet_campaign --worker <generated argv tail> [--poison]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsp;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  // --- worker mode: the dispatcher re-execs us with this tail -------------
+  if (!args.empty() && args[0] == "--worker") {
+    bool poison = false;
+    std::vector<std::string> tail;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--poison") poison = true;
+      else tail.push_back(args[i]);
+    }
+    fleet::WorkerShardArgs shard_args;
+    try {
+      shard_args = fleet::parse_worker_argv(tail);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleet worker: %s\n", e.what());
+      return fleet::kWorkerExitBadArgs;
+    }
+    if (poison) {
+      // Poison-shard stand-in: die before producing anything, every
+      // attempt, so the dispatcher's quarantine path is exercised.
+      std::fprintf(stderr, "fleet worker shard %d: poisoned, failing\n",
+                   shard_args.shard);
+      return fleet::kWorkerExitError;
+    }
+    const resilience::DegradationCampaign campaign(campaign_options());
+    return fleet::run_worker(campaign, shard_args);
+  }
+
+  // --- dispatcher / single-process modes ----------------------------------
+  int trials = 0;
+  bool single = false;
+  int poison_shard = -1;
+  fleet::FleetOptions options;
+  options.shards = 0;
+  options.trials_per_shard = 4;
+  options.heartbeat_timeout_s = 20.0;
+  options.term_grace_s = 2.0;
+
+  const auto want_value = [&](std::size_t i) { return i + 1 < args.size(); };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--single") single = true;
+    else if (arg == "--trials" && want_value(i))
+      trials = std::atoi(args[++i].c_str());
+    else if (arg == "--shards" && want_value(i))
+      options.shards = std::atoi(args[++i].c_str());
+    else if (arg == "--max-workers" && want_value(i))
+      options.max_workers = std::atoi(args[++i].c_str());
+    else if (arg == "--work-dir" && want_value(i)) options.work_dir = args[++i];
+    else if (arg == "--max-attempts" && want_value(i))
+      options.max_attempts = std::atoi(args[++i].c_str());
+    else if (arg == "--heartbeat-timeout" && want_value(i))
+      options.heartbeat_timeout_s = std::atof(args[++i].c_str());
+    else if (arg == "--term-grace" && want_value(i))
+      options.term_grace_s = std::atof(args[++i].c_str());
+    else if (arg == "--straggler-factor" && want_value(i))
+      options.straggler_factor = std::atof(args[++i].c_str());
+    else if (arg == "--poison-shard" && want_value(i))
+      poison_shard = std::atoi(args[++i].c_str());
+    else if (arg == "--chaos-seed" && want_value(i)) {
+      options.chaos.enabled = true;
+      options.chaos.seed =
+          static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (arg == "--chaos-kill-after" && want_value(i)) {
+      options.chaos.enabled = true;
+      options.chaos.first_attempt_kill_after =
+          static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (arg == "--chaos-stall-after" && want_value(i)) {
+      options.chaos.enabled = true;
+      options.chaos.first_attempt_stall_after =
+          static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (arg == "--chaos-kill-prob" && want_value(i)) {
+      options.chaos.enabled = true;
+      options.chaos.kill_probability = std::atof(args[++i].c_str());
+    } else if (arg == "--chaos-stall-prob" && want_value(i)) {
+      options.chaos.enabled = true;
+      options.chaos.stall_probability = std::atof(args[++i].c_str());
+    } else if (arg == "--stall-resume" && want_value(i)) {
+      options.chaos.stall_resume_s = std::atof(args[++i].c_str());
+    } else if (arg == "--chaos-max-events" && want_value(i)) {
+      options.chaos.max_events = std::atoi(args[++i].c_str());
+    } else {
+      return usage();
+    }
+  }
+  if (trials < 1) return usage();
+  options.trials = trials;
+
+  const resilience::DegradationCampaign campaign(campaign_options());
+  try {
+    if (single) {
+      emit_campaign_report(campaign.run_trials(trials), options.work_dir,
+                           "single-process");
+      return 0;
+    }
+
+    fleet::FleetDispatcher dispatcher(campaign, options);
+    fleet::WorkerCommand command;
+    command.program = self_program(argv[0]);
+    command.args = {"--worker"};
+    if (poison_shard >= 0)
+      command.extra_args = [poison_shard](int shard) {
+        return shard == poison_shard ? std::vector<std::string>{"--poison"}
+                                     : std::vector<std::string>{};
+      };
+
+    const fleet::FleetReport fleet_report = dispatcher.run(command);
+    std::printf("fleet: %d/%d shards completed, %d quarantined, %d retries, "
+                "%d kills, %d stragglers re-issued\n",
+                fleet_report.shards_completed, fleet_report.shards_total,
+                fleet_report.shards_quarantined, fleet_report.retries,
+                fleet_report.worker_kills, fleet_report.stragglers_reissued);
+    emit_campaign_report(fleet_report.reports, options.work_dir,
+                         fleet_report.complete() ? "fleet merged"
+                                                 : "fleet merged (partial)");
+    emit_fleet_report(fleet_report, options.work_dir);
+    return fleet_report.complete() ? 0 : kExitPartialCoverage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet_campaign: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 namespace wsp::ckpt {
 namespace {
 
@@ -230,6 +233,16 @@ void atomic_write_file(const std::string& path, const void* data,
   if (!f) throw Error(ErrorKind::Io, "cannot open " + tmp + " for writing");
   bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
   ok = (std::fflush(f) == 0) && ok;
+  // Durability guarantee, not just atomicity: fsync the temp file *before*
+  // the rename so its bytes reach stable storage before the new name does.
+  // Rename alone only orders the metadata — after a power loss a journaled
+  // filesystem may replay the rename but not the data, leaving the real
+  // name pointing at a hole.  With the fsync-then-rename ordering (plus the
+  // parent-directory fsync below, which persists the rename itself), a
+  // snapshot that survives kill -9 also survives power loss: at any
+  // interruption point `path` holds either the complete old contents or
+  // the complete new contents.
+  ok = (::fsync(fileno(f)) == 0) && ok;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
     std::remove(tmp.c_str());
@@ -238,6 +251,17 @@ void atomic_write_file(const std::string& path, const void* data,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw Error(ErrorKind::Io, "cannot rename " + tmp + " to " + path);
+  }
+  // Persist the rename: fsync the parent directory.  Best-effort — some
+  // filesystems reject directory fsync (EINVAL), and by this point the
+  // data itself is durable; the worst a lost rename can cost is falling
+  // back to the previous complete snapshot.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 
@@ -273,6 +297,36 @@ void save_frame_file(const std::string& path, std::uint32_t payload_kind,
 
 Frame load_frame_file(const std::string& path, std::uint32_t expected_kind) {
   return open_expect(read_file(path), expected_kind);
+}
+
+namespace {
+constexpr std::uint32_t kHeartbeatKind = fourcc("HBEA");
+constexpr std::uint32_t kHeartbeatVersion = 1;
+}  // namespace
+
+void save_heartbeat(const std::string& path, const Heartbeat& hb) {
+  Writer w;
+  w.u32(hb.shard);
+  w.u32(hb.attempt);
+  w.u64(hb.completed);
+  w.u64(hb.sequence);
+  save_frame_file(path, kHeartbeatKind, kHeartbeatVersion, w);
+}
+
+Heartbeat load_heartbeat(const std::string& path) {
+  const Frame frame = load_frame_file(path, kHeartbeatKind);
+  if (frame.state_version != kHeartbeatVersion)
+    throw Error(ErrorKind::VersionMismatch,
+                "heartbeat schema revision unknown");
+  Reader r(frame.payload);
+  Heartbeat hb;
+  hb.shard = r.u32();
+  hb.attempt = r.u32();
+  hb.completed = r.u64();
+  hb.sequence = r.u64();
+  if (!r.done())
+    throw Error(ErrorKind::SchemaMismatch, "trailing bytes after heartbeat");
+  return hb;
 }
 
 void save_fault_map(Writer& w, const FaultMap& map) {

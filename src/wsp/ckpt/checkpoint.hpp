@@ -181,9 +181,11 @@ Frame open_expect(const std::vector<std::uint8_t>& bytes,
 
 // --- file emission / ingestion ---------------------------------------------
 
-/// Writes `size` bytes to `<path>.tmp`, flushes, and renames over `path`.
-/// An interrupted run leaves either the old file or the new one — never a
-/// truncated hybrid.  Throws Error{Io} on failure (the temp is removed).
+/// Writes `size` bytes to `<path>.tmp`, flushes, fsyncs, and renames over
+/// `path`, then fsyncs the parent directory.  An interrupted run — process
+/// kill *or* power loss — leaves either the old file or the new one, never
+/// a truncated hybrid: the data is on stable storage before the name is.
+/// Throws Error{Io} on failure (the temp is removed).
 void atomic_write_file(const std::string& path, const void* data,
                        std::size_t size);
 
@@ -202,6 +204,27 @@ void save_frame_file(const std::string& path, std::uint32_t payload_kind,
 
 /// read_file() + open_expect() in one call.
 Frame load_frame_file(const std::string& path, std::uint32_t expected_kind);
+
+// --- worker heartbeat frames ------------------------------------------------
+
+/// Liveness beacon a fleet worker atomically rewrites at every checkpoint
+/// (a tiny "HBEA" frame).  The dispatcher reads it each supervision tick to
+/// distinguish a slow-but-alive worker (sequence advancing) from a hung or
+/// SIGSTOPped one (payload frozen).  atomic_write_file gives every bump a
+/// fresh mtime *and* a torn-read-proof payload — the dispatcher never sees
+/// half a heartbeat.
+struct Heartbeat {
+  std::uint32_t shard = 0;      ///< shard index in the fleet plan
+  std::uint32_t attempt = 0;    ///< dispatch attempt this worker is (1-based)
+  std::uint64_t completed = 0;  ///< trials completed so far within the shard
+  std::uint64_t sequence = 0;   ///< strictly increasing per write
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+void save_heartbeat(const std::string& path, const Heartbeat& hb);
+/// Throws Error{Io} when the file is missing (worker not yet started), plus
+/// the usual typed frame errors on truncation/corruption.
+Heartbeat load_heartbeat(const std::string& path);
 
 // --- serialisation of wsp_common plain-data types ---------------------------
 // These live here (not in wsp_common) because wsp_ckpt depends on

@@ -1,0 +1,52 @@
+#include "wsp/fleet/chaos.hpp"
+
+namespace wsp::fleet {
+
+ChaosAction ChaosEngine::decide(int shard, int attempt,
+                                std::uint64_t completed, bool stalled,
+                                double stalled_for_s) {
+  if (!options_.enabled) return ChaosAction::None;
+
+  if (stalled) {
+    if (options_.stall_resume_s > 0.0 &&
+        stalled_for_s >= options_.stall_resume_s) {
+      ++stats_.resumes;
+      return ChaosAction::Resume;
+    }
+    return ChaosAction::None;  // stay frozen; the dispatcher must act
+  }
+
+  // Deterministic mid-shard triggers, first attempt only: the retry has to
+  // be able to finish, otherwise every shard would grind to quarantine.
+  if (attempt == 1) {
+    if (options_.first_attempt_kill_after > 0 &&
+        completed >= options_.first_attempt_kill_after &&
+        deterministically_killed_.insert(shard).second) {
+      ++stats_.kills;
+      return ChaosAction::Kill;
+    }
+    if (options_.first_attempt_stall_after > 0 &&
+        completed >= options_.first_attempt_stall_after &&
+        deterministically_stalled_.insert(shard).second) {
+      ++stats_.stalls;
+      return ChaosAction::Stall;
+    }
+  }
+
+  if (events_ >= options_.max_events) return ChaosAction::None;
+  if (options_.kill_probability > 0.0 &&
+      rng_.bernoulli(options_.kill_probability)) {
+    ++events_;
+    ++stats_.kills;
+    return ChaosAction::Kill;
+  }
+  if (options_.stall_probability > 0.0 &&
+      rng_.bernoulli(options_.stall_probability)) {
+    ++events_;
+    ++stats_.stalls;
+    return ChaosAction::Stall;
+  }
+  return ChaosAction::None;
+}
+
+}  // namespace wsp::fleet

@@ -1,6 +1,7 @@
 #include "wsp/resilience/campaign.hpp"
 
 #include <algorithm>
+#include <csignal>
 #include <utility>
 
 #include "wsp/ckpt/checkpoint.hpp"
@@ -356,6 +357,42 @@ std::vector<DegradationReport> DegradationCampaign::run_trial_range(
   return reports;
 }
 
+namespace {
+
+// The SIGTERM handler may only touch a sig_atomic_t; everything else (the
+// snapshot flush, the throw) happens at the next trial-batch boundary on
+// the normal control path.
+volatile std::sig_atomic_t g_sigterm_flag = 0;
+
+extern "C" void wsp_campaign_sigterm(int) { g_sigterm_flag = 1; }
+
+/// Installs the flag-setting SIGTERM handler for the lifetime of one
+/// checkpointed run and restores the previous disposition afterwards.
+class ScopedSigtermFlag {
+ public:
+  explicit ScopedSigtermFlag(bool enable) : armed_(false) {
+    if (!enable) return;
+    g_sigterm_flag = 0;
+    struct sigaction sa = {};
+    sa.sa_handler = wsp_campaign_sigterm;
+    sigemptyset(&sa.sa_mask);
+    armed_ = sigaction(SIGTERM, &sa, &previous_) == 0;
+  }
+  ~ScopedSigtermFlag() {
+    if (armed_) sigaction(SIGTERM, &previous_, nullptr);
+  }
+  ScopedSigtermFlag(const ScopedSigtermFlag&) = delete;
+  ScopedSigtermFlag& operator=(const ScopedSigtermFlag&) = delete;
+
+  bool fired() const { return armed_ && g_sigterm_flag != 0; }
+
+ private:
+  bool armed_;
+  struct sigaction previous_ = {};
+};
+
+}  // namespace
+
 std::vector<DegradationReport> DegradationCampaign::run_trials_checkpointed(
     int trials, const CampaignCheckpointOptions& ckpt) const {
   return run_trial_range_checkpointed(0, trials, trials, ckpt);
@@ -397,7 +434,16 @@ DegradationCampaign::run_trial_range_checkpointed(
     reports = std::move(existing.reports);
   }
 
+  const ScopedSigtermFlag preempt(ckpt.flush_on_sigterm);
   while (reports.size() < static_cast<std::size_t>(count)) {
+    if (preempt.fired()) {
+      // The per-batch snapshot below already persisted everything we ran;
+      // this re-save only matters when resumption loaded trials without
+      // running a batch yet.  Saving an identical snapshot is harmless
+      // (write-temp-then-rename), so flush unconditionally and leave.
+      save_campaign_reports(ckpt.path, {fp, total_trials, first, reports});
+      throw CampaignPreempted(static_cast<int>(reports.size()));
+    }
     const int done = static_cast<int>(reports.size());
     const int batch = std::min(ckpt.every_trials, count - done);
     std::vector<DegradationReport> chunk =
@@ -846,25 +892,49 @@ std::vector<DegradationReport> merge_campaign_reports(
             [](const CampaignReportsFile& a, const CampaignReportsFile& b) {
               return a.first_trial < b.first_trial;
             });
+  // Every rejection names the offending shard's trial range: with dozens
+  // of partial files on the floor, "shard trials [12, 16)" points at one.
+  const auto shard_name = [](const CampaignReportsFile& s) {
+    return "shard trials [" + std::to_string(s.first_trial) + ", " +
+           std::to_string(s.first_trial + static_cast<int>(s.reports.size())) +
+           ")";
+  };
   const int total = shards.front().total_trials;
   std::vector<DegradationReport> merged;
   int next = 0;
+  const CampaignReportsFile* prev = nullptr;
   for (CampaignReportsFile& s : shards) {
     if (s.fingerprint != fingerprint)
       throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
-                        "shard belongs to a different campaign");
+                        shard_name(s) +
+                            " belongs to a different campaign "
+                            "(fingerprint mismatch)");
     if (s.total_trials != total)
+      throw ckpt::Error(
+          ckpt::ErrorKind::SchemaMismatch,
+          shard_name(s) + " disagrees on the campaign trial count (" +
+              std::to_string(s.total_trials) + " vs " + std::to_string(total) +
+              ")");
+    if (prev && s.first_trial == prev->first_trial)
       throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
-                        "shards disagree on the campaign trial count");
-    if (s.first_trial != next)
+                        "duplicate " + shard_name(s));
+    if (s.first_trial < next)
       throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
-                        "shard trial ranges do not tile the campaign");
+                        shard_name(s) + " overlaps the preceding shard");
+    if (s.first_trial > next)
+      throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                        "gap before " + shard_name(s) + ": trials [" +
+                            std::to_string(next) + ", " +
+                            std::to_string(s.first_trial) + ") missing");
     next += static_cast<int>(s.reports.size());
+    prev = &s;
     for (DegradationReport& r : s.reports) merged.push_back(std::move(r));
   }
   if (next != total)
     throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
-                      "merged shards do not cover every trial");
+                      "merged shards cover trials [0, " +
+                          std::to_string(next) + ") of " +
+                          std::to_string(total) + " — tail missing");
   return merged;
 }
 

@@ -127,6 +127,32 @@ struct CampaignCheckpointOptions {
   /// into place with the completed-trial count (the kill-and-resume test
   /// SIGKILLs itself from here).
   std::function<void(int completed)> after_checkpoint;
+  /// Graceful-shutdown seam for dispatcher-initiated preemption: when true
+  /// the checkpointed runner installs a SIGTERM handler for its duration
+  /// (restoring the previous disposition on exit) that only sets a flag;
+  /// the flag is checked at trial-batch boundaries (granularity
+  /// every_trials), where the runner flushes one final CAMP snapshot and
+  /// throws CampaignPreempted.  A SIGTERMed worker therefore never loses
+  /// completed trials.  SIGKILL remains the hard path — the last on-disk
+  /// snapshot still resumes correctly, it just re-does the tail.
+  bool flush_on_sigterm = false;
+};
+
+/// Thrown by the checkpointed runners when a SIGTERM lands with
+/// flush_on_sigterm set: cooperative preemption, not an error.  The final
+/// snapshot holding `completed()` trials is already renamed into place when
+/// this is thrown, so rerunning the same command line resumes the tail.
+class CampaignPreempted : public wsp::Error {
+ public:
+  explicit CampaignPreempted(int completed)
+      : wsp::Error("campaign preempted by SIGTERM after " +
+                   std::to_string(completed) +
+                   " completed trials (snapshot flushed)"),
+        completed_(completed) {}
+  int completed() const { return completed_; }
+
+ private:
+  int completed_;
 };
 
 class DegradationCampaign {
@@ -205,9 +231,12 @@ CampaignReportsFile load_campaign_reports(const std::string& path);
 
 /// Stitches shard partials back into trial order.  Validates that every
 /// shard carries `fingerprint`, that all agree on total_trials, and that
-/// the ranges tile [0, total_trials) exactly — a gap, an overlap, or a
-/// foreign shard throws ckpt::Error{SchemaMismatch}.  The merged vector is
-/// bit-identical to run_trials(total_trials) on one process.
+/// the ranges tile [0, total_trials) exactly — a gap, an overlap, a
+/// duplicate shard, or a foreign shard throws ckpt::Error{SchemaMismatch}
+/// whose message names the offending shard's trial range, so an operator
+/// staring at a failed merge of 64 partials knows which file to look at.
+/// The merged vector is bit-identical to run_trials(total_trials) on one
+/// process.
 std::vector<DegradationReport> merge_campaign_reports(
     std::vector<CampaignReportsFile> shards, std::uint32_t fingerprint);
 

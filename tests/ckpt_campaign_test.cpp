@@ -270,6 +270,46 @@ TEST(CampaignCkpt, MergeRejectsGapsOverlapsAndForeignShards) {
   EXPECT_EQ(report_bytes(ok), report_bytes(trials));
 }
 
+TEST(CampaignCkpt, MergeErrorsNameTheOffendingShard) {
+  const DegradationCampaign campaign(small_campaign());
+  const std::uint32_t fp = campaign.options_fingerprint();
+  const std::vector<DegradationReport> trials = campaign.run_trials(4);
+  const auto slice = [&](int first, int count) {
+    return std::vector<DegradationReport>(trials.begin() + first,
+                                          trials.begin() + first + count);
+  };
+  // With dozens of partial files on the floor, "merge failed" is useless;
+  // every rejection must name the offending shard's trial range.
+  const auto expect_message = [&](std::vector<CampaignReportsFile> shards,
+                                  const std::string& needle) {
+    try {
+      resilience::merge_campaign_reports(std::move(shards), fp);
+      ADD_FAILURE() << "expected ckpt::Error mentioning '" << needle << "'";
+    } catch (const ckpt::Error& e) {
+      EXPECT_EQ(e.kind(), ckpt::ErrorKind::SchemaMismatch);
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+
+  // Overlap: shard [1,3) arrives after [0,2) already delivered trial 1.
+  expect_message({{fp, 4, 0, slice(0, 2)}, {fp, 4, 1, slice(1, 2)},
+                  {fp, 4, 3, slice(3, 1)}},
+                 "shard trials [1, 3) overlaps");
+  // Duplicate: the same shard file merged twice.
+  expect_message({{fp, 4, 0, slice(0, 2)}, {fp, 4, 0, slice(0, 2)},
+                  {fp, 4, 2, slice(2, 2)}},
+                 "duplicate shard trials [0, 2)");
+  // Gap: nobody delivered trial 2.
+  expect_message({{fp, 4, 0, slice(0, 2)}, {fp, 4, 3, slice(3, 1)}},
+                 "gap before shard trials [3, 4): trials [2, 3) missing");
+  // Foreign fingerprint: the shard that disagrees is named, not the merge.
+  expect_message({{fp, 4, 0, slice(0, 2)}, {fp ^ 1, 4, 2, slice(2, 2)}},
+                 "shard trials [2, 4) belongs to a different campaign");
+  // Tail missing: the coverage summary says how far the tiling got.
+  expect_message({{fp, 4, 0, slice(0, 2)}}, "trials [0, 2) of 4");
+}
+
 TEST(CampaignCkpt, FingerprintTracksBehaviouralOptionsOnly) {
   const DegradationCampaign a(small_campaign());
   const DegradationCampaign b(small_campaign());

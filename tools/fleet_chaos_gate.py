@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Chaos-invariance gate for the wsp::fleet dispatcher.
+
+Drives the fleet_campaign example through seeded chaos schedules — SIGKILL
+mid-shard, SIGSTOP past the heartbeat deadline, and mixed probabilistic
+injection — plus a forced poison shard, and enforces the dispatcher's
+acceptance property: for every scenario that quarantines nothing, the
+merged campaign report (RUNREPORT_fleet_campaign.json) must be
+byte-identical to the undisturbed single-process run, and the poison
+scenario must terminate with partial coverage, a nonzero quarantine count
+and the distinct partial-coverage exit status — never a hang.
+
+    fleet_chaos_gate.py path/to/fleet_campaign
+
+Exit status 0 when every scenario holds; 1 with a diagnostic otherwise.
+Stdlib only, so it runs anywhere CTest/CI can find a python3.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TRIALS = 8
+SHARDS = 3
+PARTIAL_COVERAGE_EXIT = 3  # fleet_campaign's "quarantined shards" status
+SCENARIO_TIMEOUT_S = 240   # hard bound: a hung dispatcher must fail, not hang
+
+
+def run(binary, args, cwd, expect_status=0):
+    try:
+        proc = subprocess.run([binary] + args, cwd=cwd,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT,
+                              timeout=SCENARIO_TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        sys.exit("FAIL: %s %s still running after %ds — the dispatcher "
+                 "must terminate, quarantine or not"
+                 % (binary, " ".join(args), SCENARIO_TIMEOUT_S))
+    if proc.returncode != expect_status:
+        sys.exit("FAIL: %s %s exited %d (want %d):\n%s"
+                 % (binary, " ".join(args), proc.returncode, expect_status,
+                    proc.stdout.decode(errors="replace")))
+    return proc.stdout.decode(errors="replace")
+
+
+def fleet_counters(work_dir):
+    with open(os.path.join(work_dir, "RUNREPORT_fleet_dispatch.json")) as f:
+        return json.load(f)["metrics"]["fleet"]["counters"]
+
+
+def campaign_report(work_dir):
+    with open(os.path.join(work_dir, "RUNREPORT_fleet_campaign.json"),
+              "rb") as f:
+        return f.read()
+
+
+def check_scenario(name, binary, tmp, reference, extra_args,
+                   expect_retries=False, expect_kills=False,
+                   expect_stalls=False):
+    work = os.path.join(tmp, name)
+    os.mkdir(work)
+    args = ["--trials", str(TRIALS), "--shards", str(SHARDS),
+            "--work-dir", "."] + extra_args
+    log = run(binary, args, work)
+    print("[%s] %s" % (name, log.strip().splitlines()[0]))
+
+    merged = campaign_report(work)
+    if merged != reference:
+        sys.exit("FAIL[%s]: merged campaign report differs from the "
+                 "single-process run (%d vs %d bytes)"
+                 % (name, len(merged), len(reference)))
+    c = fleet_counters(work)
+    if c["fleet.shards_quarantined"] != 0:
+        sys.exit("FAIL[%s]: %d shards quarantined; chaos must be survivable"
+                 % (name, c["fleet.shards_quarantined"]))
+    if c["fleet.shards_completed"] != SHARDS:
+        sys.exit("FAIL[%s]: only %d/%d shards completed"
+                 % (name, c["fleet.shards_completed"], SHARDS))
+    if expect_retries and c["fleet.retries"] == 0:
+        sys.exit("FAIL[%s]: chaos was supposed to force re-dispatches"
+                 % name)
+    if expect_kills and c["fleet.chaos.kills"] == 0:
+        sys.exit("FAIL[%s]: the chaos engine injected no kills" % name)
+    if expect_stalls and c["fleet.chaos.stalls"] == 0:
+        sys.exit("FAIL[%s]: the chaos engine injected no stalls" % name)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = os.path.abspath(sys.argv[1])
+
+    with tempfile.TemporaryDirectory(prefix="fleet_chaos_gate.") as tmp:
+        # Undisturbed single-process reference.
+        ref_dir = os.path.join(tmp, "single")
+        os.mkdir(ref_dir)
+        run(binary, ["--trials", str(TRIALS), "--single",
+                     "--work-dir", "."], ref_dir)
+        reference = campaign_report(ref_dir)
+
+        # Scenario 1: every shard's first attempt is SIGKILLed one trial in
+        # (no flush, no handler); retries resume from the snapshots.
+        check_scenario("kill", binary, tmp, reference,
+                       ["--chaos-kill-after", "1"],
+                       expect_retries=True, expect_kills=True)
+
+        # Scenario 2: every shard's first attempt is SIGSTOPped one trial
+        # in and never chaos-resumed; the heartbeat deadline must fire and
+        # the SIGCONT+SIGTERM / SIGKILL escalation must recover each shard.
+        # The near-zero grace makes the escalation a hard kill, so at
+        # least one re-dispatch always happens (a longer grace would let a
+        # resumed worker finish its last trial and legitimately succeed).
+        # The heartbeat deadline leaves headroom for slow trials on a
+        # loaded sanitizer box (a deadline below the worst trial latency
+        # would spuriously escalate healthy retries into quarantine).
+        check_scenario("stall", binary, tmp, reference,
+                       ["--chaos-stall-after", "1",
+                        "--heartbeat-timeout", "2.0",
+                        "--term-grace", "0.05",
+                        "--max-attempts", "6"],
+                       expect_retries=True, expect_stalls=True)
+
+        # Scenario 3: mixed probabilistic chaos across several seeds —
+        # whatever the schedule, the bytes must not move.  Per-tick draws
+        # compound with machine slowness (more supervision ticks per
+        # attempt), so the event cap is held strictly below the attempt
+        # budget: even if every event lands on one shard it cannot
+        # quarantine, on any machine.
+        for seed in (1, 7, 1234):
+            check_scenario("mixed_seed%d" % seed, binary, tmp, reference,
+                           ["--chaos-seed", str(seed),
+                            "--chaos-kill-prob", "0.02",
+                            "--chaos-stall-prob", "0.02",
+                            "--chaos-max-events", "4",
+                            "--max-attempts", "6",
+                            "--stall-resume", "0.2",
+                            "--heartbeat-timeout", "5.0",
+                            "--term-grace", "0.5"])
+
+        # Scenario 4: a poison shard that fails every attempt.  The run
+        # must terminate (not hang) with the distinct partial-coverage
+        # status, one quarantined shard, and the other shards' results
+        # intact.
+        poison_dir = os.path.join(tmp, "poison")
+        os.mkdir(poison_dir)
+        log = run(binary, ["--trials", str(TRIALS), "--shards", str(SHARDS),
+                           "--work-dir", ".", "--poison-shard", "1",
+                           "--max-attempts", "2"],
+                  poison_dir, expect_status=PARTIAL_COVERAGE_EXIT)
+        print("[poison] %s" % log.strip().splitlines()[0])
+        c = fleet_counters(poison_dir)
+        if c["fleet.shards_quarantined"] != 1:
+            sys.exit("FAIL[poison]: want exactly 1 quarantined shard, got %d"
+                     % c["fleet.shards_quarantined"])
+        if c["fleet.shards_completed"] != SHARDS - 1:
+            sys.exit("FAIL[poison]: want %d completed shards, got %d"
+                     % (SHARDS - 1, c["fleet.shards_completed"]))
+        if campaign_report(poison_dir) == reference:
+            sys.exit("FAIL[poison]: partial report claims full coverage")
+
+        print("OK: %d chaos scenarios byte-identical to single-process; "
+              "poison shard quarantined with partial coverage (exit %d)"
+              % (5, PARTIAL_COVERAGE_EXIT))
+
+
+if __name__ == "__main__":
+    main()
