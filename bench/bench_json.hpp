@@ -11,8 +11,10 @@
 //   {"bench": "<suite>", "results": [
 //     {"name": ..., "wall_ms": ..., "iterations": ...,
 //      "threads": ..., "speedup_vs_serial": ...}, ...]}
-// speedup_vs_serial is 1.0 for the serial baseline row itself and 0.0 when
-// the measurement has no serial counterpart.
+// speedup_vs_serial is 1.0 for the serial baseline row itself and is
+// omitted entirely when the measurement has no serial counterpart —
+// serial-only rows used to print a bogus 0.0000 (tools/bench_compare.py
+// keys off name/wall_ms/iterations/threads and accepts either form).
 #pragma once
 
 #include <chrono>
@@ -30,7 +32,7 @@ struct Measurement {
   double wall_ms = 0.0;   ///< min over repetitions
   int iterations = 1;     ///< inner iterations folded into one repetition
   int threads = 1;        ///< exec pool size the measurement ran with
-  double speedup_vs_serial = 0.0;  ///< 0 = no serial counterpart
+  double speedup_vs_serial = 0.0;  ///< <= 0 = no serial counterpart (omitted)
 };
 
 /// Runs fn() `warmup` times untimed, then `repeats` timed times, and
@@ -101,11 +103,16 @@ class JsonReporter {
       const Measurement& m = results_[i];
       std::snprintf(row, sizeof row,
                     "%s\n  {\"name\": \"%s\", \"wall_ms\": %.6f, "
-                    "\"iterations\": %d, \"threads\": %d, "
-                    "\"speedup_vs_serial\": %.4f}",
+                    "\"iterations\": %d, \"threads\": %d",
                     i ? "," : "", m.name.c_str(), m.wall_ms, m.iterations,
-                    m.threads, m.speedup_vs_serial);
+                    m.threads);
       json += row;
+      if (m.speedup_vs_serial > 0.0) {
+        std::snprintf(row, sizeof row, ", \"speedup_vs_serial\": %.4f",
+                      m.speedup_vs_serial);
+        json += row;
+      }
+      json += "}";
     }
     json += "\n]}\n";
     if (!ckpt::atomic_write_text(path, json)) {

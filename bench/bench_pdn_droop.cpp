@@ -1,18 +1,25 @@
 // Experiment F2 — Figure 2: edge power delivery and the voltage droop
 // profile from 2.5 V at the wafer edge to ~1.4 V at the center at peak
-// draw, plus an activity sweep, solver micro-benchmarks, and the parallel
-// red-black solver scaling study (BENCH_pdn_droop.json).
+// draw, plus an activity sweep, solver micro-benchmarks, the parallel
+// red-black solver scaling study, the multigrid-vs-SOR solver suite, and
+// the batched multi-RHS suite (all recorded in BENCH_pdn_droop.json).
 //
-// Exit status is non-zero if the parallel solve diverges from the serial
-// baseline by even one bit — CI runs this with --quick and fails the build
-// on divergence.
+// Exit status is non-zero on any divergence: a parallel solve that differs
+// from the serial baseline by even one bit, a multigrid solve that differs
+// across thread counts or disagrees with SOR beyond tolerance, or a
+// solve_batch result that differs from solving the same right-hand sides
+// sequentially.  CI runs this with --quick and fails the build on any of
+// those.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "wsp/exec/thread_pool.hpp"
+#include "wsp/pdn/resistive_grid.hpp"
 #include "wsp/pdn/wafer_pdn.hpp"
 
 namespace {
@@ -74,8 +81,7 @@ std::vector<double> voltage_vector(const PdnReport& r) {
 /// Red-black parallel solver scaling on the 64x64 wafer PDN solve: wall
 /// time and speedup per thread count, plus the determinism check — the
 /// voltage vector must be bit-identical at every thread count.
-int run_parallel_scaling(bool quick) {
-  wsp::bench::JsonReporter json("pdn_droop");
+int run_parallel_scaling(bool quick, wsp::bench::JsonReporter& json) {
   const int repeats = quick ? 2 : 5;
 
   SystemConfig cfg = SystemConfig::reduced(64, 64);
@@ -140,7 +146,236 @@ int run_parallel_scaling(bool quick) {
                  "FAIL: parallel PDN solve diverged from the serial "
                  "baseline\n");
   std::printf("\n");
-  json.write();
+  return rc;
+}
+
+/// Synthetic 64x64 power plane mirroring the wafer solve's structure: the
+/// edge ring pinned at the 2.5 V edge supply, a uniform draw everywhere
+/// else.  Solver-level (no WaferPdn wrapper) so the rows isolate the
+/// algorithms from report extraction.
+ResistiveGrid make_plane(int n) {
+  ResistiveGrid g(n, n);
+  g.fill_conductances(5.0, 5.0);
+  for (int i = 0; i < n; ++i) {
+    g.set_dirichlet(i, 0, 2.5);
+    g.set_dirichlet(i, n - 1, 2.5);
+    g.set_dirichlet(0, i, 2.5);
+    g.set_dirichlet(n - 1, i, 2.5);
+  }
+  for (int y = 1; y < n - 1; ++y)
+    for (int x = 1; x < n - 1; ++x) g.set_current_sink(x, y, 0.02);
+  return g;
+}
+
+/// Multigrid vs SOR on the synthetic 64x64 plane: warm and cold wall time,
+/// iteration counts and sweep-equivalent cost at one thread, plus the
+/// correctness gates — the two methods must agree within tolerance and the
+/// multigrid solve must be bit-identical at every thread count.
+int run_multigrid_suite(bool quick, wsp::bench::JsonReporter& json) {
+  const int repeats = quick ? 3 : 7;
+  int rc = 0;
+
+  exec::set_shared_threads(1);
+  ResistiveGrid sor_grid = make_plane(64);
+  ResistiveGrid mg_grid = make_plane(64);
+
+  SolverConfig sor_cfg;  // defaults: red-black SOR, tol 1e-7
+  SolverConfig mg_cfg;
+  mg_cfg.method = SolverMethod::Multigrid;
+
+  std::printf("== multigrid vs SOR (64x64 plane, 1 thread, tol %.0e) ==\n",
+              sor_cfg.tol);
+
+  SolveStats sor_stats, mg_stats;
+  const double sor_ms = wsp::bench::min_wall_ms(
+      [&] {
+        sor_grid.reset_voltages(0.0);
+        sor_stats = sor_grid.solve(sor_cfg);
+      },
+      repeats, 1);
+  {
+    wsp::bench::Measurement m;
+    m.name = "pdn_solver_sor_64x64";
+    m.wall_ms = sor_ms;
+    m.threads = 1;
+    m.speedup_vs_serial = 1.0;  // the baseline the multigrid rows beat
+    json.add(m);
+  }
+  const double mg_ms = json.measure(
+      "pdn_solver_multigrid_64x64", 1,
+      [&] {
+        mg_grid.reset_voltages(0.0);
+        mg_stats = mg_grid.solve(mg_cfg);
+      },
+      repeats, 1, 1, sor_ms);
+  // Cold start: grid construction plus hierarchy build plus the solve —
+  // what a one-shot caller pays.  No serial counterpart.
+  const double cold_ms = json.measure(
+      "pdn_solver_multigrid_cold_64x64", 1,
+      [&] {
+        ResistiveGrid g = make_plane(64);
+        benchmark::DoNotOptimize(g.solve(mg_cfg).converged);
+      },
+      repeats, 1);
+
+  std::printf("%12s %10s %12s %12s\n", "method", "wall ms", "iterations",
+              "sweep-equiv");
+  std::printf("%12s %10.3f %12d %12.1f\n", "sor", sor_ms, sor_stats.iterations,
+              sor_stats.fine_sweep_equivalents);
+  std::printf("%12s %10.3f %12d %12.1f\n", "multigrid", mg_ms,
+              mg_stats.iterations, mg_stats.fine_sweep_equivalents);
+  std::printf("%12s %10.3f %12s %12s\n", "mg (cold)", cold_ms, "-", "-");
+  std::printf("speedup %.2fx wall, %.1fx fewer sweep-equivalents\n",
+              sor_ms / mg_ms,
+              sor_stats.fine_sweep_equivalents /
+                  mg_stats.fine_sweep_equivalents);
+
+  if (!sor_stats.converged || !mg_stats.converged) {
+    std::fprintf(stderr, "FAIL: solver did not converge (sor %d, mg %d)\n",
+                 sor_stats.converged, mg_stats.converged);
+    rc = 1;
+  }
+  if (mg_stats.iterations > 12) {
+    std::fprintf(stderr,
+                 "FAIL: multigrid took %d cycles — convergence should be "
+                 "grid-size-independent (~6-8 cycles)\n",
+                 mg_stats.iterations);
+    rc = 1;
+  }
+
+  // Voltage agreement: both methods solved tight must land on the same
+  // solution well inside the operating tolerance.
+  SolverConfig tight_sor = sor_cfg;
+  tight_sor.tol = 1e-9;
+  SolverConfig tight_mg = mg_cfg;
+  tight_mg.tol = 1e-9;
+  sor_grid.reset_voltages(0.0);
+  sor_grid.solve(tight_sor);
+  mg_grid.reset_voltages(0.0);
+  mg_grid.solve(tight_mg);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < sor_grid.node_count(); ++i)
+    max_diff = std::max(
+        max_diff, std::fabs(sor_grid.voltages()[i] - mg_grid.voltages()[i]));
+  std::printf("multigrid-vs-SOR max voltage diff at tol 1e-9: %.2e V\n",
+              max_diff);
+  if (!(max_diff <= 1e-7)) {
+    std::fprintf(stderr,
+                 "FAIL: multigrid disagrees with SOR by %.3e V (> 1e-7)\n",
+                 max_diff);
+    rc = 1;
+  }
+
+  // Thread determinism: the multigrid voltage vector must be bit-identical
+  // at every thread count.
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
+  std::vector<double> mg_baseline;
+  for (const int threads : thread_counts) {
+    exec::set_shared_threads(threads);
+    mg_grid.reset_voltages(0.0);
+    mg_grid.solve(mg_cfg);
+    if (threads == thread_counts.front()) {
+      mg_baseline = mg_grid.voltages();
+    } else if (mg_grid.voltages() != mg_baseline) {
+      std::fprintf(stderr,
+                   "FAIL: multigrid solve at %d threads diverged from the "
+                   "1-thread result\n",
+                   threads);
+      rc = 1;
+    }
+  }
+  exec::set_shared_threads(0);
+  std::printf("multigrid thread determinism: %s\n\n",
+              rc == 0 ? "bit-identical" : "DIVERGED");
+  return rc;
+}
+
+/// solve_batch suite: 32 distinct power maps against one 64x64 topology,
+/// solved sequentially and through solve_batch.  The batch result must be
+/// bit-identical to the sequential reference; walls are recorded so the
+/// amortization (one hierarchy, RHS fanned over the pool) is tracked
+/// across PRs.
+int run_batch_suite(bool quick, wsp::bench::JsonReporter& json) {
+  const int repeats = quick ? 2 : 5;
+  const int kRhs = 32;
+  int rc = 0;
+
+  exec::set_shared_threads(1);
+  ResistiveGrid grid = make_plane(64);
+  const std::size_t nodes = grid.node_count();
+
+  SolverConfig cfg;
+  cfg.method = SolverMethod::Multigrid;
+
+  // Distinct right-hand sides: the base draw scaled per map, plus a moving
+  // hotspot so no two maps share a solution.
+  std::vector<std::vector<double>> sinks(kRhs);
+  for (int m = 0; m < kRhs; ++m) {
+    sinks[m] = grid.current_sinks();
+    const double scale = 0.5 + static_cast<double>(m) / kRhs;
+    for (double& s : sinks[m]) s *= scale;
+    const int hx = 8 + (m * 3) % 48;
+    const int hy = 8 + (m * 5) % 48;
+    sinks[m][grid.index(hx, hy)] += 0.15;
+  }
+
+  std::printf("== solve_batch (%d RHS, 64x64 plane, multigrid) ==\n", kRhs);
+
+  std::vector<std::vector<double>> seq_v(kRhs);
+  const double seq_ms = wsp::bench::min_wall_ms(
+      [&] {
+        for (int m = 0; m < kRhs; ++m) {
+          grid.set_current_sinks(sinks[m]);
+          grid.reset_voltages(0.0);
+          grid.solve(cfg);
+          seq_v[m] = grid.voltages();
+        }
+      },
+      repeats, 1);
+  {
+    wsp::bench::Measurement m;
+    m.name = "pdn_solve_sequential_32rhs_64x64";
+    m.wall_ms = seq_ms;
+    m.iterations = kRhs;
+    m.threads = 1;
+    m.speedup_vs_serial = 1.0;
+    json.add(m);
+  }
+
+  std::vector<std::vector<double>> batch_v(kRhs, std::vector<double>(nodes));
+  std::vector<SolveStats> stats(kRhs);
+  std::vector<RhsView> views(kRhs);
+  const double batch_ms = json.measure(
+      "pdn_solve_batch_32rhs_64x64", exec::shared_threads(),
+      [&] {
+        for (int m = 0; m < kRhs; ++m) {
+          std::fill(batch_v[m].begin(), batch_v[m].end(), 0.0);
+          views[m] = RhsView{sinks[m], batch_v[m]};
+        }
+        grid.solve_batch(views, stats, cfg);
+      },
+      repeats, 1, kRhs, seq_ms);
+
+  bool identical = true;
+  bool converged = true;
+  for (int m = 0; m < kRhs; ++m) {
+    if (batch_v[m] != seq_v[m]) identical = false;
+    if (!stats[m].converged) converged = false;
+  }
+  std::printf("sequential %8.2f ms | batch %8.2f ms (%.2fx) | %s\n\n",
+              seq_ms, batch_ms, seq_ms / batch_ms,
+              identical ? "bit-identical" : "DIVERGED");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: solve_batch diverged from sequential solves\n");
+    rc = 1;
+  }
+  if (!converged) {
+    std::fprintf(stderr, "FAIL: solve_batch RHS did not converge\n");
+    rc = 1;
+  }
+  exec::set_shared_threads(0);
   return rc;
 }
 
@@ -160,7 +395,11 @@ BENCHMARK(BM_SolveFullWafer)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   const bool quick = wsp::bench::consume_quick_flag(&argc, argv);
   if (!quick) print_fig2();
-  const int rc = run_parallel_scaling(quick);
+  wsp::bench::JsonReporter json("pdn_droop");
+  int rc = run_parallel_scaling(quick, json);
+  rc |= run_multigrid_suite(quick, json);
+  rc |= run_batch_suite(quick, json);
+  json.write();
   if (!quick) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,7 @@
 #include "wsp/common/error.hpp"
 #include "wsp/exec/parallel_for.hpp"
 #include "wsp/obs/trace.hpp"
+#include "wsp/pdn/multigrid.hpp"
 
 namespace wsp::pdn {
 
@@ -32,12 +33,17 @@ ResistiveGrid::ResistiveGrid(int width, int height)
   v_.assign(nodes, 0.0);
 }
 
+// Out-of-line where MultigridHierarchy is complete.
+ResistiveGrid::~ResistiveGrid() = default;
+ResistiveGrid::ResistiveGrid(ResistiveGrid&&) noexcept = default;
+ResistiveGrid& ResistiveGrid::operator=(ResistiveGrid&&) noexcept = default;
+
 void ResistiveGrid::set_conductance_east(int x, int y, double siemens) {
   require(x >= 0 && x < width_ - 1 && y >= 0 && y < height_,
           "east edge out of range");
   require(siemens >= 0.0, "conductance must be non-negative");
   g_east_[east_index(x, y)] = siemens;
-  stencil_valid_ = false;
+  invalidate_topology();
 }
 
 void ResistiveGrid::set_conductance_north(int x, int y, double siemens) {
@@ -45,32 +51,39 @@ void ResistiveGrid::set_conductance_north(int x, int y, double siemens) {
           "north edge out of range");
   require(siemens >= 0.0, "conductance must be non-negative");
   g_north_[north_index(x, y)] = siemens;
-  stencil_valid_ = false;
+  invalidate_topology();
 }
 
 void ResistiveGrid::fill_conductances(double gx, double gy) {
   std::fill(g_east_.begin(), g_east_.end(), gx);
   std::fill(g_north_.begin(), g_north_.end(), gy);
-  stencil_valid_ = false;
+  invalidate_topology();
 }
 
 void ResistiveGrid::set_dirichlet(int x, int y, double volts) {
   const auto i = index(x, y);
   dirichlet_[i] = 1;
   v_[i] = volts;
-  stencil_valid_ = false;
+  invalidate_topology();
 }
 
 void ResistiveGrid::clear_dirichlet(int x, int y) {
   dirichlet_[index(x, y)] = 0;
-  stencil_valid_ = false;
+  invalidate_topology();
 }
 
 void ResistiveGrid::set_current_sink(int x, int y, double amperes) {
   // Sinks enter only the right-hand side (read live during sweeps), so the
-  // stencil survives per-solve load updates — the WaferPdn constant-power
-  // loop re-solves with new sinks on an unchanged topology.
+  // stencil and multigrid hierarchy survive per-solve load updates — the
+  // WaferPdn constant-power loop re-solves with new sinks on an unchanged
+  // topology.
   sink_[index(x, y)] = amperes;
+}
+
+void ResistiveGrid::set_current_sinks(const std::vector<double>& amperes) {
+  require(amperes.size() == sink_.size(),
+          "sink vector must cover every grid node");
+  sink_ = amperes;  // right-hand side only: stencil and hierarchy survive
 }
 
 void ResistiveGrid::set_shunt(int x, int y, double siemens, double v_ref) {
@@ -78,7 +91,7 @@ void ResistiveGrid::set_shunt(int x, int y, double siemens, double v_ref) {
   const auto i = index(x, y);
   shunt_g_[i] = siemens;
   shunt_v_[i] = v_ref;
-  stencil_valid_ = false;
+  invalidate_topology();
 }
 
 double ResistiveGrid::chebyshev_omega(int width, int height) {
@@ -131,8 +144,21 @@ void ResistiveGrid::rebuild_stencil() {
   stencil_valid_ = true;
 }
 
+void ResistiveGrid::invalidate_topology() {
+  stencil_valid_ = false;
+  hierarchy_.reset();
+}
+
+void ResistiveGrid::prepare_solvers(const SolverConfig& config) {
+  if (!stencil_valid_) rebuild_stencil();
+  if (config.method == SolverMethod::Multigrid && hierarchy_ == nullptr)
+    hierarchy_ = std::make_unique<MultigridHierarchy>(*this,
+                                                      config.coarsest_nodes);
+}
+
 double ResistiveGrid::sweep_color(const std::vector<StencilNode>& nodes,
-                                  double omega) {
+                                  double omega, double* v,
+                                  const double* sink) {
   WSP_TRACE_SPAN("pdn.sor.sweep");
   // Every node of one color reads only other-color neighbours (and its own
   // previous value) and writes only itself, so chunks are data-independent
@@ -145,21 +171,52 @@ double ResistiveGrid::sweep_color(const std::vector<StencilNode>& nodes,
         double local_max = 0.0;
         for (std::size_t k = b; k < e; ++k) {
           const StencilNode& s = nodes[k];
-          const double flow = s.g[0] * v_[s.nbr[0]] + s.g[1] * v_[s.nbr[1]] +
-                              s.g[2] * v_[s.nbr[2]] + s.g[3] * v_[s.nbr[3]] +
+          const double flow = s.g[0] * v[s.nbr[0]] + s.g[1] * v[s.nbr[1]] +
+                              s.g[2] * v[s.nbr[2]] + s.g[3] * v[s.nbr[3]] +
                               s.shunt_flow;
-          const double v_new = (flow - sink_[s.node]) * s.inv_gsum;
-          const double old = v_[s.node];
+          const double v_new = (flow - sink[s.node]) * s.inv_gsum;
+          const double old = v[s.node];
           const double updated = old + omega * (v_new - old);
           local_max = std::max(local_max, std::abs(updated - old));
-          v_[s.node] = updated;
+          v[s.node] = updated;
         }
         return local_max;
       },
       [](double a, double b) { return std::max(a, b); }, kSweepGrain);
 }
 
-double ResistiveGrid::max_kcl_residual() const {
+double ResistiveGrid::sweep_color_residual(const std::vector<StencilNode>& nodes,
+                                           double omega, double* v,
+                                           const double* sink, double* r) {
+  // Identical to sweep_color, but also stores each node's post-update
+  // residual.  On a 5-point stencil the neighbours of a node are all the
+  // other color, so once this (second) half-sweep runs, flow is final and
+  // r = flow - gsum * v_new - sink = gsum * (v_gs - v_new) falls out of
+  // values already in registers — the multigrid cycle gets the residual of
+  // this color for free instead of re-walking the stencil.
+  return exec::parallel_reduce<double>(
+      nodes.size(), 0.0,
+      [&](std::size_t b, std::size_t e) {
+        double local_max = 0.0;
+        for (std::size_t k = b; k < e; ++k) {
+          const StencilNode& s = nodes[k];
+          const double flow = s.g[0] * v[s.nbr[0]] + s.g[1] * v[s.nbr[1]] +
+                              s.g[2] * v[s.nbr[2]] + s.g[3] * v[s.nbr[3]] +
+                              s.shunt_flow;
+          const double v_new = (flow - sink[s.node]) * s.inv_gsum;
+          const double old = v[s.node];
+          const double updated = old + omega * (v_new - old);
+          local_max = std::max(local_max, std::abs(updated - old));
+          v[s.node] = updated;
+          r[s.node] = s.gsum * (v_new - updated);
+        }
+        return local_max;
+      },
+      [](double a, double b) { return std::max(a, b); }, kSweepGrain);
+}
+
+double ResistiveGrid::max_kcl_residual(std::span<const double> v,
+                                       std::span<const double> sink) const {
   // True nodal current residual: |sum_j g_ij (v_j - v_i) + shunt - sink_i|,
   // amperes — zero at the exact solution of every balanced node.
   auto color_max = [&](const std::vector<StencilNode>& nodes) {
@@ -169,11 +226,11 @@ double ResistiveGrid::max_kcl_residual() const {
           double local_max = 0.0;
           for (std::size_t k = b; k < e; ++k) {
             const StencilNode& s = nodes[k];
-            const double flow = s.g[0] * v_[s.nbr[0]] +
-                                s.g[1] * v_[s.nbr[1]] +
-                                s.g[2] * v_[s.nbr[2]] +
-                                s.g[3] * v_[s.nbr[3]] + s.shunt_flow;
-            const double r = flow - s.gsum * v_[s.node] - sink_[s.node];
+            const double flow = s.g[0] * v[s.nbr[0]] +
+                                s.g[1] * v[s.nbr[1]] +
+                                s.g[2] * v[s.nbr[2]] +
+                                s.g[3] * v[s.nbr[3]] + s.shunt_flow;
+            const double r = flow - s.gsum * v[s.node] - sink[s.node];
             local_max = std::max(local_max, std::abs(r));
           }
           return local_max;
@@ -196,16 +253,29 @@ void ResistiveGrid::bind_metrics(obs::MetricsRegistry* registry,
   metrics_.max_delta_v = &registry->gauge(prefix + "max_delta_v");
 }
 
-SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
+void ResistiveGrid::record_solve(const SolveStats& stats) {
+  if (metrics_.solves == nullptr) return;
+  metrics_.solves->add();
+  metrics_.sweeps->add(static_cast<std::uint64_t>(stats.iterations));
+  if (stats.converged) metrics_.converged->add();
+  metrics_.residual_a->set(stats.residual);
+  metrics_.max_delta_v->set(stats.max_delta_v);
+}
+
+SolveStats ResistiveGrid::solve_sor_on(std::span<double> v,
+                                       std::span<const double> sink,
+                                       double tol, int max_iterations,
+                                       double omega) {
   WSP_TRACE_SPAN("pdn.sor.solve");
   if (omega <= 0.0) omega = chebyshev_omega(width_, height_);
   require(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
-  if (!stencil_valid_) rebuild_stencil();
 
   SolveStats stats;
   for (int it = 0; it < max_iterations; ++it) {
-    const double red_delta = sweep_color(stencil_[0], omega);
-    const double black_delta = sweep_color(stencil_[1], omega);
+    const double red_delta =
+        sweep_color(stencil_[0], omega, v.data(), sink.data());
+    const double black_delta =
+        sweep_color(stencil_[1], omega, v.data(), sink.data());
     const double max_delta = std::max(red_delta, black_delta);
     stats.iterations = it + 1;
     stats.max_delta_v = max_delta;
@@ -214,18 +284,133 @@ SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
       break;
     }
   }
-  stats.residual = max_kcl_residual();
-  if (metrics_.solves != nullptr) {
-    metrics_.solves->add();
-    metrics_.sweeps->add(static_cast<std::uint64_t>(stats.iterations));
-    if (stats.converged) metrics_.converged->add();
-    metrics_.residual_a->set(stats.residual);
-    metrics_.max_delta_v->set(stats.max_delta_v);
-  }
+  stats.fine_sweep_equivalents = stats.iterations;
+  stats.residual = max_kcl_residual(v, sink);
   return stats;
 }
 
-double ResistiveGrid::total_supply_current() const {
+SolveStats ResistiveGrid::solve_multigrid_on(std::span<double> v,
+                                             std::span<const double> sink,
+                                             const SolverConfig& config) {
+  WSP_TRACE_SPAN("pdn.mg.solve");
+  require(config.tol > 0.0, "multigrid tol must be positive");
+  MultigridHierarchy::Workspace ws = hierarchy_->make_workspace();
+  SolveStats stats;
+  double bootstrap_equivalents = 0.0;
+  if (config.fmg) {
+    // The bootstrap counts as the first iteration: it can converge solves
+    // with a warm seed outright (its correction is tol-comparable).
+    const double max_delta =
+        hierarchy_->fmg_bootstrap(ws, v.data(), sink.data(), config);
+    stats.iterations = 1;
+    stats.max_delta_v = max_delta;
+    stats.converged = max_delta < config.tol;
+    bootstrap_equivalents = hierarchy_->fmg_sweep_equivalents(config);
+  }
+  if (!stats.converged) {
+    double prev_delta = 0.0;
+    for (int it = stats.iterations; it < config.cycles; ++it) {
+      const double max_delta = hierarchy_->v_cycle(ws, v.data(), sink.data(),
+                                                   config);
+      stats.iterations = it + 1;
+      stats.max_delta_v = max_delta;
+      if (max_delta < config.tol) {
+        stats.converged = true;
+        break;
+      }
+      // For a linearly converging iteration the remaining error after an
+      // update of size d is bounded by d * rho / (1 - rho).  A V-cycle
+      // contracts at a grid-size-independent rho ~ 0.05, so once two
+      // consecutive cycles establish the rate, the solve can stop as soon
+      // as the *error* estimate clears tol instead of burning one more
+      // cycle pushing the update itself below it.  The clamp keeps the
+      // estimate meaningful (and positive) while the rate is still
+      // settling or the iteration is not contracting.
+      if (prev_delta > 0.0 && max_delta < prev_delta) {
+        const double rho = std::min(max_delta / prev_delta, 0.5);
+        if (max_delta * rho / (1.0 - rho) < config.tol) {
+          stats.converged = true;
+          break;
+        }
+      }
+      prev_delta = max_delta;
+    }
+  }
+  stats.fine_sweep_equivalents =
+      bootstrap_equivalents +
+      (stats.iterations - (config.fmg ? 1 : 0)) *
+          hierarchy_->sweep_equivalents_per_cycle(config);
+  stats.residual = max_kcl_residual(v, sink);
+  return stats;
+}
+
+SolveStats ResistiveGrid::solve(double tol, int max_iterations, double omega) {
+  if (!stencil_valid_) rebuild_stencil();
+  const SolveStats stats = solve_sor_on(v_, sink_, tol, max_iterations, omega);
+  record_solve(stats);
+  return stats;
+}
+
+SolveStats ResistiveGrid::solve(const SolverConfig& config) {
+  prepare_solvers(config);
+  const SolveStats stats =
+      config.method == SolverMethod::Multigrid
+          ? solve_multigrid_on(v_, sink_, config)
+          : solve_sor_on(v_, sink_, config.tol, config.max_iterations,
+                         config.omega);
+  record_solve(stats);
+  return stats;
+}
+
+void ResistiveGrid::solve_batch(std::span<const RhsView> rhs,
+                                std::span<SolveStats> stats,
+                                const SolverConfig& config) {
+  WSP_TRACE_SPAN("pdn.solve_batch");
+  require(stats.size() == rhs.size(),
+          "solve_batch needs one SolveStats per RhsView");
+  const std::size_t nodes = node_count();
+  for (const RhsView& r : rhs) {
+    require(r.sink.size() == nodes && r.v.size() == nodes,
+            "RhsView spans must cover every grid node");
+  }
+  prepare_solvers(config);
+
+  // Reset the Dirichlet entries of every seed from the grid's fixed values
+  // up front — the solvers assume they hold and never write them.
+  for (const RhsView& r : rhs) {
+    for (std::size_t i = 0; i < nodes; ++i)
+      if (dirichlet_[i]) r.v[i] = v_[i];
+  }
+
+  // One task per right-hand side (grain 1).  Inside a pool worker, the
+  // nested sweeps and reductions execute inline with the same chunk
+  // boundaries as a 1-thread run, so each RHS's result is bit-identical to
+  // a sequential solve(config) — regardless of thread count or how the
+  // batch is distributed.
+  exec::parallel_for(
+      rhs.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t k = b; k < e; ++k) {
+          stats[k] = config.method == SolverMethod::Multigrid
+                         ? solve_multigrid_on(rhs[k].v, rhs[k].sink, config)
+                         : solve_sor_on(rhs[k].v, rhs[k].sink, config.tol,
+                                        config.max_iterations, config.omega);
+        }
+      },
+      1);
+
+  // Metrics aggregate serially after the fan-out (counters are atomic, but
+  // serial recording keeps gauge "last solve" semantics deterministic).
+  for (const SolveStats& s : stats) record_solve(s);
+}
+
+void ResistiveGrid::reset_voltages(double volts) {
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    if (!dirichlet_[i]) v_[i] = volts;
+}
+
+double ResistiveGrid::total_supply_current(std::span<const double> v,
+                                           std::span<const double> sink) const {
   // Current flowing out of every Dirichlet node into the grid.
   double total = 0.0;
   for (int y = 0; y < height_; ++y) {
@@ -234,33 +419,33 @@ double ResistiveGrid::total_supply_current() const {
       if (!dirichlet_[i]) continue;
       double out = 0.0;
       if (x > 0)
-        out += g_east_[east_index(x - 1, y)] * (v_[i] - v_[i - 1]);
+        out += g_east_[east_index(x - 1, y)] * (v[i] - v[i - 1]);
       if (x < width_ - 1)
-        out += g_east_[east_index(x, y)] * (v_[i] - v_[i + 1]);
+        out += g_east_[east_index(x, y)] * (v[i] - v[i + 1]);
       if (y > 0)
         out += g_north_[north_index(x, y - 1)] *
-               (v_[i] - v_[i - static_cast<std::size_t>(width_)]);
+               (v[i] - v[i - static_cast<std::size_t>(width_)]);
       if (y < height_ - 1)
         out += g_north_[north_index(x, y)] *
-               (v_[i] - v_[i + static_cast<std::size_t>(width_)]);
+               (v[i] - v[i + static_cast<std::size_t>(width_)]);
       // Subtract any sink placed directly on the Dirichlet node.
-      total += out + sink_[i];
+      total += out + sink[i];
     }
   }
   return total;
 }
 
-double ResistiveGrid::dissipated_power() const {
+double ResistiveGrid::dissipated_power(std::span<const double> v) const {
   double p = 0.0;
   for (int y = 0; y < height_; ++y) {
     for (int x = 0; x < width_ - 1; ++x) {
-      const double dv = v_[index(x, y)] - v_[index(x + 1, y)];
+      const double dv = v[index(x, y)] - v[index(x + 1, y)];
       p += g_east_[east_index(x, y)] * dv * dv;
     }
   }
   for (int y = 0; y < height_ - 1; ++y) {
     for (int x = 0; x < width_; ++x) {
-      const double dv = v_[index(x, y)] - v_[index(x, y + 1)];
+      const double dv = v[index(x, y)] - v[index(x, y + 1)];
       p += g_north_[north_index(x, y)] * dv * dv;
     }
   }
@@ -297,7 +482,8 @@ void ResistiveGrid::load_state(ckpt::Reader& r) {
   for (double& v : shunt_v_) v = r.f64();
   for (char& d : dirichlet_) d = r.b() ? 1 : 0;
   for (double& v : v_) v = r.f64();
-  stencil_valid_ = false;  // conductances may have changed; rebuild lazily
+  // Conductances/Dirichlet set may have changed; rebuild both caches lazily.
+  invalidate_topology();
 }
 
 }  // namespace wsp::pdn

@@ -8,18 +8,26 @@
 // 1.4 V at the center of the wafer at peak draw.
 //
 // This class solves the nodal equations of a rectangular resistor grid with
-// Dirichlet (fixed-voltage) nodes and nodal current sinks, using red-black
-// (checkerboard-ordered) successive over-relaxation.  Nodes of one color
-// only ever read the other color's values within a half-sweep, so the two
-// half-sweeps parallelise over the wsp::exec pool while staying bit-identical
-// for every thread count.  The loop-invariant per-node work (neighbour
-// indices, conductance sums) is hoisted into a stencil built once per
-// topology change.  It is deliberately self-contained so it can also model
-// other planes (e.g. the thermal heat-spreader model).
+// Dirichlet (fixed-voltage) nodes and nodal current sinks.  Two solvers are
+// available behind SolverConfig: red-black (checkerboard-ordered)
+// successive over-relaxation, and a geometric multigrid V-cycle (see
+// multigrid.hpp) that uses the same red-black sweep as its smoother at
+// every level.  Nodes of one color only ever read the other color's values
+// within a half-sweep, so the two half-sweeps parallelise over the
+// wsp::exec pool while staying bit-identical for every thread count.  The
+// loop-invariant per-node work (neighbour indices, conductance sums) is
+// hoisted into a stencil built once per topology change, and the multigrid
+// hierarchy is cached under the same invalidation rule — sink updates
+// never touch either, which is what makes solve_batch() able to amortize
+// one setup across many right-hand sides.  It is deliberately
+// self-contained so it can also model other planes (e.g. the thermal
+// heat-spreader model).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,16 +40,74 @@ class Reader;
 
 namespace wsp::pdn {
 
+class MultigridHierarchy;
+
 /// Result of a grid solve.
 struct SolveStats {
-  int iterations = 0;     ///< SOR sweeps executed
+  int iterations = 0;     ///< SOR sweeps, or multigrid V-cycles, executed
   /// Max |Kirchhoff current-law residual| over non-Dirichlet nodes at exit,
   /// amperes: how much current each nodal balance fails to conserve.
   double residual = 0.0;
-  /// Max relaxed voltage update at the final sweep, volts — the quantity
-  /// `tol` is compared against.
+  /// Max relaxed voltage update at the final sweep (SOR) or over the final
+  /// V-cycle (multigrid), volts — the quantity `tol` is compared against.
   double max_delta_v = 0.0;
   bool converged = false;
+  /// Total smoothing/relaxation work in units of one full fine-grid sweep
+  /// (red + black): equals `iterations` for SOR; for multigrid it folds
+  /// every level's sweeps, residual and transfer passes in, weighted by
+  /// level size.  The cross-method cost currency.
+  double fine_sweep_equivalents = 0.0;
+};
+
+/// Which algorithm ResistiveGrid::solve(const SolverConfig&) runs.
+enum class SolverMethod {
+  Sor,        ///< red-black SOR with Chebyshev-optimal omega
+  Multigrid,  ///< geometric V-cycles with red-black smoothing
+};
+
+/// Solver selection and tuning, plumbed from WaferPdnOptions /
+/// ThermalOptions down to the grid.  Defaults reproduce the historical
+/// `solve(tol, max_iterations, omega)` behaviour exactly.
+struct SolverConfig {
+  SolverMethod method = SolverMethod::Sor;
+  /// Convergence threshold on the max per-node update, volts.
+  double tol = 1e-7;
+  /// SOR only: sweep cap.
+  int max_iterations = 200000;
+  /// SOR only: over-relaxation factor; <= 0 selects chebyshev_omega().
+  double omega = 0.0;
+  /// Multigrid only: V-cycle cap.  Convergence is grid-size-independent,
+  /// so a converged solve takes ~6-10 cycles regardless of resolution.
+  int cycles = 60;
+  /// Multigrid only: red-black smoothing sweeps before/after coarse-grid
+  /// correction at every level.  V(1,1) with a mild over-relaxation
+  /// measured fastest to converge across 16x16-128x128 wafer planes (the
+  /// per-cycle contraction is ~0.04, so extra sweeps per cycle buy less
+  /// than they cost).
+  int pre_smooth = 1;
+  int post_smooth = 1;
+  /// Multigrid only: smoothing over-relaxation.  Unlike the standalone SOR
+  /// omega this stays near 1 — the smoother's job is killing high-frequency
+  /// error, not propagating information across the grid.
+  double smooth_omega = 1.10;
+  /// Multigrid only: start with a full-multigrid bootstrap — restrict the
+  /// seed's residual to the coarsest level, solve there, and interpolate
+  /// back up with one V-cycle per level.  Costs a fraction of a V-cycle
+  /// and typically saves 2-3 of them; a warm seed just shrinks the
+  /// bootstrap correction, so warm-start batches still benefit.
+  bool fmg = true;
+  /// Multigrid only: stop coarsening once a level has at most this many
+  /// nodes and solve it with a dense Cholesky factorization instead.
+  int coarsest_nodes = 64;
+};
+
+/// One right-hand side of a batched solve: a per-node sink vector and the
+/// caller-owned voltage buffer it solves into (seeded with the initial
+/// guess; Dirichlet entries are overwritten from the grid's fixed values).
+/// Both spans must cover node_count() entries.
+struct RhsView {
+  std::span<const double> sink;  ///< amperes out of each node
+  std::span<double> v;           ///< in: seed, out: solution
 };
 
 /// Rectangular grid of nodes connected by resistors to their 4-neighbours.
@@ -52,6 +118,11 @@ struct SolveStats {
 class ResistiveGrid {
  public:
   ResistiveGrid(int width, int height);
+  // Out-of-line so the cached MultigridHierarchy can stay an incomplete
+  // type here; moves transfer the caches, copies are disabled.
+  ~ResistiveGrid();
+  ResistiveGrid(ResistiveGrid&&) noexcept;
+  ResistiveGrid& operator=(ResistiveGrid&&) noexcept;
 
   int width() const { return width_; }
   int height() const { return height_; }
@@ -81,6 +152,14 @@ class ResistiveGrid {
   void set_current_sink(int x, int y, double amperes);
   double current_sink(int x, int y) const { return sink_[index(x, y)]; }
 
+  /// Replaces the whole sink vector in one call (node_count() entries,
+  /// amperes out of each node, indexed by index()).  Like
+  /// set_current_sink, this touches only the right-hand side: the hoisted
+  /// stencil and any cached multigrid hierarchy survive, so per-solve load
+  /// updates (power maps, DSE sweep points) stay amortized.
+  void set_current_sinks(const std::vector<double>& amperes);
+  const std::vector<double>& current_sinks() const { return sink_; }
+
   /// Connects node (x,y) to a fixed reference `v_ref` through `siemens`
   /// (a shunt).  Electrically: a load to ground; thermally (the solver
   /// doubles as a heat-spreader model): the vertical path to the cold
@@ -100,6 +179,25 @@ class ResistiveGrid {
   SolveStats solve(double tol = 1e-7, int max_iterations = 200000,
                    double omega = 0.0);
 
+  /// Solves with the configured method.  SolverMethod::Multigrid builds
+  /// (and caches) a MultigridHierarchy from the current topology; the
+  /// cache is invalidated by conductance/Dirichlet/shunt changes but
+  /// survives sink updates, so repeated solves against one topology pay
+  /// the setup cost once.  Bit-identical for every thread count.
+  SolveStats solve(const SolverConfig& config);
+
+  /// Solves many independent right-hand sides against this one topology,
+  /// fanning them across the exec pool (one hierarchy/stencil amortized
+  /// over the whole batch).  Each rhs[i].v is seeded by the caller (its
+  /// Dirichlet entries are reset from the grid's fixed values first) and
+  /// holds that solve's solution on return; stats[i] reports it.  The
+  /// grid's own solution vector and sinks are untouched.  Results are
+  /// bit-identical for every thread count and equal to solving each RHS
+  /// sequentially with solve(config) from the same seed.
+  /// Requires stats.size() == rhs.size().
+  void solve_batch(std::span<const RhsView> rhs, std::span<SolveStats> stats,
+                   const SolverConfig& config = {});
+
   /// Binds solver metrics into `registry` under `prefix`: counters
   /// <prefix>solves / <prefix>sweeps / <prefix>converged and gauges
   /// <prefix>residual_a / <prefix>max_delta_v, updated at the end of every
@@ -111,12 +209,26 @@ class ResistiveGrid {
   double voltage(int x, int y) const { return v_[index(x, y)]; }
   const std::vector<double>& voltages() const { return v_; }
 
+  /// Resets every non-Dirichlet node to `volts` (Dirichlet nodes keep their
+  /// fixed values).  Gives a freshly-constructed-grid seed without paying
+  /// for a rebuild: the stencil, hierarchy and sinks all survive.  Callers
+  /// that want history-independent solves against a cached grid (WaferPdn,
+  /// WaferThermal) call this before each solve.
+  void reset_voltages(double volts = 0.0);
+
   /// Total current delivered through all Dirichlet nodes (should equal the
-  /// sum of sinks at convergence — used as a solver sanity check).
-  double total_supply_current() const;
+  /// sum of sinks at convergence — used as a solver sanity check).  The
+  /// span overload evaluates an external solution/sink pair (a solve_batch
+  /// result) against this grid's topology.
+  double total_supply_current() const {
+    return total_supply_current(v_, sink_);
+  }
+  double total_supply_current(std::span<const double> v,
+                              std::span<const double> sink) const;
 
   /// Resistive power dissipated in the grid edges, watts.
-  double dissipated_power() const;
+  double dissipated_power() const { return dissipated_power(v_); }
+  double dissipated_power(std::span<const double> v) const;
 
   /// Checkpoint hooks (wsp::ckpt): conductances, sinks, shunts, Dirichlet
   /// constraints and the solution vector round-trip (the last solution
@@ -126,11 +238,13 @@ class ResistiveGrid {
   void save_state(ckpt::Writer& w) const;
   void load_state(ckpt::Reader& r);
 
- private:
   // Loop-invariant per-node solve data, hoisted out of the sweep: flattened
   // neighbour indices and conductances (absent neighbours alias the node
   // itself with zero conductance), the shunt injection, and the inverse
   // diagonal.  Split by checkerboard color; rebuilt on topology change.
+  // Public so MultigridHierarchy levels share the exact sweep kernel (the
+  // determinism argument holds once, for every level).
+ public:
   struct StencilNode {
     std::uint32_t node;
     std::uint32_t nbr[4];  // W, E, S, N neighbour indices
@@ -140,6 +254,25 @@ class ResistiveGrid {
     double inv_gsum;
   };
 
+  /// One red-black half-sweep of SOR over `nodes`, updating `v` in place
+  /// against `sink`; returns the max |relaxed update|.  Runs on the shared
+  /// exec pool (bit-identical at any thread count; inline when nested
+  /// inside a pool worker, which is how solve_batch keeps per-RHS tasks
+  /// independent).  Shared by the standalone SOR solver and every
+  /// multigrid level's smoother.
+  static double sweep_color(const std::vector<StencilNode>& nodes,
+                            double omega, double* v, const double* sink);
+
+  /// sweep_color plus a free residual: when this runs as the *second*
+  /// color of a sweep, every neighbour is final, so each node's KCL
+  /// residual is a by-product of the update already in registers and gets
+  /// stored to `r`.  The multigrid cycle uses it to skip half of every
+  /// explicit residual pass.
+  static double sweep_color_residual(const std::vector<StencilNode>& nodes,
+                                     double omega, double* v,
+                                     const double* sink, double* r);
+
+ private:
   int width_;
   int height_;
   std::vector<double> g_east_;   // (width-1) x height edges
@@ -151,6 +284,10 @@ class ResistiveGrid {
   std::vector<double> v_;
   std::vector<StencilNode> stencil_[2];  // [0] = red (x+y even), [1] = black
   bool stencil_valid_ = false;
+  // Cached multigrid hierarchy: built on first Multigrid solve, reused
+  // until the topology changes (same invalidation sites as the stencil;
+  // sink updates preserve it).
+  std::unique_ptr<MultigridHierarchy> hierarchy_;
 
   // Registry-backed solver metrics (all null while unbound).
   struct Metrics {
@@ -162,8 +299,22 @@ class ResistiveGrid {
   } metrics_;
 
   void rebuild_stencil();
-  double sweep_color(const std::vector<StencilNode>& nodes, double omega);
-  double max_kcl_residual() const;
+  // Out-of-line: resets hierarchy_, which is incomplete here.
+  void invalidate_topology();
+  /// Stencil + hierarchy brought up to date for the current topology
+  /// (hierarchy only when `config` asks for Multigrid).
+  void prepare_solvers(const SolverConfig& config);
+  SolveStats solve_sor_on(std::span<double> v, std::span<const double> sink,
+                          double tol, int max_iterations, double omega);
+  SolveStats solve_multigrid_on(std::span<double> v,
+                                std::span<const double> sink,
+                                const SolverConfig& config);
+  void record_solve(const SolveStats& stats);
+  double max_kcl_residual() const { return max_kcl_residual(v_, sink_); }
+  double max_kcl_residual(std::span<const double> v,
+                          std::span<const double> sink) const;
+
+  friend class MultigridHierarchy;
 
   std::size_t east_index(int x, int y) const {
     return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_ - 1) +

@@ -4,11 +4,13 @@
 
 namespace wsp::pdn {
 
-StrategyReport evaluate_ldo_strategy(const SystemConfig& config,
-                                     const WaferPdnOptions& options) {
-  WaferPdn pdn(config, options);
-  const PdnReport r = pdn.solve_uniform(1.0);
+namespace {
 
+// Both plane-based schemes are scored off the same peak-draw plane
+// solution, so compare_strategies() runs one solve (one cached
+// stencil/hierarchy) and derives both reports from it.
+StrategyReport ldo_report_from(const SystemConfig& config,
+                               const PdnReport& r) {
   StrategyReport s;
   s.edge_voltage_v = config.edge_supply_voltage_v;
   s.plane_current_a = r.total_supply_current_a;
@@ -22,9 +24,9 @@ StrategyReport evaluate_ldo_strategy(const SystemConfig& config,
   return s;
 }
 
-StrategyReport evaluate_buck_strategy(const SystemConfig& config,
-                                      const BuckParams& buck,
-                                      const WaferPdnOptions& options) {
+StrategyReport buck_report_from(const SystemConfig& config,
+                                const BuckParams& buck,
+                                const PdnReport& ldo_solution) {
   // Same planes, same per-tile logic power, but delivered at the buck input
   // voltage: plane current scales down by (V_buck / V_ff) relative to the
   // LDO scheme, and plane loss by that ratio squared (I^2 R).
@@ -37,8 +39,6 @@ StrategyReport evaluate_buck_strategy(const SystemConfig& config,
   // Plane loss: reuse the LDO-scheme solve to get the plane resistance
   // behaviour, then scale by the current ratio squared.  (The droop in the
   // buck scheme is tiny, so the linear scaling is accurate.)
-  WaferPdn pdn(config, options);
-  const PdnReport ldo_solution = pdn.solve_uniform(1.0);
   const double current_ratio =
       plane_current / std::max(ldo_solution.total_supply_current_a, 1e-12);
   const double plane_loss =
@@ -58,6 +58,21 @@ StrategyReport evaluate_buck_strategy(const SystemConfig& config,
       config.edge_supply_voltage_v - ldo_solution.min_supply_v;
   s.min_tile_supply_v = buck.input_voltage_v - ldo_droop * current_ratio;
   return s;
+}
+
+}  // namespace
+
+StrategyReport evaluate_ldo_strategy(const SystemConfig& config,
+                                     const WaferPdnOptions& options) {
+  WaferPdn pdn(config, options);
+  return ldo_report_from(config, pdn.solve_uniform(1.0));
+}
+
+StrategyReport evaluate_buck_strategy(const SystemConfig& config,
+                                      const BuckParams& buck,
+                                      const WaferPdnOptions& options) {
+  WaferPdn pdn(config, options);
+  return buck_report_from(config, buck, pdn.solve_uniform(1.0));
 }
 
 StrategyReport evaluate_twv_strategy(const SystemConfig& config,
@@ -94,8 +109,11 @@ StrategyComparison compare_strategies(const SystemConfig& config,
                                       const BuckParams& buck,
                                       const WaferPdnOptions& options) {
   StrategyComparison cmp;
-  cmp.ldo = evaluate_ldo_strategy(config, options);
-  cmp.buck = evaluate_buck_strategy(config, buck, options);
+  // One peak-draw solve serves both plane-based schemes.
+  WaferPdn pdn(config, options);
+  const PdnReport peak = pdn.solve_uniform(1.0);
+  cmp.ldo = ldo_report_from(config, peak);
+  cmp.buck = buck_report_from(config, buck, peak);
   cmp.twv = evaluate_twv_strategy(config);
   cmp.plane_current_ratio =
       cmp.ldo.plane_current_a / std::max(cmp.buck.plane_current_a, 1e-12);

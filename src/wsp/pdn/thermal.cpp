@@ -15,19 +15,17 @@ constexpr std::size_t kTileGrain = 64;
 
 WaferThermal::WaferThermal(const SystemConfig& config,
                            const ThermalOptions& options)
-    : config_(config), options_(options) {
+    : config_(config), options_(options), grid_(2, 2) {
   config_.validate();
   require(options.nodes_per_tile >= 1, "nodes_per_tile must be >= 1");
   require(options.silicon_conductivity_w_mk > 0.0 &&
               options.wafer_thickness_m > 0.0 && options.cooling_w_m2k > 0.0,
           "thermal parameters must be positive");
+  grid_ = build_grid();
+  sink_scratch_.assign(grid_.node_count(), 0.0);
 }
 
-ThermalReport WaferThermal::solve(const std::vector<double>& tile_power_w) {
-  const TileGrid tiles = config_.grid();
-  require(tile_power_w.size() == tiles.tile_count(),
-          "tile power vector size mismatch");
-
+ResistiveGrid WaferThermal::build_grid() const {
   const int k = options_.nodes_per_tile;
   const int nx = config_.array_width * k;
   const int ny = config_.array_height * k;
@@ -45,10 +43,21 @@ ThermalReport WaferThermal::solve(const std::vector<double>& tile_power_w) {
   for (int y = 0; y < ny; ++y)
     for (int x = 0; x < nx; ++x)
       grid.set_shunt(x, y, g_vert, options_.ambient_c);
+  return grid;
+}
 
-  // Heat injection: negative current sinks.  Each tile writes only its own
-  // k x k node block, so the loop parallelises over the exec pool.
+ThermalReport WaferThermal::solve(const std::vector<double>& tile_power_w) {
+  const TileGrid tiles = config_.grid();
+  require(tile_power_w.size() == tiles.tile_count(),
+          "tile power vector size mismatch");
+
+  const int k = options_.nodes_per_tile;
+
+  // Heat injection: negative current sinks, staged into one bulk setter.
+  // Each tile writes only its own k x k node block, so the loop
+  // parallelises over the exec pool.
   const double nodes_per_tile = static_cast<double>(k) * k;
+  std::fill(sink_scratch_.begin(), sink_scratch_.end(), 0.0);
   exec::parallel_for(
       tiles.tile_count(),
       [&](std::size_t b, std::size_t e) {
@@ -57,12 +66,16 @@ ThermalReport WaferThermal::solve(const std::vector<double>& tile_power_w) {
           const double per_node = tile_power_w[i] / nodes_per_tile;
           for (int sy = 0; sy < k; ++sy)
             for (int sx = 0; sx < k; ++sx)
-              grid.set_current_sink(c.x * k + sx, c.y * k + sy, -per_node);
+              sink_scratch_[grid_.index(c.x * k + sx, c.y * k + sy)] =
+                  -per_node;
         }
       },
       kTileGrain);
+  grid_.set_current_sinks(sink_scratch_);
 
-  const SolveStats stats = grid.solve(1e-8);
+  // Cold-start seed each solve: results must not depend on solve history.
+  grid_.reset_voltages(0.0);
+  const SolveStats stats = grid_.solve(options_.solver);
 
   ThermalReport report;
   report.solver_converged = stats.converged;
@@ -85,7 +98,7 @@ ThermalReport WaferThermal::solve(const std::vector<double>& tile_power_w) {
           double t = 0.0;
           for (int sy = 0; sy < k; ++sy)
             for (int sx = 0; sx < k; ++sx)
-              t += grid.voltage(c.x * k + sx, c.y * k + sy);
+              t += grid_.voltage(c.x * k + sx, c.y * k + sy);
           t /= nodes_per_tile;
           report.tile_temperature_c[i] = t;
           p.max_c = std::max(p.max_c, t);

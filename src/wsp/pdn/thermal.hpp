@@ -32,6 +32,10 @@ struct ThermalOptions {
   double cooling_w_m2k = 2000.0;
   double ambient_c = 25.0;
   double junction_limit_c = 105.0;
+  /// Nodal-solver selection for the duality solve.  The default keeps the
+  /// historical SOR behaviour at the tighter thermal tolerance; Multigrid
+  /// pays off on finely-discretised wafers exactly as it does for the PDN.
+  SolverConfig solver{.tol = 1e-8};
 };
 
 struct ThermalReport {
@@ -58,6 +62,12 @@ class WaferThermal {
  private:
   SystemConfig config_;
   ThermalOptions options_;
+  // Cached duality grid: topology (slab conductances, cold-plate shunts)
+  // is fixed per WaferThermal, so stencil/hierarchy setup is paid once.
+  ResistiveGrid grid_;
+  std::vector<double> sink_scratch_;
+
+  ResistiveGrid build_grid() const;
 };
 
 /// Per-tile *heat* from a PDN solve: every watt entering a tile (logic

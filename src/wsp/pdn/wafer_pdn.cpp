@@ -19,7 +19,7 @@ constexpr std::size_t kTileGrain = 64;
 }  // namespace
 
 WaferPdn::WaferPdn(const SystemConfig& config, const WaferPdnOptions& options)
-    : config_(config), options_(options), ldo_(options.ldo) {
+    : config_(config), options_(options), ldo_(options.ldo), grid_(2, 2) {
   config_.validate();
   require(options.nodes_per_tile >= 1, "nodes_per_tile must be >= 1");
   require(options.plane_slotting_factor >= 1.0,
@@ -27,6 +27,8 @@ WaferPdn::WaferPdn(const SystemConfig& config, const WaferPdnOptions& options)
   require(options.powered_edges[0] || options.powered_edges[1] ||
               options.powered_edges[2] || options.powered_edges[3],
           "at least one wafer edge must be powered");
+  grid_ = build_grid();
+  sink_scratch_.assign(grid_.node_count(), 0.0);
 }
 
 double WaferPdn::loop_sheet_resistance() const {
@@ -72,45 +74,58 @@ PdnReport WaferPdn::solve_uniform(double activity) {
   return solve(power);
 }
 
+std::vector<double> WaferPdn::tile_currents(
+    const std::vector<double>& tile_power_w) const {
+  std::vector<double> tile_current(tile_power_w.size());
+  for (std::size_t i = 0; i < tile_power_w.size(); ++i)
+    tile_current[i] = tile_power_w[i] / config_.ff_corner_voltage_v +
+                      (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
+  return tile_current;
+}
+
+void WaferPdn::scatter_sinks(const std::vector<double>& tile_current,
+                             std::vector<double>& node_sink) const {
+  const TileGrid tiles = config_.grid();
+  const int k = options_.nodes_per_tile;
+  const double nodes_per_tile = static_cast<double>(k) * k;
+  node_sink.assign(grid_.node_count(), 0.0);
+  // Per-tile loops are independent (each tile writes only its own k x k
+  // block of solver nodes), so they go on the exec pool.  kTileGrain keeps
+  // campaign-sized wafers (tens of tiles) on the serial inline path.
+  exec::parallel_for(
+      tiles.tile_count(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const TileCoord c = tiles.coord_of(i);
+          const double per_node = tile_current[i] / nodes_per_tile;
+          for (int sy = 0; sy < k; ++sy)
+            for (int sx = 0; sx < k; ++sx)
+              node_sink[grid_.index(c.x * k + sx, c.y * k + sy)] = per_node;
+        }
+      },
+      kTileGrain);
+}
+
 PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
   WSP_TRACE_SPAN("pdn.wafer.solve");
   const TileGrid tiles = config_.grid();
   require(tile_power_w.size() == tiles.tile_count(),
           "tile power vector size mismatch");
 
-  ResistiveGrid grid = build_grid();
-  if (metrics_ != nullptr) grid.bind_metrics(metrics_);
   const int k = options_.nodes_per_tile;
-  const double nodes_per_tile = static_cast<double>(k) * k;
+
+  // Cold-start seed: the grid is cached across solves for its stencil and
+  // multigrid hierarchy, but the numerics must not depend on solve history.
+  grid_.reset_voltages(0.0);
 
   // Initial tile currents.  In ConstantCurrent mode the LDO passes through
   // I = P / V_ff regardless of the plane voltage, so one linear solve
   // suffices.  In ConstantPower mode we iterate I = P / V_node.
-  std::vector<double> tile_current(tile_power_w.size());
-  for (std::size_t i = 0; i < tile_power_w.size(); ++i)
-    tile_current[i] = tile_power_w[i] / config_.ff_corner_voltage_v +
-                      (tile_power_w[i] > 0.0 ? options_.ldo.quiescent_a : 0.0);
+  std::vector<double> tile_current = tile_currents(tile_power_w);
 
-  // Per-tile loops are independent (each tile writes only its own k x k
-  // block of solver nodes), so they go on the exec pool.  kTileGrain keeps
-  // campaign-sized wafers (tens of tiles) on the serial inline path.
-  auto apply_sinks = [&] {
-    exec::parallel_for(
-        tiles.tile_count(),
-        [&](std::size_t b, std::size_t e) {
-          for (std::size_t i = b; i < e; ++i) {
-            const TileCoord c = tiles.coord_of(i);
-            const double per_node = tile_current[i] / nodes_per_tile;
-            for (int sy = 0; sy < k; ++sy)
-              for (int sx = 0; sx < k; ++sx)
-                grid.set_current_sink(c.x * k + sx, c.y * k + sy, per_node);
-          }
-        },
-        kTileGrain);
-  };
-
-  apply_sinks();
-  SolveStats stats = grid.solve();
+  scatter_sinks(tile_current, sink_scratch_);
+  grid_.set_current_sinks(sink_scratch_);
+  SolveStats stats = grid_.solve(options_.solver);
   bool converged = stats.converged;
 
   if (options_.load_model == LoadModel::ConstantPower) {
@@ -121,7 +136,7 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
           [&](std::size_t b, std::size_t e) {
             for (std::size_t i = b; i < e; ++i) {
               const TileCoord c = tiles.coord_of(i);
-              prev_v[i] = grid.voltage(c.x * k, c.y * k);
+              prev_v[i] = grid_.voltage(c.x * k, c.y * k);
               const double v = std::max(prev_v[i], 0.5);  // guard /small
               tile_current[i] =
                   tile_power_w[i] / v +
@@ -129,8 +144,9 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
             }
           },
           kTileGrain);
-      apply_sinks();
-      stats = grid.solve();
+      scatter_sinks(tile_current, sink_scratch_);
+      grid_.set_current_sinks(sink_scratch_);
+      stats = grid_.solve(options_.solver);
       converged = stats.converged;
       const double max_dv = exec::parallel_reduce<double>(
           tiles.tile_count(), 0.0,
@@ -139,7 +155,8 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
             for (std::size_t i = b; i < e; ++i) {
               const TileCoord c = tiles.coord_of(i);
               local = std::max(
-                  local, std::abs(grid.voltage(c.x * k, c.y * k) - prev_v[i]));
+                  local,
+                  std::abs(grid_.voltage(c.x * k, c.y * k) - prev_v[i]));
             }
             return local;
           },
@@ -148,10 +165,47 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
     }
   }
 
-  return extract_report(grid, tile_power_w, converged);
+  return extract_report(grid_.voltages(), grid_.current_sinks(), tile_power_w,
+                        converged);
 }
 
-PdnReport WaferPdn::extract_report(ResistiveGrid& grid,
+std::vector<PdnReport> WaferPdn::solve_batch(
+    const std::vector<std::vector<double>>& tile_power_maps) {
+  WSP_TRACE_SPAN("pdn.wafer.solve_batch");
+  require(options_.load_model == LoadModel::ConstantCurrent,
+          "solve_batch requires ConstantCurrent loads (constant-power "
+          "iteration couples sinks to its own solution)");
+  const TileGrid tiles = config_.grid();
+  const std::size_t n = tile_power_maps.size();
+  const std::size_t nodes = grid_.node_count();
+
+  // Stage every right-hand side: per-map node sinks plus a cold-start
+  // voltage buffer (solve_batch itself re-seeds the Dirichlet entries).
+  std::vector<std::vector<double>> sinks(n);
+  std::vector<double> v(n * nodes, 0.0);
+  std::vector<RhsView> rhs(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    require(tile_power_maps[m].size() == tiles.tile_count(),
+            "tile power vector size mismatch");
+    scatter_sinks(tile_currents(tile_power_maps[m]), sinks[m]);
+    rhs[m] = RhsView{sinks[m],
+                     std::span<double>(v.data() + m * nodes, nodes)};
+  }
+
+  std::vector<SolveStats> stats(n);
+  grid_.solve_batch(rhs, stats, options_.solver);
+
+  std::vector<PdnReport> reports;
+  reports.reserve(n);
+  for (std::size_t m = 0; m < n; ++m)
+    reports.push_back(extract_report(rhs[m].v, rhs[m].sink,
+                                     tile_power_maps[m],
+                                     stats[m].converged));
+  return reports;
+}
+
+PdnReport WaferPdn::extract_report(std::span<const double> node_v,
+                                   std::span<const double> node_sink,
                                    const std::vector<double>& tile_power_w,
                                    bool converged) const {
   const TileGrid tiles = config_.grid();
@@ -181,7 +235,7 @@ PdnReport WaferPdn::extract_report(ResistiveGrid& grid,
           double v = 0.0;
           for (int sy = 0; sy < k; ++sy)
             for (int sx = 0; sx < k; ++sx)
-              v += grid.voltage(c.x * k + sx, c.y * k + sy);
+              v += node_v[grid_.index(c.x * k + sx, c.y * k + sy)];
           v /= static_cast<double>(k) * k;
 
           TilePower& tp = report.tiles[i];
@@ -216,8 +270,9 @@ PdnReport WaferPdn::extract_report(ResistiveGrid& grid,
   report.delivered_power_w = agg.delivered_power_w;
   report.tiles_out_of_regulation = agg.out_of_regulation;
 
-  report.total_supply_current_a = grid.total_supply_current();
-  report.plane_loss_w = grid.dissipated_power();
+  report.total_supply_current_a =
+      grid_.total_supply_current(node_v, node_sink);
+  report.plane_loss_w = grid_.dissipated_power(node_v);
   report.total_input_power_w =
       report.total_supply_current_a * config_.edge_supply_voltage_v;
   report.efficiency = report.total_input_power_w > 0.0

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "wsp/common/config.hpp"
@@ -42,6 +43,10 @@ struct WaferPdnOptions {
   std::array<bool, 4> powered_edges{true, true, true, true};
   LoadModel load_model = LoadModel::ConstantCurrent;
   LdoParams ldo{};
+  /// Plane-solver selection and tuning (SOR vs multigrid).  The grid
+  /// topology is fixed per WaferPdn, so the multigrid hierarchy is built
+  /// once and amortized over every solve / batch / brownout re-solve.
+  SolverConfig solver{};
 };
 
 /// Per-tile result of a PDN solve.
@@ -79,7 +84,19 @@ class WaferPdn {
 
   /// Solves with an explicit per-tile power vector (watts, indexed by
   /// TileGrid::index_of) — used for workload-dependent power maps.
+  /// Results are history-independent: each solve re-seeds the cached grid
+  /// to the fresh cold-start state, so only the stencil/hierarchy setup is
+  /// amortized, never the numerics.
   PdnReport solve(const std::vector<double>& tile_power_w);
+
+  /// Solves many per-tile power maps against the one cached topology in a
+  /// single batched call, fanning independent right-hand sides over the
+  /// exec pool (ResistiveGrid::solve_batch).  Reports are bit-identical to
+  /// calling solve() on each map in order, at any thread count.  Requires
+  /// LoadModel::ConstantCurrent (the constant-power outer iteration couples
+  /// sinks to its own solution and cannot batch).
+  std::vector<PdnReport> solve_batch(
+      const std::vector<std::vector<double>>& tile_power_maps);
 
   /// Loop (VDD+GND) sheet resistance after slotting derate, ohm/sq.
   double loop_sheet_resistance() const;
@@ -102,16 +119,32 @@ class WaferPdn {
   /// gauges (pdn.min_supply_v, pdn.efficiency, pdn.plane_loss_w,
   /// pdn.ldo_loss_w, pdn.tiles_out_of_regulation), refreshed per solve.
   /// Pass nullptr to unbind.  The registry must outlive the WaferPdn.
-  void bind_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+  void bind_metrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+    grid_.bind_metrics(registry);
+  }
 
  private:
   SystemConfig config_;
   WaferPdnOptions options_;
   Ldo ldo_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // The plane model, built once: topology (conductances, Dirichlet edges)
+  // never changes after construction, so the hoisted stencil and any
+  // multigrid hierarchy survive for the WaferPdn's whole lifetime.
+  ResistiveGrid grid_;
+  std::vector<double> sink_scratch_;  // node sinks staged per solve
 
   ResistiveGrid build_grid() const;
-  PdnReport extract_report(ResistiveGrid& grid,
+  /// Per-tile currents for a power map under ConstantCurrent (LDO
+  /// pass-through plus quiescent draw).
+  std::vector<double> tile_currents(
+      const std::vector<double>& tile_power_w) const;
+  /// Scatters per-tile currents into per-node sinks (k x k nodes/tile).
+  void scatter_sinks(const std::vector<double>& tile_current,
+                     std::vector<double>& node_sink) const;
+  PdnReport extract_report(std::span<const double> node_v,
+                           std::span<const double> node_sink,
                            const std::vector<double>& tile_power_w,
                            bool converged) const;
 };

@@ -329,6 +329,45 @@ TEST(PdnCkpt, GridResumesWithSolutionSeed) {
   EXPECT_THROW(wrong.load_state(r2), ckpt::Error);
 }
 
+TEST(PdnCkpt, GridResumesUnderMultigrid) {
+  // The multigrid hierarchy is derived state: never serialised, rebuilt on
+  // demand after a restore.  A snapshot taken mid-campaign must therefore
+  // resume byte-for-byte under SolverMethod::Multigrid too — same cycle
+  // count, same voltages — with the resumed grid paying only a hierarchy
+  // rebuild, not a different iteration history.
+  auto build = [] {
+    pdn::ResistiveGrid g(24, 24);
+    g.fill_conductances(2.0, 1.5);
+    for (int x = 0; x < 24; ++x) g.set_dirichlet(x, 0, 2.5);
+    for (int y = 4; y < 20; ++y)
+      for (int x = 4; x < 20; ++x) g.set_current_sink(x, y, 0.002);
+    g.set_shunt(12, 12, 0.05, 0.0);
+    return g;
+  };
+  pdn::SolverConfig cfg;
+  cfg.method = pdn::SolverMethod::Multigrid;
+  cfg.tol = 1e-6;
+
+  pdn::ResistiveGrid grid = build();
+  EXPECT_TRUE(grid.solve(cfg).converged);
+  ckpt::Writer w;
+  grid.save_state(w);
+
+  pdn::ResistiveGrid resumed(24, 24);
+  ckpt::Reader r(w.bytes());
+  resumed.load_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(resumed.voltages(), grid.voltages());
+
+  cfg.tol = 1e-10;
+  const pdn::SolveStats sa = grid.solve(cfg);
+  const pdn::SolveStats sb = resumed.solve(cfg);
+  EXPECT_TRUE(sa.converged);
+  EXPECT_EQ(sb.iterations, sa.iterations);
+  EXPECT_EQ(sb.residual, sa.residual);
+  EXPECT_EQ(resumed.voltages(), grid.voltages());
+}
+
 TEST(InjectorCkpt, ResumeReplaysRemainingSchedule) {
   const TileGrid grid(8, 8);
   Rng rng(31);

@@ -109,6 +109,22 @@ TEST_F(PdnDroopClaims, MidlineProfileDroopsMonotonicallyTowardCenter) {
               report_->min_supply_v, 0.05);
 }
 
+TEST_F(PdnDroopClaims, Fig2HoldsUnderMultigridSolver) {
+  // The Fig. 2 claims are about the wafer, not the solver: re-running the
+  // worst-case operating point with the multigrid method must reproduce
+  // the same droop profile to within solver tolerance.
+  pdn::WaferPdnOptions opt;
+  opt.solver.method = pdn::SolverMethod::Multigrid;
+  pdn::WaferPdn mg_pdn(*config_, opt);
+  const pdn::PdnReport mg = mg_pdn.solve_uniform(1.0);
+  ASSERT_TRUE(mg.solver_converged);
+  EXPECT_NEAR(mg.max_supply_v, report_->max_supply_v, 1e-5);
+  EXPECT_NEAR(mg.min_supply_v, report_->min_supply_v, 1e-5);
+  EXPECT_NEAR(mg.total_supply_current_a, report_->total_supply_current_a,
+              1e-2);
+  EXPECT_EQ(mg.tiles_out_of_regulation, 0);
+}
+
 TEST_F(PdnDroopClaims, LowerActivityRaisesCenterVoltage) {
   // Sanity on the IR-drop physics: quartering the activity factor must
   // raise the center voltage substantially (model: ~1.46 V -> ~2.24 V).

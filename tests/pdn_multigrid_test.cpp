@@ -1,0 +1,245 @@
+// Tests for the geometric multigrid PDN solver: agreement with the SOR
+// golden path on mixed Dirichlet/shunt/sink problems, grid-size-independent
+// V-cycle counts, batched multi-RHS equivalence, and bit-identical results
+// at every thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "wsp/exec/thread_pool.hpp"
+#include "wsp/pdn/resistive_grid.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+
+namespace wsp::pdn {
+namespace {
+
+SolverConfig multigrid_config(double tol = 1e-9) {
+  SolverConfig cfg;
+  cfg.method = SolverMethod::Multigrid;
+  cfg.tol = tol;
+  return cfg;
+}
+
+/// Edge-supplied power plane: Dirichlet ring at 2.5 V, uniform interior
+/// draw — the wafer solve's structure at grid level.
+ResistiveGrid make_plane(int n) {
+  ResistiveGrid g(n, n);
+  g.fill_conductances(5.0, 5.0);
+  for (int i = 0; i < n; ++i) {
+    g.set_dirichlet(i, 0, 2.5);
+    g.set_dirichlet(i, n - 1, 2.5);
+    g.set_dirichlet(0, i, 2.5);
+    g.set_dirichlet(n - 1, i, 2.5);
+  }
+  for (int y = 1; y < n - 1; ++y)
+    for (int x = 1; x < n - 1; ++x) g.set_current_sink(x, y, 0.02);
+  return g;
+}
+
+double max_voltage_diff(const ResistiveGrid& a, const ResistiveGrid& b) {
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.node_count(); ++i)
+    max_diff =
+        std::max(max_diff, std::fabs(a.voltages()[i] - b.voltages()[i]));
+  return max_diff;
+}
+
+TEST(Multigrid, MatchesSorOnDirichletRing) {
+  // Odd size exercises the no-2^k+1-requirement coarsening path.
+  ResistiveGrid sor = make_plane(33);
+  ResistiveGrid mg = make_plane(33);
+  ASSERT_TRUE(sor.solve(1e-9).converged);
+  const SolveStats stats = mg.solve(multigrid_config());
+  ASSERT_TRUE(stats.converged);
+  EXPECT_LE(max_voltage_diff(sor, mg), 1e-7);
+}
+
+TEST(Multigrid, MatchesSorWithShuntsSinksAndInjection) {
+  // Mixed boundary conditions: interior Dirichlet posts, shunts to two
+  // different references (loads to ground and a thermal-style path), point
+  // draws and a current injection, on a non-square odd-sized grid.
+  auto build = [] {
+    ResistiveGrid g(48, 37);
+    g.fill_conductances(2.0, 3.5);
+    for (int x = 0; x < 48; ++x) g.set_dirichlet(x, 0, 2.5);
+    g.set_dirichlet(10, 20, 2.4);  // interior supply post
+    g.set_shunt(20, 30, 0.8, 0.0);
+    g.set_shunt(40, 5, 0.3, 1.2);
+    g.set_current_sink(25, 18, 0.5);
+    g.set_current_sink(5, 35, 0.2);
+    g.set_current_sink(45, 30, -0.1);  // injection
+    return g;
+  };
+  ResistiveGrid sor = build();
+  ResistiveGrid mg = build();
+  ASSERT_TRUE(sor.solve(1e-9).converged);
+  ASSERT_TRUE(mg.solve(multigrid_config()).converged);
+  EXPECT_LE(max_voltage_diff(sor, mg), 1e-7);
+}
+
+TEST(Multigrid, MatchesSorOnPaperPrototypeWafer) {
+  const SystemConfig cfg = SystemConfig::paper_prototype();
+  WaferPdnOptions sor_opt;
+  WaferPdnOptions mg_opt;
+  mg_opt.solver.method = SolverMethod::Multigrid;
+
+  WaferPdn sor_pdn(cfg, sor_opt);
+  WaferPdn mg_pdn(cfg, mg_opt);
+  const PdnReport sor_r = sor_pdn.solve_uniform(1.0);
+  const PdnReport mg_r = mg_pdn.solve_uniform(1.0);
+  ASSERT_TRUE(sor_r.solver_converged);
+  ASSERT_TRUE(mg_r.solver_converged);
+
+  ASSERT_EQ(sor_r.tiles.size(), mg_r.tiles.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < sor_r.tiles.size(); ++i) {
+    max_diff = std::max(
+        max_diff, std::fabs(sor_r.tiles[i].supply_v - mg_r.tiles[i].supply_v));
+  }
+  EXPECT_LE(max_diff, 1e-6);
+  EXPECT_NEAR(sor_r.min_supply_v, mg_r.min_supply_v, 1e-6);
+  EXPECT_NEAR(sor_r.total_supply_current_a, mg_r.total_supply_current_a, 1e-3);
+}
+
+TEST(Multigrid, VCycleCountIsGridSizeIndependent) {
+  // The whole point of the method: where SOR's sweep count grows with
+  // resolution, the V-cycle count stays flat from 16x16 to 128x128.
+  int min_cycles = 1 << 20;
+  int max_cycles = 0;
+  for (const int n : {16, 32, 64, 128}) {
+    ResistiveGrid g = make_plane(n);
+    const SolveStats stats = g.solve(multigrid_config(1e-7));
+    ASSERT_TRUE(stats.converged) << "n=" << n;
+    min_cycles = std::min(min_cycles, stats.iterations);
+    max_cycles = std::max(max_cycles, stats.iterations);
+  }
+  EXPECT_LE(max_cycles, 10);
+  EXPECT_LE(max_cycles - min_cycles, 4);
+}
+
+TEST(Multigrid, FarFewerSweepEquivalentsThanSor) {
+  ResistiveGrid sor = make_plane(64);
+  ResistiveGrid mg = make_plane(64);
+  const SolveStats sor_stats = sor.solve(1e-7);
+  const SolveStats mg_stats = mg.solve(multigrid_config(1e-7));
+  ASSERT_TRUE(sor_stats.converged);
+  ASSERT_TRUE(mg_stats.converged);
+  EXPECT_GE(sor_stats.fine_sweep_equivalents,
+            5.0 * mg_stats.fine_sweep_equivalents);
+}
+
+TEST(Multigrid, FmgOffConvergesToSameSolution) {
+  ResistiveGrid with_fmg = make_plane(48);
+  ResistiveGrid without_fmg = make_plane(48);
+  SolverConfig no_fmg = multigrid_config();
+  no_fmg.fmg = false;
+  const SolveStats a = with_fmg.solve(multigrid_config());
+  const SolveStats b = without_fmg.solve(no_fmg);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_LE(max_voltage_diff(with_fmg, without_fmg), 1e-7);
+}
+
+TEST(Multigrid, HierarchySurvivesSinkUpdatesAndTracksTopologyEdits) {
+  // Sink updates reuse the cached hierarchy (solve 2 must still be right);
+  // a topology edit must rebuild it (solve 3 must match a fresh SOR grid).
+  ResistiveGrid mg = make_plane(33);
+  ASSERT_TRUE(mg.solve(multigrid_config()).converged);
+
+  std::vector<double> heavier = mg.current_sinks();
+  for (double& s : heavier) s *= 2.0;
+  mg.set_current_sinks(heavier);
+  mg.reset_voltages(0.0);
+  ASSERT_TRUE(mg.solve(multigrid_config()).converged);
+
+  mg.set_conductance_east(10, 10, 0.01);  // topology change
+  mg.reset_voltages(0.0);
+  ASSERT_TRUE(mg.solve(multigrid_config()).converged);
+
+  ResistiveGrid sor = make_plane(33);
+  sor.set_current_sinks(heavier);
+  sor.set_conductance_east(10, 10, 0.01);
+  ASSERT_TRUE(sor.solve(1e-9).converged);
+  EXPECT_LE(max_voltage_diff(sor, mg), 1e-7);
+}
+
+TEST(Multigrid, BitIdenticalAcrossThreadCounts) {
+  std::vector<double> baseline;
+  for (const int threads : {1, 2, 8}) {
+    exec::set_shared_threads(threads);
+    ResistiveGrid g = make_plane(64);
+    ASSERT_TRUE(g.solve(multigrid_config(1e-7)).converged);
+    if (baseline.empty()) {
+      baseline = g.voltages();
+    } else {
+      EXPECT_EQ(g.voltages(), baseline) << "threads=" << threads;
+    }
+  }
+  exec::set_shared_threads(0);
+}
+
+TEST(SolveBatch, MultigridMatchesSequentialSolves) {
+  ResistiveGrid grid = make_plane(33);
+  const SolverConfig cfg = multigrid_config(1e-7);
+  const std::size_t nodes = grid.node_count();
+  constexpr int kRhs = 8;
+
+  std::vector<std::vector<double>> sinks(kRhs);
+  for (int m = 0; m < kRhs; ++m) {
+    sinks[m] = grid.current_sinks();
+    for (double& s : sinks[m]) s *= 0.5 + 0.25 * m;
+    sinks[m][grid.index(4 + 2 * m, 16)] += 0.3;
+  }
+
+  std::vector<std::vector<double>> expected(kRhs);
+  for (int m = 0; m < kRhs; ++m) {
+    grid.set_current_sinks(sinks[m]);
+    grid.reset_voltages(0.0);
+    ASSERT_TRUE(grid.solve(cfg).converged);
+    expected[m] = grid.voltages();
+  }
+
+  std::vector<std::vector<double>> got(kRhs, std::vector<double>(nodes, 0.0));
+  std::vector<SolveStats> stats(kRhs);
+  std::vector<RhsView> views(kRhs);
+  for (int m = 0; m < kRhs; ++m) views[m] = RhsView{sinks[m], got[m]};
+  grid.solve_batch(views, stats, cfg);
+  for (int m = 0; m < kRhs; ++m) {
+    EXPECT_TRUE(stats[m].converged) << "rhs " << m;
+    EXPECT_EQ(got[m], expected[m]) << "rhs " << m;  // bitwise
+  }
+}
+
+TEST(SolveBatch, BitIdenticalAcrossThreadCounts) {
+  ResistiveGrid grid = make_plane(33);
+  const SolverConfig cfg = multigrid_config(1e-7);
+  const std::size_t nodes = grid.node_count();
+  constexpr int kRhs = 6;
+
+  std::vector<std::vector<double>> sinks(kRhs);
+  for (int m = 0; m < kRhs; ++m) {
+    sinks[m] = grid.current_sinks();
+    sinks[m][grid.index(8 + 3 * m, 20)] += 0.2;
+  }
+
+  std::vector<std::vector<double>> baseline;
+  for (const int threads : {1, 2, 8}) {
+    exec::set_shared_threads(threads);
+    std::vector<std::vector<double>> got(kRhs,
+                                         std::vector<double>(nodes, 0.0));
+    std::vector<SolveStats> stats(kRhs);
+    std::vector<RhsView> views(kRhs);
+    for (int m = 0; m < kRhs; ++m) views[m] = RhsView{sinks[m], got[m]};
+    grid.solve_batch(views, stats, cfg);
+    if (baseline.empty()) {
+      baseline = got;
+    } else {
+      EXPECT_EQ(got, baseline) << "threads=" << threads;
+    }
+  }
+  exec::set_shared_threads(0);
+}
+
+}  // namespace
+}  // namespace wsp::pdn
