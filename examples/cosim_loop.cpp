@@ -1,0 +1,83 @@
+// PDN <-> NoC co-simulation, narrated.
+//
+// Runs the epoch-stepped coupled loop on a 32x32 wafer with a traffic
+// hotspot: every cycle synthetic traffic steps the dual-mesh NoC,
+// and every 64 cycles the measured per-tile activity becomes a power map,
+// the power planes are re-solved (warm-started from the previous epoch's
+// solution, batched with a static idle-floor reference), and each link's
+// bit-error rate is re-derived from its weaker endpoint's regulated
+// voltage.  The printout shows the loop converging: droop deepens where
+// the traffic flows, BER rises on the sagged links, and the whole run is
+// bit-identical at any thread count.
+//
+// Observability: run with WSP_TRACE=1 to record cosim.epoch spans into
+// TRACE_cosim_loop.json and RUNREPORT_cosim_loop.json with the "cosim."
+// gauges.
+//
+//   ./cosim_loop
+#include <cstdio>
+
+#include "wsp/cosim/cosim.hpp"
+#include "wsp/obs/report.hpp"
+#include "wsp/obs/trace.hpp"
+
+int main() {
+  using namespace wsp;
+
+  const obs::ScopedTrace trace("cosim_loop");
+
+  cosim::CosimOptions o;
+  o.config = SystemConfig::reduced(32, 32);
+  o.seed = 7;
+  o.epoch_cycles = 64;
+  o.noc.mesh.integrity.enabled = true;
+  o.traffic.pattern = noc::TrafficPattern::Hotspot;
+  o.traffic.injection_rate = 0.05;
+  o.traffic.hotspot = {16, 16};
+  // Amplified line regulation plus a sensitive BER mapping so the
+  // millivolt-scale regulated deltas are visible on the wire within a
+  // short demo run.
+  o.pdn.ldo.line_regulation = 0.1;
+  o.ber.floor_ber = 1e-6;
+  o.ber.volts_per_decade = 0.003;
+
+  cosim::CosimLoop loop(o);
+  std::printf("== coupled PDN<->NoC loop: 32x32, hotspot (16,16), %llu-cycle "
+              "epochs ==\n\n",
+              static_cast<unsigned long long>(o.epoch_cycles));
+  std::printf("%-6s %-10s %-12s %-12s %-14s %-12s %s\n", "epoch", "travs",
+              "power[W]", "min_V", "excess_droop", "mean_BER", "warm_iters");
+  for (int e = 0; e < 12; ++e) {
+    loop.run_epochs(1);
+    const cosim::EpochReport& r = loop.epochs().back();
+    std::printf("%-6llu %-10llu %-12.1f %-12.4f %-14.6f %-12.3e %d\n",
+                static_cast<unsigned long long>(r.epoch),
+                static_cast<unsigned long long>(r.traversals),
+                r.total_power_w, r.min_supply_v, r.max_excess_droop_v,
+                r.mean_ber, r.coupled_iterations);
+  }
+
+  const cosim::CosimReport r = loop.report();
+  std::printf("\n-- summary --\n");
+  std::printf("cycles                 : %llu\n",
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("issued / completed     : %llu / %llu\n",
+              static_cast<unsigned long long>(r.noc_stats.issued),
+              static_cast<unsigned long long>(r.noc_stats.completed));
+  std::printf("link retransmits       : %llu\n",
+              static_cast<unsigned long long>(r.noc_stats.link_retransmits));
+  std::printf("worst min supply       : %.4f V\n", r.worst_min_supply_v);
+  std::printf("worst excess droop     : %.6f V\n", r.worst_excess_droop_v);
+  std::printf("peak mean BER          : %.3e\n", r.peak_mean_ber);
+  std::printf("state fingerprint      : %08x\n", loop.state_fingerprint());
+
+  obs::RunReport report("cosim_loop");
+  report.add_scalar("summary", "worst_min_supply_v", r.worst_min_supply_v);
+  report.add_scalar("summary", "worst_excess_droop_v",
+                    r.worst_excess_droop_v);
+  report.add_scalar("summary", "peak_mean_ber", r.peak_mean_ber);
+  report.add_metrics("cosim", loop.metrics());
+  const std::string path = report.write_default();
+  if (!path.empty()) std::printf("run report: %s\n", path.c_str());
+  return 0;
+}

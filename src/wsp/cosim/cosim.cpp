@@ -1,0 +1,371 @@
+#include "wsp/cosim/cosim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wsp/ckpt/checkpoint.hpp"
+#include "wsp/common/error.hpp"
+#include "wsp/obs/trace.hpp"
+
+namespace wsp::cosim {
+
+std::vector<double> activity_power_map(
+    const std::vector<noc::TileActivity>& delta, const FaultMap& faults,
+    double tile_peak_power_w, std::uint64_t epoch_cycles,
+    const ActivityScale& scale) {
+  const TileGrid& grid = faults.grid();
+  require(delta.size() == grid.tile_count(),
+          "activity_power_map: delta size must equal the tile count");
+  require(epoch_cycles >= 1, "activity_power_map: epoch_cycles must be >= 1");
+  require(tile_peak_power_w >= 0.0,
+          "activity_power_map: tile peak power must be non-negative");
+  require(scale.idle_fraction >= 0.0 && scale.idle_fraction <= 1.0,
+          "activity_power_map: idle_fraction must be in [0,1]");
+  require(scale.flits_per_cycle_at_peak > 0.0,
+          "activity_power_map: flits_per_cycle_at_peak must be positive");
+  const double denom =
+      static_cast<double>(epoch_cycles) * scale.flits_per_cycle_at_peak;
+  std::vector<double> power(delta.size(), 0.0);
+  grid.for_each([&](TileCoord c) {
+    if (faults.is_faulty(c)) return;  // dead tiles draw nothing
+    const std::size_t i = grid.index_of(c);
+    const noc::TileActivity& a = delta[i];
+    const double weighted =
+        static_cast<double>(a.injections) * scale.injection_weight +
+        static_cast<double>(a.traversals) * scale.traversal_weight +
+        static_cast<double>(a.retransmits) * scale.retransmit_weight;
+    const double util = std::min(1.0, weighted / denom);
+    power[i] =
+        tile_peak_power_w * (scale.idle_fraction +
+                             util * (1.0 - scale.idle_fraction));
+  });
+  return power;
+}
+
+// --- ActivityTracker --------------------------------------------------------
+
+const std::vector<noc::TileActivity>& ActivityTracker::harvest(
+    const noc::NocSystem& noc) {
+  noc.accumulate_tile_activity(scratch_);
+  if (prev_.size() != scratch_.size())
+    prev_.assign(scratch_.size(), noc::TileActivity{});
+  delta_.resize(scratch_.size());
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    delta_[i].injections = scratch_[i].injections - prev_[i].injections;
+    delta_[i].traversals = scratch_[i].traversals - prev_[i].traversals;
+    delta_[i].retransmits = scratch_[i].retransmits - prev_[i].retransmits;
+  }
+  std::swap(prev_, scratch_);
+  return delta_;
+}
+
+void ActivityTracker::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("ATRK"));
+  w.u64(prev_.size());
+  for (const noc::TileActivity& a : prev_) {
+    w.u64(a.injections);
+    w.u64(a.traversals);
+    w.u64(a.retransmits);
+  }
+}
+
+void ActivityTracker::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("ATRK"), "activity tracker");
+  const std::size_t n = r.length(24);
+  prev_.resize(n);
+  for (noc::TileActivity& a : prev_) {
+    a.injections = r.u64();
+    a.traversals = r.u64();
+    a.retransmits = r.u64();
+  }
+}
+
+// --- report serialisation ---------------------------------------------------
+
+namespace {
+
+void save_epoch(ckpt::Writer& w, const EpochReport& e) {
+  w.u64(e.epoch);
+  w.u64(e.end_cycle);
+  w.u64(e.injections);
+  w.u64(e.traversals);
+  w.u64(e.retransmits);
+  w.f64(e.total_power_w);
+  w.f64(e.min_supply_v);
+  w.f64(e.min_regulated_v);
+  w.f64(e.max_excess_droop_v);
+  w.i32(e.coupled_iterations);
+  w.f64(e.mean_ber);
+  w.f64(e.max_ber);
+}
+
+EpochReport load_epoch(ckpt::Reader& r) {
+  EpochReport e;
+  e.epoch = r.u64();
+  e.end_cycle = r.u64();
+  e.injections = r.u64();
+  e.traversals = r.u64();
+  e.retransmits = r.u64();
+  e.total_power_w = r.f64();
+  e.min_supply_v = r.f64();
+  e.min_regulated_v = r.f64();
+  e.max_excess_droop_v = r.f64();
+  e.coupled_iterations = r.i32();
+  e.mean_ber = r.f64();
+  e.max_ber = r.f64();
+  return e;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_report(const CosimReport& report) {
+  ckpt::Writer w;
+  w.u64(report.cycles);
+  w.f64(report.worst_min_supply_v);
+  w.f64(report.worst_excess_droop_v);
+  w.f64(report.peak_mean_ber);
+  const noc::NocStats& s = report.noc_stats;
+  w.u64(s.issued);
+  w.u64(s.completed);
+  w.u64(s.unreachable);
+  w.u64(s.relayed);
+  w.u64(s.latency_sum);
+  w.u64(s.latency_max);
+  w.u64(s.timeouts);
+  w.u64(s.retries);
+  w.u64(s.lost);
+  w.u64(s.crc_detected);
+  w.u64(s.link_retransmits);
+  w.u64(s.escapes);
+  w.u64(report.epochs.size());
+  for (const EpochReport& e : report.epochs) save_epoch(w, e);
+  return w.bytes();
+}
+
+// --- CosimLoop --------------------------------------------------------------
+
+CosimLoop::CosimLoop(const CosimOptions& options)
+    : CosimLoop(options, FaultMap(options.config.grid())) {}
+
+CosimLoop::CosimLoop(const CosimOptions& options, const FaultMap& faults)
+    : options_(options),
+      faults_(faults),
+      noc_(faults_, options_.noc, &metrics_),
+      pdn_(options_.config, options_.pdn),
+      rng_(options_.seed) {
+  options_.config.validate();
+  require(options_.epoch_cycles >= 1, "cosim epoch must be >= 1 cycle");
+  require(faults_.grid().width() == options_.config.grid().width() &&
+              faults_.grid().height() == options_.config.grid().height(),
+          "cosim fault map grid must match the config grid");
+  require(options_.pdn.load_model == pdn::LoadModel::ConstantCurrent,
+          "cosim requires LoadModel::ConstantCurrent (batched re-solve)");
+  pdn_.bind_metrics(&metrics_);
+  // Two warm-start seed buffers persisted across epochs: the coupled map
+  // and the static idle-floor reference solved alongside it.
+  seeds_.assign(2, {});
+  power_maps_.assign(2, {});
+  static_power_ = activity_power_map(
+      std::vector<noc::TileActivity>(faults_.grid().tile_count()), faults_,
+      options_.config.tile_peak_power_w, options_.epoch_cycles,
+      options_.scale);
+  power_maps_[1] = static_power_;
+}
+
+void CosimLoop::inject_traffic() {
+  const TileGrid& grid = faults_.grid();
+  grid.for_each([&](TileCoord src) {
+    if (faults_.is_faulty(src)) return;
+    if (!rng_.bernoulli(options_.traffic.injection_rate)) return;
+    const TileCoord dst =
+        noc::pick_destination(faults_, src, options_.traffic, rng_);
+    if (dst == src) return;
+    (void)noc_.issue(src, dst, noc::PacketType::ReadRequest);
+  });
+}
+
+void CosimLoop::step_cycle() {
+  inject_traffic();
+  done_.clear();
+  noc_.step(done_);
+  if (++cycle_in_epoch_ == options_.epoch_cycles) {
+    cycle_in_epoch_ = 0;
+    couple();
+  }
+}
+
+void CosimLoop::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step_cycle();
+}
+
+void CosimLoop::run_epochs(std::uint64_t epochs) {
+  run(epochs * options_.epoch_cycles);
+}
+
+void CosimLoop::couple() {
+  WSP_TRACE_SPAN("cosim.epoch");
+  const TileGrid& grid = faults_.grid();
+  const std::vector<noc::TileActivity>& delta = tracker_.harvest(noc_);
+
+  EpochReport e;
+  e.epoch = epochs_.size();
+  e.end_cycle = noc_.now();
+  for (const noc::TileActivity& a : delta) {
+    e.injections += a.injections;
+    e.traversals += a.traversals;
+    e.retransmits += a.retransmits;
+  }
+
+  power_maps_[0] = activity_power_map(delta, faults_,
+                                      options_.config.tile_peak_power_w,
+                                      options_.epoch_cycles, options_.scale);
+  for (const double p : power_maps_[0]) e.total_power_w += p;
+
+  std::vector<pdn::SolveStats> stats;
+  const std::vector<pdn::PdnReport> reports =
+      pdn_.solve_batch_warm(power_maps_, seeds_, &stats);
+  const pdn::PdnReport& coupled = reports[0];
+  const pdn::PdnReport& baseline = reports[1];
+  e.min_supply_v = coupled.min_supply_v;
+  e.coupled_iterations = stats[0].iterations;
+
+  std::vector<double> regulated(grid.tile_count(), 0.0);
+  double min_reg = std::numeric_limits<double>::infinity();
+  double excess = 0.0;
+  for (std::size_t i = 0; i < regulated.size(); ++i) {
+    regulated[i] = coupled.tiles[i].regulated_v;
+    min_reg = std::min(min_reg, regulated[i]);
+    excess = std::max(excess,
+                      baseline.tiles[i].supply_v - coupled.tiles[i].supply_v);
+  }
+  e.min_regulated_v = regulated.empty() ? 0.0 : min_reg;
+  e.max_excess_droop_v = excess;
+
+  if (options_.noc.mesh.integrity.enabled) {
+    const noc::LinkBerMap ber =
+        noc::LinkBerMap::from_tile_voltages(grid, regulated, options_.ber);
+    double sum = 0.0;
+    std::size_t links = 0;
+    grid.for_each([&](TileCoord c) {
+      for (Direction d : kAllDirections) {
+        if (!grid.contains(step(c, d))) continue;
+        const double b = ber.ber(c, d);
+        sum += b;
+        e.max_ber = std::max(e.max_ber, b);
+        ++links;
+      }
+    });
+    e.mean_ber = links ? sum / static_cast<double>(links) : 0.0;
+    // Staged: both meshes adopt it at the top of the next step(), i.e.
+    // exactly at the first cycle of the next epoch.
+    noc_.set_link_ber(ber);
+  }
+
+  last_coupled_ = coupled;
+  last_static_ = baseline;
+  epochs_.push_back(e);
+  publish_gauges(e);
+}
+
+void CosimLoop::publish_gauges(const EpochReport& e) {
+  metrics_.gauge("cosim.epochs").set(static_cast<double>(epochs_.size()));
+  metrics_.gauge("cosim.min_supply_v").set(e.min_supply_v);
+  metrics_.gauge("cosim.min_regulated_v").set(e.min_regulated_v);
+  metrics_.gauge("cosim.max_excess_droop_v").set(e.max_excess_droop_v);
+  metrics_.gauge("cosim.mean_ber").set(e.mean_ber);
+  metrics_.gauge("cosim.epoch_retransmits")
+      .set(static_cast<double>(e.retransmits));
+}
+
+CosimReport CosimLoop::report() const {
+  CosimReport r;
+  r.epochs = epochs_;
+  r.noc_stats = noc_.stats();
+  r.cycles = noc_.now();
+  r.worst_min_supply_v = std::numeric_limits<double>::infinity();
+  for (const EpochReport& e : epochs_) {
+    r.worst_min_supply_v = std::min(r.worst_min_supply_v, e.min_supply_v);
+    r.worst_excess_droop_v =
+        std::max(r.worst_excess_droop_v, e.max_excess_droop_v);
+    r.peak_mean_ber = std::max(r.peak_mean_ber, e.mean_ber);
+  }
+  if (epochs_.empty()) r.worst_min_supply_v = 0.0;
+  return r;
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kCosimKind = ckpt::fourcc("COSM");
+constexpr std::uint32_t kCosimStateVersion = 1;
+}  // namespace
+
+void CosimLoop::save_state(ckpt::Writer& w) const {
+  w.tag(ckpt::fourcc("CLOP"));
+  const std::array<std::uint64_t, 4> s = rng_.state();
+  for (const std::uint64_t word : s) w.u64(word);
+  w.u64(cycle_in_epoch_);
+  tracker_.save_state(w);
+  w.tag(ckpt::fourcc("SEED"));
+  w.u64(seeds_.size());
+  for (const std::vector<double>& seed : seeds_) {
+    w.u64(seed.size());
+    for (const double v : seed) w.f64(v);
+  }
+  w.tag(ckpt::fourcc("EPRP"));
+  w.u64(epochs_.size());
+  for (const EpochReport& e : epochs_) save_epoch(w, e);
+  noc_.save_state(w);
+}
+
+void CosimLoop::load_state(ckpt::Reader& r) {
+  r.expect_tag(ckpt::fourcc("CLOP"), "cosim loop");
+  std::array<std::uint64_t, 4> s;
+  for (std::uint64_t& word : s) word = r.u64();
+  rng_.set_state(s);
+  cycle_in_epoch_ = r.u64();
+  tracker_.load_state(r);
+  r.expect_tag(ckpt::fourcc("SEED"), "warm-start seeds");
+  const std::size_t n_seeds = r.length(8);
+  seeds_.assign(n_seeds, {});
+  for (std::vector<double>& seed : seeds_) {
+    const std::size_t n = r.length(8);
+    seed.resize(n);
+    for (double& v : seed) v = r.f64();
+  }
+  require(seeds_.size() == 2, "cosim snapshot must hold two seed buffers");
+  r.expect_tag(ckpt::fourcc("EPRP"), "epoch reports");
+  const std::size_t n_epochs = r.length(92);
+  epochs_.clear();
+  epochs_.reserve(n_epochs);
+  for (std::size_t i = 0; i < n_epochs; ++i)
+    epochs_.push_back(load_epoch(r));
+  noc_.load_state(r);
+  if (!epochs_.empty()) publish_gauges(epochs_.back());
+}
+
+void CosimLoop::save_checkpoint(const std::string& path) const {
+  ckpt::Writer w;
+  save_state(w);
+  ckpt::save_frame_file(path, kCosimKind, kCosimStateVersion, w);
+}
+
+void CosimLoop::load_checkpoint(const std::string& path) {
+  const ckpt::Frame frame = ckpt::load_frame_file(path, kCosimKind);
+  if (frame.state_version != kCosimStateVersion)
+    throw ckpt::Error(ckpt::ErrorKind::VersionMismatch,
+                      "cosim snapshot schema revision unknown");
+  ckpt::Reader r(frame.payload);
+  load_state(r);
+  if (!r.done())
+    throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,
+                      "trailing bytes after cosim snapshot");
+}
+
+std::uint32_t CosimLoop::state_fingerprint() const {
+  ckpt::Writer w;
+  save_state(w);
+  return ckpt::crc32(w.bytes().data(), w.size());
+}
+
+}  // namespace wsp::cosim

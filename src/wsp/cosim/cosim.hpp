@@ -1,0 +1,229 @@
+// PDN <-> NoC epoch-stepped co-simulation (the closed loop the paper's
+// power-delivery and network chapters each describe half of).
+//
+// A static PDN solve assumes a fixed activity factor; a static BER map
+// assumes a fixed droop profile.  In reality the two are coupled: traffic
+// concentrates switching power where packets flow, the power planes sag
+// under that load, the sagged supply shrinks link eye margins, and the
+// resulting retransmits are themselves traffic.  `CosimLoop` closes the
+// loop deterministically with an epoch-stepped relaxation:
+//
+//   every cycle   : inject synthetic traffic, step the dual-mesh NoC
+//                   (cheap per-tile activity counters accumulate for free)
+//   every N cycles: diff the activity counters against the previous epoch
+//                   -> per-tile power map -> re-solve the wafer PDN
+//                   (warm-started, batched with an uncoupled static
+//                   reference RHS) -> derive per-link BER from the
+//                   regulated tile voltages -> stage it on the NoC, which
+//                   adopts it at the next cycle boundary.
+//
+// Determinism: every stage is individually bit-identical for any thread
+// count (serial injection RNG, unique-writer mesh phases, batched
+// multigrid), the coupling points are fixed cycle boundaries, and the BER
+// swap is staged-not-immediate — so the whole loop is bit-identical at any
+// thread count and checkpoint-resumable mid-epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsp/common/config.hpp"
+#include "wsp/common/fault_map.hpp"
+#include "wsp/common/rng.hpp"
+#include "wsp/noc/link_integrity.hpp"
+#include "wsp/noc/noc_system.hpp"
+#include "wsp/noc/traffic.hpp"
+#include "wsp/obs/metrics.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+
+namespace wsp::ckpt {
+class Writer;
+class Reader;
+}  // namespace wsp::ckpt
+
+namespace wsp::cosim {
+
+/// Maps epoch activity deltas to per-tile utilisation and power.
+/// Utilisation is the weighted flit-event rate normalised by the tile's
+/// peak sustainable rate; power interpolates between the idle floor and
+/// tile peak power (the same idle+util*(peak-idle) shape as
+/// wsp::arch::tile_power_map, but driven by measured NoC activity instead
+/// of a workload trace).
+struct ActivityScale {
+  /// Fraction of peak power a healthy idle tile draws (clock tree,
+  /// leakage, idle cores).
+  double idle_fraction = 0.3;
+  double injection_weight = 1.0;   ///< weight per packet injected at a tile
+  double traversal_weight = 1.0;   ///< weight per link grant leaving a tile
+  double retransmit_weight = 2.0;  ///< weight per retransmit landing at a
+                                   ///< tile (NACK + resend both burn power)
+  /// Weighted flit events per cycle that count as 100% utilisation.
+  double flits_per_cycle_at_peak = 2.0;
+};
+
+/// Converts one epoch's per-tile activity deltas into a per-tile power map
+/// (watts, indexed by TileGrid::index_of).  Faulty tiles draw zero; healthy
+/// tiles draw idle_fraction*peak at zero activity, ramping linearly to peak
+/// at `scale.flits_per_cycle_at_peak` weighted events per cycle (clamped).
+/// `epoch_cycles` must be >= 1.  The result is a valid WaferPdn::solve /
+/// solve_batch power map by construction.
+std::vector<double> activity_power_map(
+    const std::vector<noc::TileActivity>& delta, const FaultMap& faults,
+    double tile_peak_power_w, std::uint64_t epoch_cycles,
+    const ActivityScale& scale = {});
+
+/// Diffs the NoC's cumulative per-tile activity counters into per-epoch
+/// deltas.  The previous snapshot is checkpoint state (save_state /
+/// load_state), so a resumed run's first harvest sees exactly the activity
+/// an uninterrupted run would.
+class ActivityTracker {
+ public:
+  /// Per-tile activity since the previous harvest (or since construction /
+  /// load_state).  The returned reference is valid until the next call.
+  const std::vector<noc::TileActivity>& harvest(const noc::NocSystem& noc);
+
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
+ private:
+  std::vector<noc::TileActivity> prev_;
+  std::vector<noc::TileActivity> delta_;
+  std::vector<noc::TileActivity> scratch_;
+};
+
+struct CosimOptions {
+  SystemConfig config = SystemConfig::reduced(8, 8);
+  /// Cycles per coupling epoch (the relaxation step of the fixed-point
+  /// iteration).  Must be >= 1.
+  std::uint64_t epoch_cycles = 64;
+  std::uint64_t seed = 1;
+  ActivityScale scale{};
+  /// Voltage->BER mapping for the per-epoch link BER map.  Takes effect
+  /// only when noc.mesh.integrity.enabled.
+  noc::BerParams ber{};
+  pdn::WaferPdnOptions pdn{};
+  noc::NocOptions noc{};
+  noc::TrafficConfig traffic{};
+};
+
+/// One epoch's coupled measurements, recorded at each epoch boundary.
+struct EpochReport {
+  std::uint64_t epoch = 0;      ///< 0-based epoch index
+  std::uint64_t end_cycle = 0;  ///< NoC cycle at the boundary
+  // Epoch activity deltas summed over tiles:
+  std::uint64_t injections = 0;
+  std::uint64_t traversals = 0;
+  std::uint64_t retransmits = 0;
+  double total_power_w = 0.0;  ///< coupled power map total
+  // Coupled PDN solve:
+  double min_supply_v = 0.0;
+  double min_regulated_v = 0.0;
+  /// Max over tiles of (static-reference supply - coupled supply): the
+  /// droop the measured traffic adds on top of the idle-floor baseline.
+  double max_excess_droop_v = 0.0;
+  int coupled_iterations = 0;  ///< V-cycles the (warm) coupled solve took
+  // BER map derived from the coupled regulated voltages (0 when link
+  // integrity is disabled):
+  double mean_ber = 0.0;
+  double max_ber = 0.0;
+
+  friend bool operator==(const EpochReport&, const EpochReport&) = default;
+};
+
+/// Aggregate view assembled by CosimLoop::report().
+struct CosimReport {
+  std::vector<EpochReport> epochs;
+  noc::NocStats noc_stats;
+  std::uint64_t cycles = 0;
+  double worst_min_supply_v = 0.0;   ///< min over epochs
+  double worst_excess_droop_v = 0.0; ///< max over epochs
+  double peak_mean_ber = 0.0;        ///< max over epochs
+};
+
+/// Serialises the fields a comparison cares about into a byte string —
+/// the "final report bytes" used by the bit-identity tests and benches.
+std::vector<std::uint8_t> serialize_report(const CosimReport& report);
+
+/// The deterministic coupled driver.  Owns the NoC, the PDN model, the
+/// traffic RNG and the warm-start seed buffers.
+class CosimLoop {
+ public:
+  /// Fault-free wafer.
+  explicit CosimLoop(const CosimOptions& options);
+  /// Degraded wafer: `faults` marks unusable tiles (they inject nothing,
+  /// draw no power, and the NoC routes around them).
+  CosimLoop(const CosimOptions& options, const FaultMap& faults);
+
+  /// Advances one NoC cycle; at each epoch_cycles boundary runs the
+  /// coupling step (harvest -> power -> warm PDN re-solve -> BER stage).
+  void step_cycle();
+
+  /// Advances `cycles` cycles.  run(a); run(b); is bit-identical to
+  /// run(a+b) — the loop keeps no per-call state.
+  void run(std::uint64_t cycles);
+
+  /// Advances `epochs` whole epochs (epochs * epoch_cycles cycles).
+  void run_epochs(std::uint64_t epochs);
+
+  std::uint64_t now() const { return noc_.now(); }
+  std::uint64_t epochs_completed() const { return epochs_.size(); }
+  const std::vector<EpochReport>& epochs() const { return epochs_; }
+  CosimReport report() const;
+
+  /// Full per-tile PDN reports of the most recent epoch's coupled solve
+  /// and its static idle-floor reference (empty tiles before the first
+  /// epoch).  Derived caches, not checkpoint state: after load_state they
+  /// are empty until the next epoch boundary.
+  const pdn::PdnReport& last_coupled_pdn() const { return last_coupled_; }
+  const pdn::PdnReport& last_static_pdn() const { return last_static_; }
+
+  const noc::NocSystem& noc() const { return noc_; }
+  const CosimOptions& options() const { return options_; }
+  /// Registry holding the NoC counters plus the per-epoch cosim gauges
+  /// (cosim.epochs, cosim.min_supply_v, cosim.max_excess_droop_v,
+  /// cosim.min_regulated_v, cosim.mean_ber, cosim.epoch_retransmits).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Checkpoint hooks: RNG stream, epoch cursor, activity snapshot,
+  /// warm-start seeds, epoch reports and the full NoC state round-trip, so
+  /// load + run is bit-identical to never having stopped — mid-epoch
+  /// included.  load_state targets a loop constructed with equal options
+  /// and faults; mismatches throw ckpt::Error.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+  /// Frames save_state into a "COSM" container, written atomically.
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
+  /// CRC-32 over the save_state byte image — the cheap bit-identity probe
+  /// the thread-invariance tests and benches compare.
+  std::uint32_t state_fingerprint() const;
+
+ private:
+  CosimOptions options_;
+  FaultMap faults_;
+  obs::MetricsRegistry metrics_;
+  noc::NocSystem noc_;
+  pdn::WaferPdn pdn_;
+  Rng rng_;
+  ActivityTracker tracker_;
+  /// Warm-start seeds persisted across epochs: [0] coupled map, [1] static
+  /// idle-floor reference (solved in the same batch for the excess-droop
+  /// comparison, converging instantly once warm).
+  std::vector<std::vector<double>> seeds_;
+  /// Batch staged per epoch: [0] coupled map (rewritten each epoch),
+  /// [1] static idle-floor reference (constant).
+  std::vector<std::vector<double>> power_maps_;
+  std::vector<double> static_power_;  ///< idle-floor reference map
+  pdn::PdnReport last_coupled_;  ///< derived cache (see last_coupled_pdn)
+  pdn::PdnReport last_static_;
+  std::vector<EpochReport> epochs_;
+  std::uint64_t cycle_in_epoch_ = 0;
+  std::vector<noc::CompletedTransaction> done_;
+
+  void inject_traffic();
+  void couple();  ///< the epoch-boundary coupling step
+  void publish_gauges(const EpochReport& e);
+};
+
+}  // namespace wsp::cosim

@@ -70,6 +70,7 @@ MeshNetwork::MeshNetwork(const FaultMap& faults, NetworkKind kind,
   in_ring_.assign(n * 4, -1);
   tile_faulty_.assign(n, 0);
   link_ok_.assign(n * 4, 0);
+  tile_activity_.assign(n, TileActivity{});
   for (std::size_t t = 0; t < n; ++t) {
     const TileCoord c = grid_.coord_of(t);
     for (std::size_t d = 0; d < 4; ++d)
@@ -189,6 +190,7 @@ bool MeshNetwork::inject(const Packet& packet) {
   pool_[idx].network = kind_;
   q_push(t, static_cast<std::size_t>(Port::Local), idx);
   ctr_.injected->add();
+  ++tile_activity_[t].injections;
   ++in_flight_;
   return true;
 }
@@ -220,6 +222,9 @@ MeshNetwork::ChannelOutcome MeshNetwork::channel_admit(LinkTransfer t,
             // downstream credit stays reserved for the whole retry.
             ++sc.d_link_retransmits;
             ++sc.d_link_traversals;
+            // Charged to the landing tile (the unique writer in this
+            // phase); the sender's tile may belong to another shard.
+            ++tile_activity_[t.dst_tile].retransmits;
             ++link_traversals_[t.src_tile][t.dir];
             ++t.retransmits;
             std::uint64_t slot =
@@ -451,6 +456,7 @@ void MeshNetwork::phase_route(int s) {
           ++link_[t * 4 + out].pending;
           --link_[t * 4 + out].space;
           ++sc.d_link_traversals;
+          ++tile_activity_[t].traversals;
           LinkTransfer tr;
           tr.arrival_cycle =
               now + static_cast<std::uint64_t>(options_.link_latency);
@@ -697,7 +703,8 @@ LinkBerMap load_ber_map(ckpt::Reader& r, const TileGrid& expected) {
 }
 
 constexpr std::uint32_t kMeshTag = ckpt::fourcc("MESH");
-constexpr std::uint32_t kMeshStateVersion = 1;
+// v2: per-tile activity totals ("TACT" block) for epoch co-simulation.
+constexpr std::uint32_t kMeshStateVersion = 2;
 
 }  // namespace
 
@@ -772,6 +779,13 @@ void MeshNetwork::save_state(ckpt::Writer& w) const {
   w.u64(ctr_.link_error_drops->value);
   w.u64(ctr_.dup_dropped->value);
   w.u64(in_flight_);
+
+  w.tag(ckpt::fourcc("TACT"));
+  for (const TileActivity& a : tile_activity_) {
+    w.u64(a.injections);
+    w.u64(a.traversals);
+    w.u64(a.retransmits);
+  }
 
   w.b(options_.integrity.enabled);
   if (options_.integrity.enabled) {
@@ -908,6 +922,13 @@ void MeshNetwork::load_state(ckpt::Reader& r) {
   ctr_.link_error_drops->value = r.u64();
   ctr_.dup_dropped->value = r.u64();
   in_flight_ = static_cast<std::size_t>(r.u64());
+
+  r.expect_tag(ckpt::fourcc("TACT"), "tile activity");
+  for (TileActivity& a : tile_activity_) {
+    a.injections = r.u64();
+    a.traversals = r.u64();
+    a.retransmits = r.u64();
+  }
 
   if (r.b() != options_.integrity.enabled)
     throw ckpt::Error(ckpt::ErrorKind::SchemaMismatch,

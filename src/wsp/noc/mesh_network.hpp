@@ -101,6 +101,19 @@ struct MeshOptions {
   LinkIntegrityOptions integrity{};
 };
 
+/// Cumulative per-tile activity counters for epoch-coupled co-simulation
+/// (wsp::cosim).  Totals since construction, never reset: an epoch driver
+/// diffs successive snapshots, so resuming from a checkpoint reproduces the
+/// same deltas.  `retransmits` are charged to the *landing* tile of the
+/// corrupted hop (the receiver pays the NACK/resend cost) — that tile is
+/// uniquely owned by the landing shard, which is what keeps the increment
+/// race-free under the unique-writer-per-phase discipline.
+struct TileActivity {
+  std::uint64_t injections = 0;   ///< packets entering at this source
+  std::uint64_t traversals = 0;   ///< link grants leaving this tile
+  std::uint64_t retransmits = 0;  ///< hop retransmits landing at this tile
+};
+
 /// Value snapshot of one mesh's counters.  The counters themselves live in
 /// an obs::MetricsRegistry (under "noc.xy." / "noc.yx."); this struct is
 /// the stable public shape assembled on demand by MeshNetwork::stats().
@@ -195,6 +208,13 @@ class MeshNetwork {
   /// killed packet, or nullopt when nothing is buffered there.  The lost
   /// packet surfaces upstream as a transaction timeout.
   std::optional<std::uint64_t> corrupt_head_packet(TileCoord tile);
+
+  /// Per-tile activity totals (see TileActivity), indexed by tile.  Always
+  /// maintained — the counters ride increments the hot path already takes,
+  /// so they cost one extra cache line per active tile, not a branch.
+  const std::vector<TileActivity>& tile_activity() const {
+    return tile_activity_;
+  }
 
   /// Binds the per-link BER map the channel model samples (no-op effect
   /// unless options.integrity.enabled).  Grids must match.
@@ -380,6 +400,11 @@ class MeshNetwork {
   std::vector<int> shard_x0_;  ///< shards_+1 column boundaries
   std::vector<ShardScratch> scratch_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> eject_merge_;
+
+  /// Per-tile activity totals (injections serial; traversals written only
+  /// by the routing shard that owns the tile; retransmits only by the
+  /// landing shard that owns the destination tile).
+  std::vector<TileActivity> tile_activity_;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -358,6 +358,14 @@ void NocSystem::handle_ejection(const Packet& p,
 
 void NocSystem::step(std::vector<CompletedTransaction>& done) {
   WSP_TRACE_SPAN("noc.step");
+  // Cycle-boundary BER swap: a map staged by set_link_ber becomes visible
+  // to both meshes here, before any packet moves this cycle — never
+  // mid-cycle between shard phases (see the set_link_ber contract).
+  if (staged_ber_) {
+    xy_.set_link_ber(*staged_ber_);
+    yx_.set_link_ber(*staged_ber_);
+    staged_ber_.reset();
+  }
   // Move everything due into the per-tile ready queues, then drain each
   // tile's queue head-first while its local FIFO accepts packets.  A
   // packet whose source tile died while it waited is dropped here — its
@@ -488,8 +496,22 @@ NocStats NocSystem::stats() const {
 }
 
 void NocSystem::set_link_ber(const LinkBerMap& ber) {
-  xy_.set_link_ber(ber);
-  yx_.set_link_ber(ber);
+  require(ber.grid().width() == faults_.grid().width() &&
+              ber.grid().height() == faults_.grid().height(),
+          "set_link_ber: BER map grid mismatch");
+  staged_ber_ = ber;
+}
+
+void NocSystem::accumulate_tile_activity(
+    std::vector<TileActivity>& out) const {
+  const std::vector<TileActivity>& a = xy_.tile_activity();
+  const std::vector<TileActivity>& b = yx_.tile_activity();
+  out.assign(a.size(), TileActivity{});
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    out[t].injections = a[t].injections + b[t].injections;
+    out[t].traversals = a[t].traversals + b[t].traversals;
+    out[t].retransmits = a[t].retransmits + b[t].retransmits;
+  }
 }
 
 bool NocSystem::retire_link(TileCoord from, Direction d) {
@@ -519,7 +541,10 @@ std::uint64_t NocSystem::link_traversal_count(TileCoord from,
 namespace {
 
 constexpr std::uint32_t kNocTag = ckpt::fourcc("NOCS");
-constexpr std::uint32_t kNocStateVersion = 1;
+// v2: staged (not-yet-adopted) BER map ("SBER" block) — the cycle-boundary
+// swap means a snapshot taken between set_link_ber and the next step must
+// carry the pending map to resume bit-identically.
+constexpr std::uint32_t kNocStateVersion = 2;
 
 void save_coord(ckpt::Writer& w, TileCoord c) {
   w.i32(c.x);
@@ -675,6 +700,15 @@ void NocSystem::save_state(ckpt::Writer& w) const {
   w.u64(ctr_.links_retired->value);
   ctr_.latency->save_state(w);
 
+  w.tag(ckpt::fourcc("SBER"));
+  w.b(staged_ber_.has_value());
+  if (staged_ber_) {
+    faults_.grid().for_each([&](TileCoord c) {
+      for (int d = 0; d < 4; ++d)
+        w.f64(staged_ber_->ber(c, static_cast<Direction>(d)));
+    });
+  }
+
   xy_.save_state(w);
   yx_.save_state(w);
 }
@@ -804,6 +838,20 @@ void NocSystem::load_state(ckpt::Reader& r) {
   ctr_.replans->value = r.u64();
   ctr_.links_retired->value = r.u64();
   ctr_.latency->load_state(r);
+
+  r.expect_tag(ckpt::fourcc("SBER"), "staged BER map");
+  if (r.b()) {
+    LinkBerMap staged(grid);
+    grid.for_each([&](TileCoord c) {
+      for (int d = 0; d < 4; ++d) {
+        const double v = r.f64();
+        if (v != 0.0) staged.set_ber(c, static_cast<Direction>(d), v);
+      }
+    });
+    staged_ber_ = std::move(staged);
+  } else {
+    staged_ber_.reset();
+  }
 
   xy_.load_state(r);
   yx_.load_state(r);

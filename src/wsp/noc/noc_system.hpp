@@ -219,10 +219,26 @@ class NocSystem {
   /// killed; the owning transaction recovers via timeout + retry.
   bool inject_corruption(TileCoord tile);
 
-  /// Binds the per-link BER map both meshes sample (takes effect only when
-  /// NocOptions::mesh.integrity.enabled).  Re-call after every PDN
+  /// Stages the per-link BER map both meshes sample (takes effect only
+  /// when NocOptions::mesh.integrity.enabled).  Re-call after every PDN
   /// re-solve so supply sag shows up on the wire.
+  ///
+  /// Defined swap semantics vs in-flight packets: the staged map is
+  /// adopted at the *next cycle boundary* (the top of the following
+  /// step()), never mid-cycle — so every link samples one coherent map per
+  /// cycle regardless of shard/thread interleaving, and an epoch driver
+  /// that calls this between steps gets an exact epoch-boundary swap.
+  /// Calling it again before the next step simply replaces the staged map
+  /// (last writer wins).  The grids must match (throws wsp::Error).
   void set_link_ber(const LinkBerMap& ber);
+  /// Map the meshes are currently sampling (the staged map before the next
+  /// cycle boundary is NOT yet visible here).
+  const LinkBerMap& link_ber() const { return xy_.link_ber(); }
+
+  /// Sums both meshes' cumulative per-tile activity counters into `out`
+  /// (assigned, sized to the tile count).  Epoch-coupled drivers diff
+  /// successive snapshots to get per-epoch activity.
+  void accumulate_tile_activity(std::vector<TileActivity>& out) const;
 
   /// Predictively retires the directed link leaving `from` toward `d`:
   /// marks it failed in the LinkFaultSet, rebinds the selector (dropping
@@ -333,6 +349,9 @@ class NocSystem {
   /// Per-cycle ejection buffer, cleared (never shrunk) each step so the
   /// steady-state hot loop allocates nothing.
   std::vector<Packet> eject_scratch_;
+  /// BER map staged by set_link_ber, adopted by both meshes at the top of
+  /// the next step() (cycle-boundary swap; see set_link_ber).
+  std::optional<LinkBerMap> staged_ber_;
 
   MeshNetwork& net(NetworkKind k) { return k == NetworkKind::XY ? xy_ : yx_; }
   std::size_t grid_index_of(TileCoord c) const {

@@ -66,7 +66,24 @@ ResistiveGrid WaferPdn::build_grid() const {
   return grid;
 }
 
+namespace {
+
+/// Shared precondition for every power-map entry point: silent NaNs or
+/// negative watts used to propagate into the solver and come back out as
+/// plausible-looking garbage voltages.
+void validate_power_map(const std::vector<double>& tile_power_w,
+                        std::size_t tile_count) {
+  require(tile_power_w.size() == tile_count,
+          "tile power vector size mismatch");
+  for (const double p : tile_power_w)
+    require(std::isfinite(p) && p >= 0.0,
+            "tile power must be finite and non-negative");
+}
+
+}  // namespace
+
 PdnReport WaferPdn::solve_uniform(double activity) {
+  require(std::isfinite(activity), "activity must be finite");
   require(activity >= 0.0 && activity <= 1.0, "activity must be in [0,1]");
   std::vector<double> power(
       static_cast<std::size_t>(config_.total_tiles()),
@@ -109,8 +126,7 @@ void WaferPdn::scatter_sinks(const std::vector<double>& tile_current,
 PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
   WSP_TRACE_SPAN("pdn.wafer.solve");
   const TileGrid tiles = config_.grid();
-  require(tile_power_w.size() == tiles.tile_count(),
-          "tile power vector size mismatch");
+  validate_power_map(tile_power_w, tiles.tile_count());
 
   const int k = options_.nodes_per_tile;
 
@@ -171,6 +187,15 @@ PdnReport WaferPdn::solve(const std::vector<double>& tile_power_w) {
 
 std::vector<PdnReport> WaferPdn::solve_batch(
     const std::vector<std::vector<double>>& tile_power_maps) {
+  // Cold start: throwaway zero seeds, same code path as the warm variant.
+  std::vector<std::vector<double>> seeds(tile_power_maps.size());
+  return solve_batch_warm(tile_power_maps, seeds, nullptr);
+}
+
+std::vector<PdnReport> WaferPdn::solve_batch_warm(
+    const std::vector<std::vector<double>>& tile_power_maps,
+    std::vector<std::vector<double>>& seeds,
+    std::vector<SolveStats>* stats_out) {
   WSP_TRACE_SPAN("pdn.wafer.solve_batch");
   require(options_.load_model == LoadModel::ConstantCurrent,
           "solve_batch requires ConstantCurrent loads (constant-power "
@@ -178,22 +203,27 @@ std::vector<PdnReport> WaferPdn::solve_batch(
   const TileGrid tiles = config_.grid();
   const std::size_t n = tile_power_maps.size();
   const std::size_t nodes = grid_.node_count();
+  require(seeds.size() == n, "warm-start seed count must match power maps");
 
-  // Stage every right-hand side: per-map node sinks plus a cold-start
-  // voltage buffer (solve_batch itself re-seeds the Dirichlet entries).
+  // Stage every right-hand side: per-map node sinks plus the caller's seed
+  // voltages (solve_batch itself re-seeds the Dirichlet entries, so a
+  // stale or zero seed can never corrupt the boundary conditions).
   std::vector<std::vector<double>> sinks(n);
-  std::vector<double> v(n * nodes, 0.0);
   std::vector<RhsView> rhs(n);
   for (std::size_t m = 0; m < n; ++m) {
-    require(tile_power_maps[m].size() == tiles.tile_count(),
-            "tile power vector size mismatch");
+    validate_power_map(tile_power_maps[m], tiles.tile_count());
+    if (seeds[m].empty())
+      seeds[m].assign(nodes, 0.0);
+    else
+      require(seeds[m].size() == nodes,
+              "warm-start seed length must equal node_count()");
     scatter_sinks(tile_currents(tile_power_maps[m]), sinks[m]);
-    rhs[m] = RhsView{sinks[m],
-                     std::span<double>(v.data() + m * nodes, nodes)};
+    rhs[m] = RhsView{sinks[m], std::span<double>(seeds[m])};
   }
 
   std::vector<SolveStats> stats(n);
   grid_.solve_batch(rhs, stats, options_.solver);
+  if (stats_out != nullptr) *stats_out = stats;
 
   std::vector<PdnReport> reports;
   reports.reserve(n);

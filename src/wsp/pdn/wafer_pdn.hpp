@@ -79,11 +79,13 @@ class WaferPdn {
   WaferPdn(const SystemConfig& config, const WaferPdnOptions& options = {});
 
   /// Solves the planes with every tile drawing `activity` x its peak power
-  /// (activity = 1.0 reproduces Fig. 2's peak-draw condition).
+  /// (activity = 1.0 reproduces Fig. 2's peak-draw condition).  `activity`
+  /// must be a finite value in [0,1]; anything else throws wsp::Error.
   PdnReport solve_uniform(double activity = 1.0);
 
   /// Solves with an explicit per-tile power vector (watts, indexed by
-  /// TileGrid::index_of) — used for workload-dependent power maps.
+  /// TileGrid::index_of) — used for workload-dependent power maps.  Every
+  /// entry must be finite and non-negative (throws wsp::Error otherwise).
   /// Results are history-independent: each solve re-seeds the cached grid
   /// to the fresh cold-start state, so only the stencil/hierarchy setup is
   /// amortized, never the numerics.
@@ -94,9 +96,29 @@ class WaferPdn {
   /// exec pool (ResistiveGrid::solve_batch).  Reports are bit-identical to
   /// calling solve() on each map in order, at any thread count.  Requires
   /// LoadModel::ConstantCurrent (the constant-power outer iteration couples
-  /// sinks to its own solution and cannot batch).
+  /// sinks to its own solution and cannot batch).  Power maps face the same
+  /// preconditions as solve().
   std::vector<PdnReport> solve_batch(
       const std::vector<std::vector<double>>& tile_power_maps);
+
+  /// Warm-started batch solve — the epoch-coupling seam.  Like
+  /// solve_batch(), but each map's solver state is seeded from (and the
+  /// converged solution written back into) `seeds[m]`, a caller-owned
+  /// buffer of node_count() voltages persisted across calls: an epoch
+  /// driver re-solving a slowly drifting power map starts from last
+  /// epoch's solution and converges in a fraction of the cold-start
+  /// V-cycles.  An empty seeds[m] is cold-started (zeros) and resized;
+  /// any other length throws wsp::Error.  `seeds.size()` must equal
+  /// `tile_power_maps.size()`.  stats_out, when non-null, receives the
+  /// per-map solver stats (iteration counts for warm-vs-cold accounting).
+  std::vector<PdnReport> solve_batch_warm(
+      const std::vector<std::vector<double>>& tile_power_maps,
+      std::vector<std::vector<double>>& seeds,
+      std::vector<SolveStats>* stats_out = nullptr);
+
+  /// Solver nodes per plane solve — the seed-buffer length for
+  /// solve_batch_warm.
+  std::size_t node_count() const { return grid_.node_count(); }
 
   /// Loop (VDD+GND) sheet resistance after slotting derate, ohm/sq.
   double loop_sheet_resistance() const;

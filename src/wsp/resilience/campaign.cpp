@@ -104,6 +104,10 @@ DegradationReport DegradationCampaign::run() const {
   // wins, since they re-apply in order).
   const bool integrity_on = nopt.mesh.integrity.enabled;
   noc::LinkBerMap base_ber(grid);
+  // Per-trial scratch reused by every rebind: copy-assigning base_ber into
+  // it reuses the allocation, instead of constructing a fresh full map per
+  // brownout event per trial.
+  noc::LinkBerMap ber_scratch(grid);
   const auto ber_from_report = [&](const pdn::PdnReport& pr) {
     std::vector<double> v(grid.tile_count(), nopt.mesh.integrity.ber.nominal_v);
     for (std::size_t i = 0; i < v.size() && i < pr.tiles.size(); ++i)
@@ -113,16 +117,24 @@ DegradationReport DegradationCampaign::run() const {
   };
   const auto rebind_ber = [&](const FaultInjector& inj) {
     if (!integrity_on) return;
-    noc::LinkBerMap ber = base_ber;
+    ber_scratch = base_ber;
     for (const FaultEvent& e : inj.ber_degradations())
-      ber.set_ber(e.tile, e.link, e.magnitude);
-    noc.set_link_ber(ber);
+      ber_scratch.set_ber(e.tile, e.link, e.magnitude);
+    noc.set_link_ber(ber_scratch);
   };
+  // Kept alive for the whole trial when coupling is on: the cached
+  // multigrid hierarchy and the warm-start seed below are what make the
+  // per-epoch re-solves cheap.
+  std::optional<pdn::WaferPdn> wafer_pdn;
   if (integrity_on) {
-    pdn::WaferPdn wafer_pdn(config, options_.pdn.pdn);
-    base_ber = ber_from_report(wafer_pdn.solve_uniform(options_.pdn.activity));
+    wafer_pdn.emplace(config, options_.pdn.pdn);
+    base_ber = ber_from_report(wafer_pdn->solve_uniform(options_.pdn.activity));
     rebind_ber(injector);
   }
+  const bool coupled = integrity_on && options_.cosim_epoch_cycles > 0;
+  cosim::ActivityTracker activity;
+  std::vector<std::vector<double>> epoch_power(1);
+  std::vector<std::vector<double>> epoch_seed(1);
   noc::LinkHealthMonitor monitor(grid, options_.link_health);
 
   noc::TrafficConfig traffic;
@@ -177,9 +189,9 @@ DegradationReport DegradationCampaign::run() const {
           out.pdn_undervolted = static_cast<int>(pr.undervolted.size());
           if (integrity_on) {
             // The sagged plane shrinks link eye margins everywhere the
-            // droop deepened: re-derive BER from the degraded solve.
+            // droop deepened: re-derive the base map from the degraded
+            // solve (rebound below, after the fault state settles).
             base_ber = ber_from_report(pr.degraded);
-            rebind_ber(injector);
           }
           break;
         }
@@ -190,13 +202,18 @@ DegradationReport DegradationCampaign::run() const {
           noc.inject_corruption(n.tile);
           break;
         case RuntimeFaultKind::LinkBerDegradation:
-          rebind_ber(injector);  // channel quality only: no topology change
-          break;
+          break;  // channel quality only: no topology change, rebind below
       }
 
       if (n.kind != RuntimeFaultKind::PacketCorruption &&
           n.kind != RuntimeFaultKind::LinkBerDegradation)
         noc.apply_fault_state(injector.faults(), injector.link_faults());
+      // Rebind the BER map only after the fault *and* clock state have
+      // settled: clock re-selection (TileDeath / ClockGenLoss) mutates the
+      // usable map after any PDN-derived base map was computed, so the
+      // rebind must follow the re-selection and the apply_fault_state —
+      // not sit inside the individual event cases.
+      if (n.kind != RuntimeFaultKind::PacketCorruption) rebind_ber(injector);
 
       out.usable_after = injector.faults().healthy_count();
       out.newly_unusable = prev_usable - out.usable_after;
@@ -230,6 +247,25 @@ DegradationReport DegradationCampaign::run() const {
         noc.retire_link(r.tile, r.dir);
         report.retirements.push_back(r);
       }
+    }
+
+    // PDN<->NoC epoch coupling: re-solve the planes from the NoC's
+    // measured per-tile activity (warm-started from last epoch's
+    // solution) and re-derive the voltage-aware BER map, so droop follows
+    // the traffic that actually flowed and BER follows the droop.
+    if (coupled && (cycle + 1) % options_.cosim_epoch_cycles == 0) {
+      epoch_power[0] = cosim::activity_power_map(
+          activity.harvest(noc), injector.faults(), config.tile_peak_power_w,
+          options_.cosim_epoch_cycles, options_.cosim_scale);
+      // Browned-out LDOs draw their elevated load wherever they sit.
+      for (const TileCoord t : injector.brownouts())
+        if (injector.faults().is_healthy(t))
+          epoch_power[0][grid.index_of(t)] =
+              config.tile_peak_power_w * options_.pdn.brownout_load_factor;
+      base_ber =
+          ber_from_report(wafer_pdn->solve_batch_warm(epoch_power,
+                                                      epoch_seed)[0]);
+      rebind_ber(injector);
     }
 
     prune_resolved(outstanding, noc);
@@ -841,6 +877,13 @@ std::uint32_t DegradationCampaign::options_fingerprint() const {
   w.u64(options_.link_health.min_traversals);
   w.u64(options_.link_health.min_errors);
   w.f64(options_.link_health.retire_error_rate);
+
+  w.u64(options_.cosim_epoch_cycles);
+  w.f64(options_.cosim_scale.idle_fraction);
+  w.f64(options_.cosim_scale.injection_weight);
+  w.f64(options_.cosim_scale.traversal_weight);
+  w.f64(options_.cosim_scale.retransmit_weight);
+  w.f64(options_.cosim_scale.flits_per_cycle_at_peak);
 
   return ckpt::crc32(w.bytes().data(), w.size());
 }

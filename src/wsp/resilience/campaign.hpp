@@ -28,6 +28,7 @@
 #include "wsp/arch/bringup.hpp"
 #include "wsp/common/config.hpp"
 #include "wsp/common/fault_map.hpp"
+#include "wsp/cosim/cosim.hpp"
 #include "wsp/noc/link_health.hpp"
 #include "wsp/noc/noc_system.hpp"
 #include "wsp/noc/traffic.hpp"
@@ -71,6 +72,16 @@ struct CampaignOptions {
   /// counters every scrub_period cycles and retires links that cross the
   /// threshold — all before they fail hard.
   noc::LinkRetirementPolicy link_health{};
+  /// PDN<->NoC epoch coupling (wsp::cosim) inside each trial.  0 keeps the
+  /// classic static behaviour: one uniform-activity solve up front, BER
+  /// re-derived only on brownout events.  >= 1 re-solves the planes every
+  /// cosim_epoch_cycles cycles from the NoC's measured per-tile activity
+  /// (warm-started from the previous epoch's solution) and re-derives the
+  /// voltage-aware BER map, so droop follows traffic and BER follows droop
+  /// for the whole trial.  Active only when noc.mesh.integrity.enabled.
+  std::uint64_t cosim_epoch_cycles = 0;
+  /// Activity -> power scaling for the coupled re-solve.
+  cosim::ActivityScale cosim_scale{};
 };
 
 /// Usable-tile count at a point in time.

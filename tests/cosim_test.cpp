@@ -1,0 +1,401 @@
+// PDN <-> NoC co-simulation tests: the coupled epoch loop's physics
+// (traffic hotspot -> localized droop -> elevated BER on the hot links),
+// its determinism (thread-count and epoch-split invariance, mid-run BER
+// swaps), checkpoint kill-and-resume bit-identity, and warm-start
+// agreement with cold solves.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wsp/ckpt/checkpoint.hpp"
+#include "wsp/common/error.hpp"
+#include "wsp/cosim/cosim.hpp"
+#include "wsp/exec/thread_pool.hpp"
+#include "wsp/noc/traffic.hpp"
+#include "wsp/pdn/wafer_pdn.hpp"
+
+namespace wsp::cosim {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name) : path_(name) {}
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// The coupled 32x32 configuration the physics assertions run on: a
+/// center hotspot, link integrity on, and an amplified voltage->BER
+/// mapping so millivolt-scale regulated deltas are measurable within a
+/// few epochs.
+CosimOptions coupled_32x32(noc::TrafficPattern pattern) {
+  CosimOptions o;
+  o.config = SystemConfig::reduced(32, 32);
+  o.seed = 21;
+  o.epoch_cycles = 64;
+  o.noc.mesh.integrity.enabled = true;
+  o.traffic.pattern = pattern;
+  o.traffic.injection_rate = 0.05;
+  o.traffic.hotspot = {16, 16};
+  o.pdn.ldo.line_regulation = 0.1;
+  o.ber.floor_ber = 1e-6;
+  o.ber.volts_per_decade = 0.003;
+  return o;
+}
+
+CosimOptions small_options(std::uint64_t epoch_cycles = 32) {
+  CosimOptions o;
+  o.config = SystemConfig::reduced(8, 8);
+  o.seed = 5;
+  o.epoch_cycles = epoch_cycles;
+  o.noc.mesh.integrity.enabled = true;
+  o.traffic.injection_rate = 0.04;
+  o.pdn.ldo.line_regulation = 0.1;
+  o.ber.floor_ber = 1e-6;
+  o.ber.volts_per_decade = 0.003;
+  return o;
+}
+
+TEST(ActivityPowerMap, IdleTilesDrawTheFloorAndActivityRamps) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  std::vector<noc::TileActivity> delta(16);
+  const ActivityScale scale;
+  std::vector<double> idle =
+      activity_power_map(delta, faults, cfg.tile_peak_power_w, 64, scale);
+  for (const double p : idle)
+    EXPECT_DOUBLE_EQ(p, cfg.tile_peak_power_w * scale.idle_fraction);
+  // Saturating activity on one tile pins it at peak power.
+  delta[5].traversals = 100000;
+  std::vector<double> hot =
+      activity_power_map(delta, faults, cfg.tile_peak_power_w, 64, scale);
+  EXPECT_DOUBLE_EQ(hot[5], cfg.tile_peak_power_w);
+  EXPECT_GT(hot[5], idle[5]);
+}
+
+TEST(ActivityPowerMap, FaultyTilesDrawNothing) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  FaultMap faults(cfg.grid());
+  faults.set_faulty({1, 1}, true);
+  std::vector<noc::TileActivity> delta(16);
+  delta[cfg.grid().index_of({1, 1})].traversals = 1000;
+  const std::vector<double> power =
+      activity_power_map(delta, faults, cfg.tile_peak_power_w, 64, {});
+  EXPECT_DOUBLE_EQ(power[cfg.grid().index_of({1, 1})], 0.0);
+}
+
+TEST(ActivityPowerMap, RejectsBadInputs) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  EXPECT_THROW(activity_power_map(std::vector<noc::TileActivity>(3), faults,
+                                  1.0, 64, {}),
+               Error);
+  EXPECT_THROW(activity_power_map(std::vector<noc::TileActivity>(16), faults,
+                                  1.0, 0, {}),
+               Error);
+  ActivityScale bad;
+  bad.flits_per_cycle_at_peak = 0.0;
+  EXPECT_THROW(activity_power_map(std::vector<noc::TileActivity>(16), faults,
+                                  1.0, 64, bad),
+               Error);
+}
+
+// ------------------------------------------------------ coupled physics
+
+TEST(CosimLoop, HotspotTrafficDeepensLocalDroop) {
+  CosimLoop loop(coupled_32x32(noc::TrafficPattern::Hotspot));
+  loop.run_epochs(3);
+  const TileGrid grid = loop.options().config.grid();
+  const pdn::PdnReport& coupled = loop.last_coupled_pdn();
+  const pdn::PdnReport& baseline = loop.last_static_pdn();
+  ASSERT_EQ(coupled.tiles.size(), grid.tile_count());
+  // The hotspot tile sags measurably below the static idle-floor solve...
+  const std::size_t hot = grid.index_of({16, 16});
+  const double hot_excess =
+      baseline.tiles[hot].supply_v - coupled.tiles[hot].supply_v;
+  EXPECT_GT(hot_excess, 0.01);
+  // ...and deeper than a far corner tile does (localized droop).
+  const std::size_t corner = grid.index_of({1, 1});
+  const double corner_excess =
+      baseline.tiles[corner].supply_v - coupled.tiles[corner].supply_v;
+  EXPECT_GT(hot_excess, corner_excess * 1.5);
+  // Epoch reports saw the same coupling.
+  EXPECT_GT(loop.epochs().back().max_excess_droop_v, 0.01);
+  EXPECT_GT(loop.epochs().back().traversals, 0u);
+}
+
+TEST(CosimLoop, HotspotRaisesBerOnHotLinksVsStaticBaseline) {
+  CosimLoop loop(coupled_32x32(noc::TrafficPattern::Hotspot));
+  loop.run_epochs(3);
+  const TileGrid grid = loop.options().config.grid();
+  // The map the meshes currently sample (adopted from the last epoch
+  // swap): the links at the hotspot run a measurably elevated BER.
+  const double hot_ber = loop.noc().link_ber().ber({16, 16}, Direction::East);
+  EXPECT_GT(hot_ber, loop.options().ber.floor_ber * 2.0);
+  // ...higher than a far corner link in the same run (localized), ...
+  EXPECT_GT(hot_ber, loop.noc().link_ber().ber({1, 1}, Direction::East));
+  // ...and higher than what the static idle-floor baseline would give the
+  // same link — an uncoupled campaign would under-estimate this BER.
+  const pdn::PdnReport& baseline = loop.last_static_pdn();
+  ASSERT_EQ(baseline.tiles.size(), grid.tile_count());
+  std::vector<double> static_v(baseline.tiles.size());
+  for (std::size_t i = 0; i < static_v.size(); ++i)
+    static_v[i] = baseline.tiles[i].regulated_v;
+  const noc::LinkBerMap static_ber = noc::LinkBerMap::from_tile_voltages(
+      grid, static_v, loop.options().ber);
+  EXPECT_GT(hot_ber, static_ber.ber({16, 16}, Direction::East) * 2.0);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(CosimLoop, BitIdenticalAcrossThreadCounts) {
+  std::uint32_t serial_fp = 0;
+  std::vector<std::uint8_t> serial_report;
+  for (const int threads : {1, 2, 8}) {
+    exec::set_shared_threads(threads);
+    CosimLoop loop(small_options());
+    loop.run_epochs(4);
+    const std::uint32_t fp = loop.state_fingerprint();
+    const std::vector<std::uint8_t> bytes = serialize_report(loop.report());
+    if (threads == 1) {
+      serial_fp = fp;
+      serial_report = bytes;
+    } else {
+      EXPECT_EQ(fp, serial_fp) << "threads=" << threads;
+      EXPECT_EQ(bytes, serial_report) << "threads=" << threads;
+    }
+  }
+  exec::set_shared_threads(0);
+}
+
+TEST(CosimLoop, RunSplitIsInvariant) {
+  CosimLoop straight(small_options());
+  straight.run(96);
+  CosimLoop split(small_options());
+  split.run(17);
+  split.run(40);
+  split.run(39);
+  EXPECT_EQ(split.state_fingerprint(), straight.state_fingerprint());
+  EXPECT_EQ(serialize_report(split.report()),
+            serialize_report(straight.report()));
+}
+
+// --------------------------------------- staged BER swap (NocSystem)
+
+TEST(StagedBerSwap, AdoptsOnlyAtNextCycleBoundary) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  noc::NocOptions opt;
+  opt.mesh.integrity.enabled = true;
+  noc::NocSystem noc(faults, opt);
+  noc.set_link_ber(noc::LinkBerMap::uniform(cfg.grid(), 1e-4));
+  // Staged: the meshes keep sampling the old (error-free) map until the
+  // next cycle boundary.
+  EXPECT_DOUBLE_EQ(noc.link_ber().ber({1, 1}, Direction::East), 0.0);
+  std::vector<noc::CompletedTransaction> done;
+  noc.step(done);
+  EXPECT_DOUBLE_EQ(noc.link_ber().ber({1, 1}, Direction::East), 1e-4);
+  // Re-staging before the boundary replaces the staged map: last writer
+  // wins, exactly one coherent map per cycle.
+  noc.set_link_ber(noc::LinkBerMap::uniform(cfg.grid(), 1e-5));
+  noc.set_link_ber(noc::LinkBerMap::uniform(cfg.grid(), 1e-6));
+  noc.step(done);
+  EXPECT_DOUBLE_EQ(noc.link_ber().ber({1, 1}, Direction::East), 1e-6);
+}
+
+TEST(StagedBerSwap, SurvivesFaultStateChangeBeforeTheBoundary) {
+  // Regression for the campaign rebind ordering: the BER rebind now runs
+  // after clock re-selection and apply_fault_state.  A map staged before
+  // (or after) a fault-state change in the same cycle must still land at
+  // the next boundary.
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  FaultMap faults(cfg.grid());
+  noc::NocOptions opt;
+  opt.mesh.integrity.enabled = true;
+  noc::NocSystem noc(faults, opt);
+  noc.set_link_ber(noc::LinkBerMap::uniform(cfg.grid(), 1e-4));
+  faults.set_faulty({2, 2}, true);
+  noc.apply_fault_state(faults);
+  std::vector<noc::CompletedTransaction> done;
+  noc.step(done);
+  EXPECT_DOUBLE_EQ(noc.link_ber().ber({1, 1}, Direction::East), 1e-4);
+}
+
+TEST(StagedBerSwap, StagedMapSurvivesCheckpointRoundTrip) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  const FaultMap faults(cfg.grid());
+  noc::NocOptions opt;
+  opt.mesh.integrity.enabled = true;
+  noc::NocSystem a(faults, opt);
+  a.set_link_ber(noc::LinkBerMap::uniform(cfg.grid(), 2e-5));
+  ckpt::Writer w;
+  a.save_state(w);
+  noc::NocSystem b(faults, opt);
+  ckpt::Reader r(w.bytes());
+  b.load_state(r);
+  std::vector<noc::CompletedTransaction> done;
+  b.step(done);
+  EXPECT_DOUBLE_EQ(b.link_ber().ber({1, 1}, Direction::East), 2e-5);
+}
+
+TEST(StagedBerSwap, RejectsGridMismatch) {
+  const SystemConfig cfg = SystemConfig::reduced(4, 4);
+  noc::NocOptions opt;
+  opt.mesh.integrity.enabled = true;
+  noc::NocSystem noc(FaultMap(cfg.grid()), opt);
+  try {
+    noc.set_link_ber(noc::LinkBerMap(TileGrid(8, 8)));
+    FAIL() << "grid mismatch accepted";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "set_link_ber: BER map grid mismatch");
+  }
+}
+
+TEST(StagedBerSwap, MidRunSwapIsDeterministicAcrossThreads) {
+  // An external mid-run swap adopts at the next cycle boundary — never
+  // mid-cycle — so the run stays bit-identical at every thread count.
+  const auto run_with_swap = [](int threads) {
+    exec::set_shared_threads(threads);
+    const SystemConfig cfg = SystemConfig::reduced(8, 8);
+    const FaultMap faults(cfg.grid());
+    noc::NocOptions opt;
+    opt.mesh.integrity.enabled = true;
+    noc::NocSystem noc(faults, opt);
+    Rng rng(3);
+    noc::TrafficConfig traffic;
+    traffic.injection_rate = 0.1;
+    std::vector<noc::CompletedTransaction> done;
+    for (int cycle = 0; cycle < 120; ++cycle) {
+      cfg.grid().for_each([&](TileCoord src) {
+        if (!rng.bernoulli(traffic.injection_rate)) return;
+        const TileCoord dst =
+            noc::pick_destination(faults, src, traffic, rng);
+        if (dst == src) return;
+        (void)noc.issue(src, dst, noc::PacketType::ReadRequest);
+      });
+      if (cycle == 40)
+        noc.set_link_ber(noc::LinkBerMap::uniform(cfg.grid(), 1e-3));
+      noc.step(done);
+    }
+    ckpt::Writer w;
+    noc.save_state(w);
+    const std::uint32_t fp = ckpt::crc32(w.bytes().data(), w.size());
+    exec::set_shared_threads(0);
+    return fp;
+  };
+  const std::uint32_t serial = run_with_swap(1);
+  EXPECT_EQ(run_with_swap(2), serial);
+  EXPECT_EQ(run_with_swap(8), serial);
+}
+
+TEST(CosimLoop, EpochLengthChangesTheCouplingNotTheTrafficRng) {
+  // Different epoch lengths re-solve at different boundaries, which feeds
+  // back into the BER map: the runs legitimately diverge.  This guards
+  // the epoch plumbing: epoch_cycles must matter (a loop that never
+  // couples would make these equal).
+  CosimOptions a = small_options(16);
+  CosimOptions b = small_options(64);
+  CosimLoop la(a);
+  CosimLoop lb(b);
+  la.run(64);
+  lb.run(64);
+  EXPECT_EQ(la.epochs_completed(), 4u);
+  EXPECT_EQ(lb.epochs_completed(), 1u);
+}
+
+// ---------------------------------------------------------- checkpointing
+
+TEST(CosimLoop, CheckpointResumeMidEpochIsBitIdentical) {
+  TempFile file("cosim_resume_test.ckpt");
+  CosimLoop straight(small_options());
+  straight.run(150);  // 4 full epochs + 22 cycles into the fifth
+  const std::uint32_t want = straight.state_fingerprint();
+
+  CosimLoop killed(small_options());
+  killed.run(75);  // mid-epoch: cycle_in_epoch = 11
+  killed.save_checkpoint(file.path());
+
+  CosimLoop resumed(small_options());
+  resumed.load_checkpoint(file.path());
+  EXPECT_EQ(resumed.state_fingerprint(), killed.state_fingerprint());
+  resumed.run(75);
+  EXPECT_EQ(resumed.state_fingerprint(), want);
+  EXPECT_EQ(serialize_report(resumed.report()),
+            serialize_report(straight.report()));
+}
+
+TEST(CosimLoop, CheckpointRejectsForeignFrame) {
+  TempFile file("cosim_foreign_test.ckpt");
+  ckpt::Writer w;
+  w.u64(42);
+  ckpt::save_frame_file(file.path(), ckpt::fourcc("XXXX"), 1, w);
+  CosimLoop loop(small_options());
+  EXPECT_THROW(loop.load_checkpoint(file.path()), ckpt::Error);
+}
+
+// ------------------------------------------------------------- warm start
+
+TEST(WarmStart, WarmAndColdSolvesAgree) {
+  const CosimOptions o = small_options();
+  pdn::WaferPdn warm_pdn(o.config, o.pdn);
+  pdn::WaferPdn cold_pdn(o.config, o.pdn);
+
+  // A drifting sequence of power maps, as an epoch driver would produce.
+  const std::size_t tiles = o.config.grid().tile_count();
+  std::vector<std::vector<double>> seeds(1);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    std::vector<double> power(tiles);
+    for (std::size_t i = 0; i < tiles; ++i)
+      power[i] = o.config.tile_peak_power_w *
+                 (0.3 + 0.1 * static_cast<double>(epoch) +
+                  0.01 * static_cast<double>(i % 7));
+    std::vector<std::vector<double>> maps{power};
+    std::vector<pdn::SolveStats> warm_stats;
+    const pdn::PdnReport warm =
+        warm_pdn.solve_batch_warm(maps, seeds, &warm_stats)[0];
+    const pdn::PdnReport cold = cold_pdn.solve(power);
+    ASSERT_TRUE(warm.solver_converged);
+    ASSERT_TRUE(cold.solver_converged);
+    for (std::size_t i = 0; i < tiles; ++i) {
+      EXPECT_NEAR(warm.tiles[i].supply_v, cold.tiles[i].supply_v, 1e-5);
+      EXPECT_NEAR(warm.tiles[i].regulated_v, cold.tiles[i].regulated_v, 1e-5);
+    }
+    if (epoch > 0) {
+      // The warm solve re-converges from last epoch's solution in no more
+      // V-cycles than a cold start needs.
+      std::vector<std::vector<double>> cold_seed(1);
+      std::vector<pdn::SolveStats> cold_stats;
+      pdn::WaferPdn probe(o.config, o.pdn);
+      probe.solve_batch_warm(maps, cold_seed, &cold_stats);
+      EXPECT_LE(warm_stats[0].iterations, cold_stats[0].iterations);
+    }
+  }
+}
+
+TEST(WarmStart, BatchColdEqualsSequentialSolves) {
+  const CosimOptions o = small_options();
+  pdn::WaferPdn pdn_a(o.config, o.pdn);
+  pdn::WaferPdn pdn_b(o.config, o.pdn);
+  const std::size_t tiles = o.config.grid().tile_count();
+  std::vector<std::vector<double>> maps{
+      std::vector<double>(tiles, 0.4 * o.config.tile_peak_power_w),
+      std::vector<double>(tiles, 0.9 * o.config.tile_peak_power_w)};
+  const std::vector<pdn::PdnReport> batch = pdn_a.solve_batch(maps);
+  ASSERT_EQ(batch.size(), 2u);
+  for (std::size_t m = 0; m < maps.size(); ++m) {
+    const pdn::PdnReport single = pdn_b.solve(maps[m]);
+    for (std::size_t i = 0; i < tiles; ++i)
+      EXPECT_DOUBLE_EQ(batch[m].tiles[i].supply_v, single.tiles[i].supply_v);
+  }
+}
+
+}  // namespace
+}  // namespace wsp::cosim

@@ -2,6 +2,8 @@
 // strategy comparison.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "wsp/common/error.hpp"
 #include "wsp/pdn/strategy.hpp"
 #include "wsp/pdn/wafer_pdn.hpp"
@@ -190,6 +192,78 @@ TEST(Strategy, SubKwSystemTotalPowerIsSane) {
   // "this prototype is a sub-kW system".
   EXPECT_LT(cmp.ldo.input_power_w, 1000.0);
   EXPECT_GT(cmp.ldo.input_power_w, 400.0);
+}
+
+
+// ----------------------------------------------- precondition hardening
+
+// Every rejected input names its violation with a stable message: these
+// are load-bearing for callers that surface solver errors verbatim.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "(no wsp::Error thrown)";
+}
+
+TEST(WaferPdnPreconditions, SolveUniformRejectsNonFiniteActivity) {
+  WaferPdn pdn(SystemConfig::reduced(4, 4), {});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(thrown_message([&] { pdn.solve_uniform(nan); }),
+            "activity must be finite");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(thrown_message([&] { pdn.solve_uniform(inf); }),
+            "activity must be finite");
+}
+
+TEST(WaferPdnPreconditions, SolveUniformRejectsOutOfRangeActivity) {
+  WaferPdn pdn(SystemConfig::reduced(4, 4), {});
+  EXPECT_EQ(thrown_message([&] { pdn.solve_uniform(-0.1); }),
+            "activity must be in [0,1]");
+  EXPECT_EQ(thrown_message([&] { pdn.solve_uniform(1.5); }),
+            "activity must be in [0,1]");
+}
+
+TEST(WaferPdnPreconditions, SolveRejectsWrongLengthPowerMap) {
+  WaferPdn pdn(SystemConfig::reduced(4, 4), {});
+  EXPECT_EQ(thrown_message([&] { pdn.solve(std::vector<double>(3, 0.0)); }),
+            "tile power vector size mismatch");
+}
+
+TEST(WaferPdnPreconditions, SolveRejectsNegativeOrNaNPower) {
+  WaferPdn pdn(SystemConfig::reduced(4, 4), {});
+  std::vector<double> power(16, 1.0);
+  power[5] = -1.0;
+  EXPECT_EQ(thrown_message([&] { pdn.solve(power); }),
+            "tile power must be finite and non-negative");
+  power[5] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(thrown_message([&] { pdn.solve(power); }),
+            "tile power must be finite and non-negative");
+}
+
+TEST(WaferPdnPreconditions, SolveBatchValidatesEveryMap) {
+  WaferPdn pdn(SystemConfig::reduced(4, 4), {});
+  std::vector<std::vector<double>> maps(2, std::vector<double>(16, 1.0));
+  maps[1][3] = -2.0;  // second map bad: the batch must still reject
+  EXPECT_EQ(thrown_message([&] { pdn.solve_batch(maps); }),
+            "tile power must be finite and non-negative");
+  maps[1] = std::vector<double>(7, 1.0);
+  EXPECT_EQ(thrown_message([&] { pdn.solve_batch(maps); }),
+            "tile power vector size mismatch");
+}
+
+TEST(WaferPdnPreconditions, SolveBatchWarmValidatesSeeds) {
+  WaferPdn pdn(SystemConfig::reduced(4, 4), {});
+  std::vector<std::vector<double>> maps(2, std::vector<double>(16, 1.0));
+  std::vector<std::vector<double>> seeds(1);
+  EXPECT_EQ(thrown_message([&] { pdn.solve_batch_warm(maps, seeds); }),
+            "warm-start seed count must match power maps");
+  seeds.assign(2, std::vector<double>(3, 0.0));
+  EXPECT_EQ(thrown_message([&] { pdn.solve_batch_warm(maps, seeds); }),
+            "warm-start seed length must equal node_count()");
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "wsp/ckpt/checkpoint.hpp"
 #include "wsp/clock/forwarding.hpp"
 #include "wsp/clock/recovery.hpp"
 #include "wsp/common/fault_map.hpp"
@@ -624,6 +625,95 @@ TEST(DegradationCampaign, MonteCarloSummaryAggregates) {
   EXPECT_LE(s.mean_pair_reachability_pct, 100.0);
   EXPECT_GE(s.fully_drained, 0);
   EXPECT_LE(s.fully_drained, 3);
+}
+
+TEST(DegradationCampaign, BerMapSurvivesClockReselectionOrdering) {
+  // Ordering regression: the voltage-aware BER map (plus the layered
+  // scheduled degradations) must be re-applied after clock re-selection
+  // and apply_fault_state — not just after the PDN re-solve.  A link's
+  // eye collapses at cycle 200; a distant tile dies at cycle 230, which
+  // runs the re-latch wave and pushes fresh fault state into the meshes.
+  // The degraded link has seen almost no traffic by then, so its eventual
+  // retirement can only happen if the rebuilt map still carries the
+  // degradation after the tile-death event settles.
+  CampaignOptions o;
+  o.config = SystemConfig::reduced(6, 6);
+  o.seed = 9;
+  o.run_cycles = 4000;
+  o.injection_rate = 0.04;
+  o.drain_cycles = 100000;
+  o.noc.mesh.integrity.enabled = true;
+  FaultSchedule s;
+  FaultEvent ber;
+  ber.cycle = 200;
+  ber.kind = RuntimeFaultKind::LinkBerDegradation;
+  ber.tile = {2, 3};
+  ber.link = Direction::East;
+  ber.magnitude = 8e-3;
+  s.add(ber);
+  s.add({230, RuntimeFaultKind::TileDeath, {5, 5}, Direction::North});
+  o.schedule = s;
+
+  const DegradationCampaign campaign(o);
+  const DegradationReport r = campaign.run();
+  ASSERT_EQ(r.events.size(), 2u);
+  // The degraded link still accumulated errors and was retired — and the
+  // retirement postdates the tile death, so the map survived the rebind.
+  ASSERT_FALSE(r.retirements.empty());
+  EXPECT_EQ(r.retirements[0].tile, (TileCoord{2, 3}));
+  EXPECT_EQ(r.retirements[0].dir, Direction::East);
+  EXPECT_GT(r.retirements[0].cycle, 230u);
+  EXPECT_TRUE(r.drained);
+
+  // And the whole mixed schedule stays bit-identical across runs (the
+  // per-trial scratch map reuse must not leak state between runs).
+  const DegradationReport r2 = campaign.run();
+  ckpt::Writer wa, wb;
+  save_report(wa, r);
+  save_report(wb, r2);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+TEST(DegradationCampaign, CoupledEpochResolveIsDeterministicAndDiverges) {
+  // Coupled trials (cosim_epoch_cycles > 0) re-solve the planes from
+  // measured NoC activity every epoch.  Heavier per-tile power makes the
+  // coupling visible on a 6x6 wafer within a short run.
+  CampaignOptions o = small_campaign(11);
+  o.config.tile_peak_power_w *= 6.0;
+  o.injection_rate = 0.04;
+  o.noc.mesh.integrity.enabled = true;
+  o.noc.mesh.integrity.ber.floor_ber = 1e-6;
+  o.noc.mesh.integrity.ber.volts_per_decade = 0.01;
+  // Put the BER knee just above this wafer's regulated band (~1.14-1.15 V
+  // at line_regulation 0.1) so the line-regulation residue of any supply
+  // difference shows up on the wire instead of clamping to the floor on a
+  // small, lightly-drooped wafer.
+  o.noc.mesh.integrity.ber.nominal_v = 1.16;
+  o.pdn.pdn.ldo.line_regulation = 0.1;
+  o.cosim_epoch_cycles = 64;
+
+  const DegradationCampaign coupled(o);
+  const DegradationReport a = coupled.run();
+  const DegradationReport b = coupled.run();
+  expect_identical(a, b);
+  ckpt::Writer wa, wb;
+  save_report(wa, a);
+  save_report(wb, b);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+  EXPECT_TRUE(a.drained);
+
+  // The coupling is a real behavioural change: the same seed without the
+  // epoch re-solve produces a different report...
+  CampaignOptions so = o;
+  so.cosim_epoch_cycles = 0;
+  const DegradationCampaign standalone(so);
+  const DegradationReport c = standalone.run();
+  ckpt::Writer wc;
+  save_report(wc, c);
+  EXPECT_NE(wa.bytes(), wc.bytes());
+  // ...and a different campaign identity, so a coupled checkpoint can
+  // never silently resume a static campaign (or vice versa).
+  EXPECT_NE(coupled.options_fingerprint(), standalone.options_fingerprint());
 }
 
 }  // namespace
