@@ -151,8 +151,7 @@ CosimLoop::CosimLoop(const CosimOptions& options, const FaultMap& faults)
     : options_(options),
       faults_(faults),
       noc_(faults_, options_.noc, &metrics_),
-      pdn_(options_.config, options_.pdn),
-      rng_(options_.seed) {
+      pdn_(options_.config, options_.pdn) {
   options_.config.validate();
   require(options_.epoch_cycles >= 1, "cosim epoch must be >= 1 cycle");
   require(faults_.grid().width() == options_.config.grid().width() &&
@@ -161,6 +160,15 @@ CosimLoop::CosimLoop(const CosimOptions& options, const FaultMap& faults)
   require(options_.pdn.load_model == pdn::LoadModel::ConstantCurrent,
           "cosim requires LoadModel::ConstantCurrent (batched re-solve)");
   pdn_.bind_metrics(&metrics_);
+  // The workload generator.  Synthetic (the default) wraps the legacy
+  // traffic config + seed so pre-seam option sets reproduce the old
+  // injection stream bit for bit; any other class uses the spec verbatim.
+  workloads::WorkloadSpec spec = options_.workload;
+  if (spec.cls == workloads::WorkloadClass::Synthetic) {
+    spec.synthetic = options_.traffic;
+    spec.seed = options_.seed;
+  }
+  gen_ = workloads::make_generator(spec, options_.config, faults_);
   // Two warm-start seed buffers persisted across epochs: the coupled map
   // and the static idle-floor reference solved alongside it.
   seeds_.assign(2, {});
@@ -173,21 +181,20 @@ CosimLoop::CosimLoop(const CosimOptions& options, const FaultMap& faults)
 }
 
 void CosimLoop::inject_traffic() {
-  const TileGrid& grid = faults_.grid();
-  grid.for_each([&](TileCoord src) {
-    if (faults_.is_faulty(src)) return;
-    if (!rng_.bernoulli(options_.traffic.injection_rate)) return;
-    const TileCoord dst =
-        noc::pick_destination(faults_, src, options_.traffic, rng_);
-    if (dst == src) return;
-    (void)noc_.issue(src, dst, noc::PacketType::ReadRequest);
-  });
+  inject_buf_.clear();
+  gen_->emit(inject_buf_);
+  for (const workloads::Injection& inj : inject_buf_) {
+    if (inj.dst == inj.src) continue;
+    (void)noc_.issue(inj.src, inj.dst, inj.type, inj.payload);
+  }
 }
 
 void CosimLoop::step_cycle() {
   inject_traffic();
   done_.clear();
   noc_.step(done_);
+  for (const noc::CompletedTransaction& t : done_)
+    latencies_.push_back(t.latency());
   if (++cycle_in_epoch_ == options_.epoch_cycles) {
     cycle_in_epoch_ = 0;
     couple();
@@ -275,6 +282,30 @@ void CosimLoop::publish_gauges(const EpochReport& e) {
   metrics_.gauge("cosim.mean_ber").set(e.mean_ber);
   metrics_.gauge("cosim.epoch_retransmits")
       .set(static_cast<double>(e.retransmits));
+  // Per-class tail latency alongside the droop gauges, so one RunReport
+  // section carries both halves of the workload/power story.
+  std::vector<std::uint64_t> sorted = latencies_;
+  metrics_.gauge("cosim.workload_p50_latency")
+      .set(static_cast<double>(obs::nearest_rank_percentile(sorted, 0.50)));
+  metrics_.gauge("cosim.workload_p95_latency")
+      .set(static_cast<double>(obs::nearest_rank_percentile(sorted, 0.95)));
+  metrics_.gauge("cosim.workload_p99_latency")
+      .set(static_cast<double>(obs::nearest_rank_percentile(sorted, 0.99)));
+}
+
+noc::TrafficReport CosimLoop::latency_summary() const {
+  noc::TrafficReport report;
+  report.cycles = noc_.now();
+  const noc::NocStats s = noc_.stats();
+  report.issued = s.issued;
+  report.completed = s.completed;
+  report.unreachable = s.unreachable;
+  report.offered_load =
+      report.cycles ? static_cast<double>(s.issued) / report.cycles : 0.0;
+  report.throughput =
+      report.cycles ? static_cast<double>(s.completed) / report.cycles : 0.0;
+  noc::finalize_latencies(report, latencies_);
+  return report;
 }
 
 CosimReport CosimLoop::report() const {
@@ -297,14 +328,18 @@ CosimReport CosimLoop::report() const {
 
 namespace {
 constexpr std::uint32_t kCosimKind = ckpt::fourcc("COSM");
-constexpr std::uint32_t kCosimStateVersion = 1;
+// v2: the raw traffic-RNG words were replaced by the workload generator's
+// own tagged frame, and the completed-transaction latency record was added.
+constexpr std::uint32_t kCosimStateVersion = 2;
 }  // namespace
 
 void CosimLoop::save_state(ckpt::Writer& w) const {
   w.tag(ckpt::fourcc("CLOP"));
-  const std::array<std::uint64_t, 4> s = rng_.state();
-  for (const std::uint64_t word : s) w.u64(word);
+  gen_->save_state(w);
   w.u64(cycle_in_epoch_);
+  w.tag(ckpt::fourcc("WLAT"));
+  w.u64(latencies_.size());
+  for (const std::uint64_t l : latencies_) w.u64(l);
   tracker_.save_state(w);
   w.tag(ckpt::fourcc("SEED"));
   w.u64(seeds_.size());
@@ -320,10 +355,12 @@ void CosimLoop::save_state(ckpt::Writer& w) const {
 
 void CosimLoop::load_state(ckpt::Reader& r) {
   r.expect_tag(ckpt::fourcc("CLOP"), "cosim loop");
-  std::array<std::uint64_t, 4> s;
-  for (std::uint64_t& word : s) word = r.u64();
-  rng_.set_state(s);
+  gen_->load_state(r);
   cycle_in_epoch_ = r.u64();
+  r.expect_tag(ckpt::fourcc("WLAT"), "workload latencies");
+  const std::size_t n_lat = r.length(8);
+  latencies_.resize(n_lat);
+  for (std::uint64_t& l : latencies_) l = r.u64();
   tracker_.load_state(r);
   r.expect_tag(ckpt::fourcc("SEED"), "warm-start seeds");
   const std::size_t n_seeds = r.length(8);

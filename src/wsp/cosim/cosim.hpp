@@ -8,7 +8,10 @@
 // resulting retransmits are themselves traffic.  `CosimLoop` closes the
 // loop deterministically with an epoch-stepped relaxation:
 //
-//   every cycle   : inject synthetic traffic, step the dual-mesh NoC
+//   every cycle   : inject workload traffic (wsp::workloads generators:
+//                   collectives, layer pipelines, spiking bursts, graph
+//                   waves, or the legacy synthetic patterns), step the
+//                   dual-mesh NoC
 //                   (cheap per-tile activity counters accumulate for free)
 //   every N cycles: diff the activity counters against the previous epoch
 //                   -> per-tile power map -> re-solve the wafer PDN
@@ -28,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "wsp/common/config.hpp"
 #include "wsp/common/fault_map.hpp"
 #include "wsp/common/rng.hpp"
@@ -36,6 +41,7 @@
 #include "wsp/noc/traffic.hpp"
 #include "wsp/obs/metrics.hpp"
 #include "wsp/pdn/wafer_pdn.hpp"
+#include "wsp/workloads/traffic_gen.hpp"
 
 namespace wsp::ckpt {
 class Writer;
@@ -105,6 +111,13 @@ struct CosimOptions {
   pdn::WaferPdnOptions pdn{};
   noc::NocOptions noc{};
   noc::TrafficConfig traffic{};
+  /// Workload driving the loop.  The default (Synthetic) reproduces the
+  /// legacy behaviour bit for bit: the generator wraps `traffic` seeded by
+  /// `seed` (the spec's own synthetic/seed fields are ignored for that
+  /// class).  Any other class runs the spec verbatim — all-reduce rings,
+  /// halo exchange, layer pipelines, spiking bursts or graph waves drive
+  /// the coupled loop instead of uniform-random injection.
+  workloads::WorkloadSpec workload{};
 };
 
 /// One epoch's coupled measurements, recorded at each epoch boundary.
@@ -180,13 +193,27 @@ class CosimLoop {
 
   const noc::NocSystem& noc() const { return noc_; }
   const CosimOptions& options() const { return options_; }
+  /// The workload generator injecting every cycle's traffic.
+  workloads::TrafficGenerator& generator() { return *gen_; }
+  const workloads::TrafficGenerator& generator() const { return *gen_; }
+  /// Round-trip latencies of every transaction completed so far (issue
+  /// order-independent: appended in completion order, which is itself
+  /// bit-identical across thread/shard counts).  Checkpoint state, so a
+  /// resumed run reports the same percentiles an uninterrupted one does.
+  const std::vector<std::uint64_t>& latencies() const { return latencies_; }
+  /// Nearest-rank latency percentiles + counts over latencies(), published
+  /// per workload class (report.cycles is the cycles run so far).
+  noc::TrafficReport latency_summary() const;
   /// Registry holding the NoC counters plus the per-epoch cosim gauges
   /// (cosim.epochs, cosim.min_supply_v, cosim.max_excess_droop_v,
-  /// cosim.min_regulated_v, cosim.mean_ber, cosim.epoch_retransmits).
+  /// cosim.min_regulated_v, cosim.mean_ber, cosim.epoch_retransmits) and
+  /// the per-class workload latency gauges (cosim.workload_p50_latency,
+  /// _p95_, _p99_ — nearest-rank over every completed round trip).
   obs::MetricsRegistry& metrics() { return metrics_; }
 
-  /// Checkpoint hooks: RNG stream, epoch cursor, activity snapshot,
-  /// warm-start seeds, epoch reports and the full NoC state round-trip, so
+  /// Checkpoint hooks: the workload generator's frame, epoch cursor,
+  /// latency record, activity snapshot, warm-start seeds, epoch reports
+  /// and the full NoC state round-trip, so
   /// load + run is bit-identical to never having stopped — mid-epoch
   /// included.  load_state targets a loop constructed with equal options
   /// and faults; mismatches throw ckpt::Error.
@@ -205,7 +232,7 @@ class CosimLoop {
   obs::MetricsRegistry metrics_;
   noc::NocSystem noc_;
   pdn::WaferPdn pdn_;
-  Rng rng_;
+  std::unique_ptr<workloads::TrafficGenerator> gen_;
   ActivityTracker tracker_;
   /// Warm-start seeds persisted across epochs: [0] coupled map, [1] static
   /// idle-floor reference (solved in the same batch for the excess-droop
@@ -220,6 +247,8 @@ class CosimLoop {
   std::vector<EpochReport> epochs_;
   std::uint64_t cycle_in_epoch_ = 0;
   std::vector<noc::CompletedTransaction> done_;
+  std::vector<workloads::Injection> inject_buf_;
+  std::vector<std::uint64_t> latencies_;
 
   void inject_traffic();
   void couple();  ///< the epoch-boundary coupling step

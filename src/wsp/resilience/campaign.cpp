@@ -141,6 +141,19 @@ DegradationReport DegradationCampaign::run() const {
   traffic.pattern = options_.pattern;
   traffic.injection_rate = options_.injection_rate;
 
+  // Workload-driven trials: a non-Synthetic spec routes injection through
+  // its generator (seeded per trial, so Monte Carlo trials differ exactly
+  // as the synthetic path's trials do).  Synthetic keeps the inline loop
+  // below byte for byte — the trial RNG's draw interleaving with fault
+  // sampling is behavioural state existing campaigns depend on.
+  std::unique_ptr<workloads::TrafficGenerator> workload_gen;
+  if (options_.workload.cls != workloads::WorkloadClass::Synthetic) {
+    workloads::WorkloadSpec spec = options_.workload;
+    spec.seed = spec.seed + options_.seed;
+    workload_gen = workloads::make_generator(spec, config, usable);
+  }
+  std::vector<workloads::Injection> workload_buf;
+
   DegradationReport report;
   report.initial_usable = usable.healthy_count();
   report.trajectory.push_back({0, report.initial_usable});
@@ -206,8 +219,13 @@ DegradationReport DegradationCampaign::run() const {
       }
 
       if (n.kind != RuntimeFaultKind::PacketCorruption &&
-          n.kind != RuntimeFaultKind::LinkBerDegradation)
+          n.kind != RuntimeFaultKind::LinkBerDegradation) {
         noc.apply_fault_state(injector.faults(), injector.link_faults());
+        // The workload re-derives its phase geometry (ring membership,
+        // halo neighbours, stage routes, vertex owners) from the same
+        // settled fault state the NoC replans from.
+        if (workload_gen) workload_gen->apply_fault_state(injector.faults());
+      }
       // Rebind the BER map only after the fault *and* clock state have
       // settled: clock re-selection (TileDeath / ClockGenLoss) mutates the
       // usable map after any PDN-derived base map was computed, so the
@@ -225,15 +243,27 @@ DegradationReport DegradationCampaign::run() const {
     }
 
     // Inject traffic from currently usable tiles.
-    const FaultMap& current = injector.faults();
-    grid.for_each([&](TileCoord src) {
-      if (current.is_faulty(src)) return;
-      if (!rng.bernoulli(traffic.injection_rate)) return;
-      const TileCoord dst = noc::pick_destination(current, src, traffic, rng);
-      if (dst == src) return;
-      if (const auto id = noc.issue(src, dst, noc::PacketType::ReadRequest))
-        outstanding.push_back(*id);
-    });
+    if (workload_gen) {
+      workload_buf.clear();
+      workload_gen->emit(workload_buf);
+      for (const workloads::Injection& inj : workload_buf) {
+        if (inj.dst == inj.src) continue;
+        if (const auto id = noc.issue(inj.src, inj.dst, inj.type,
+                                      inj.payload))
+          outstanding.push_back(*id);
+      }
+    } else {
+      const FaultMap& current = injector.faults();
+      grid.for_each([&](TileCoord src) {
+        if (current.is_faulty(src)) return;
+        if (!rng.bernoulli(traffic.injection_rate)) return;
+        const TileCoord dst =
+            noc::pick_destination(current, src, traffic, rng);
+        if (dst == src) return;
+        if (const auto id = noc.issue(src, dst, noc::PacketType::ReadRequest))
+          outstanding.push_back(*id);
+      });
+    }
 
     noc.step(done);
 
@@ -884,6 +914,8 @@ std::uint32_t DegradationCampaign::options_fingerprint() const {
   w.f64(options_.cosim_scale.traversal_weight);
   w.f64(options_.cosim_scale.retransmit_weight);
   w.f64(options_.cosim_scale.flits_per_cycle_at_peak);
+
+  workloads::save_spec(w, options_.workload);
 
   return ckpt::crc32(w.bytes().data(), w.size());
 }

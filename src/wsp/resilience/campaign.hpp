@@ -35,6 +35,7 @@
 #include "wsp/obs/metrics.hpp"
 #include "wsp/resilience/fault_schedule.hpp"
 #include "wsp/resilience/pdn_degradation.hpp"
+#include "wsp/workloads/traffic_gen.hpp"
 
 namespace wsp::ckpt {
 class Writer;
@@ -82,6 +83,13 @@ struct CampaignOptions {
   std::uint64_t cosim_epoch_cycles = 0;
   /// Activity -> power scaling for the coupled re-solve.
   cosim::ActivityScale cosim_scale{};
+  /// Workload driving each trial's traffic window.  Synthetic (the
+  /// default) keeps the classic inline injection loop — `pattern` /
+  /// `injection_rate` above, drawn from the trial RNG — bit for bit.  Any
+  /// other class routes injection through a wsp::workloads generator
+  /// (seeded workload.seed + trial seed, re-derived on every fault event
+  /// so collectives re-ring and pipelines re-route around dead tiles).
+  workloads::WorkloadSpec workload{};
 };
 
 /// Usable-tile count at a point in time.

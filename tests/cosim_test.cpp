@@ -154,6 +154,146 @@ TEST(CosimLoop, HotspotRaisesBerOnHotLinksVsStaticBaseline) {
   EXPECT_GT(hot_ber, static_ber.ber({16, 16}, Direction::East) * 2.0);
 }
 
+/// Mean excess droop (static baseline minus coupled supply) over the tiles
+/// of rows [y0, y1].
+double band_excess_droop(const CosimLoop& loop, int y0, int y1) {
+  const TileGrid grid = loop.options().config.grid();
+  const pdn::PdnReport& coupled = loop.last_coupled_pdn();
+  const pdn::PdnReport& baseline = loop.last_static_pdn();
+  double sum = 0.0;
+  int n = 0;
+  for (int y = y0; y <= y1; ++y)
+    for (int x = 0; x < grid.width(); ++x) {
+      const std::size_t i = grid.index_of({x, y});
+      sum += baseline.tiles[i].supply_v - coupled.tiles[i].supply_v;
+      ++n;
+    }
+  return sum / n;
+}
+
+/// Mean eastbound-link BER currently adopted by the meshes over rows
+/// [y0, y1].
+double band_mean_ber(const CosimLoop& loop, int y0, int y1) {
+  const TileGrid grid = loop.options().config.grid();
+  double sum = 0.0;
+  int n = 0;
+  for (int y = y0; y <= y1; ++y)
+    for (int x = 0; x + 1 < grid.width(); ++x) {
+      sum += loop.noc().link_ber().ber({x, y}, Direction::East);
+      ++n;
+    }
+  return sum / n;
+}
+
+/// Static-baseline mean eastbound BER over rows [y0, y1]: the BER the
+/// idle-floor PDN solve would predict for the same links.
+double band_static_ber(const CosimLoop& loop, int y0, int y1) {
+  const TileGrid grid = loop.options().config.grid();
+  const pdn::PdnReport& baseline = loop.last_static_pdn();
+  std::vector<double> v(baseline.tiles.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = baseline.tiles[i].regulated_v;
+  const noc::LinkBerMap map =
+      noc::LinkBerMap::from_tile_voltages(grid, v, loop.options().ber);
+  double sum = 0.0;
+  int n = 0;
+  for (int y = y0; y <= y1; ++y)
+    for (int x = 0; x + 1 < grid.width(); ++x) {
+      sum += map.ber({x, y}, Direction::East);
+      ++n;
+    }
+  return sum / n;
+}
+
+TEST(CosimLoop, AllReduceRingConcentratesDroopAndBerAlongTheRingPath) {
+  // Confine the collective to the four-row band 14..17; the ring's
+  // sustained all-to-successor traffic must sag the supply and raise link
+  // BER along that band, not across the whole wafer.  A load-matched
+  // uniform-random run (~the same injections/cycle, spread wafer-wide)
+  // droops the same central band too — the IR bowl lives there — but far
+  // less *selectively*: the directional claim is the concentration ratio,
+  // not the absolute sag, because uniform's long paths burn more total
+  // traversal power for the same injected packets.
+  CosimOptions o = coupled_32x32(noc::TrafficPattern::UniformRandom);
+  o.ber.floor_ber = 1e-9;
+  o.ber.nominal_v = 1.107;  // knee just above the band's regulated rail
+  o.workload.cls = workloads::WorkloadClass::AllReduceRing;
+  o.workload.seed = o.seed;
+  o.workload.allreduce.chunk_packets = 4;
+  o.workload.allreduce.step_cycles = 4;
+  o.workload.allreduce.gap_cycles = 0;
+  o.workload.allreduce.rect_x0 = 0;
+  o.workload.allreduce.rect_y0 = 14;
+  o.workload.allreduce.rect_x1 = 31;
+  o.workload.allreduce.rect_y1 = 17;
+  CosimLoop ring(o);
+  ring.run_epochs(3);
+
+  // The ring band droops hard and locally.
+  const double band = band_excess_droop(ring, 14, 17);
+  const double outside = band_excess_droop(ring, 0, 10);
+  EXPECT_GT(band, 0.05);
+  EXPECT_GT(band, outside * 2.5)
+      << "ring traffic must droop its own band hardest";
+
+  // 128 ring members injecting 1 pkt/cycle ~= 1024 tiles at rate 0.125.
+  CosimOptions u = o;
+  u.workload = workloads::WorkloadSpec{};
+  u.traffic.injection_rate = 0.0125;
+  CosimLoop uniform(u);
+  uniform.run_epochs(3);
+  const double uniform_ratio = band_excess_droop(uniform, 14, 17) /
+                               band_excess_droop(uniform, 0, 10);
+  EXPECT_GT(band / outside, uniform_ratio * 1.5)
+      << "the ring must concentrate droop on its band far more than "
+         "load-matched uniform traffic does";
+
+  // The band's links run an elevated BER: above the run's own remote
+  // links and above what the static idle-floor baseline predicts for the
+  // very same links (an uncoupled campaign would under-estimate it).
+  const double band_ber = band_mean_ber(ring, 14, 17);
+  EXPECT_GT(band_ber, band_mean_ber(ring, 0, 10) * 2.0);
+  EXPECT_GT(band_ber, band_static_ber(ring, 14, 17) * 2.0);
+}
+
+TEST(CosimLoop, SpikingHotspotRecoversToIdleFloorWithinAnEpochOfBurstEnd) {
+  // One deterministic burst at the wafer center, dying out before the
+  // first epoch boundary; no background firing afterwards.  The coupled
+  // power and droop must fall back to the idle floor within an epoch of
+  // the burst ending.
+  CosimOptions o = coupled_32x32(noc::TrafficPattern::UniformRandom);
+  o.workload.cls = workloads::WorkloadClass::SpikingBurst;
+  o.workload.seed = o.seed;
+  o.workload.spiking.background_rate = 0.0;
+  o.workload.spiking.burst_rate = 0.0;
+  o.workload.spiking.burst_interval = 1;  // fires at cycle 0 ...
+  o.workload.spiking.max_bursts = 1;      // ... and never again
+  o.workload.spiking.hotspot = {16, 16};
+  o.workload.spiking.burst_radius = 4;
+  o.workload.spiking.burst_cycles = 40;  // ends mid-epoch (epoch = 64)
+  o.workload.spiking.burst_intensity = 0.8;
+  CosimLoop loop(o);
+  loop.run_epochs(3);
+  ASSERT_EQ(loop.epochs().size(), 3u);
+
+  const TileGrid grid = loop.options().config.grid();
+  const double idle_floor_w = grid.tile_count() *
+                              loop.options().config.tile_peak_power_w *
+                              loop.options().scale.idle_fraction;
+  const EpochReport& burst_epoch = loop.epochs()[0];
+  const EpochReport& settled = loop.epochs()[2];
+  // The burst epoch ran hot ...
+  EXPECT_GT(burst_epoch.injections, 0u);
+  EXPECT_GT(burst_epoch.total_power_w, idle_floor_w + 0.5);
+  EXPECT_GT(burst_epoch.max_excess_droop_v, 0.001);
+  // ... and one epoch after the avalanche died, the wafer is back at the
+  // idle floor: no injections, idle-floor power, no excess droop.
+  EXPECT_EQ(settled.injections, 0u);
+  EXPECT_NEAR(settled.total_power_w, idle_floor_w, idle_floor_w * 0.01);
+  EXPECT_LT(settled.max_excess_droop_v, 1e-3);
+  EXPECT_LT(settled.total_power_w, burst_epoch.total_power_w);
+}
+
 // ------------------------------------------------------------ determinism
 
 TEST(CosimLoop, BitIdenticalAcrossThreadCounts) {
